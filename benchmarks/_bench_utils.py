@@ -1,0 +1,16 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+__all__ = ["run_once"]
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark timer.
+
+    The figure-level experiments take tens of seconds of simulation; repeating
+    them for statistical timing would multiply the suite's runtime without
+    adding information, so they are benchmarked with a single round (the
+    timing is still recorded and reported by pytest-benchmark).
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,46 @@
+"""Figure 1 — cycle-count ratio of canonical algorithms to the DP-best plan.
+
+Regenerates the series of the paper's Figure 1 on the scaled machine: for
+every size in the sweep, the ratio of the iterative / left recursive / right
+recursive cycle count to the best (DP-found) plan's cycle count, and reports
+where the iterative/recursive crossover falls relative to the cache
+boundaries.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.experiments.report import render_ratio_figure
+
+
+def test_figure1_cycle_ratio_series(benchmark, suite):
+    sweep = run_once(benchmark, suite.figure1)
+    print()
+    print(render_ratio_figure(sweep, "cycles", "Figure 1: cycle-count ratio canonical/best"))
+
+    l1_boundary = suite.machine.config.l1_capacity_exponent()
+    l2_boundary = suite.machine.config.l2_capacity_exponent()
+    crossover = sweep.crossover_size("right")
+    print(
+        f"L1 boundary: 2^{l1_boundary} elements, L2 boundary: 2^{l2_boundary} elements, "
+        f"right-recursive crossover at n={crossover} "
+        f"(paper: crossover at its L2 boundary, n=18)"
+    )
+
+    ratios = sweep.ratios("cycles")
+    # Shape checks mirroring the paper's reading of the figure: the iterative
+    # algorithm wins for every in-cache size, and the crossover happens only
+    # once the transform overflows the caches (at or just beyond the L1/L2
+    # boundaries on the scaled machine; at the L2 boundary on the Opteron).
+    assert crossover is not None, "the recursive algorithm never overtook the iterative one"
+    assert crossover > l1_boundary
+    assert crossover <= l2_boundary + 2
+    # In-cache sizes: the iterative algorithm is the closest to the best plan.
+    in_cache = [i for i, n in enumerate(sweep.sizes) if n <= l1_boundary and n >= 4]
+    for index in in_cache:
+        assert ratios["iterative"][index] <= ratios["left"][index] + 1e-6
+    # Out-of-cache sizes: the right recursive algorithm beats the left recursive.
+    out_of_cache = [i for i, n in enumerate(sweep.sizes) if n > l2_boundary]
+    for index in out_of_cache:
+        assert ratios["right"][index] < ratios["left"][index]

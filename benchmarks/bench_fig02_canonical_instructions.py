@@ -1,0 +1,30 @@
+"""Figure 2 — instruction-count ratio of canonical algorithms to the best plan.
+
+The paper's reading: the iterative algorithm executes the fewest instructions
+at every size and the left recursive algorithm the most; the analysis of [5]
+predicts right recursive < left recursive, which is why right recursive is the
+faster of the two recursive algorithms.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.experiments.report import render_ratio_figure
+
+
+def test_figure2_instruction_ratio_series(benchmark, suite):
+    sweep = run_once(benchmark, suite.figure2)
+    print()
+    print(
+        render_ratio_figure(
+            sweep, "instructions", "Figure 2: instruction-count ratio canonical/best"
+        )
+    )
+
+    ratios = sweep.ratios("instructions")
+    for index, n in enumerate(sweep.sizes):
+        if n < 2:
+            continue
+        assert ratios["iterative"][index] <= ratios["right"][index] + 1e-9, n
+        assert ratios["right"][index] <= ratios["left"][index] + 1e-9, n

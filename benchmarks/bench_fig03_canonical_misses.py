@@ -1,0 +1,36 @@
+"""Figure 3 — cache-miss ratio (log10) of canonical algorithms to the best plan.
+
+The paper's reading: the iterative algorithm has the fewest misses until the
+L1 boundary; beyond it the iterative algorithm no longer has the fewest misses
+(the contiguous right recursive algorithm localises better).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.experiments.report import render_ratio_figure
+
+
+def test_figure3_cache_miss_ratio_series(benchmark, suite):
+    sweep = run_once(benchmark, suite.figure3)
+    print()
+    print(
+        render_ratio_figure(
+            sweep, "l1_misses", "Figure 3: log10 cache-miss ratio canonical/best", log10=True
+        )
+    )
+
+    l1_boundary = suite.machine.config.l1_capacity_exponent()
+    iterative = sweep.metric("iterative", "l1_misses")
+    right = sweep.metric("right", "l1_misses")
+    left = sweep.metric("left", "l1_misses")
+
+    for index, n in enumerate(sweep.sizes):
+        if n <= l1_boundary:
+            # Inside L1 every plan takes the same cold misses.
+            assert iterative[index] == right[index] == left[index], n
+    beyond = [i for i, n in enumerate(sweep.sizes) if n > l1_boundary + 1]
+    # Beyond the L1 boundary the iterative algorithm is no longer the one with
+    # the fewest misses (the paper's observation at n = 14).
+    assert all(right[i] < iterative[i] for i in beyond)

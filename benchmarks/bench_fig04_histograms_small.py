@@ -1,0 +1,29 @@
+"""Figure 4 — histograms of cycles and instructions for the small (in-L1) size.
+
+The paper bins 10,000 RSU samples of size 2^9 into 50 bins after removing
+outer-fence outliers and observes that the cycle and instruction histograms
+have essentially the same shape (which is why the instruction count alone
+predicts performance well in cache).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.experiments.report import render_histogram_figure
+
+
+def test_figure4_small_size_histograms(benchmark, suite):
+    figure = run_once(benchmark, suite.figure4)
+    print()
+    print(render_histogram_figure(figure))
+
+    assert figure.metric_names() == ("cycles", "instructions")
+    assert figure.n == suite.scale.small_size
+    cycles = figure.summaries["cycles"]
+    instructions = figure.summaries["instructions"]
+    # In cache the two distributions have very similar shape: their skewness
+    # agrees to well within one unit and their coefficients of variation are
+    # close.
+    assert abs(cycles.skewness - instructions.skewness) < 0.75
+    assert abs(cycles.coefficient_of_variation - instructions.coefficient_of_variation) < 0.15

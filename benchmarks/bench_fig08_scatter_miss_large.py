@@ -1,0 +1,21 @@
+"""Figure 8 — cache misses vs cycles scatter for the large size (paper rho = 0.66)."""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.experiments import paper_values
+from repro.experiments.report import render_scatter_figure
+
+
+def test_figure8_scatter_misses_vs_cycles_large(benchmark, suite):
+    data = run_once(benchmark, suite.figure8)
+    print()
+    print(render_scatter_figure(data, "Figure 8: cache misses vs cycles (large size)"))
+    print(f"paper reports rho = {paper_values.PAPER_RHO_LARGE_MISSES:.2f}")
+
+    combined_best = suite.figure9().best[2]
+    # Misses alone correlate positively but are not sufficient on their own:
+    # the optimal combined model does strictly better.
+    assert data.correlation > 0.0
+    assert combined_best > data.correlation

@@ -1,0 +1,36 @@
+"""Figure 10 — pruning curves vs instruction count for the small size.
+
+The paper's example reading of this figure: to find an algorithm within 5% of
+the best at size 2^9 it is safe to discard every algorithm with more than
+7x10^4 instructions.  The benchmark reports the reproduced safe thresholds and
+the fraction of the algorithm sample they discard.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import run_once
+
+from repro.experiments import paper_values
+from repro.experiments.report import render_pruning_figure
+
+
+def test_figure10_pruning_by_instruction_count_small(benchmark, suite):
+    figure = run_once(benchmark, suite.figure10)
+    print()
+    print(render_pruning_figure(figure))
+    example = paper_values.PAPER_PRUNING_EXAMPLE
+    print(
+        f"paper example: at size 2^{example['size']} keep instructions <= "
+        f"{example['instruction_threshold']:.0f} to stay within the top {example['percentile']:g}%"
+    )
+
+    assert figure.n == suite.scale.small_size
+    for curve in figure.curves:
+        # Every curve approaches its 1 - p limit at the maximum threshold.
+        assert abs(curve.cumulative[-1] - curve.limit) < 0.02
+    threshold, discarded = figure.safe_thresholds[5.0]
+    table = suite.small_table()
+    # The safe threshold sits below the maximum observed instruction count and
+    # discards a substantial fraction of the sample.
+    assert threshold < table.instructions.max()
+    assert discarded > 0.25

@@ -1,0 +1,122 @@
+"""Micro-benchmarks of the substrate components.
+
+These are conventional pytest-benchmark timings (many rounds) of the kernels
+everything else is built from: the plan interpreter, the vectorised cache
+simulators, trace generation, the analytic models and the RSU sampler.  They
+are the numbers to watch when optimising the simulator itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import CacheConfig, DirectMappedCache, SetAssociativeLRUCache, TwoWayLRUCache
+from repro.machine.trace import trace_from_nests
+from repro.models.cache_misses import CacheMissModel
+from repro.models.instruction_count import InstructionCountModel
+from repro.wht.canonical import iterative_plan, right_recursive_plan
+from repro.wht.codelets import apply_codelet
+from repro.wht.interpreter import PlanInterpreter
+from repro.wht.random_plans import RSUSampler
+from repro.wht.transform import wht_inplace
+
+
+@pytest.fixture(scope="module")
+def interpreter():
+    return PlanInterpreter()
+
+
+@pytest.fixture(scope="module")
+def sample_plan():
+    return RSUSampler().sample(12, rng=7)
+
+
+@pytest.fixture(scope="module")
+def sample_trace(interpreter, sample_plan):
+    _, nests = interpreter.profile(sample_plan, record_trace=True)
+    return trace_from_nests(nests)
+
+
+def test_bench_wht_inplace_2_to_the_14(benchmark):
+    x = np.random.default_rng(0).standard_normal(1 << 14)
+
+    def run():
+        work = x.copy()
+        wht_inplace(work)
+        return work
+
+    benchmark(run)
+
+
+def test_bench_apply_codelet_size_64(benchmark):
+    x = np.random.default_rng(1).standard_normal(1 << 12)
+    benchmark(apply_codelet, x, 6, 0, 4)
+
+
+def test_bench_interpreter_execute_2_to_the_10(benchmark, interpreter):
+    plan = right_recursive_plan(10, leaf=4)
+    x = np.random.default_rng(2).standard_normal(1 << 10)
+    benchmark(interpreter.execute, plan, x)
+
+
+def test_bench_interpreter_profile_2_to_the_12(benchmark, interpreter, sample_plan):
+    benchmark(interpreter.profile, sample_plan, True)
+
+
+def test_bench_trace_generation_2_to_the_12(benchmark, interpreter, sample_plan):
+    _, nests = interpreter.profile(sample_plan, record_trace=True)
+    benchmark(trace_from_nests, nests)
+
+
+def test_bench_direct_mapped_cache_simulation(benchmark, sample_trace):
+    config = CacheConfig(16 * 1024, 64, 1)
+
+    def run():
+        return DirectMappedCache(config).simulate(sample_trace.addresses)
+
+    benchmark(run)
+
+
+def test_bench_two_way_cache_simulation(benchmark, sample_trace):
+    config = CacheConfig(16 * 1024, 64, 2)
+
+    def run():
+        return TwoWayLRUCache(config).simulate(sample_trace.addresses)
+
+    benchmark(run)
+
+
+def test_bench_reference_lru_cache_simulation(benchmark, sample_trace):
+    # The per-access reference simulator on a reduced trace (what the L2 sees).
+    config = CacheConfig(64 * 1024, 64, 16)
+    addresses = sample_trace.addresses[:: 16]
+
+    def run():
+        return SetAssociativeLRUCache(config).simulate(addresses)
+
+    benchmark(run)
+
+
+def test_bench_machine_measure_2_to_the_12(benchmark, machine, sample_plan):
+    benchmark(machine.measure, sample_plan)
+
+
+def test_bench_instruction_model_2_to_the_16(benchmark):
+    # Timed with the memo cache warm: this is the per-candidate cost a search
+    # strategy pays when scoring plans with the analytic model.
+    model = InstructionCountModel()
+    plan = right_recursive_plan(16, leaf=8)
+    benchmark(model.count, plan)
+
+
+def test_bench_cache_miss_model_2_to_the_16(benchmark):
+    model = CacheMissModel(capacity_elements=2048, line_elements=8, associativity=2)
+    plan = iterative_plan(16)
+    benchmark(model.misses, plan)
+
+
+def test_bench_rsu_sampler_2_to_the_13(benchmark):
+    sampler = RSUSampler()
+    rng = np.random.default_rng(3)
+    benchmark(sampler.sample, 13, rng)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every figure of the paper on the *scaled* default
+machine (see DESIGN.md).  The sample count and sweep sizes come from
+:func:`repro.config.scale_from_env`, so a larger (or smaller) campaign can be
+requested without editing code::
+
+    REPRO_SAMPLE_COUNT=2000 pytest benchmarks/ --benchmark-only
+
+Heavy experiment benchmarks run exactly once per session; the underlying
+campaigns are shared across benchmark files through the session-scoped
+:class:`ExperimentSuite` fixture, mirroring how the paper derives several
+figures from one measurement campaign.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import scale_from_env
+from repro.experiments.runner import ExperimentSuite
+from repro.machine.configs import default_machine
+
+#: Default sample count used by the benchmark campaigns when the environment
+#: does not override it.  Large enough for stable correlations, small enough
+#: to keep the whole benchmark suite to a few minutes of simulation.
+BENCHMARK_SAMPLE_COUNT = 200
+
+
+def benchmark_scale():
+    """The experiment scale used by the benchmark suite."""
+    scale = scale_from_env()
+    if "REPRO_SAMPLE_COUNT" not in os.environ:
+        scale = scale.with_samples(BENCHMARK_SAMPLE_COUNT)
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Session-wide experiment scale."""
+    return benchmark_scale()
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The scaled default machine shared by all benchmarks."""
+    return default_machine()
+
+
+@pytest.fixture(scope="session")
+def suite(machine, scale):
+    """Session-wide experiment suite (campaigns are computed once and cached)."""
+    return ExperimentSuite(machine=machine, scale=scale)

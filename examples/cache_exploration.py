@@ -1,0 +1,84 @@
+"""Explore how the cache hierarchy shapes the best WHT algorithm.
+
+Run with::
+
+    python examples/cache_exploration.py
+
+The correlation the paper measures "depends on the architecture on which the
+algorithms are executed" (its closing remark).  This script makes that
+dependence concrete: it defines three machines with different L1 sizes and
+associativities, runs the DP search on each, and shows how the winning plan
+and the iterative/recursive crossover move with the hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.machine import CacheConfig, MachineConfig, SimulatedMachine
+from repro.machine.cpu import CycleModel, InstructionCostModel
+from repro.search import dp_best_plan
+from repro.util.tables import format_table
+from repro.wht import canonical_plans
+
+
+def make_machine(name: str, l1_kb: int, l1_assoc: int, l2_kb: int) -> SimulatedMachine:
+    """A machine with the given L1/L2 geometry and the default cost models."""
+    config = MachineConfig(
+        name=name,
+        l1=CacheConfig(size_bytes=l1_kb * 1024, line_size=64, associativity=l1_assoc, name="L1d"),
+        l2=CacheConfig(size_bytes=l2_kb * 1024, line_size=64, associativity=16, name="L2"),
+        instruction_model=InstructionCostModel(),
+        cycle_model=CycleModel(noise_sigma=0.0),
+    )
+    return SimulatedMachine(config)
+
+
+def main() -> None:
+    machines = [
+        make_machine("small-L1, direct-mapped", l1_kb=4, l1_assoc=1, l2_kb=64),
+        make_machine("medium-L1, 2-way", l1_kb=16, l1_assoc=2, l2_kb=64),
+        make_machine("large-L1, 4-way", l1_kb=64, l1_assoc=4, l2_kb=256),
+    ]
+    n = 13
+
+    rows = []
+    for machine in machines:
+        best = dp_best_plan(machine, n, max_children=2)
+        canonicals = {
+            name: machine.measure(plan).cycles for name, plan in canonical_plans(n).items()
+        }
+        fastest_canonical = min(canonicals, key=canonicals.get)
+        rows.append(
+            [
+                machine.config.name,
+                machine.config.l1_capacity_exponent(),
+                f"{best.best_cost:.3g}",
+                fastest_canonical,
+                f"{canonicals[fastest_canonical] / best.best_cost:.2f}x",
+                str(best.best_plan)[:44],
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "machine",
+                "L1 holds 2^k doubles",
+                "best cycles",
+                "fastest canonical",
+                "canonical/best",
+                "best plan",
+            ],
+            rows,
+            title=f"How the cache hierarchy changes the best WHT plan (size 2^{n})",
+        )
+    )
+    print(
+        "\nSmaller or less associative L1 caches push the best plans toward deeper "
+        "recursive structure (better locality), while large caches reward the "
+        "low-overhead iterative structure — the architecture dependence the paper "
+        "points to in its conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: plans, transforms, measurements and models in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script walks through the core objects of the library in the order a new
+user meets them: build WHT plans (split trees), check they all compute the
+same transform, measure them on the simulated machine, and evaluate the
+analytic models the paper builds its search-pruning argument on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine import default_machine
+from repro.models import CacheMissModel, InstructionCountModel
+from repro.wht import (
+    iterative_plan,
+    left_recursive_plan,
+    parse_plan,
+    random_plans,
+    right_recursive_plan,
+)
+from repro.wht.transform import apply_plan, random_input, wht_reference
+
+
+def main() -> None:
+    n = 10  # transform size 2^10 = 1024
+
+    # 1. Plans are split trees; the canonical algorithms are one-liners and
+    #    arbitrary algorithms can be parsed from the WHT package's syntax.
+    plans = {
+        "iterative": iterative_plan(n),
+        "right recursive": right_recursive_plan(n),
+        "left recursive": left_recursive_plan(n),
+        "custom": parse_plan("split[small[4],split[small[3],small[3]]]"),
+    }
+    print("Plans under study:")
+    for name, plan in plans.items():
+        print(f"  {name:16s} {plan}")
+
+    # 2. Every plan computes the same Walsh–Hadamard transform.
+    x = random_input(n, seed=42)
+    reference = wht_reference(x)
+    for name, plan in plans.items():
+        assert np.allclose(apply_plan(plan, x), reference), name
+    print("\nAll plans agree with the reference transform.")
+
+    # 3. The simulated machine plays the role of the paper's Opteron + PAPI.
+    machine = default_machine()
+    print(f"\nMachine: {machine.config.describe()}")
+    print(f"{'plan':16s} {'instructions':>14s} {'L1 misses':>10s} {'cycles':>12s}")
+    for name, plan in plans.items():
+        m = machine.measure(plan)
+        print(f"{name:16s} {m.instructions:>14d} {m.l1_misses:>10d} {m.cycles:>12.0f}")
+
+    # 4. The analytic models give the same instruction counts without running
+    #    anything, and a cache-miss estimate from the plan structure alone.
+    instruction_model = InstructionCountModel(machine.config.instruction_model)
+    miss_model = CacheMissModel.from_machine_config(machine.config)
+    print("\nAnalytic models (no execution):")
+    print(f"{'plan':16s} {'model instructions':>20s} {'model misses':>14s}")
+    for name, plan in plans.items():
+        print(
+            f"{name:16s} {instruction_model.count(plan):>20d} "
+            f"{miss_model.misses(plan):>14d}"
+        )
+
+    # 5. Random algorithms from the paper's sampling distribution.
+    sample = random_plans(n, 5, rng=0)
+    print("\nFive RSU-random plans and their measured cycles:")
+    for plan in sample:
+        print(f"  {machine.measure(plan).cycles:>12.0f}  {plan}")
+
+
+if __name__ == "__main__":
+    main()

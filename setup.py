@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed editable in offline environments whose setuptools
+lacks the PEP 660 editable-wheel path (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

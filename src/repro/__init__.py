@@ -1,0 +1,75 @@
+"""repro — reproduction of "Performance Analysis of a Family of WHT Algorithms".
+
+The package reimplements, in Python, the full system behind Andrews & Johnson
+(IPPS 2007): the WHT package's algorithm space (split-tree plans, unrolled
+codelets, the triple-loop interpreter, canonical plans, RSU random sampling,
+DP search), a simulated machine standing in for the paper's Opteron + PAPI
+measurements, the analytic instruction-count and cache-miss models, the
+combined ``alpha*I + beta*M`` model, and the statistical analysis (Pearson
+correlation, IQR filtering, histograms, percentile pruning curves) used in the
+paper's evaluation, together with an experiment harness that regenerates every
+figure.
+
+Quickstart
+----------
+>>> from repro import wht, machine, models
+>>> plan = wht.right_recursive_plan(10)
+>>> mach = machine.default_machine()
+>>> measurement = mach.measure(plan)
+>>> models.instruction_count(plan)  # analytic, no execution needed
+"""
+
+from repro import analysis, config, experiments, machine, models, search, util, wht
+from repro.config import ExperimentScale, ci_scale, default_scale, paper_scale
+from repro.machine import Measurement, SimulatedMachine, default_machine
+from repro.models import (
+    CacheMissModel,
+    CombinedModel,
+    InstructionCountModel,
+    instruction_count,
+    optimize_combined_model,
+)
+from repro.wht import (
+    Plan,
+    Small,
+    Split,
+    iterative_plan,
+    left_recursive_plan,
+    parse_plan,
+    random_plans,
+    right_recursive_plan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "config",
+    "experiments",
+    "machine",
+    "models",
+    "search",
+    "util",
+    "wht",
+    "ExperimentScale",
+    "default_scale",
+    "paper_scale",
+    "ci_scale",
+    "Measurement",
+    "SimulatedMachine",
+    "default_machine",
+    "CacheMissModel",
+    "CombinedModel",
+    "InstructionCountModel",
+    "instruction_count",
+    "optimize_combined_model",
+    "Plan",
+    "Small",
+    "Split",
+    "iterative_plan",
+    "left_recursive_plan",
+    "right_recursive_plan",
+    "parse_plan",
+    "random_plans",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Statistical analysis used by the paper's evaluation.
+
+Everything here is plain statistics over NumPy arrays (no dependency on the
+WHT or machine subpackages), so the same routines serve measured data,
+modelled data and synthetic test fixtures:
+
+* :mod:`repro.analysis.pearson` — Pearson correlation (own implementation,
+  cross-checked against SciPy in the tests).
+* :mod:`repro.analysis.outliers` — the IQR "outer fence" filter the paper
+  applies to its samples.
+* :mod:`repro.analysis.histogram` — fixed-bin histograms (50 bins in the
+  paper's Figures 4 and 5).
+* :mod:`repro.analysis.distribution` — moments, skewness and normality
+  diagnostics for the sampled distributions.
+* :mod:`repro.analysis.cdf` — the percentile pruning curves of Figures 10/11
+  and the derived safe-pruning thresholds.
+* :mod:`repro.analysis.scatter` — scatter-plot data assembly with marked
+  reference algorithms (Figures 6–8).
+"""
+
+from repro.analysis.pearson import pearson_correlation, correlation_matrix
+from repro.analysis.outliers import OutlierFilterResult, iqr_bounds, remove_outer_fence_outliers
+from repro.analysis.histogram import Histogram, histogram
+from repro.analysis.distribution import DistributionSummary, summarize_distribution
+from repro.analysis.cdf import PruningCurve, pruning_curves, safe_pruning_threshold
+from repro.analysis.scatter import ScatterData, scatter_data
+
+__all__ = [
+    "pearson_correlation",
+    "correlation_matrix",
+    "OutlierFilterResult",
+    "iqr_bounds",
+    "remove_outer_fence_outliers",
+    "Histogram",
+    "histogram",
+    "DistributionSummary",
+    "summarize_distribution",
+    "PruningCurve",
+    "pruning_curves",
+    "safe_pruning_threshold",
+    "ScatterData",
+    "scatter_data",
+]

@@ -1,0 +1,147 @@
+"""Percentile pruning curves (Figures 10 and 11) and safe pruning thresholds.
+
+The paper's pruning figures plot, for performance percentiles ``p`` in
+{1, 5, 10}, the cumulative fraction of *all* sampled algorithms that (a) have
+model value at most a threshold ``t`` and (b) have performance outside the top
+``p`` percent.  As ``t`` sweeps to the maximum model value the curve
+approaches ``1 - p/100``.  The figures are read as pruning evidence: because
+model value and cycle count are positively correlated, algorithms in the top
+``p`` percent concentrate at small model values, so a threshold well below the
+maximum already captures all of them and everything above it can be discarded.
+
+Two derived quantities make that argument precise and are reported alongside
+the curves:
+
+* :func:`safe_pruning_threshold` — the smallest threshold that keeps every
+  top-``p``-percent algorithm of the sample (the largest model value observed
+  among them), together with the fraction of the sample that threshold
+  discards;
+* :attr:`PruningCurve.miss_probability` — for any threshold, the fraction of
+  top-``p`` algorithms that would be lost by pruning above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["PruningCurve", "pruning_curves", "safe_pruning_threshold", "PAPER_PERCENTILES"]
+
+#: The percentiles plotted in Figures 10 and 11.
+PAPER_PERCENTILES = (1.0, 5.0, 10.0)
+
+
+@dataclass(frozen=True)
+class PruningCurve:
+    """One pruning curve: cumulative outside-top-``p`` fraction vs model value."""
+
+    #: Performance percentile (e.g. 5.0 means "the top 5 percent").
+    percentile: float
+    #: Model-value thresholds (ascending; the sample's sorted model values).
+    thresholds: np.ndarray
+    #: Fraction of all samples with model value <= threshold AND performance
+    #: outside the top ``percentile`` percent.
+    cumulative: np.ndarray
+    #: Fraction of top-``percentile`` samples with model value <= threshold.
+    captured_top: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            self.thresholds.shape == self.cumulative.shape == self.captured_top.shape
+        ):
+            raise ValueError("thresholds, cumulative and captured_top must align")
+
+    @property
+    def limit(self) -> float:
+        """The asymptote ``1 - p/100`` the cumulative curve approaches."""
+        return 1.0 - self.percentile / 100.0
+
+    def value_at(self, threshold: float) -> float:
+        """Cumulative fraction at an arbitrary threshold."""
+        idx = np.searchsorted(self.thresholds, threshold, side="right") - 1
+        if idx < 0:
+            return 0.0
+        return float(self.cumulative[idx])
+
+    def miss_probability(self, threshold: float) -> float:
+        """Fraction of top-``p`` algorithms lost when discarding model > threshold."""
+        idx = np.searchsorted(self.thresholds, threshold, side="right") - 1
+        if idx < 0:
+            return 1.0
+        return float(1.0 - self.captured_top[idx])
+
+
+def pruning_curves(
+    model_values: Sequence[float] | np.ndarray,
+    cycles: Sequence[float] | np.ndarray,
+    percentiles: Sequence[float] = PAPER_PERCENTILES,
+) -> list[PruningCurve]:
+    """Compute the Figures 10/11 curves for each performance percentile.
+
+    ``model_values`` may be instruction counts (Figure 10) or combined model
+    values (Figure 11); ``cycles`` are the corresponding measured cycle counts
+    (lower is better).
+    """
+    model = np.asarray(model_values, dtype=float)
+    cyc = np.asarray(cycles, dtype=float)
+    if model.shape != cyc.shape or model.ndim != 1:
+        raise ValueError("model_values and cycles must be 1-D arrays of equal length")
+    if model.shape[0] < 2:
+        raise ValueError("need at least two samples")
+    order = np.argsort(model, kind="stable")
+    sorted_model = model[order]
+    sorted_cycles = cyc[order]
+    total = model.shape[0]
+
+    curves: list[PruningCurve] = []
+    for percentile in percentiles:
+        if not 0.0 < percentile < 100.0:
+            raise ValueError(f"percentile must lie in (0, 100), got {percentile}")
+        cutoff = np.percentile(cyc, percentile)
+        outside = sorted_cycles > cutoff
+        inside = ~outside
+        inside_total = max(int(inside.sum()), 1)
+        cumulative = np.cumsum(outside) / float(total)
+        captured_top = np.cumsum(inside) / float(inside_total)
+        curves.append(
+            PruningCurve(
+                percentile=float(percentile),
+                thresholds=sorted_model,
+                cumulative=cumulative,
+                captured_top=captured_top,
+            )
+        )
+    return curves
+
+
+def safe_pruning_threshold(
+    model_values: Sequence[float] | np.ndarray,
+    cycles: Sequence[float] | np.ndarray,
+    percentile: float = 5.0,
+) -> tuple[float, float]:
+    """Smallest threshold keeping every top-``percentile`` algorithm.
+
+    Returns ``(threshold, discarded_fraction)``: pruning all algorithms whose
+    model value exceeds ``threshold`` discards ``discarded_fraction`` of the
+    sample while provably (within the sample) retaining every algorithm whose
+    cycle count is within the top ``percentile`` percent.
+    """
+    model = np.asarray(model_values, dtype=float)
+    cyc = np.asarray(cycles, dtype=float)
+    if model.shape != cyc.shape or model.ndim != 1:
+        raise ValueError("model_values and cycles must be 1-D arrays of equal length")
+    check_positive_int(model.shape[0], "sample size")
+    if not 0.0 < percentile < 100.0:
+        raise ValueError(f"percentile must lie in (0, 100), got {percentile}")
+    cutoff = np.percentile(cyc, percentile)
+    top_mask = cyc <= cutoff
+    if not top_mask.any():
+        # Degenerate tiny samples: fall back to the single best observation.
+        top_mask = cyc == cyc.min()
+    threshold = float(model[top_mask].max())
+    discarded = float((model > threshold).mean())
+    return threshold, discarded

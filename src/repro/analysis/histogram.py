@@ -1,0 +1,75 @@
+"""Fixed-bin histograms (Figures 4 and 5 use 50 equal-width bins)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.tables import format_histogram
+from repro.util.validation import check_positive_int
+
+__all__ = ["Histogram", "histogram", "PAPER_BIN_COUNT"]
+
+#: Number of equally sized bins used by the paper's histograms.
+PAPER_BIN_COUNT = 50
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A binned sample: ``counts[i]`` observations in ``[edges[i], edges[i+1])``."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.edges.ndim != 1 or self.counts.ndim != 1:
+            raise ValueError("edges and counts must be 1-D arrays")
+        if self.edges.shape[0] != self.counts.shape[0] + 1:
+            raise ValueError("edges must have exactly one more entry than counts")
+
+    @property
+    def bins(self) -> int:
+        """Number of bins."""
+        return int(self.counts.shape[0])
+
+    @property
+    def total(self) -> int:
+        """Number of binned observations."""
+        return int(self.counts.sum())
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Bin mid-points."""
+        return (self.edges[:-1] + self.edges[1:]) / 2.0
+
+    @property
+    def mode_center(self) -> float:
+        """Mid-point of the fullest bin."""
+        return float(self.centers[int(np.argmax(self.counts))])
+
+    def normalized(self) -> np.ndarray:
+        """Counts as fractions of the total (empty histogram gives zeros)."""
+        total = self.total
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=float)
+        return self.counts / float(total)
+
+    def render(self, width: int = 40, title: str | None = None) -> str:
+        """ASCII rendering (horizontal bars)."""
+        return format_histogram(self.edges.tolist(), self.counts.tolist(), width=width, title=title)
+
+
+def histogram(
+    values: Sequence[float] | np.ndarray,
+    bins: int = PAPER_BIN_COUNT,
+    value_range: tuple[float, float] | None = None,
+) -> Histogram:
+    """Bin ``values`` into ``bins`` equal-width bins (the paper's convention)."""
+    check_positive_int(bins, "bins")
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.shape[0] == 0:
+        raise ValueError("histogram expects a nonempty 1-D sample")
+    counts, edges = np.histogram(arr, bins=bins, range=value_range)
+    return Histogram(edges=edges, counts=counts)

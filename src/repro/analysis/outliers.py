@@ -1,0 +1,80 @@
+"""IQR outer-fence outlier filtering.
+
+The paper filters its 10,000-plan samples "for extreme outliers beyond the
+'outer fences'", i.e. it keeps observations ``X`` with
+
+    Q1 - 3.0 * IQR  <  X  <  Q3 + 3.0 * IQR
+
+where ``Q1``/``Q3`` are the first and third quartiles and ``IQR = Q3 - Q1``.
+(The paper prints the lower fence as ``3.0 x IQR - Q1``; the conventional
+outer fence ``Q1 - 3.0 x IQR`` is used here, which is what the filtering is
+universally understood to mean.)  The filter is applied to the cycle counts
+and propagated to the paired series so that all columns stay aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["iqr_bounds", "OutlierFilterResult", "remove_outer_fence_outliers"]
+
+#: The paper's outer-fence multiplier.
+OUTER_FENCE_FACTOR = 3.0
+
+
+def iqr_bounds(values: Sequence[float] | np.ndarray, factor: float = OUTER_FENCE_FACTOR) -> tuple[float, float]:
+    """The (lower, upper) outer fences of a sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.shape[0] == 0:
+        raise ValueError("iqr_bounds expects a nonempty 1-D sample")
+    if factor < 0:
+        raise ValueError(f"factor must be nonnegative, got {factor}")
+    q1, q3 = np.percentile(arr, [25.0, 75.0])
+    iqr = q3 - q1
+    return float(q1 - factor * iqr), float(q3 + factor * iqr)
+
+
+@dataclass(frozen=True)
+class OutlierFilterResult:
+    """Outcome of outer-fence filtering on a reference column."""
+
+    #: Boolean mask of kept observations (aligned with the original sample).
+    mask: np.ndarray
+    #: Lower fence used.
+    lower: float
+    #: Upper fence used.
+    upper: float
+
+    @property
+    def kept(self) -> int:
+        """Number of observations kept."""
+        return int(self.mask.sum())
+
+    @property
+    def removed(self) -> int:
+        """Number of observations removed."""
+        return int(self.mask.shape[0] - self.mask.sum())
+
+    def apply(self, values: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Filter a paired column with the same mask."""
+        arr = np.asarray(values)
+        if arr.shape[0] != self.mask.shape[0]:
+            raise ValueError(
+                f"column of length {arr.shape[0]} does not match mask of length "
+                f"{self.mask.shape[0]}"
+            )
+        return arr[self.mask]
+
+
+def remove_outer_fence_outliers(
+    values: Sequence[float] | np.ndarray,
+    factor: float = OUTER_FENCE_FACTOR,
+) -> OutlierFilterResult:
+    """Mask observations lying beyond the outer fences of ``values``."""
+    arr = np.asarray(values, dtype=float)
+    lower, upper = iqr_bounds(arr, factor=factor)
+    mask = (arr > lower) & (arr < upper)
+    return OutlierFilterResult(mask=mask, lower=lower, upper=upper)

@@ -1,0 +1,90 @@
+"""Scatter-plot data assembly (Figures 6, 7 and 8).
+
+The paper's scatter plots show the random sample as points, with the canonical
+algorithms and the DP-best algorithm marked separately, and report the Pearson
+correlation coefficient in the caption.  :class:`ScatterData` holds exactly
+that: the two coordinate arrays, the correlation, and a dictionary of named
+reference points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.pearson import pearson_correlation
+
+__all__ = ["ScatterData", "scatter_data"]
+
+
+@dataclass(frozen=True)
+class ScatterData:
+    """One scatter plot's worth of data."""
+
+    #: Axis label of the x quantity (e.g. ``"instructions"``).
+    x_label: str
+    #: Axis label of the y quantity (e.g. ``"cycles"``).
+    y_label: str
+    #: Sample x coordinates.
+    x: np.ndarray
+    #: Sample y coordinates.
+    y: np.ndarray
+    #: Pearson correlation of the sample.
+    correlation: float
+    #: Named reference points, e.g. ``{"iterative": (instr, cycles), ...}``.
+    references: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        """Number of sample points."""
+        return int(self.x.shape[0])
+
+    def reference_outside_range(self, name: str) -> bool:
+        """Whether a reference point falls outside the sample's bounding box.
+
+        The paper notes the left recursive algorithm is "outside range" in
+        Figures 7 and 8; this reproduces that annotation.
+        """
+        if name not in self.references:
+            raise KeyError(f"unknown reference point {name!r}")
+        rx, ry = self.references[name]
+        return bool(
+            rx < self.x.min()
+            or rx > self.x.max()
+            or ry < self.y.min()
+            or ry > self.y.max()
+        )
+
+    def as_dict(self) -> dict:
+        """Flat dictionary view (arrays converted to lists)."""
+        return {
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "correlation": self.correlation,
+            "count": self.count,
+            "references": dict(self.references),
+        }
+
+
+def scatter_data(
+    x: Sequence[float] | np.ndarray,
+    y: Sequence[float] | np.ndarray,
+    x_label: str,
+    y_label: str,
+    references: Mapping[str, tuple[float, float]] | None = None,
+) -> ScatterData:
+    """Bundle two aligned samples into a :class:`ScatterData`."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    return ScatterData(
+        x_label=x_label,
+        y_label=y_label,
+        x=xa,
+        y=ya,
+        correlation=pearson_correlation(xa, ya),
+        references=dict(references or {}),
+    )

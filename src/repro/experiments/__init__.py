@@ -1,0 +1,55 @@
+"""Experiment harness: one module per figure/table of the paper's evaluation.
+
+The harness is organised around :class:`repro.experiments.runner.ExperimentSuite`,
+which owns the simulated machine, the experiment scale and the (cached)
+measurement campaigns, and exposes one method per paper figure:
+
+==========  =====================================================  =======================
+Paper item  Content                                                Suite method
+==========  =====================================================  =======================
+Figure 1    cycle ratio canonical/best vs size                     ``figure1()``
+Figure 2    instruction ratio canonical/best vs size               ``figure2()``
+Figure 3    cache-miss ratio canonical/best vs size                ``figure3()``
+Figure 4    histograms of cycles & instructions (small size)       ``figure4()``
+Figure 5    histograms of cycles, instructions, misses (large)     ``figure5()``
+Figure 6    scatter instructions vs cycles (small), rho            ``figure6()``
+Figure 7    scatter instructions vs cycles (large), rho            ``figure7()``
+Figure 8    scatter misses vs cycles (large), rho                  ``figure8()``
+Figure 9    correlation surface over (alpha, beta)                 ``figure9()``
+Figure 10   pruning curves vs instruction count (small)            ``figure10()``
+Figure 11   pruning curves vs combined model (large)               ``figure11()``
+Section 4   headline correlation coefficients                      ``correlation_table()``
+Section 2   algorithm-space size (~O(7^n))                         ``theory_table()``
+==========  =====================================================  =======================
+"""
+
+from repro.experiments.campaign import MeasurementTable, SampleCampaign
+from repro.experiments.canonical import CanonicalSweep, canonical_sweep, ratio_series
+from repro.experiments.histograms import HistogramFigure, histogram_figure
+from repro.experiments.scatter_fig import scatter_figure
+from repro.experiments.alphabeta import alphabeta_surface
+from repro.experiments.pruning import PruningFigure, pruning_figure
+from repro.experiments.correlation_table import CorrelationTable, correlation_table
+from repro.experiments.theory_table import TheoryTable, theory_table
+from repro.experiments.runner import ExperimentSuite
+from repro.experiments import paper_values
+
+__all__ = [
+    "MeasurementTable",
+    "SampleCampaign",
+    "CanonicalSweep",
+    "canonical_sweep",
+    "ratio_series",
+    "HistogramFigure",
+    "histogram_figure",
+    "scatter_figure",
+    "alphabeta_surface",
+    "PruningFigure",
+    "pruning_figure",
+    "CorrelationTable",
+    "correlation_table",
+    "TheoryTable",
+    "theory_table",
+    "ExperimentSuite",
+    "paper_values",
+]

@@ -1,0 +1,140 @@
+"""Canonical-algorithm sweeps (Figures 1, 2 and 3).
+
+For every size ``2^n`` in the sweep, the three canonical algorithms
+(iterative, left recursive, right recursive) and the DP-best algorithm are
+measured on the simulated machine; the figures plot the ratio of each
+canonical algorithm's metric to the best algorithm's metric:
+
+* Figure 1 — cycle-count ratios (the iterative/recursive crossover),
+* Figure 2 — instruction-count ratios (iterative lowest everywhere),
+* Figure 3 — cache-miss ratios (the paper plots ``log10`` of the ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import math
+
+from repro.machine.machine import SimulatedMachine
+from repro.machine.measurement import Measurement
+from repro.search.costs import MeasuredCyclesCost
+from repro.util.validation import check_positive_int
+from repro.wht.canonical import canonical_plans
+from repro.wht.dp_search import DPSearch
+from repro.wht.plan import MAX_UNROLLED, Plan
+
+__all__ = ["CanonicalSweep", "canonical_sweep", "ratio_series", "CANONICAL_NAMES"]
+
+#: Algorithm names in the order the paper's legends use.
+CANONICAL_NAMES = ("iterative", "left", "right")
+
+#: Metrics the sweep records for every algorithm and size.
+SWEEP_METRICS = ("cycles", "instructions", "l1_misses", "l2_misses")
+
+
+@dataclass(frozen=True)
+class CanonicalSweep:
+    """Measurements of canonical and DP-best algorithms across sizes."""
+
+    sizes: tuple[int, ...]
+    #: ``measurements[name][i]`` is the Measurement of algorithm ``name`` at
+    #: ``sizes[i]``; names are the canonical names plus ``"best"``.
+    measurements: dict[str, tuple[Measurement, ...]]
+    #: DP-best plan per size exponent.
+    best_plans: dict[int, Plan]
+    #: Number of cost evaluations the DP search performed in total.
+    dp_evaluations: int = 0
+
+    def metric(self, name: str, metric: str) -> list[float]:
+        """One algorithm's metric across the sweep sizes."""
+        return [float(getattr(m, metric)) for m in self.measurements[name]]
+
+    def ratios(self, metric: str) -> dict[str, list[float]]:
+        """Canonical / best ratios for a metric, keyed by canonical name."""
+        best = self.metric("best", metric)
+        out: dict[str, list[float]] = {}
+        for name in CANONICAL_NAMES:
+            values = self.metric(name, metric)
+            out[name] = [
+                v / b if b > 0 else float("inf") for v, b in zip(values, best)
+            ]
+        return out
+
+    def log10_ratios(self, metric: str) -> dict[str, list[float]]:
+        """``log10`` of the canonical / best ratios (Figure 3's y axis)."""
+        return {
+            name: [math.log10(r) if r > 0 else float("-inf") for r in series]
+            for name, series in self.ratios(metric).items()
+        }
+
+    def crossover_size(self, reference: str = "right") -> int | None:
+        """Size from which a recursive algorithm overtakes the iterative one.
+
+        Returns the exponent of the first sweep size from which ``reference``
+        has a lower cycle count than the iterative algorithm *for every
+        remaining size of the sweep*, or ``None`` if the iterative algorithm
+        is never permanently overtaken (Figure 1's crossover point).  Requiring
+        the lead to persist makes the detection robust to measurement noise at
+        tiny sizes, where the canonical plans coincide structurally.
+        """
+        iterative = self.metric("iterative", "cycles")
+        other = self.metric(reference, "cycles")
+        crossover: int | None = None
+        for size, it_value, other_value in zip(self.sizes, iterative, other):
+            if other_value < it_value:
+                if crossover is None:
+                    crossover = size
+            else:
+                crossover = None
+        return crossover
+
+
+def canonical_sweep(
+    machine: SimulatedMachine,
+    sizes: Sequence[int],
+    dp_max_children: int | None = 2,
+    dp_max_leaf: int = MAX_UNROLLED,
+) -> CanonicalSweep:
+    """Measure canonical and DP-best algorithms for every size in ``sizes``."""
+    size_list = sorted(int(s) for s in sizes)
+    if not size_list:
+        raise ValueError("canonical_sweep needs at least one size")
+    for s in size_list:
+        check_positive_int(s, "size exponent")
+
+    # One DP search up to the largest size provides the best plan for every
+    # smaller size as a by-product (the DP is bottom-up).
+    dp_cost = MeasuredCyclesCost(machine)
+    searcher = DPSearch(
+        dp_cost,
+        max_leaf=dp_max_leaf,
+        max_children=dp_max_children,
+        include_iterative=True,
+    )
+    dp_result = searcher.search(size_list[-1])
+    best_plans = {s: dp_result.best(s) for s in size_list}
+
+    measurements: dict[str, list[Measurement]] = {
+        name: [] for name in (*CANONICAL_NAMES, "best")
+    }
+    for s in size_list:
+        plans = canonical_plans(s)
+        plans["best"] = best_plans[s]
+        for name, plan in plans.items():
+            measurements[name].append(machine.measure(plan))
+
+    return CanonicalSweep(
+        sizes=tuple(size_list),
+        measurements={name: tuple(ms) for name, ms in measurements.items()},
+        best_plans=best_plans,
+        dp_evaluations=dp_cost.evaluations,
+    )
+
+
+def ratio_series(sweep: CanonicalSweep, metric: str, log10: bool = False) -> dict[str, list[float]]:
+    """The figure's data series: canonical / best ratios for one metric."""
+    if metric not in SWEEP_METRICS:
+        raise ValueError(f"metric must be one of {SWEEP_METRICS}, got {metric!r}")
+    return sweep.log10_ratios(metric) if log10 else sweep.ratios(metric)

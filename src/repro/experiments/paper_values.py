@@ -1,0 +1,100 @@
+"""The numbers the paper reports, collected for comparison.
+
+Every figure harness compares the reproduced *shape* against the paper's
+reported values; the constants live here so EXPERIMENTS.md and the tests quote
+a single source.  Values are transcribed from the paper text and captions
+(Andrews & Johnson, IPPS 2007).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_SMALL_SIZE",
+    "PAPER_LARGE_SIZE",
+    "PAPER_SAMPLE_COUNT",
+    "PAPER_RHO_SMALL_INSTRUCTIONS",
+    "PAPER_RHO_LARGE_INSTRUCTIONS",
+    "PAPER_RHO_LARGE_MISSES",
+    "PAPER_RHO_LARGE_COMBINED",
+    "PAPER_BEST_ALPHA",
+    "PAPER_BEST_BETA",
+    "PAPER_CROSSOVER_SIZE",
+    "PAPER_L1_BOUNDARY_SIZE",
+    "PAPER_PRUNING_EXAMPLE",
+    "PAPER_MACHINE",
+    "PAPER_HISTOGRAM_BINS",
+    "PAPER_PERCENTILES",
+    "EXPECTED_SHAPES",
+]
+
+#: Transform sizes of the two sampling campaigns (exponents of 2).
+PAPER_SMALL_SIZE = 9
+PAPER_LARGE_SIZE = 18
+
+#: Random samples per campaign.
+PAPER_SAMPLE_COUNT = 10_000
+
+#: Correlation between instruction count and cycles for the in-L1 size (Fig. 6).
+PAPER_RHO_SMALL_INSTRUCTIONS = 0.96
+
+#: Correlation between instruction count and cycles for the out-of-L1 size (Fig. 7).
+PAPER_RHO_LARGE_INSTRUCTIONS = 0.77
+
+#: Correlation between L1 cache misses and cycles for the out-of-L1 size (Fig. 8).
+PAPER_RHO_LARGE_MISSES = 0.66
+
+#: Correlation of the optimal combined model for the out-of-L1 size (Fig. 9).
+PAPER_RHO_LARGE_COMBINED = 0.92
+
+#: Optimal combined-model coefficients on the paper's 0.05-step grid (Fig. 9).
+PAPER_BEST_ALPHA = 1.00
+PAPER_BEST_BETA = 0.05
+
+#: Size exponent at which recursive algorithms overtake the iterative one
+#: (Figure 1: "the cross over occurs at the L2 cache boundary").
+PAPER_CROSSOVER_SIZE = 18
+
+#: Size exponent of the L1 boundary on the paper's Opteron (Figure 3: the
+#: iterative algorithm has the fewest misses up to this size).
+PAPER_L1_BOUNDARY_SIZE = 14
+
+#: The pruning example of Figure 10: to stay within 5% of the best at size
+#: 2^9, algorithms with more than 7e4 instructions can be discarded.
+PAPER_PRUNING_EXAMPLE = {"size": 9, "percentile": 5.0, "instruction_threshold": 7e4}
+
+#: Hardware and toolchain of the paper's measurements.
+PAPER_MACHINE = {
+    "cpu": "AMD Opteron 244, 1.8 GHz, single core, 64-bit",
+    "l1": "64 KB, 2-way set associative",
+    "l2": "1 MB, 16-way set associative",
+    "counters": "PAPI 3.x",
+    "compiler": "gcc 3.4.4 -march=opteron -m64 -O2 -fomit-frame-pointer -fstrict-aliasing",
+}
+
+#: Histogram bin count used in Figures 4 and 5.
+PAPER_HISTOGRAM_BINS = 50
+
+#: Performance percentiles plotted in Figures 10 and 11.
+PAPER_PERCENTILES = (1.0, 5.0, 10.0)
+
+#: The qualitative claims ("shapes") each experiment is expected to reproduce;
+#: EXPERIMENTS.md reports pass/fail for each.
+EXPECTED_SHAPES = {
+    "figure1": "iterative fastest until the L2 boundary; right recursive overtakes it "
+    "beyond the boundary and beats the left recursive algorithm",
+    "figure2": "iterative has the lowest instruction count at every size; left recursive "
+    "the highest",
+    "figure3": "canonical algorithms have comparable (cold) misses below the L1 boundary; "
+    "beyond it the iterative algorithm no longer has the fewest misses",
+    "figure4": "cycle and instruction histograms have very similar shapes for the in-cache size",
+    "figure5": "the cycle histogram acquires skew that the instruction histogram lacks, "
+    "attributable to the cache-miss distribution",
+    "figure6": "high positive correlation between instructions and cycles in cache",
+    "figure7": "the instruction/cycle correlation drops out of cache",
+    "figure8": "misses alone correlate more weakly than instructions",
+    "figure9": "a linear combination with a small beta restores a correlation close to the "
+    "in-cache level; the optimum sits at alpha=1 with small beta",
+    "figure10": "a threshold well below the maximum instruction count keeps every top-p% "
+    "algorithm while discarding a substantial tail",
+    "figure11": "the same pruning works out of cache once misses are included in the model",
+}

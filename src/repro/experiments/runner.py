@@ -1,0 +1,257 @@
+"""Top-level experiment orchestration.
+
+:class:`ExperimentSuite` owns one simulated machine and one experiment scale,
+lazily builds the shared measurement campaigns, and exposes one method per
+paper figure.  ``run_all`` executes everything and ``render_report`` /
+``write_experiments_report`` produce the text that EXPERIMENTS.md is built
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.config import ExperimentScale, default_scale
+from repro.experiments import paper_values
+from repro.experiments.alphabeta import alphabeta_surface
+from repro.experiments.campaign import MeasurementTable, SampleCampaign
+from repro.experiments.canonical import CanonicalSweep, canonical_sweep
+from repro.experiments.correlation_table import CorrelationTable, correlation_table
+from repro.experiments.histograms import (
+    LARGE_SIZE_METRICS,
+    SMALL_SIZE_METRICS,
+    HistogramFigure,
+    histogram_figure,
+)
+from repro.experiments.pruning import PruningFigure, pruning_figure
+from repro.experiments.report import (
+    render_correlation_table,
+    render_histogram_figure,
+    render_pruning_figure,
+    render_ratio_figure,
+    render_scatter_figure,
+    render_surface,
+    render_theory_table,
+)
+from repro.experiments.scatter_fig import scatter_figure
+from repro.experiments.theory_table import TheoryTable, theory_table
+from repro.machine.configs import default_machine
+from repro.machine.machine import SimulatedMachine
+from repro.machine.measurement import Measurement
+from repro.models.combined import CombinedModel, CorrelationSurface
+from repro.analysis.scatter import ScatterData
+from repro.wht.canonical import canonical_plans
+
+__all__ = ["ExperimentSuite"]
+
+
+@dataclass
+class ExperimentSuite:
+    """All of the paper's experiments against one machine and scale."""
+
+    machine: SimulatedMachine = field(default_factory=default_machine)
+    scale: ExperimentScale = field(default_factory=default_scale)
+    dp_max_children: int | None = 2
+
+    def __post_init__(self) -> None:
+        self._campaign = SampleCampaign(self.machine, seed=self.scale.seed)
+        self._small_table: MeasurementTable | None = None
+        self._large_table: MeasurementTable | None = None
+        self._sweep: CanonicalSweep | None = None
+        self._references: dict[int, dict[str, Measurement]] = {}
+
+    # -- shared data -------------------------------------------------------------
+
+    @property
+    def campaign(self) -> SampleCampaign:
+        """The campaign runner shared by all figures."""
+        return self._campaign
+
+    def small_table(self) -> MeasurementTable:
+        """The in-cache random-sample campaign (paper size 2^9)."""
+        if self._small_table is None:
+            self._small_table = self._campaign.run(
+                self.scale.small_size, self.scale.sample_count
+            )
+        return self._small_table
+
+    def large_table(self) -> MeasurementTable:
+        """The out-of-cache random-sample campaign (paper size 2^18)."""
+        if self._large_table is None:
+            self._large_table = self._campaign.run(
+                self.scale.large_size, self.scale.sample_count
+            )
+        return self._large_table
+
+    def sweep(self) -> CanonicalSweep:
+        """Canonical + DP-best measurements across the Figure 1–3 sizes."""
+        if self._sweep is None:
+            sizes = range(1, self.scale.canonical_max_size + 1)
+            self._sweep = canonical_sweep(
+                self.machine, sizes, dp_max_children=self.dp_max_children
+            )
+        return self._sweep
+
+    def references(self, n: int) -> dict[str, Measurement]:
+        """Canonical + best measurements at one size (scatter plot markers)."""
+        if n not in self._references:
+            plans = canonical_plans(n)
+            sweep = self.sweep()
+            if n in sweep.best_plans:
+                plans["best"] = sweep.best_plans[n]
+            self._references[n] = {
+                name: self.machine.measure(plan) for name, plan in plans.items()
+            }
+        return self._references[n]
+
+    # -- figures -----------------------------------------------------------------
+
+    def figure1(self) -> CanonicalSweep:
+        """Figure 1: cycle-count ratios of canonical algorithms to the best."""
+        return self.sweep()
+
+    def figure2(self) -> CanonicalSweep:
+        """Figure 2: instruction-count ratios of canonical algorithms to the best."""
+        return self.sweep()
+
+    def figure3(self) -> CanonicalSweep:
+        """Figure 3: cache-miss ratios of canonical algorithms to the best."""
+        return self.sweep()
+
+    def figure4(self) -> HistogramFigure:
+        """Figure 4: cycle and instruction histograms at the small size."""
+        return histogram_figure(self.small_table(), metrics=SMALL_SIZE_METRICS)
+
+    def figure5(self) -> HistogramFigure:
+        """Figure 5: cycle, instruction and miss histograms at the large size."""
+        return histogram_figure(self.large_table(), metrics=LARGE_SIZE_METRICS)
+
+    def figure6(self) -> ScatterData:
+        """Figure 6: instructions vs cycles at the small size."""
+        return scatter_figure(
+            self.small_table(),
+            x_metric="instructions",
+            y_metric="cycles",
+            references=self.references(self.scale.small_size),
+        )
+
+    def figure7(self) -> ScatterData:
+        """Figure 7: instructions vs cycles at the large size."""
+        return scatter_figure(
+            self.large_table(),
+            x_metric="instructions",
+            y_metric="cycles",
+            references=self.references(self.scale.large_size),
+        )
+
+    def figure8(self) -> ScatterData:
+        """Figure 8: cache misses vs cycles at the large size."""
+        return scatter_figure(
+            self.large_table(),
+            x_metric="l1_misses",
+            y_metric="cycles",
+            references=self.references(self.scale.large_size),
+        )
+
+    def figure9(self) -> CorrelationSurface:
+        """Figure 9: correlation of cycles with alpha*I + beta*M over the grid."""
+        return alphabeta_surface(self.large_table())
+
+    def figure10(self) -> PruningFigure:
+        """Figure 10: pruning curves vs instruction count at the small size."""
+        return pruning_figure(self.small_table(), model_label="instructions")
+
+    def figure11(self) -> PruningFigure:
+        """Figure 11: pruning curves vs the optimal combined model at the large size."""
+        alpha, beta, _ = self.figure9().best
+        return pruning_figure(
+            self.large_table(), combined=CombinedModel(alpha=alpha, beta=beta)
+        )
+
+    def correlation_summary(self) -> CorrelationTable:
+        """Section 4's headline correlation coefficients."""
+        return correlation_table(self.small_table(), self.large_table())
+
+    def theory_summary(self, max_size: int | None = None) -> TheoryTable:
+        """Section 2's algorithm-space size table."""
+        top = max_size if max_size is not None else min(self.scale.large_size, 14)
+        return theory_table(range(1, top + 1))
+
+    # -- orchestration -----------------------------------------------------------
+
+    def run_all(self) -> dict[str, Any]:
+        """Run every experiment once and return the structured results."""
+        return {
+            "figure1": self.figure1(),
+            "figure2": self.figure2(),
+            "figure3": self.figure3(),
+            "figure4": self.figure4(),
+            "figure5": self.figure5(),
+            "figure6": self.figure6(),
+            "figure7": self.figure7(),
+            "figure8": self.figure8(),
+            "figure9": self.figure9(),
+            "figure10": self.figure10(),
+            "figure11": self.figure11(),
+            "correlations": self.correlation_summary(),
+            "theory": self.theory_summary(),
+        }
+
+    def render_report(self) -> str:
+        """Human-readable report covering every figure."""
+        sweep = self.sweep()
+        sections = [
+            f"Machine: {self.machine.config.describe()}",
+            f"Scale: {self.scale.describe()}",
+            "",
+            render_ratio_figure(sweep, "cycles", "Figure 1: cycle-count ratio canonical/best"),
+            "",
+            render_ratio_figure(
+                sweep, "instructions", "Figure 2: instruction-count ratio canonical/best"
+            ),
+            "",
+            render_ratio_figure(
+                sweep, "l1_misses", "Figure 3: log10 cache-miss ratio canonical/best", log10=True
+            ),
+            "",
+            "Figure 4: histograms at the small size",
+            render_histogram_figure(self.figure4()),
+            "",
+            "Figure 5: histograms at the large size",
+            render_histogram_figure(self.figure5()),
+            "",
+            render_scatter_figure(self.figure6(), "Figure 6: instructions vs cycles (small size)"),
+            "",
+            render_scatter_figure(self.figure7(), "Figure 7: instructions vs cycles (large size)"),
+            "",
+            render_scatter_figure(self.figure8(), "Figure 8: cache misses vs cycles (large size)"),
+            "",
+            render_surface(self.figure9(), "Figure 9: correlation of cycles with alpha*I + beta*M"),
+            "",
+            "Figure 10: pruning by instruction count (small size)",
+            render_pruning_figure(self.figure10()),
+            "",
+            "Figure 11: pruning by the combined model (large size)",
+            render_pruning_figure(self.figure11()),
+            "",
+            render_correlation_table(
+                self.correlation_summary(),
+                paper={
+                    "rho_small_instructions": paper_values.PAPER_RHO_SMALL_INSTRUCTIONS,
+                    "rho_large_instructions": paper_values.PAPER_RHO_LARGE_INSTRUCTIONS,
+                    "rho_large_misses": paper_values.PAPER_RHO_LARGE_MISSES,
+                    "rho_large_combined": paper_values.PAPER_RHO_LARGE_COMBINED,
+                },
+            ),
+            "",
+            render_theory_table(self.theory_summary()),
+        ]
+        return "\n".join(sections)
+
+    def write_experiments_report(self, path: str) -> str:
+        """Write the full report to ``path`` and return the text."""
+        text = self.render_report()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return text

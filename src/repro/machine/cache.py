@@ -1,0 +1,462 @@
+"""Cache simulators.
+
+Three simulators are provided, all operating on byte addresses:
+
+* :class:`SetAssociativeLRUCache` — the reference simulator: any associativity,
+  true LRU replacement, one Python-level update per access.  Used for the L2
+  level (which only sees the much smaller L1 miss stream), for small traces
+  and as the oracle the vectorised simulators are validated against.
+* :class:`DirectMappedCache` — associativity 1, with a fully vectorised
+  ``simulate`` path: an access misses exactly when the previous access to the
+  same set carried a different tag, which reduces to a grouped comparison.
+* :class:`TwoWayLRUCache` — associativity 2 (the Opteron's L1 geometry), also
+  fully vectorised: within one set, after collapsing consecutive duplicate
+  lines, an LRU pair contains exactly the two most recently used distinct
+  lines, so an access hits iff it equals the previous or the
+  previous-previous distinct line of its set.
+
+All simulators implement the same small interface (``access``, ``simulate``,
+``reset``, ``stats``) so the memory hierarchy can mix them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.util.validation import check_positive_int, check_power_of_two
+
+__all__ = [
+    "CacheConfig",
+    "CacheStatistics",
+    "CacheSimulator",
+    "SetAssociativeLRUCache",
+    "DirectMappedCache",
+    "TwoWayLRUCache",
+    "make_cache",
+    "simulate_trace",
+]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    ``size_bytes`` and ``line_size`` must be powers of two and the
+    associativity must divide the number of lines (also a power of two), so
+    that set indexing is a simple bit-field extraction, as on real hardware.
+    """
+
+    size_bytes: int
+    line_size: int = 64
+    associativity: int = 1
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        check_power_of_two(self.size_bytes, "size_bytes")
+        check_power_of_two(self.line_size, "line_size")
+        check_power_of_two(self.associativity, "associativity")
+        if self.line_size > self.size_bytes:
+            raise ValueError("line_size cannot exceed size_bytes")
+        if self.associativity > self.num_lines:
+            raise ValueError(
+                f"associativity {self.associativity} exceeds the number of lines "
+                f"{self.num_lines}"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
+        return self.num_lines // self.associativity
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of byte-offset bits within a line."""
+        return int(self.line_size).bit_length() - 1
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return int(self.num_sets).bit_length() - 1
+
+    def line_of(self, address: int | np.ndarray) -> int | np.ndarray:
+        """Line number(s) of byte address(es)."""
+        return address >> self.offset_bits
+
+    def set_of(self, address: int | np.ndarray) -> int | np.ndarray:
+        """Set index(es) of byte address(es)."""
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag_of(self, address: int | np.ndarray) -> int | np.ndarray:
+        """Tag(s) of byte address(es)."""
+        return (address >> self.offset_bits) >> self.index_bits
+
+    def describe(self) -> str:
+        """Human readable geometry summary."""
+        return (
+            f"{self.name}: {self.size_bytes} B, {self.line_size} B lines, "
+            f"{self.associativity}-way, {self.num_sets} sets"
+        )
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss accounting for one cache level."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of accesses that hit."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses divided by accesses (0.0 for an untouched cache)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def record(self, accesses: int, misses: int) -> None:
+        """Accumulate a batch of accesses."""
+        if misses > accesses:
+            raise ValueError(f"misses ({misses}) cannot exceed accesses ({accesses})")
+        self.accesses += int(accesses)
+        self.misses += int(misses)
+
+    def merged(self, other: "CacheStatistics") -> "CacheStatistics":
+        """A new statistics object combining self and ``other``."""
+        return CacheStatistics(
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+        )
+
+
+class CacheSimulator(Protocol):
+    """Common interface of all cache simulators."""
+
+    config: CacheConfig
+    stats: CacheStatistics
+
+    def access(self, address: int) -> bool:
+        """Process one byte address; return True on a miss."""
+
+    def simulate(self, addresses: np.ndarray) -> np.ndarray:
+        """Process a trace of byte addresses; return a boolean miss mask."""
+
+    def reset(self) -> None:
+        """Invalidate all contents and zero the statistics."""
+
+
+def _as_address_array(addresses: np.ndarray) -> np.ndarray:
+    arr = np.asarray(addresses)
+    if arr.ndim != 1:
+        raise ValueError(f"trace must be a 1-D array of addresses, got shape {arr.shape}")
+    if arr.size and arr.min() < 0:
+        raise ValueError("addresses must be nonnegative")
+    return arr.astype(np.int64, copy=False)
+
+
+class SetAssociativeLRUCache:
+    """Reference simulator: arbitrary associativity, true LRU replacement."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStatistics()
+        # Per-set list of tags, most recently used first.
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+
+    def reset(self) -> None:
+        self.stats = CacheStatistics()
+        self._sets = [[] for _ in range(self.config.num_sets)]
+
+    def access(self, address: int) -> bool:
+        config = self.config
+        line = int(address) >> config.offset_bits
+        index = line & (config.num_sets - 1)
+        tag = line >> config.index_bits
+        ways = self._sets[index]
+        miss = tag not in ways
+        if miss:
+            ways.insert(0, tag)
+            if len(ways) > config.associativity:
+                ways.pop()
+        else:
+            ways.remove(tag)
+            ways.insert(0, tag)
+        self.stats.record(1, int(miss))
+        return miss
+
+    def simulate(self, addresses: np.ndarray) -> np.ndarray:
+        arr = _as_address_array(addresses)
+        config = self.config
+        offset_bits = config.offset_bits
+        index_mask = config.num_sets - 1
+        index_bits = config.index_bits
+        associativity = config.associativity
+        sets = self._sets
+        out = np.empty(arr.shape[0], dtype=bool)
+        for i, address in enumerate(arr.tolist()):
+            line = address >> offset_bits
+            index = line & index_mask
+            tag = line >> index_bits
+            ways = sets[index]
+            miss = tag not in ways
+            if miss:
+                ways.insert(0, tag)
+                if len(ways) > associativity:
+                    ways.pop()
+            else:
+                ways.remove(tag)
+                ways.insert(0, tag)
+            out[i] = miss
+        self.stats.record(arr.shape[0], int(out.sum()))
+        return out
+
+
+class DirectMappedCache:
+    """Direct-mapped cache with a vectorised trace simulation.
+
+    For a direct-mapped cache an access misses exactly when the most recent
+    access to the same set carried a different tag (or the set was never
+    accessed).  Grouping the trace by set with a stable sort turns the whole
+    simulation into a handful of NumPy comparisons.
+    """
+
+    def __init__(self, config: CacheConfig):
+        if config.associativity != 1:
+            raise ValueError(
+                f"DirectMappedCache requires associativity 1, got {config.associativity}"
+            )
+        self.config = config
+        self.stats = CacheStatistics()
+        # Resident tag per set, -1 meaning invalid.
+        self._tags = np.full(config.num_sets, -1, dtype=np.int64)
+
+    def reset(self) -> None:
+        self.stats = CacheStatistics()
+        self._tags.fill(-1)
+
+    def access(self, address: int) -> bool:
+        config = self.config
+        line = int(address) >> config.offset_bits
+        index = line & (config.num_sets - 1)
+        tag = line >> config.index_bits
+        miss = self._tags[index] != tag
+        self._tags[index] = tag
+        self.stats.record(1, int(miss))
+        return bool(miss)
+
+    def simulate(self, addresses: np.ndarray) -> np.ndarray:
+        arr = _as_address_array(addresses)
+        if arr.size == 0:
+            return np.zeros(0, dtype=bool)
+        config = self.config
+        lines = arr >> config.offset_bits
+        sets = lines & (config.num_sets - 1)
+        tags = lines >> config.index_bits
+
+        order = np.argsort(sets, kind="stable")
+        sorted_sets = sets[order]
+        sorted_tags = tags[order]
+
+        first_in_group = np.empty(arr.shape[0], dtype=bool)
+        first_in_group[0] = True
+        first_in_group[1:] = sorted_sets[1:] != sorted_sets[:-1]
+
+        prev_tags = np.empty_like(sorted_tags)
+        prev_tags[1:] = sorted_tags[:-1]
+        # For the first access of each group the "previous" tag is whatever is
+        # currently resident in that set (possibly -1 = invalid).
+        prev_tags[first_in_group] = self._tags[sorted_sets[first_in_group]]
+
+        miss_sorted = sorted_tags != prev_tags
+        misses = np.empty(arr.shape[0], dtype=bool)
+        misses[order] = miss_sorted
+
+        # Update resident tags: the last access of each group wins.
+        last_in_group = np.empty(arr.shape[0], dtype=bool)
+        last_in_group[-1] = True
+        last_in_group[:-1] = sorted_sets[1:] != sorted_sets[:-1]
+        self._tags[sorted_sets[last_in_group]] = sorted_tags[last_in_group]
+
+        self.stats.record(arr.shape[0], int(misses.sum()))
+        return misses
+
+
+class TwoWayLRUCache:
+    """2-way set-associative LRU cache with a vectorised trace simulation.
+
+    Within one set, an LRU pair always holds the two most recently used
+    *distinct* lines.  After collapsing runs of consecutive identical lines
+    (all but the first of a run are trivially hits), an access therefore hits
+    iff its line equals either of the two previous distinct lines of the same
+    set.  Both conditions are expressible with shifted comparisons on the
+    set-grouped trace.
+    """
+
+    def __init__(self, config: CacheConfig):
+        if config.associativity != 2:
+            raise ValueError(
+                f"TwoWayLRUCache requires associativity 2, got {config.associativity}"
+            )
+        self.config = config
+        self.stats = CacheStatistics()
+        # Most recently used and second most recently used tag per set (-1 invalid).
+        self._mru = np.full(config.num_sets, -1, dtype=np.int64)
+        self._lru = np.full(config.num_sets, -2, dtype=np.int64)
+
+    def reset(self) -> None:
+        self.stats = CacheStatistics()
+        self._mru.fill(-1)
+        self._lru.fill(-2)
+
+    def access(self, address: int) -> bool:
+        config = self.config
+        line = int(address) >> config.offset_bits
+        index = line & (config.num_sets - 1)
+        tag = line >> config.index_bits
+        mru = self._mru[index]
+        lru = self._lru[index]
+        if tag == mru:
+            miss = False
+        elif tag == lru:
+            miss = False
+            self._lru[index] = mru
+            self._mru[index] = tag
+        else:
+            miss = True
+            self._lru[index] = mru
+            self._mru[index] = tag
+        self.stats.record(1, int(miss))
+        return bool(miss)
+
+    def simulate(self, addresses: np.ndarray) -> np.ndarray:
+        arr = _as_address_array(addresses)
+        if arr.size == 0:
+            return np.zeros(0, dtype=bool)
+        config = self.config
+        lines = arr >> config.offset_bits
+        sets = (lines & (config.num_sets - 1)).astype(np.int64)
+        tags = (lines >> config.index_bits).astype(np.int64)
+
+        # Prepend two virtual accesses per set currently holding valid state so
+        # that warm-start behaviour matches the per-access simulator: first the
+        # LRU way, then the MRU way (so the MRU ends up most recent).
+        valid = self._mru >= 0
+        virtual_sets_list = []
+        virtual_tags_list = []
+        if np.any(valid):
+            valid_sets = np.nonzero(valid)[0].astype(np.int64)
+            lru_tags = self._lru[valid_sets]
+            mru_tags = self._mru[valid_sets]
+            has_lru = lru_tags >= 0
+            virtual_sets_list = [valid_sets[has_lru], valid_sets]
+            virtual_tags_list = [lru_tags[has_lru], mru_tags]
+        if virtual_sets_list:
+            virtual_sets = np.concatenate(virtual_sets_list)
+            virtual_tags = np.concatenate(virtual_tags_list)
+        else:
+            virtual_sets = np.zeros(0, dtype=np.int64)
+            virtual_tags = np.zeros(0, dtype=np.int64)
+        n_virtual = virtual_sets.shape[0]
+
+        all_sets = np.concatenate([virtual_sets, sets])
+        all_tags = np.concatenate([virtual_tags, tags])
+        is_real = np.concatenate(
+            [np.zeros(n_virtual, dtype=bool), np.ones(arr.shape[0], dtype=bool)]
+        )
+
+        order = np.argsort(all_sets, kind="stable")
+        g_sets = all_sets[order]
+        g_tags = all_tags[order]
+        g_real = is_real[order]
+        total = g_sets.shape[0]
+
+        new_group = np.empty(total, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = g_sets[1:] != g_sets[:-1]
+
+        # Collapse consecutive duplicates within a group: they are hits and do
+        # not change LRU state.
+        prev_tag = np.empty_like(g_tags)
+        prev_tag[1:] = g_tags[:-1]
+        prev_tag[0] = g_tags[0] + 1  # force "different"
+        duplicate = (~new_group) & (g_tags == prev_tag)
+
+        # Positions of the collapsed (distinct) subsequence.
+        distinct_idx = np.nonzero(~duplicate)[0]
+        d_sets = g_sets[distinct_idx]
+        d_tags = g_tags[distinct_idx]
+        d_real = g_real[distinct_idx]
+        m = distinct_idx.shape[0]
+
+        d_new_group = np.empty(m, dtype=bool)
+        d_new_group[0] = True
+        d_new_group[1:] = d_sets[1:] != d_sets[:-1]
+        # Second element of each group.
+        d_second = np.zeros(m, dtype=bool)
+        d_second[1:] = d_new_group[:-1] & ~d_new_group[1:]
+
+        prev2 = np.empty_like(d_tags)
+        prev2[2:] = d_tags[:-2]
+        prev2[:2] = -10  # no valid "two back" for the first two entries overall
+        # An entry hits iff it matches the distinct tag two back *within the
+        # same group*; entries that are first or second in their group have no
+        # such predecessor (their state is covered by the virtual accesses).
+        has_prev2 = ~(d_new_group | d_second)
+        d_hits = has_prev2 & (d_tags == prev2)
+        d_miss = ~d_hits
+
+        # Scatter distinct-position misses back; duplicates are hits.
+        miss_grouped = np.zeros(total, dtype=bool)
+        miss_grouped[distinct_idx] = d_miss
+
+        misses_all = np.empty(total, dtype=bool)
+        misses_all[order] = miss_grouped
+        misses = misses_all[n_virtual:]
+
+        # Update per-set state: the last two distinct tags of each group.
+        if m:
+            group_last = np.empty(m, dtype=bool)
+            group_last[-1] = True
+            group_last[:-1] = d_sets[1:] != d_sets[:-1]
+            last_idx = np.nonzero(group_last)[0]
+            last_sets = d_sets[last_idx]
+            self._mru[last_sets] = d_tags[last_idx]
+            has_prev_in_group = np.zeros(m, dtype=bool)
+            has_prev_in_group[last_idx] = ~d_new_group[last_idx]
+            prev_idx = last_idx - 1
+            usable = last_idx[~d_new_group[last_idx]]
+            self._lru[d_sets[usable]] = d_tags[usable - 1]
+
+        self.stats.record(arr.shape[0], int(misses.sum()))
+        return misses
+
+
+def make_cache(config: CacheConfig, vectorized: bool = True) -> CacheSimulator:
+    """Build the fastest exact simulator available for ``config``.
+
+    With ``vectorized=False`` the reference LRU simulator is always returned
+    (useful for cross-checking and the associativity ablation).
+    """
+    if not vectorized:
+        return SetAssociativeLRUCache(config)
+    if config.associativity == 1:
+        return DirectMappedCache(config)
+    if config.associativity == 2:
+        return TwoWayLRUCache(config)
+    return SetAssociativeLRUCache(config)
+
+
+def simulate_trace(config: CacheConfig, addresses: np.ndarray, vectorized: bool = True) -> CacheStatistics:
+    """One-shot convenience: simulate a cold cache over a trace, return stats."""
+    cache = make_cache(config, vectorized=vectorized)
+    cache.simulate(_as_address_array(addresses))
+    return cache.stats

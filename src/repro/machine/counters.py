@@ -1,0 +1,101 @@
+"""PAPI-like performance counter facade.
+
+The paper collects its data with PAPI event counters.  This module offers the
+same vocabulary on top of the simulated machine so that experiment code reads
+like the original methodology: create a :class:`CounterSet` with the events of
+interest, ``start`` it, run a plan, ``stop`` it and read the counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.machine.measurement import Measurement
+from repro.wht.plan import Plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.machine.machine import SimulatedMachine
+
+__all__ = ["PAPI_EVENTS", "CounterSet", "counters_from_measurement"]
+
+#: Supported PAPI-style event names and their meaning in the simulation.
+PAPI_EVENTS: dict[str, str] = {
+    "PAPI_TOT_CYC": "total simulated cycles",
+    "PAPI_TOT_INS": "total retired instructions",
+    "PAPI_L1_DCM": "level 1 data cache misses",
+    "PAPI_L2_DCM": "level 2 data cache misses",
+    "PAPI_LD_INS": "element load instructions",
+    "PAPI_SR_INS": "element store instructions",
+    "PAPI_FP_OPS": "floating point operations",
+    "PAPI_L1_DCA": "level 1 data cache accesses",
+}
+
+
+def counters_from_measurement(measurement: Measurement) -> dict[str, float]:
+    """Map a :class:`Measurement` onto the PAPI event vocabulary."""
+    return {
+        "PAPI_TOT_CYC": float(measurement.cycles),
+        "PAPI_TOT_INS": float(measurement.instructions),
+        "PAPI_L1_DCM": float(measurement.l1_misses),
+        "PAPI_L2_DCM": float(measurement.l2_misses),
+        "PAPI_LD_INS": float(measurement.loads),
+        "PAPI_SR_INS": float(measurement.stores),
+        "PAPI_FP_OPS": float(measurement.arithmetic_ops),
+        "PAPI_L1_DCA": float(measurement.l1_accesses),
+    }
+
+
+@dataclass
+class CounterSet:
+    """A PAPI-style event set bound to a simulated machine.
+
+    Example
+    -------
+    >>> from repro.machine import default_machine
+    >>> from repro.wht import iterative_plan
+    >>> counters = CounterSet(default_machine(), ["PAPI_TOT_CYC", "PAPI_TOT_INS"])
+    >>> counters.start()
+    >>> counters.run(iterative_plan(8))
+    >>> counts = counters.stop()
+    """
+
+    machine: "SimulatedMachine"
+    events: list[str] = field(default_factory=lambda: list(PAPI_EVENTS))
+    _running: bool = field(default=False, init=False)
+    _accumulated: dict[str, float] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        unknown = [e for e in self.events if e not in PAPI_EVENTS]
+        if unknown:
+            raise ValueError(
+                f"unknown PAPI events {unknown}; supported: {sorted(PAPI_EVENTS)}"
+            )
+
+    def start(self) -> None:
+        """Begin counting; zeroes any previously accumulated counts."""
+        self._running = True
+        self._accumulated = {event: 0.0 for event in self.events}
+
+    def run(self, plan: Plan) -> Measurement:
+        """Run one plan on the bound machine, accumulating its counters."""
+        if not self._running:
+            raise RuntimeError("CounterSet.run called before start()")
+        measurement = self.machine.measure(plan)
+        values = counters_from_measurement(measurement)
+        for event in self.events:
+            self._accumulated[event] += values[event]
+        return measurement
+
+    def read(self) -> dict[str, float]:
+        """Current accumulated counts (without stopping)."""
+        if not self._running:
+            raise RuntimeError("CounterSet.read called before start()")
+        return dict(self._accumulated)
+
+    def stop(self) -> dict[str, float]:
+        """Stop counting and return the accumulated counts."""
+        if not self._running:
+            raise RuntimeError("CounterSet.stop called before start()")
+        self._running = False
+        return dict(self._accumulated)

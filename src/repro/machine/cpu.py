@@ -1,0 +1,230 @@
+"""CPU cost models: instruction counts and cycle counts.
+
+Two models convert the interpreter's raw event counts and the cache
+hierarchy's miss counts into the quantities the paper measures with PAPI:
+
+* :class:`InstructionCostModel` — retired-instruction accounting: every
+  floating-point operation, load and store of a codelet body is one
+  instruction, and the control structure (codelet call overhead, split-node
+  invocation overhead, the three loop levels of the triple loop) contributes a
+  configurable number of bookkeeping instructions per event.  The defaults are
+  chosen to resemble the relative overheads of the compiled WHT package
+  (straight-line codelets are cheap per point, recursion and loop control are
+  not free), not to be cycle-exact for any particular CPU.
+* :class:`CycleModel` — cycles as a weighted sum of instruction classes plus
+  cache-miss penalties plus secondary effects (per-call pipeline ramp-up,
+  register-spill cost for the largest codelets) and an optional multiplicative
+  noise term standing in for the measurement variance the paper attributes to
+  "register spills, pipeline performance, functional unit utilization and
+  other factors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import RandomState, as_generator
+from repro.wht.codelets import codelet_costs
+from repro.wht.interpreter import ExecutionStats
+
+__all__ = ["InstructionCostModel", "CycleModel", "InstructionBreakdown"]
+
+
+@dataclass(frozen=True)
+class InstructionBreakdown:
+    """Instruction totals by category for one plan execution."""
+
+    arithmetic: int
+    loads: int
+    stores: int
+    codelet_overhead: int
+    split_overhead: int
+    loop_overhead: int
+    recursion_overhead: int
+
+    @property
+    def total(self) -> int:
+        """All retired instructions."""
+        return (
+            self.arithmetic
+            + self.loads
+            + self.stores
+            + self.codelet_overhead
+            + self.split_overhead
+            + self.loop_overhead
+            + self.recursion_overhead
+        )
+
+    @property
+    def overhead(self) -> int:
+        """All non-arithmetic, non-memory instructions."""
+        return (
+            self.codelet_overhead
+            + self.split_overhead
+            + self.loop_overhead
+            + self.recursion_overhead
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat dictionary view including the total."""
+        return {
+            "arithmetic": self.arithmetic,
+            "loads": self.loads,
+            "stores": self.stores,
+            "codelet_overhead": self.codelet_overhead,
+            "split_overhead": self.split_overhead,
+            "loop_overhead": self.loop_overhead,
+            "recursion_overhead": self.recursion_overhead,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True)
+class InstructionCostModel:
+    """Weights converting structural event counts into instruction counts.
+
+    Attributes
+    ----------
+    codelet_call_base / codelet_call_per_unit:
+        Instructions charged per codelet call: ``base + per_unit * k`` for a
+        ``small[k]`` call (argument setup, address arithmetic, return).
+    split_invocation_cost:
+        Instructions charged per invocation of a split node's body (function
+        prologue/epilogue, stride bookkeeping).
+    outer_loop_cost:
+        Instructions charged per iteration of the per-child ``i`` loop.
+    block_loop_cost:
+        Instructions charged per iteration of the block (``j``) loop header —
+        the outer of the two inner loops (base-address recomputation
+        ``j * N_i * S`` and loop control), executed ``R_i`` times per child.
+    stride_loop_cost:
+        Instructions charged per distinct stride offset per child (``S_i``
+        values per child: the per-offset setup of the ``k`` loop).
+    inner_loop_cost:
+        Instructions charged per innermost loop body (one per child call:
+        address computation and dispatch of the call).
+    recursive_call_cost:
+        Additional instructions charged per recursive (non-leaf) child call
+        (function-pointer dispatch and callee prologue).
+    """
+
+    codelet_call_base: int = 12
+    codelet_call_per_unit: int = 2
+    split_invocation_cost: int = 24
+    outer_loop_cost: int = 8
+    block_loop_cost: int = 8
+    stride_loop_cost: int = 1
+    inner_loop_cost: int = 6
+    recursive_call_cost: int = 10
+
+    def breakdown(self, stats: ExecutionStats) -> InstructionBreakdown:
+        """Instruction totals by category for the given event counts."""
+        codelet_overhead = 0
+        codelet_calls = 0
+        for k, calls in stats.codelet_calls.items():
+            codelet_overhead += calls * (
+                self.codelet_call_base + self.codelet_call_per_unit * k
+            )
+            codelet_calls += calls
+        loop_overhead = (
+            stats.outer_iterations * self.outer_loop_cost
+            + stats.stride_iterations * self.stride_loop_cost
+            + stats.block_iterations * self.block_loop_cost
+            + stats.child_calls * self.inner_loop_cost
+        )
+        recursive_calls = max(stats.child_calls - codelet_calls, 0)
+        # A bare-leaf plan performs one codelet call that is not a child of any
+        # split; it is already charged through codelet_overhead.
+        recursion_overhead = recursive_calls * self.recursive_call_cost
+        return InstructionBreakdown(
+            arithmetic=stats.arithmetic_ops,
+            loads=stats.loads,
+            stores=stats.stores,
+            codelet_overhead=codelet_overhead,
+            split_overhead=stats.split_invocations * self.split_invocation_cost,
+            loop_overhead=loop_overhead,
+            recursion_overhead=recursion_overhead,
+        )
+
+    def instructions(self, stats: ExecutionStats) -> int:
+        """Total retired instructions for the given event counts."""
+        return self.breakdown(stats).total
+
+
+@dataclass(frozen=True)
+class CycleModel:
+    """Converts instruction and miss counts into simulated cycle counts.
+
+    The deterministic part is::
+
+        cycles = fp_cost * arithmetic
+               + load_cost * loads + store_cost * stores
+               + overhead_cpi * overhead_instructions
+               + l1_miss_penalty * l1_misses + l2_miss_penalty * l2_misses
+               + call_rampup * codelet_calls
+               + spill_penalty(k) summed over codelet calls
+
+    and an optional multiplicative Gaussian noise term with standard deviation
+    ``noise_sigma`` models run-to-run measurement variance.  Setting
+    ``noise_sigma = 0`` makes the machine fully deterministic.
+    """
+
+    fp_cost: float = 1.0
+    load_cost: float = 1.0
+    store_cost: float = 1.0
+    overhead_cpi: float = 1.0
+    l1_miss_penalty: float = 30.0
+    l2_miss_penalty: float = 160.0
+    call_rampup: float = 2.0
+    #: Extra cycles per codelet call for codelets whose working set exceeds the
+    #: architectural register budget (register spills in the unrolled code).
+    spill_threshold_k: int = 6
+    spill_cost_per_element: float = 1.5
+    noise_sigma: float = 0.05
+
+    def spill_penalty(self, k: int) -> float:
+        """Extra cycles per call of ``small[k]`` due to register spills."""
+        size = 1 << k
+        threshold = 1 << self.spill_threshold_k
+        return self.spill_cost_per_element * max(0, size - threshold)
+
+    def deterministic_cycles(
+        self,
+        stats: ExecutionStats,
+        breakdown: InstructionBreakdown,
+        l1_misses: int,
+        l2_misses: int,
+    ) -> float:
+        """The noise-free cycle count."""
+        cycles = (
+            self.fp_cost * breakdown.arithmetic
+            + self.load_cost * breakdown.loads
+            + self.store_cost * breakdown.stores
+            + self.overhead_cpi * breakdown.overhead
+            + self.l1_miss_penalty * float(l1_misses)
+            + self.l2_miss_penalty * float(l2_misses)
+        )
+        for k, calls in stats.codelet_calls.items():
+            cycles += calls * (self.call_rampup + self.spill_penalty(k))
+        return float(cycles)
+
+    def cycles(
+        self,
+        stats: ExecutionStats,
+        breakdown: InstructionBreakdown,
+        l1_misses: int,
+        l2_misses: int,
+        rng: RandomState = None,
+    ) -> float:
+        """Cycle count including the stochastic measurement-variance term."""
+        base = self.deterministic_cycles(stats, breakdown, l1_misses, l2_misses)
+        if self.noise_sigma <= 0.0:
+            return base
+        generator = as_generator(rng)
+        factor = 1.0 + self.noise_sigma * float(generator.standard_normal())
+        # Clamp the factor so pathological draws can never produce negative
+        # or absurd cycle counts.
+        factor = min(max(factor, 0.5), 1.5)
+        return base * factor

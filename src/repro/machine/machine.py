@@ -1,0 +1,160 @@
+"""The simulated machine: plans in, measurements out.
+
+:class:`SimulatedMachine` glues the substrate together: the plan interpreter
+profiles the plan (event counts + leaf nests), the trace generator expands the
+nests into a byte-address trace, the memory hierarchy counts misses, and the
+CPU models convert everything into instruction and cycle counts.  One call to
+:meth:`SimulatedMachine.measure` corresponds to one PAPI-instrumented run of
+the compiled WHT package in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.machine.cache import CacheConfig
+from repro.machine.cpu import CycleModel, InstructionCostModel
+from repro.machine.hierarchy import HierarchyStatistics, MemoryHierarchy
+from repro.machine.measurement import Measurement
+from repro.machine.trace import DEFAULT_ELEMENT_SIZE, trace_from_nests
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_positive_int
+from repro.wht.interpreter import PlanInterpreter
+from repro.wht.plan import Plan
+
+__all__ = ["MachineConfig", "SimulatedMachine"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full description of a simulated machine."""
+
+    #: Human-readable configuration name (recorded in every measurement).
+    name: str
+    #: L1 data cache geometry.
+    l1: CacheConfig
+    #: L2 cache geometry (``None`` disables the second level).
+    l2: CacheConfig | None
+    #: Instruction-cost weights.
+    instruction_model: InstructionCostModel = field(default_factory=InstructionCostModel)
+    #: Cycle-cost weights.
+    cycle_model: CycleModel = field(default_factory=CycleModel)
+    #: Bytes per vector element (doubles by default).
+    element_size: int = DEFAULT_ELEMENT_SIZE
+    #: Use the vectorised cache simulators when the geometry allows it.
+    vectorized_caches: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.element_size, "element_size")
+        if self.l2 is not None and self.l2.size_bytes < self.l1.size_bytes:
+            raise ValueError("L2 must be at least as large as L1")
+
+    def l1_capacity_exponent(self) -> int:
+        """Largest ``n`` such that a ``2^n``-element vector fits in L1."""
+        elements = self.l1.size_bytes // self.element_size
+        return max(int(elements).bit_length() - 1, 0)
+
+    def l2_capacity_exponent(self) -> int | None:
+        """Largest ``n`` such that a ``2^n``-element vector fits in L2."""
+        if self.l2 is None:
+            return None
+        elements = self.l2.size_bytes // self.element_size
+        return max(int(elements).bit_length() - 1, 0)
+
+    def with_noise(self, noise_sigma: float) -> "MachineConfig":
+        """A copy of the configuration with a different cycle-noise level."""
+        return replace(self, cycle_model=replace(self.cycle_model, noise_sigma=noise_sigma))
+
+    def describe(self) -> str:
+        """Human-readable summary used by reports."""
+        l2_desc = self.l2.describe() if self.l2 is not None else "no L2"
+        return (
+            f"{self.name}: L1[{self.l1.describe()}] L2[{l2_desc}] "
+            f"element={self.element_size}B "
+            f"L1 boundary=2^{self.l1_capacity_exponent()} elements"
+        )
+
+
+class SimulatedMachine:
+    """Execution-driven simulator producing PAPI-style measurements."""
+
+    def __init__(self, config: MachineConfig, rng: RandomState = None):
+        self.config = config
+        self.hierarchy = MemoryHierarchy(
+            config.l1, config.l2, vectorized=config.vectorized_caches
+        )
+        self._interpreter = PlanInterpreter()
+        self._rng = as_generator(rng)
+
+    # -- measurement -----------------------------------------------------------
+
+    def measure(self, plan: Plan, rng: RandomState = None) -> Measurement:
+        """Run ``plan`` once on cold caches and return the full measurement.
+
+        ``rng`` overrides the machine's generator for the cycle-noise draw,
+        which lets campaigns make every sample reproducible independently of
+        execution order.
+        """
+        stats, nests = self._interpreter.profile(plan, record_trace=True)
+        assert nests is not None
+        trace = trace_from_nests(nests, element_size=self.config.element_size)
+        hierarchy_stats = self.hierarchy.process_trace(trace)
+        return self._assemble(plan, stats, hierarchy_stats, rng)
+
+    def measure_instructions_only(self, plan: Plan) -> int:
+        """Retired-instruction count without simulating the caches (fast)."""
+        stats, _ = self._interpreter.profile(plan, record_trace=False)
+        return self.config.instruction_model.instructions(stats)
+
+    def measure_wall_time(self, plan: Plan, repetitions: int = 1) -> float:
+        """Median wall-clock seconds of actually executing the plan in Python.
+
+        Included for completeness; as discussed in DESIGN.md, interpreted
+        wall-clock time is dominated by Python overhead rather than the cache
+        behaviour the paper studies, so the simulated cycle count is the
+        primary performance metric of this reproduction.
+        """
+        check_positive_int(repetitions, "repetitions")
+        x = np.zeros(plan.size, dtype=np.float64)
+        times: list[float] = []
+        for _ in range(repetitions):
+            x[:] = np.arange(plan.size, dtype=np.float64)
+            start = time.perf_counter()
+            self._interpreter.execute(plan, x)
+            times.append(time.perf_counter() - start)
+        times.sort()
+        return times[len(times) // 2]
+
+    # -- internals --------------------------------------------------------------
+
+    def _assemble(
+        self,
+        plan: Plan,
+        stats,
+        hierarchy_stats: HierarchyStatistics,
+        rng: RandomState,
+    ) -> Measurement:
+        breakdown = self.config.instruction_model.breakdown(stats)
+        generator = self._rng if rng is None else as_generator(rng)
+        cycles = self.config.cycle_model.cycles(
+            stats,
+            breakdown,
+            l1_misses=hierarchy_stats.l1_misses,
+            l2_misses=hierarchy_stats.l2_misses,
+            rng=generator,
+        )
+        return Measurement(
+            plan=plan,
+            n=plan.n,
+            cycles=cycles,
+            instructions=breakdown.total,
+            l1_misses=hierarchy_stats.l1_misses,
+            l2_misses=hierarchy_stats.l2_misses,
+            l1_accesses=hierarchy_stats.l1_accesses,
+            breakdown=breakdown,
+            stats=stats,
+            machine=self.config.name,
+        )

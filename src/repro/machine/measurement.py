@@ -1,0 +1,96 @@
+"""Measurement record produced by the simulated machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.machine.cpu import InstructionBreakdown
+from repro.wht.interpreter import ExecutionStats
+from repro.wht.plan import Plan
+
+__all__ = ["Measurement"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Everything the machine observed while running one plan once.
+
+    This is the simulated analogue of one row of the paper's measurement
+    campaign: total cycles, total retired instructions, and L1/L2 data-cache
+    misses, plus the finer-grained breakdowns the models are built from.
+    """
+
+    #: The executed plan.
+    plan: Plan
+    #: Size exponent of the transform.
+    n: int
+    #: Simulated cycle count (the paper's ``PAPI_TOT_CYC``).
+    cycles: float
+    #: Retired instructions (the paper's ``PAPI_TOT_INS``).
+    instructions: int
+    #: L1 data-cache misses (the paper's ``PAPI_L1_DCM``).
+    l1_misses: int
+    #: L2 data-cache misses (the paper's ``PAPI_L2_DCM``).
+    l2_misses: int
+    #: L1 data-cache accesses (element loads + stores reaching the cache).
+    l1_accesses: int
+    #: Instruction totals by category.
+    breakdown: InstructionBreakdown
+    #: Raw structural event counts from the interpreter.
+    stats: ExecutionStats
+    #: Name of the machine configuration that produced the measurement.
+    machine: str = "default"
+    #: Optional wall-clock seconds of an actual (Python) execution.
+    wall_time: float | None = None
+
+    @property
+    def size(self) -> int:
+        """Transform length ``2^n``."""
+        return 1 << self.n
+
+    @property
+    def loads(self) -> int:
+        """Element loads executed by codelet bodies."""
+        return self.breakdown.loads
+
+    @property
+    def stores(self) -> int:
+        """Element stores executed by codelet bodies."""
+        return self.breakdown.stores
+
+    @property
+    def arithmetic_ops(self) -> int:
+        """Floating point additions and subtractions executed."""
+        return self.breakdown.arithmetic
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        """Simulated CPI."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def l1_miss_ratio(self) -> float:
+        """L1 misses divided by L1 accesses."""
+        return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0
+
+    def combined_model_value(self, alpha: float, beta: float) -> float:
+        """The paper's combined metric ``alpha * instructions + beta * misses``."""
+        return alpha * self.instructions + beta * self.l1_misses
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dictionary view (plan rendered as its grammar string)."""
+        return {
+            "plan": str(self.plan),
+            "n": self.n,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "l1_misses": self.l1_misses,
+            "l2_misses": self.l2_misses,
+            "l1_accesses": self.l1_accesses,
+            "loads": self.loads,
+            "stores": self.stores,
+            "arithmetic_ops": self.arithmetic_ops,
+            "machine": self.machine,
+            "wall_time": self.wall_time,
+        }

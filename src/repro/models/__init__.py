@@ -1,0 +1,49 @@
+"""Analytic performance models (the paper's core contribution).
+
+The models in this subpackage are computed *from the high-level plan
+description alone* — no execution, no simulation — exactly as emphasised by
+the paper: because the models are cheap and analyzable, they can prune the
+search space before any measurement happens.
+
+* :mod:`repro.models.instruction_count` — the instruction-count model of
+  Hitczenko–Johnson–Huang ([5] in the paper).
+* :mod:`repro.models.cache_misses` — the direct-mapped cache-miss model of
+  Furis–Hitczenko–Johnson ([8] in the paper).
+* :mod:`repro.models.combined` — the linear combination ``alpha*I + beta*M``
+  whose coefficients are chosen to maximise correlation with measured cycles
+  (Section 4 / Figure 9).
+* :mod:`repro.models.theory` — theoretical properties of the algorithm space:
+  plan counts (~``O(7^n)``), extreme instruction counts, and the mean/variance
+  of the instruction-count distribution under the RSU sampling distribution.
+"""
+
+from repro.models.instruction_count import (
+    InstructionCountModel,
+    analytic_stats,
+    instruction_count,
+)
+from repro.models.cache_misses import CacheMissModel, cache_miss_count
+from repro.models.combined import (
+    CombinedModel,
+    CorrelationSurface,
+    optimize_combined_model,
+)
+from repro.models.theory import (
+    algorithm_space_size,
+    extreme_instruction_counts,
+    rsu_instruction_moments,
+)
+
+__all__ = [
+    "InstructionCountModel",
+    "analytic_stats",
+    "instruction_count",
+    "CacheMissModel",
+    "cache_miss_count",
+    "CombinedModel",
+    "CorrelationSurface",
+    "optimize_combined_model",
+    "algorithm_space_size",
+    "extreme_instruction_counts",
+    "rsu_instruction_moments",
+]

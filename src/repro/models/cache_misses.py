@@ -1,0 +1,209 @@
+"""The analytic cache-miss model (paper reference [8], Furis–Hitczenko–Johnson).
+
+The model estimates the number of data-cache misses of a plan from its split
+tree alone, under the assumptions of [8]: a single-level cache of ``C``
+elements with lines of ``l`` elements, considered direct mapped, and a cold
+start.  The estimate follows the structure of the triple-loop execution:
+
+* the footprint of ``M`` elements at element stride ``s`` occupies ``M`` lines
+  when ``s >= l`` (each element on its own line) and ``ceil(M*s/l)`` lines
+  otherwise;
+* a subtree whose strided footprint fits in the cache incurs only its cold
+  misses — every later pass over the same data inside that subtree hits;
+* inside a subtree that does **not** fit, each child contributes one *pass*
+  over the subtree's data per invocation of the triple loop.  When the child's
+  own per-call working set fits in the cache, the pass misses once per line of
+  the enclosing subtree's footprint (calls that share a cache line are
+  adjacent iterations of the stride loop, so the shared line is still
+  resident); when the child's per-call working set does not fit, the child is
+  analysed recursively and charged once per call (no reuse survives between
+  calls).
+
+Like the paper's model, this is deliberately *not* an exact simulation — it
+ignores conflict misses and the partial reuse that a set-associative cache
+recovers — but it is monotone in the effects that matter (strided recursion
+thrashes, contiguous recursion localises, every extra pass over an
+out-of-cache data set costs a sweep of misses) and is computable in
+``O(nodes)`` time, which is what makes model-based pruning of the algorithm
+space possible.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.machine.cache import CacheConfig
+from repro.machine.machine import MachineConfig
+from repro.util.validation import check_positive_int
+from repro.wht.plan import Plan, Small, Split
+
+__all__ = ["CacheMissModel", "cache_miss_count"]
+
+
+class CacheMissModel:
+    """Analytic direct-mapped cache-miss model.
+
+    Parameters
+    ----------
+    capacity_elements:
+        Cache capacity in vector elements (e.g. a 64 KB cache holding doubles
+        has capacity 8192).
+    line_elements:
+        Cache line length in vector elements (e.g. 64-byte lines hold 8
+        doubles).
+    associativity:
+        Set associativity used for the *effective capacity* of strided access
+        patterns.  The published analysis ([8]) is for a direct-mapped cache
+        (associativity 1, the default); passing the simulated machine's real
+        associativity makes the model track the simulator more closely.  A
+        power-of-two stride only reaches every ``stride/line``-th set, so the
+        capacity available to a strided working set shrinks proportionally —
+        this self-interference term is what makes strided recursion thrash.
+    """
+
+    def __init__(
+        self,
+        capacity_elements: int,
+        line_elements: int = 8,
+        associativity: int = 1,
+    ):
+        check_positive_int(capacity_elements, "capacity_elements")
+        check_positive_int(line_elements, "line_elements")
+        check_positive_int(associativity, "associativity")
+        if line_elements > capacity_elements:
+            raise ValueError("line_elements cannot exceed capacity_elements")
+        self.capacity_elements = int(capacity_elements)
+        self.line_elements = int(line_elements)
+        self.associativity = int(associativity)
+        if self.associativity > self.capacity_lines:
+            raise ValueError("associativity cannot exceed the number of lines")
+        self._cache: dict[tuple[Plan, int], int] = {}
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_cache_config(cls, config: CacheConfig, element_size: int = 8) -> "CacheMissModel":
+        """Build the model for a given cache geometry (keeps its associativity)."""
+        return cls(
+            capacity_elements=config.size_bytes // element_size,
+            line_elements=max(config.line_size // element_size, 1),
+            associativity=config.associativity,
+        )
+
+    @classmethod
+    def from_machine_config(cls, config: MachineConfig, level: str = "l1") -> "CacheMissModel":
+        """Build the model for the L1 (default) or L2 level of a machine."""
+        if level.lower() == "l1":
+            cache = config.l1
+        elif level.lower() == "l2":
+            if config.l2 is None:
+                raise ValueError("machine configuration has no L2 cache")
+            cache = config.l2
+        else:
+            raise ValueError(f"level must be 'l1' or 'l2', got {level!r}")
+        return cls.from_cache_config(cache, element_size=config.element_size)
+
+    # -- the model ---------------------------------------------------------------
+
+    @property
+    def capacity_lines(self) -> int:
+        """Number of lines the cache holds."""
+        return self.capacity_elements // self.line_elements
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
+        return max(self.capacity_lines // self.associativity, 1)
+
+    def footprint_lines(self, elements: int, stride: int) -> int:
+        """Distinct cache lines touched by ``elements`` elements at ``stride``."""
+        check_positive_int(elements, "elements")
+        check_positive_int(stride, "stride")
+        if stride >= self.line_elements:
+            return elements
+        span = elements * stride
+        return -(-span // self.line_elements)  # ceil division
+
+    def effective_capacity_lines(self, stride: int) -> int:
+        """Lines simultaneously available to a stride-``stride`` working set.
+
+        Accesses spaced ``stride`` elements apart only reach every
+        ``stride / line``-th set (for the power-of-two strides of WHT plans),
+        so the usable capacity shrinks by that factor — the self-interference
+        effect at the core of the direct-mapped analysis of [8].
+        """
+        check_positive_int(stride, "stride")
+        stride_in_lines = max(stride // self.line_elements, 1)
+        from math import gcd
+
+        reachable_sets = self.num_sets // gcd(stride_in_lines, self.num_sets)
+        return max(reachable_sets * self.associativity, self.associativity)
+
+    def fits(self, elements: int, stride: int) -> bool:
+        """Whether the strided footprint fits in the cache capacity it can reach."""
+        return self.footprint_lines(elements, stride) <= self.effective_capacity_lines(stride)
+
+    def misses(self, plan: Plan, stride: int = 1) -> int:
+        """Modelled cache misses of one cold execution of ``plan`` at ``stride``."""
+        check_positive_int(stride, "stride")
+        key = (plan, stride)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        value = self._misses(plan, stride)
+        self._cache[key] = value
+        return value
+
+    def _misses(self, plan: Plan, stride: int) -> int:
+        size = plan.size
+        footprint = self.footprint_lines(size, stride)
+        if footprint <= self.effective_capacity_lines(stride):
+            # The whole subtree's data fits in the capacity its stride can
+            # reach: cold misses only, regardless of how many passes the
+            # subtree makes over it.
+            return footprint
+        if isinstance(plan, Small):
+            # An unrolled codelet larger than the reachable capacity: the read
+            # pass misses every line, the write pass reuses nothing.
+            return footprint
+        assert isinstance(plan, Split)
+        total = 0
+        remaining = size
+        inner = 1
+        for child in reversed(plan.children):
+            child_size = child.size
+            remaining //= child_size
+            calls = remaining * inner
+            child_stride = stride * inner
+            child_footprint = self.footprint_lines(child_size, child_stride)
+            if child_footprint <= self.effective_capacity_lines(child_stride):
+                # One pass of this child over the whole (non-fitting) segment:
+                # every line of the segment is brought in once; calls sharing a
+                # line are adjacent stride-loop iterations, so the line is
+                # still resident when they run.
+                total += footprint
+            else:
+                # The child itself overflows the cache per call: no reuse
+                # survives between its calls, so each call pays in full.
+                total += calls * self.misses(child, child_stride)
+            inner *= child_size
+        return total
+
+    def __call__(self, plan: Plan) -> float:
+        """Cost-function interface (misses at unit stride)."""
+        return float(self.misses(plan))
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheMissModel(capacity_elements={self.capacity_elements}, "
+            f"line_elements={self.line_elements})"
+        )
+
+
+def cache_miss_count(
+    plan: Plan,
+    capacity_elements: int,
+    line_elements: int = 8,
+) -> int:
+    """Convenience wrapper: modelled misses of ``plan`` on a cold cache."""
+    return CacheMissModel(capacity_elements, line_elements).misses(plan)

@@ -1,0 +1,148 @@
+"""The combined performance model ``alpha * I + beta * M`` (Section 4, Figure 9).
+
+For transforms that no longer fit in cache, neither the instruction count nor
+the cache-miss count alone correlates strongly with cycle counts; the paper
+therefore forms a linear combination of the two and chooses the coefficients
+``(alpha, beta)`` that maximise the Pearson correlation with measured cycles
+over a grid (0 to 1 in steps of 0.05 in the paper, where the optimum for size
+2^18 was ``alpha = 1.00``, ``beta = 0.05`` with ``rho = 0.92``).
+
+:class:`CombinedModel` evaluates the combination; :func:`optimize_combined_model`
+performs the grid search and returns the full correlation surface so Figure 9
+can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.pearson import pearson_correlation
+from repro.machine.measurement import Measurement
+from repro.wht.plan import Plan
+
+__all__ = ["CombinedModel", "CorrelationSurface", "optimize_combined_model"]
+
+
+@dataclass(frozen=True)
+class CombinedModel:
+    """The linear combination ``alpha * instructions + beta * misses``."""
+
+    alpha: float = 1.0
+    beta: float = 0.05
+
+    def value(self, instructions: float, misses: float) -> float:
+        """Model value for explicit instruction and miss counts."""
+        return self.alpha * float(instructions) + self.beta * float(misses)
+
+    def values(self, instructions: np.ndarray, misses: np.ndarray) -> np.ndarray:
+        """Vectorised model values."""
+        instructions = np.asarray(instructions, dtype=float)
+        misses = np.asarray(misses, dtype=float)
+        if instructions.shape != misses.shape:
+            raise ValueError(
+                f"instructions {instructions.shape} and misses {misses.shape} "
+                "must have the same shape"
+            )
+        return self.alpha * instructions + self.beta * misses
+
+    def value_for_measurement(self, measurement: Measurement) -> float:
+        """Model value of a machine measurement (uses L1 misses, as the paper does)."""
+        return self.value(measurement.instructions, measurement.l1_misses)
+
+    def value_for_plan(self, plan: Plan, instruction_model, miss_model) -> float:
+        """Model value computed purely from analytic models (no measurement)."""
+        return self.value(instruction_model.count(plan), miss_model.misses(plan))
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``1.00 x Instructions + 0.05 x Misses``."""
+        return f"{self.alpha:.2f} x Instructions + {self.beta:.2f} x Misses"
+
+
+@dataclass(frozen=True)
+class CorrelationSurface:
+    """The correlation coefficient over the (alpha, beta) grid (Figure 9)."""
+
+    alphas: np.ndarray
+    betas: np.ndarray
+    #: ``rho[i, j]`` = correlation for ``alphas[i]``, ``betas[j]``.
+    rho: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.rho.shape != (self.alphas.shape[0], self.betas.shape[0]):
+            raise ValueError(
+                f"rho shape {self.rho.shape} does not match grid "
+                f"({self.alphas.shape[0]}, {self.betas.shape[0]})"
+            )
+
+    @property
+    def best(self) -> tuple[float, float, float]:
+        """``(alpha, beta, rho)`` of the grid maximum.
+
+        Ties are broken toward the smallest ``beta`` then smallest ``alpha``,
+        matching the paper's convention of reporting the simplest combination.
+        """
+        finite = np.where(np.isfinite(self.rho), self.rho, -np.inf)
+        best_value = float(finite.max())
+        candidates = np.argwhere(finite >= best_value - 1e-12)
+        # candidates rows are (alpha_index, beta_index); prefer small beta, then
+        # small alpha *index* order.
+        best_i, best_j = min(candidates.tolist(), key=lambda ij: (ij[1], ij[0]))
+        return float(self.alphas[best_i]), float(self.betas[best_j]), float(self.rho[best_i, best_j])
+
+    def best_model(self) -> CombinedModel:
+        """The :class:`CombinedModel` at the grid maximum."""
+        alpha, beta, _ = self.best
+        return CombinedModel(alpha=alpha, beta=beta)
+
+    def as_rows(self) -> list[tuple[float, float, float]]:
+        """Flat ``(alpha, beta, rho)`` rows (useful for reports and tests)."""
+        rows: list[tuple[float, float, float]] = []
+        for i, alpha in enumerate(self.alphas):
+            for j, beta in enumerate(self.betas):
+                rows.append((float(alpha), float(beta), float(self.rho[i, j])))
+        return rows
+
+
+def optimize_combined_model(
+    instructions: Sequence[float] | np.ndarray,
+    misses: Sequence[float] | np.ndarray,
+    cycles: Sequence[float] | np.ndarray,
+    alphas: Sequence[float] | np.ndarray | None = None,
+    betas: Sequence[float] | np.ndarray | None = None,
+) -> CorrelationSurface:
+    """Grid-search ``(alpha, beta)`` maximising correlation with cycles.
+
+    The default grid is the paper's: both coefficients from 0 to 1 in steps of
+    0.05.  The degenerate corner ``alpha = beta = 0`` yields a constant model;
+    its correlation is reported as ``nan`` and never wins the maximum.
+    """
+    instructions = np.asarray(instructions, dtype=float)
+    misses = np.asarray(misses, dtype=float)
+    cycles = np.asarray(cycles, dtype=float)
+    if not (instructions.shape == misses.shape == cycles.shape):
+        raise ValueError("instructions, misses and cycles must have identical shapes")
+    if instructions.ndim != 1 or instructions.shape[0] < 2:
+        raise ValueError("need at least two samples to compute a correlation")
+
+    alphas_arr = (
+        np.round(np.arange(0.0, 1.0 + 1e-9, 0.05), 6)
+        if alphas is None
+        else np.asarray(list(alphas), dtype=float)
+    )
+    betas_arr = (
+        np.round(np.arange(0.0, 1.0 + 1e-9, 0.05), 6)
+        if betas is None
+        else np.asarray(list(betas), dtype=float)
+    )
+
+    rho = np.full((alphas_arr.shape[0], betas_arr.shape[0]), np.nan)
+    for i, alpha in enumerate(alphas_arr):
+        for j, beta in enumerate(betas_arr):
+            combined = alpha * instructions + beta * misses
+            if np.all(combined == combined[0]):
+                continue  # constant model: correlation undefined
+            rho[i, j] = pearson_correlation(combined, cycles)
+    return CorrelationSurface(alphas=alphas_arr, betas=betas_arr, rho=rho)

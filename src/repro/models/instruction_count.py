@@ -1,0 +1,106 @@
+"""The instruction-count model (paper reference [5], Hitczenko–Johnson–Huang).
+
+The model computes, from the split tree alone, exactly the event counts the
+instrumented interpreter would observe — codelet calls, split invocations and
+loop iterations — and weights them with an :class:`InstructionCostModel`.  The
+recurrence mirrors the triple loop: a child of size ``N_i`` inside a node of
+size ``N`` is invoked ``N / N_i`` times, so its standalone counts contribute
+with that multiplicity, and the node itself adds its loop overhead events.
+
+Because the analytic counts and the interpreter's measured counts are the same
+quantity computed two ways, the test suite asserts exact agreement for every
+plan; this is the reproduction's analogue of the paper's statement that the
+models "can be computed from a high-level description of the algorithm".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import lru_cache
+
+from repro.machine.cpu import InstructionBreakdown, InstructionCostModel
+from repro.wht.codelets import codelet_costs
+from repro.wht.interpreter import ExecutionStats
+from repro.wht.plan import Plan, Small, Split
+
+__all__ = ["analytic_stats", "instruction_count", "InstructionCountModel"]
+
+
+def analytic_stats(plan: Plan) -> ExecutionStats:
+    """Event counts of executing ``plan`` once, derived without execution.
+
+    The result is identical to ``PlanInterpreter().profile(plan)[0]`` for every
+    valid plan (property-tested), but costs ``O(nodes)`` instead of
+    ``O(actual loop iterations)``.  A fresh object is returned on every call so
+    callers may freely mutate or merge it.
+    """
+    return _analytic_stats_cached(plan).scaled(1)
+
+
+@lru_cache(maxsize=65536)
+def _analytic_stats_cached(plan: Plan) -> ExecutionStats:
+    if isinstance(plan, Small):
+        costs = codelet_costs(plan.n)
+        stats = ExecutionStats(n=plan.n, codelet_calls=Counter({plan.n: 1}))
+        stats.additions = costs.additions
+        stats.subtractions = costs.subtractions
+        stats.loads = costs.loads
+        stats.stores = costs.stores
+        return stats
+    if not isinstance(plan, Split):
+        raise TypeError(f"not a plan node: {plan!r}")
+
+    stats = ExecutionStats(n=plan.n)
+    stats.split_invocations = 1
+    remaining = plan.size
+    inner = 1
+    for child in reversed(plan.children):
+        child_size = child.size
+        remaining //= child_size
+        calls = remaining * inner
+        stats.outer_iterations += 1
+        stats.stride_iterations += inner
+        stats.block_iterations += remaining
+        stats.child_calls += calls
+        stats.merge(_analytic_stats_cached(child).scaled(calls))
+        inner *= child_size
+    return stats
+
+
+def instruction_count(
+    plan: Plan,
+    cost_model: InstructionCostModel | None = None,
+) -> int:
+    """Total modelled instruction count of one execution of ``plan``."""
+    model = cost_model if cost_model is not None else InstructionCostModel()
+    return model.instructions(analytic_stats(plan))
+
+
+class InstructionCountModel:
+    """Callable wrapper around the analytic instruction-count model.
+
+    Instances are cheap, deterministic cost functions suitable for the DP
+    search, the model-pruned search and the correlation studies.
+    """
+
+    def __init__(self, cost_model: InstructionCostModel | None = None):
+        self.cost_model = cost_model if cost_model is not None else InstructionCostModel()
+
+    def stats(self, plan: Plan) -> ExecutionStats:
+        """Analytic event counts for ``plan``."""
+        return analytic_stats(plan)
+
+    def breakdown(self, plan: Plan) -> InstructionBreakdown:
+        """Instruction totals by category for ``plan``."""
+        return self.cost_model.breakdown(analytic_stats(plan))
+
+    def count(self, plan: Plan) -> int:
+        """Total modelled instruction count for ``plan``."""
+        return self.cost_model.instructions(analytic_stats(plan))
+
+    def __call__(self, plan: Plan) -> float:
+        """Cost-function interface (e.g. for :class:`repro.wht.DPSearch`)."""
+        return float(self.count(plan))
+
+    def __repr__(self) -> str:
+        return f"InstructionCountModel({self.cost_model!r})"

@@ -1,0 +1,95 @@
+"""Cost functions shared by the search strategies.
+
+Every cost is a callable mapping a plan to a float (lower is better), so the
+strategies are agnostic to whether they optimise measured cycles, an analytic
+model, or wall-clock time.  Each cost also counts its invocations, which the
+experiments use to report how much measurement a strategy needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.machine import SimulatedMachine
+from repro.models.cache_misses import CacheMissModel
+from repro.models.combined import CombinedModel
+from repro.models.instruction_count import InstructionCountModel
+from repro.wht.plan import Plan
+
+__all__ = [
+    "MeasuredCyclesCost",
+    "InstructionModelCost",
+    "CombinedModelCost",
+    "WallClockCost",
+]
+
+
+@dataclass
+class MeasuredCyclesCost:
+    """Simulated cycle count of one run on a given machine."""
+
+    machine: SimulatedMachine
+    evaluations: int = field(default=0, init=False)
+
+    def __call__(self, plan: Plan) -> float:
+        self.evaluations += 1
+        return float(self.machine.measure(plan).cycles)
+
+
+@dataclass
+class InstructionModelCost:
+    """Analytic instruction count (no execution, no simulation)."""
+
+    model: InstructionCountModel = field(default_factory=InstructionCountModel)
+    evaluations: int = field(default=0, init=False)
+
+    def __call__(self, plan: Plan) -> float:
+        self.evaluations += 1
+        return float(self.model.count(plan))
+
+
+@dataclass
+class CombinedModelCost:
+    """The paper's combined model ``alpha * I + beta * M`` from analytic inputs."""
+
+    instruction_model: InstructionCountModel
+    miss_model: CacheMissModel
+    combined: CombinedModel = field(default_factory=CombinedModel)
+    evaluations: int = field(default=0, init=False)
+
+    @classmethod
+    def for_machine(
+        cls,
+        machine: SimulatedMachine,
+        combined: CombinedModel | None = None,
+    ) -> "CombinedModelCost":
+        """Build the cost with models matching a machine's L1 geometry."""
+        return cls(
+            instruction_model=InstructionCountModel(machine.config.instruction_model),
+            miss_model=CacheMissModel.from_machine_config(machine.config, level="l1"),
+            combined=combined if combined is not None else CombinedModel(),
+        )
+
+    def __call__(self, plan: Plan) -> float:
+        self.evaluations += 1
+        return self.combined.value(
+            self.instruction_model.count(plan),
+            self.miss_model.misses(plan),
+        )
+
+
+@dataclass
+class WallClockCost:
+    """Median wall-clock seconds of actually executing the plan in Python.
+
+    Provided for completeness; dominated by interpreter overhead (see
+    DESIGN.md) and therefore not used by the default experiments.
+    """
+
+    machine: SimulatedMachine
+    repetitions: int = 1
+    evaluations: int = field(default=0, init=False)
+
+    def __call__(self, plan: Plan) -> float:
+        self.evaluations += 1
+        return float(self.machine.measure_wall_time(plan, repetitions=self.repetitions))

@@ -1,0 +1,72 @@
+"""Dynamic-programming search conveniences.
+
+The underlying machinery lives in :mod:`repro.wht.dp_search`; the helpers here
+wire it to a simulated machine (or any other cost) and adapt the outcome to
+the common :class:`repro.search.result.SearchResult` shape.  The DP-best plan
+is the baseline the paper's Figures 1–3 normalise against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.machine.machine import SimulatedMachine
+from repro.search.costs import MeasuredCyclesCost
+from repro.search.result import SearchResult
+from repro.util.validation import check_positive_int
+from repro.wht.dp_search import DPSearch, DPSearchResult
+from repro.wht.plan import MAX_UNROLLED, Plan
+
+__all__ = ["dp_search", "dp_best_plan"]
+
+
+def dp_search(
+    n: int,
+    cost: Callable[[Plan], float],
+    max_leaf: int = MAX_UNROLLED,
+    max_children: int | None = 2,
+    include_iterative: bool = True,
+) -> DPSearchResult:
+    """Run the package's DP search up to exponent ``n`` with an arbitrary cost."""
+    check_positive_int(n, "n")
+    searcher = DPSearch(
+        cost,
+        max_leaf=max_leaf,
+        max_children=max_children,
+        include_iterative=include_iterative,
+    )
+    return searcher.search(n)
+
+
+def dp_best_plan(
+    machine: SimulatedMachine,
+    n: int,
+    max_leaf: int = MAX_UNROLLED,
+    max_children: int | None = 2,
+    include_iterative: bool = True,
+) -> SearchResult:
+    """The DP-best plan for ``n`` under simulated cycle counts.
+
+    This is the reproduction's analogue of "the best algorithm determined by
+    the dynamic programming search performed by the WHT package".
+    """
+    check_positive_int(n, "n")
+    cost = MeasuredCyclesCost(machine)
+    result = dp_search(
+        n,
+        cost,
+        max_leaf=max_leaf,
+        max_children=max_children,
+        include_iterative=include_iterative,
+    )
+    best = result.best(n)
+    history = [(record.plan, record.cost) for record in result.candidates_for(n)]
+    return SearchResult(
+        n=n,
+        best_plan=best,
+        best_cost=result.best_costs[n],
+        evaluated=cost.evaluations,
+        considered=cost.evaluations,
+        strategy="dynamic-programming",
+        history=history,
+    )

@@ -1,0 +1,65 @@
+"""Plain random search: sample plans, evaluate each, keep the best."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.search.result import SearchResult
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_positive_int
+from repro.wht.plan import MAX_UNROLLED, Plan
+from repro.wht.random_plans import RSUSampler
+
+__all__ = ["RandomSearch"]
+
+
+@dataclass
+class RandomSearch:
+    """Evaluate ``samples`` RSU-random plans and return the cheapest.
+
+    Duplicate plans (the RSU distribution frequently re-draws common shapes at
+    small sizes) are evaluated only once; the duplicate draws still count
+    toward ``considered`` so search budgets are comparable across strategies.
+    """
+
+    cost: Callable[[Plan], float]
+    samples: int = 100
+    max_leaf: int = MAX_UNROLLED
+    max_children: int | None = None
+    dedupe: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.samples, "samples")
+        if not callable(self.cost):
+            raise TypeError("cost must be callable")
+
+    def search(self, n: int, rng: RandomState = None) -> SearchResult:
+        """Run the search for exponent ``n``."""
+        check_positive_int(n, "n")
+        generator = as_generator(rng)
+        sampler = RSUSampler(max_leaf=self.max_leaf, max_children=self.max_children)
+        seen: set[Plan] = set()
+        history: list[tuple[Plan, float]] = []
+        best_plan: Plan | None = None
+        best_cost = float("inf")
+        for _ in range(self.samples):
+            plan = sampler.sample(n, generator)
+            if self.dedupe and plan in seen:
+                continue
+            seen.add(plan)
+            value = float(self.cost(plan))
+            history.append((plan, value))
+            if value < best_cost:
+                best_cost = value
+                best_plan = plan
+        assert best_plan is not None  # samples >= 1 guarantees at least one evaluation
+        return SearchResult(
+            n=n,
+            best_plan=best_plan,
+            best_cost=best_cost,
+            evaluated=len(history),
+            considered=self.samples,
+            strategy="random",
+            history=history,
+        )

@@ -1,0 +1,46 @@
+"""Common result container for search strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wht.plan import Plan
+
+__all__ = ["SearchResult"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run."""
+
+    #: Size exponent searched.
+    n: int
+    #: Best plan found.
+    best_plan: Plan
+    #: Cost of the best plan (in whatever units the cost function uses).
+    best_cost: float
+    #: Number of candidate plans whose cost was evaluated.
+    evaluated: int
+    #: Number of candidate plans considered (>= evaluated for pruned searches).
+    considered: int
+    #: Name of the strategy that produced the result.
+    strategy: str
+    #: Every evaluated (plan, cost) pair, in evaluation order.
+    history: list[tuple[Plan, float]] = field(default_factory=list)
+
+    @property
+    def evaluation_fraction(self) -> float:
+        """Evaluated candidates as a fraction of considered candidates."""
+        return self.evaluated / self.considered if self.considered else 0.0
+
+    def top(self, count: int = 5) -> list[tuple[Plan, float]]:
+        """The ``count`` cheapest evaluated candidates."""
+        return sorted(self.history, key=lambda item: item[1])[:count]
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.strategy}: n={self.n}, best cost {self.best_cost:.4g} "
+            f"({self.evaluated}/{self.considered} candidates measured), "
+            f"best plan {self.best_plan}"
+        )

@@ -1,0 +1,38 @@
+"""Shared utilities used across the :mod:`repro` package.
+
+The utilities here are intentionally dependency-light: integer composition
+helpers (the combinatorial backbone of the WHT algorithm space), seeded RNG
+construction, validation helpers and plain-text table rendering used by the
+experiment harness.
+"""
+
+from repro.util.compositions import (
+    compositions,
+    count_compositions,
+    random_composition,
+    weak_compositions,
+)
+from repro.util.rng import RandomState, as_generator, spawn_generators
+from repro.util.tables import format_series, format_table
+from repro.util.validation import (
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+    ensure_in_range,
+)
+
+__all__ = [
+    "compositions",
+    "count_compositions",
+    "random_composition",
+    "weak_compositions",
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "format_series",
+    "format_table",
+    "check_positive_int",
+    "check_power_of_two",
+    "check_probability",
+    "ensure_in_range",
+]

@@ -1,0 +1,197 @@
+"""Integer composition utilities.
+
+A *composition* of the integer ``n`` is an ordered tuple of positive integers
+summing to ``n``.  The WHT algorithm space is built from compositions: each
+application of the factorisation
+
+    WHT_{2^n} = prod_i (I (x) WHT_{2^{n_i}} (x) I),      n = n_1 + ... + n_t
+
+chooses a composition ``(n_1, ..., n_t)`` of ``n`` with ``t >= 2`` (a single
+part corresponds to not splitting at all, i.e. a base-case codelet).
+
+These helpers are used by the plan enumerator (:mod:`repro.wht.enumeration`),
+the recursive-split-uniform sampler (:mod:`repro.wht.random_plans`) and the
+theoretical model module (:mod:`repro.models.theory`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "compositions",
+    "count_compositions",
+    "weak_compositions",
+    "random_composition",
+    "compositions_with_max_part",
+    "count_compositions_with_max_part",
+]
+
+
+def compositions(n: int, min_parts: int = 1, max_part: int | None = None) -> Iterator[tuple[int, ...]]:
+    """Yield every composition of ``n`` in lexicographic order.
+
+    Parameters
+    ----------
+    n:
+        Positive integer to compose.
+    min_parts:
+        Only yield compositions with at least this many parts.  ``min_parts=2``
+        yields the *proper* compositions used for split nodes.
+    max_part:
+        If given, no part may exceed ``max_part`` (used to model a maximum
+        unrolled codelet size).
+    """
+    check_positive_int(n, "n")
+    if min_parts < 1:
+        raise ValueError(f"min_parts must be >= 1, got {min_parts}")
+    limit = n if max_part is None else int(max_part)
+    if limit < 1:
+        raise ValueError(f"max_part must be >= 1, got {max_part}")
+
+    def _gen(remaining: int, prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        if remaining == 0:
+            if len(prefix) >= min_parts:
+                yield prefix
+            return
+        for part in range(1, min(remaining, limit) + 1):
+            yield from _gen(remaining - part, prefix + (part,))
+
+    yield from _gen(n, ())
+
+
+def count_compositions(n: int, min_parts: int = 1, max_part: int | None = None) -> int:
+    """Count compositions of ``n`` without enumerating them when possible.
+
+    Without a ``max_part`` restriction there are ``2**(n-1)`` compositions of
+    ``n`` and ``2**(n-1) - 1`` compositions with at least two parts.  With a
+    ``max_part`` restriction a dynamic program over (remaining, parts-so-far
+    saturating at ``min_parts``) is used.
+    """
+    check_positive_int(n, "n")
+    if max_part is None or max_part >= n:
+        total = 1 << (n - 1)
+        if min_parts <= 1:
+            return total
+        if min_parts == 2:
+            return total - 1
+        # Fall through to the DP for the general (rare) case.
+    limit = n if max_part is None else int(max_part)
+    # dp[r][k] = number of ways to compose r using parts <= limit with
+    # k parts already placed (k saturates at min_parts).
+    sat = max(min_parts, 1)
+    dp = [[0] * (sat + 1) for _ in range(n + 1)]
+    dp[0][0] = 1
+    for total in range(n + 1):
+        for k in range(sat + 1):
+            ways = dp[total][k]
+            if ways == 0:
+                continue
+            for part in range(1, min(limit, n - total) + 1):
+                nk = min(sat, k + 1)
+                dp[total + part][nk] += ways
+    return sum(dp[n][k] for k in range(min(min_parts, sat), sat + 1))
+
+
+def compositions_with_max_part(n: int, max_part: int) -> Iterator[tuple[int, ...]]:
+    """Compositions of ``n`` whose parts are all ``<= max_part``."""
+    yield from compositions(n, min_parts=1, max_part=max_part)
+
+
+def count_compositions_with_max_part(n: int, max_part: int) -> int:
+    """Count compositions of ``n`` whose parts are all ``<= max_part``."""
+    return count_compositions(n, min_parts=1, max_part=max_part)
+
+
+def weak_compositions(n: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """Yield compositions of ``n`` into exactly ``parts`` nonnegative parts."""
+    check_positive_int(parts, "parts")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+
+    def _gen(remaining: int, slots: int) -> Iterator[tuple[int, ...]]:
+        if slots == 1:
+            yield (remaining,)
+            return
+        for first in range(remaining + 1):
+            for rest in _gen(remaining - first, slots - 1):
+                yield (first,) + rest
+
+    yield from _gen(n, parts)
+
+
+def random_composition(
+    n: int,
+    rng: np.random.Generator,
+    min_parts: int = 2,
+    max_part: int | None = None,
+) -> tuple[int, ...]:
+    """Draw a composition of ``n`` uniformly at random.
+
+    This is the building block of the *recursive split uniform* distribution
+    used by the paper (each admissible composition of ``n`` is equally likely
+    at every application of the factorisation).
+
+    The draw is exact: a composition of ``n`` corresponds to a subset of the
+    ``n - 1`` gaps between unit cells, so without a ``max_part`` restriction we
+    draw the gap subset directly.  With restrictions we fall back to an exact
+    DP-weighted sequential draw.
+    """
+    check_positive_int(n, "n")
+    if min_parts > n:
+        raise ValueError(f"cannot compose {n} into at least {min_parts} parts")
+    limit = n if max_part is None else int(max_part)
+    if limit * n < n:  # pragma: no cover - defensive
+        raise ValueError("max_part too small")
+
+    if limit >= n and min_parts <= 2:
+        # Rejection-free draw over gap subsets.  For min_parts == 2 we simply
+        # exclude the empty subset by redrawing (probability 2^-(n-1)).
+        while True:
+            gaps = rng.random(n - 1) < 0.5 if n > 1 else np.zeros(0, dtype=bool)
+            parts: list[int] = []
+            run = 1
+            for gap in gaps:
+                if gap:
+                    parts.append(run)
+                    run = 1
+                else:
+                    run += 1
+            parts.append(run)
+            if len(parts) >= min_parts:
+                return tuple(parts)
+            if n == 1 and min_parts <= 1:  # pragma: no cover - unreachable by guard
+                return (1,)
+            if min_parts <= 1:
+                return tuple(parts)
+
+    # Exact sequential draw weighted by the number of completions.
+    def completions(remaining: int, placed: int) -> int:
+        if remaining == 0:
+            return 1 if placed >= min_parts else 0
+        total = 0
+        for part in range(1, min(limit, remaining) + 1):
+            total += completions(remaining - part, placed + 1)
+        return total
+
+    parts_out: list[int] = []
+    remaining = n
+    while remaining > 0:
+        weights = []
+        options = list(range(1, min(limit, remaining) + 1))
+        for part in options:
+            weights.append(completions(remaining - part, len(parts_out) + 1))
+        total = sum(weights)
+        if total == 0:
+            raise ValueError(
+                f"no composition of {n} with min_parts={min_parts}, max_part={max_part}"
+            )
+        probs = np.asarray(weights, dtype=float) / float(total)
+        choice = int(rng.choice(len(options), p=probs))
+        parts_out.append(options[choice])
+        remaining -= options[choice]
+    return tuple(parts_out)

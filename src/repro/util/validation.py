@@ -1,0 +1,67 @@
+"""Argument validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_power_of_two",
+    "check_probability",
+    "ensure_in_range",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as an int, raising ``ValueError`` unless it is >= 1."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError) as exc:
+            raise TypeError(f"{name} must be an integer, got {value!r}") from exc
+        if ivalue != value:
+            raise TypeError(f"{name} must be an integer, got {value!r}")
+        value = ivalue
+    if value < 1:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+    return int(value)
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Return ``value`` as an int, raising ``ValueError`` unless it is >= 0."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError) as exc:
+            raise TypeError(f"{name} must be an integer, got {value!r}") from exc
+        if ivalue != value:
+            raise TypeError(f"{name} must be an integer, got {value!r}")
+        value = ivalue
+    if value < 0:
+        raise ValueError(f"{name} must be a nonnegative integer, got {value}")
+    return int(value)
+
+
+def check_power_of_two(value: Any, name: str) -> int:
+    """Return ``value`` as an int, raising unless it is a power of two (>= 1)."""
+    ivalue = check_positive_int(value, name)
+    if ivalue & (ivalue - 1) != 0:
+        raise ValueError(f"{name} must be a power of two, got {ivalue}")
+    return ivalue
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Return ``value`` as a float in [0, 1]."""
+    fvalue = float(value)
+    if not 0.0 <= fvalue <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {fvalue}")
+    return fvalue
+
+
+def ensure_in_range(value: float, lo: float, hi: float, name: str) -> float:
+    """Return ``value`` unchanged, raising ``ValueError`` if outside [lo, hi]."""
+    fvalue = float(value)
+    if not lo <= fvalue <= hi:
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {fvalue}")
+    return fvalue

@@ -1,0 +1,60 @@
+"""The WHT package substrate.
+
+This subpackage is a from-scratch reimplementation of the algorithm space of
+the Johnson–Püschel WHT package (reference [7] of the paper): split-tree plan
+representation, unrolled base-case codelets, a stride-parameterised in-place
+interpreter implementing the paper's triple-loop recursion, canonical plans
+(iterative / left-recursive / right-recursive), the recursive-split-uniform
+random sampler, exhaustive enumeration of the plan space and the package's
+dynamic-programming search.
+"""
+
+from repro.wht.plan import MAX_UNROLLED, Plan, Small, Split, plan_from_compositions
+from repro.wht.grammar import parse_plan, plan_to_string
+from repro.wht.canonical import (
+    balanced_plan,
+    canonical_plans,
+    iterative_plan,
+    left_recursive_plan,
+    mixed_radix_plan,
+    right_recursive_plan,
+)
+from repro.wht.transform import (
+    wht_matrix,
+    wht_reference,
+    wht_inplace,
+    apply_plan,
+)
+from repro.wht.interpreter import ExecutionStats, PlanInterpreter
+from repro.wht.random_plans import RSUSampler, random_plan, random_plans
+from repro.wht.enumeration import count_plans, enumerate_plans
+from repro.wht.dp_search import DPSearch, DPSearchResult
+
+__all__ = [
+    "MAX_UNROLLED",
+    "Plan",
+    "Small",
+    "Split",
+    "plan_from_compositions",
+    "parse_plan",
+    "plan_to_string",
+    "iterative_plan",
+    "right_recursive_plan",
+    "left_recursive_plan",
+    "balanced_plan",
+    "mixed_radix_plan",
+    "canonical_plans",
+    "wht_matrix",
+    "wht_reference",
+    "wht_inplace",
+    "apply_plan",
+    "PlanInterpreter",
+    "ExecutionStats",
+    "RSUSampler",
+    "random_plan",
+    "random_plans",
+    "count_plans",
+    "enumerate_plans",
+    "DPSearch",
+    "DPSearchResult",
+]

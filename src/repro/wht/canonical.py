@@ -1,0 +1,124 @@
+"""Canonical WHT plans used as reference points by the paper.
+
+The paper compares the algorithm family against three canonical algorithms
+(Section 2):
+
+* the **iterative** algorithm — a single split into ``n`` factors of size 2
+  (the radix-2 iterative FFT analogue),
+* the **right recursive** algorithm — ``WHT_2 (x) WHT_{2^{n-1}}`` applied
+  recursively (the standard recursive FFT analogue),
+* the **left recursive** algorithm — ``WHT_{2^{n-1}} (x) WHT_2`` applied
+  recursively.
+
+Also provided are a balanced binary plan and general radix-``2^k`` iterative
+plans, both useful baselines for the search and ablation experiments.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive_int
+from repro.wht.plan import MAX_UNROLLED, Plan, Small, Split
+
+__all__ = [
+    "iterative_plan",
+    "right_recursive_plan",
+    "left_recursive_plan",
+    "balanced_plan",
+    "mixed_radix_plan",
+    "canonical_plans",
+]
+
+
+def iterative_plan(n: int, radix: int = 1) -> Plan:
+    """The iterative plan: one split into ``n / radix`` leaves of size ``2^radix``.
+
+    With the default ``radix=1`` this is the paper's iterative algorithm
+    (``n`` factors of size 2).  ``n`` need not be divisible by ``radix``; a
+    final smaller leaf absorbs the remainder.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(radix, "radix")
+    if radix > MAX_UNROLLED:
+        raise ValueError(f"radix must be at most {MAX_UNROLLED}, got {radix}")
+    if n <= radix:
+        return Small(n)
+    parts = [radix] * (n // radix)
+    if n % radix:
+        parts.append(n % radix)
+    if len(parts) == 1:
+        return Small(parts[0])
+    return Split(tuple(Small(p) for p in parts))
+
+
+def right_recursive_plan(n: int, leaf: int = 1) -> Plan:
+    """The right recursive plan: ``split[small[leaf], <recurse on n-leaf>]``.
+
+    The recursion bottoms out in a single leaf once the remaining exponent is
+    at most ``leaf`` (or at most ``MAX_UNROLLED`` when that is smaller than
+    ``2 * leaf``, mirroring the package's behaviour of never producing a
+    one-child split).
+    """
+    check_positive_int(n, "n")
+    check_positive_int(leaf, "leaf")
+    if leaf > MAX_UNROLLED:
+        raise ValueError(f"leaf must be at most {MAX_UNROLLED}, got {leaf}")
+    if n <= leaf:
+        return Small(n)
+    if n - leaf <= 0:  # pragma: no cover - unreachable by the guard above
+        return Small(n)
+    return Split((Small(leaf), right_recursive_plan(n - leaf, leaf)))
+
+
+def left_recursive_plan(n: int, leaf: int = 1) -> Plan:
+    """The left recursive plan: ``split[<recurse on n-leaf>, small[leaf]]``."""
+    check_positive_int(n, "n")
+    check_positive_int(leaf, "leaf")
+    if leaf > MAX_UNROLLED:
+        raise ValueError(f"leaf must be at most {MAX_UNROLLED}, got {leaf}")
+    if n <= leaf:
+        return Small(n)
+    return Split((left_recursive_plan(n - leaf, leaf), Small(leaf)))
+
+
+def balanced_plan(n: int, leaf_max: int = 1) -> Plan:
+    """A balanced binary plan: split each exponent as evenly as possible.
+
+    Exponents of at most ``leaf_max`` become leaves.  This plan is not studied
+    in the paper directly but is the natural divide-and-conquer baseline and a
+    useful extra point in the search experiments.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(leaf_max, "leaf_max")
+    if leaf_max > MAX_UNROLLED:
+        raise ValueError(f"leaf_max must be at most {MAX_UNROLLED}, got {leaf_max}")
+    if n <= leaf_max:
+        return Small(n)
+    left = n // 2
+    right = n - left
+    return Split((balanced_plan(left, leaf_max), balanced_plan(right, leaf_max)))
+
+
+def mixed_radix_plan(n: int, radices: list[int] | tuple[int, ...]) -> Plan:
+    """One split whose children are leaves with the given exponents.
+
+    ``sum(radices)`` must equal ``n``.  Useful for constructing specific
+    iterative variants (e.g. radix-4 with a radix-2 cleanup step).
+    """
+    check_positive_int(n, "n")
+    parts = tuple(int(r) for r in radices)
+    if sum(parts) != n:
+        raise ValueError(f"radices {parts} do not sum to {n}")
+    if any(p < 1 or p > MAX_UNROLLED for p in parts):
+        raise ValueError(f"every radix must lie in [1, {MAX_UNROLLED}], got {parts}")
+    if len(parts) == 1:
+        return Small(parts[0])
+    return Split(tuple(Small(p) for p in parts))
+
+
+def canonical_plans(n: int) -> dict[str, Plan]:
+    """The paper's three canonical plans for size ``2^n``, keyed by name."""
+    return {
+        "iterative": iterative_plan(n),
+        "right": right_recursive_plan(n),
+        "left": left_recursive_plan(n),
+    }

@@ -1,0 +1,138 @@
+"""Generation of unrolled straight-line codelet source (mirror of ``whtgen``).
+
+The WHT package generates unrolled C code for small transforms so that base
+cases of the recursion avoid loop and recursion overhead.  This module mirrors
+that generator in Python: :func:`generate_codelet_source` emits the source of
+a straight-line function ``wht_codelet_<k>(x, base, stride)`` computing
+``WHT_{2^k}`` in place on the strided subvector
+``x[base], x[base+stride], ..., x[base+(2^k-1)*stride]``.
+
+The generated functions are used to cross-check the vectorised codelets in
+:mod:`repro.wht.codelets` and to derive the exact per-codelet operation counts
+(each emitted arithmetic statement is one addition or subtraction; each load
+and store is one memory access) that feed the instruction-count model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.util.validation import check_positive_int
+from repro.wht.plan import MAX_UNROLLED
+
+__all__ = [
+    "GeneratedCodelet",
+    "generate_codelet_source",
+    "compile_codelet",
+    "unrolled_operation_counts",
+]
+
+
+@dataclass(frozen=True)
+class GeneratedCodelet:
+    """A compiled unrolled codelet together with its static operation counts."""
+
+    k: int
+    function: Callable
+    source: str
+    additions: int
+    subtractions: int
+    loads: int
+    stores: int
+
+    @property
+    def arithmetic_ops(self) -> int:
+        """Total floating-point additions plus subtractions."""
+        return self.additions + self.subtractions
+
+    @property
+    def memory_ops(self) -> int:
+        """Total loads plus stores."""
+        return self.loads + self.stores
+
+
+def generate_codelet_source(k: int, name: str | None = None) -> str:
+    """Return Python source of the unrolled in-place ``WHT_{2^k}`` codelet.
+
+    The generated code uses the standard ``k``-stage butterfly network: at
+    stage ``m`` elements whose indices differ only in bit ``m`` are combined
+    with one addition and one subtraction.  All intermediate values live in
+    local variables so the emitted loads/stores match the unrolled C codelets
+    of the WHT package (``2^k`` loads, ``2^k`` stores, ``k * 2^k`` arithmetic
+    operations).
+    """
+    check_positive_int(k, "k")
+    if k > MAX_UNROLLED:
+        raise ValueError(f"unrolled codelets are generated only up to k={MAX_UNROLLED}")
+    size = 1 << k
+    fname = name or f"wht_codelet_{k}"
+    lines: list[str] = []
+    lines.append(f"def {fname}(x, base=0, stride=1):")
+    lines.append(f'    """Unrolled in-place WHT of size {size} (stride-parameterised)."""')
+    # Loads.
+    for i in range(size):
+        if i == 0:
+            lines.append(f"    t0_{i} = x[base]")
+        else:
+            lines.append(f"    t0_{i} = x[base + {i} * stride]")
+    # Butterfly stages.
+    for stage in range(k):
+        half = 1 << stage
+        prev = f"t{stage}_"
+        cur = f"t{stage + 1}_"
+        lines.append(f"    # stage {stage}: combine indices differing in bit {stage}")
+        for i in range(size):
+            if i & half:
+                partner = i ^ half
+                lines.append(f"    {cur}{i} = {prev}{partner} - {prev}{i}")
+            else:
+                partner = i ^ half
+                lines.append(f"    {cur}{i} = {prev}{i} + {prev}{partner}")
+    # Stores.
+    final = f"t{k}_"
+    for i in range(size):
+        if i == 0:
+            lines.append(f"    x[base] = {final}{i}")
+        else:
+            lines.append(f"    x[base + {i} * stride] = {final}{i}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def unrolled_operation_counts(k: int) -> dict[str, int]:
+    """Static operation counts of the unrolled codelet of size ``2^k``.
+
+    Returns a dictionary with keys ``additions``, ``subtractions``, ``loads``
+    and ``stores``.  These are exact counts of the statements emitted by
+    :func:`generate_codelet_source` and therefore the values the WHT package's
+    instruction-count model attributes to a ``small[k]`` leaf body.
+    """
+    check_positive_int(k, "k")
+    if k > MAX_UNROLLED:
+        raise ValueError(f"unrolled codelets are generated only up to k={MAX_UNROLLED}")
+    size = 1 << k
+    half_ops = k * size // 2
+    return {
+        "additions": half_ops,
+        "subtractions": half_ops,
+        "loads": size,
+        "stores": size,
+    }
+
+
+def compile_codelet(k: int) -> GeneratedCodelet:
+    """Generate, ``exec`` and wrap the unrolled codelet of size ``2^k``."""
+    source = generate_codelet_source(k)
+    namespace: dict = {}
+    exec(compile(source, filename=f"<wht_codelet_{k}>", mode="exec"), namespace)
+    counts = unrolled_operation_counts(k)
+    return GeneratedCodelet(
+        k=k,
+        function=namespace[f"wht_codelet_{k}"],
+        source=source,
+        additions=counts["additions"],
+        subtractions=counts["subtractions"],
+        loads=counts["loads"],
+        stores=counts["stores"],
+    )

@@ -1,0 +1,164 @@
+"""Base-case codelets: small unrolled WHT kernels and their operation counts.
+
+A ``small[k]`` leaf of a plan is computed by an unrolled straight-line codelet
+on a strided subvector.  This module provides
+
+* :func:`apply_codelet` — a vectorised (NumPy) implementation used by the plan
+  interpreter; it computes exactly the same butterfly network as the unrolled
+  code, just expressed with array slicing so plan execution stays fast in
+  Python (the guide rule: vectorise the innermost loops).
+* :func:`get_unrolled` — the literally unrolled, generated codelet (see
+  :mod:`repro.wht.codegen`), used in tests to confirm that the vectorised
+  kernel and the straight-line kernel agree element-for-element.
+* :class:`CodeletCosts` / :func:`codelet_costs` — the exact per-call operation
+  counts attributed to a codelet by the instruction-count model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative_int, check_positive_int
+from repro.wht.codegen import GeneratedCodelet, compile_codelet, unrolled_operation_counts
+from repro.wht.plan import MAX_UNROLLED
+
+__all__ = [
+    "CodeletCosts",
+    "codelet_costs",
+    "apply_codelet",
+    "apply_codelet_unrolled",
+    "get_unrolled",
+    "codelet_working_set_bytes",
+]
+
+
+@dataclass(frozen=True)
+class CodeletCosts:
+    """Exact operation counts of one invocation of a ``small[k]`` codelet.
+
+    The counts mirror what the WHT package's generated C code executes per
+    call: the body performs ``k * 2^k`` floating-point additions/subtractions
+    on ``2^k`` loaded values which are then stored back, plus a fixed
+    per-call overhead (argument setup, address computation, return) modelled
+    by ``call_overhead`` instructions.
+    """
+
+    k: int
+    additions: int
+    subtractions: int
+    loads: int
+    stores: int
+    call_overhead: int
+
+    @property
+    def size(self) -> int:
+        """Transform length ``2^k`` of the codelet."""
+        return 1 << self.k
+
+    @property
+    def arithmetic_ops(self) -> int:
+        """Floating-point operations per call."""
+        return self.additions + self.subtractions
+
+    @property
+    def memory_ops(self) -> int:
+        """Loads plus stores per call."""
+        return self.loads + self.stores
+
+    @property
+    def total_instructions(self) -> int:
+        """All instructions attributed to one call of the codelet."""
+        return self.arithmetic_ops + self.memory_ops + self.call_overhead
+
+
+#: Default per-call overhead (instructions) attributed to invoking a codelet.
+#: The WHT package's measured constants grow slowly with the codelet size
+#: (argument marshalling and address arithmetic); a small affine form captures
+#: that without pretending to cycle-exact fidelity.
+DEFAULT_CALL_OVERHEAD_BASE = 12
+DEFAULT_CALL_OVERHEAD_PER_UNIT = 2
+
+
+@lru_cache(maxsize=None)
+def codelet_costs(
+    k: int,
+    call_overhead_base: int = DEFAULT_CALL_OVERHEAD_BASE,
+    call_overhead_per_unit: int = DEFAULT_CALL_OVERHEAD_PER_UNIT,
+) -> CodeletCosts:
+    """Operation counts for the ``small[k]`` codelet.
+
+    Parameters other than ``k`` exist so the instruction-cost model can be
+    re-parameterised (e.g. to mimic a different compiler's codelet overhead)
+    without touching the model code.
+    """
+    check_positive_int(k, "k")
+    check_nonnegative_int(call_overhead_base, "call_overhead_base")
+    check_nonnegative_int(call_overhead_per_unit, "call_overhead_per_unit")
+    if k > MAX_UNROLLED:
+        raise ValueError(
+            f"small[{k}] is not a valid codelet (maximum unrolled size is {MAX_UNROLLED})"
+        )
+    counts = unrolled_operation_counts(k)
+    return CodeletCosts(
+        k=k,
+        additions=counts["additions"],
+        subtractions=counts["subtractions"],
+        loads=counts["loads"],
+        stores=counts["stores"],
+        call_overhead=call_overhead_base + call_overhead_per_unit * k,
+    )
+
+
+def codelet_working_set_bytes(k: int, element_size: int = 8) -> int:
+    """Bytes touched by one codelet call when the data is unit-stride."""
+    check_positive_int(k, "k")
+    return (1 << k) * int(element_size)
+
+
+@lru_cache(maxsize=None)
+def get_unrolled(k: int) -> GeneratedCodelet:
+    """The generated straight-line codelet of size ``2^k`` (compiled lazily)."""
+    return compile_codelet(k)
+
+
+def apply_codelet(x: np.ndarray, k: int, base: int = 0, stride: int = 1) -> None:
+    """Apply ``WHT_{2^k}`` in place to ``x[base + i*stride]`` for ``i < 2^k``.
+
+    This is the vectorised kernel the interpreter uses.  It performs the same
+    ``k``-stage butterfly network as the unrolled codelet; each stage is
+    expressed as two strided-slice operations.
+    """
+    check_positive_int(k, "k")
+    check_nonnegative_int(base, "base")
+    check_positive_int(stride, "stride")
+    size = 1 << k
+    needed = base + (size - 1) * stride
+    if needed >= x.shape[0]:
+        raise IndexError(
+            f"codelet small[{k}] at base={base}, stride={stride} exceeds vector "
+            f"of length {x.shape[0]}"
+        )
+    # Gather the strided subvector into a contiguous work buffer (the codelet's
+    # "loads"), run the butterfly stages on it, and scatter back (the "stores").
+    # Working on a contiguous copy keeps every reshape below a true view.
+    work = np.array(x[base : base + size * stride : stride], copy=True)
+    if work.shape[0] != size:  # pragma: no cover - defensive
+        raise IndexError("strided view does not cover the codelet input")
+    for stage in range(k):
+        half = 1 << stage
+        block = half << 1
+        # Reshape into (num_blocks, 2, half): axis 1 separates butterfly halves.
+        pairs = work.reshape(size // block, 2, half)
+        top = pairs[:, 0, :].copy()
+        bottom = pairs[:, 1, :]
+        pairs[:, 0, :] = top + bottom
+        pairs[:, 1, :] = top - bottom
+    x[base : base + size * stride : stride] = work
+
+
+def apply_codelet_unrolled(x: np.ndarray, k: int, base: int = 0, stride: int = 1) -> None:
+    """Apply the literally unrolled codelet (slow; used for cross-checking)."""
+    get_unrolled(k).function(x, base, stride)

@@ -1,0 +1,202 @@
+"""Dynamic-programming search for fast WHT plans.
+
+The WHT package finds its "best" algorithm with a bottom-up dynamic program:
+for each exponent ``m`` it evaluates candidate plans whose root composition
+combines the best plans already found for smaller exponents, and keeps the
+cheapest.  The paper (Section 3) uses the plan found this way as the baseline
+that all canonical algorithms and random samples are compared against, while
+noting that DP is only a heuristic (the true cost of a sub-plan depends on the
+calling context).
+
+The search is parameterised by an arbitrary cost function so it can run
+against simulated cycle counts, analytic models, wall-clock time or any
+combination; this is what the model-pruned search experiments build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.util.compositions import compositions
+from repro.util.validation import check_positive_int
+from repro.wht.plan import MAX_UNROLLED, Plan, Small, Split
+
+__all__ = ["DPSearch", "DPSearchResult", "CandidateRecord"]
+
+CostFunction = Callable[[Plan], float]
+
+
+def _bounded_compositions(m: int, max_parts: int):
+    """Compositions of ``m`` with between 2 and ``max_parts`` parts.
+
+    Generated directly (rather than filtering the full ``2^(m-1)`` composition
+    set) so the DP stays polynomial in ``m`` for a fixed children bound.
+    """
+
+    def helper(remaining: int, parts_left: int, prefix: tuple[int, ...]):
+        if remaining == 0:
+            if len(prefix) >= 2:
+                yield prefix
+            return
+        if parts_left == 0:
+            return
+        # The final part may absorb everything that remains.
+        for part in range(1, remaining + 1):
+            yield from helper(remaining - part, parts_left - 1, prefix + (part,))
+
+    yield from helper(m, max_parts, ())
+
+
+@dataclass(frozen=True)
+class CandidateRecord:
+    """One evaluated candidate during the DP search."""
+
+    exponent: int
+    plan: Plan
+    cost: float
+
+
+@dataclass
+class DPSearchResult:
+    """Outcome of a DP search up to some maximum exponent."""
+
+    #: Best plan found for every exponent, keyed by exponent.
+    best_plans: dict[int, Plan] = field(default_factory=dict)
+    #: Cost of the best plan for every exponent.
+    best_costs: dict[int, float] = field(default_factory=dict)
+    #: Every candidate evaluated, in evaluation order.
+    candidates: list[CandidateRecord] = field(default_factory=list)
+
+    @property
+    def evaluations(self) -> int:
+        """Total number of cost evaluations performed."""
+        return len(self.candidates)
+
+    def best(self, n: int) -> Plan:
+        """Best plan for exponent ``n`` (raises ``KeyError`` if not searched)."""
+        return self.best_plans[n]
+
+    def candidates_for(self, n: int) -> list[CandidateRecord]:
+        """All candidates evaluated for exponent ``n``."""
+        return [c for c in self.candidates if c.exponent == n]
+
+
+class DPSearch:
+    """Bottom-up dynamic-programming plan search.
+
+    Parameters
+    ----------
+    cost:
+        Function mapping a plan to a scalar cost (lower is better).  Typical
+        choices: simulated cycle counts from
+        :class:`repro.machine.SimulatedMachine`, the analytic instruction
+        count, or a combined model.
+    max_leaf:
+        Largest exponent considered as an unrolled leaf candidate.
+    max_children:
+        Largest number of parts allowed in a candidate root composition.
+        ``None`` means unrestricted (exponential in ``n``; fine for small
+        exponents, prohibitive beyond ~12).  The package's practical searches
+        restrict this; the default of 2 plus the always-included iterative
+        composition reproduces the structure of the plans the paper's "best"
+        algorithm exhibits (large unrolled base cases combined recursively).
+    include_iterative:
+        Always evaluate the radix-1 iterative composition (``m`` parts of 1)
+        in addition to the restricted compositions.
+    """
+
+    def __init__(
+        self,
+        cost: CostFunction,
+        max_leaf: int = MAX_UNROLLED,
+        max_children: int | None = 2,
+        include_iterative: bool = True,
+    ):
+        if not callable(cost):
+            raise TypeError("cost must be callable")
+        check_positive_int(max_leaf, "max_leaf")
+        if max_leaf > MAX_UNROLLED:
+            raise ValueError(f"max_leaf must be at most {MAX_UNROLLED}")
+        if max_children is not None:
+            check_positive_int(max_children, "max_children")
+            if max_children < 2:
+                raise ValueError("max_children must be at least 2")
+        self.cost = cost
+        self.max_leaf = max_leaf
+        self.max_children = max_children
+        self.include_iterative = include_iterative
+
+    # -- candidate generation ---------------------------------------------------
+
+    def candidate_compositions(self, m: int) -> list[tuple[int, ...]]:
+        """Root compositions evaluated for exponent ``m`` (excluding the leaf)."""
+        check_positive_int(m, "m")
+        seen: set[tuple[int, ...]] = set()
+        out: list[tuple[int, ...]] = []
+        if self.max_children is None:
+            source = compositions(m, min_parts=2)
+        else:
+            source = _bounded_compositions(m, self.max_children)
+        for comp in source:
+            if comp not in seen:
+                seen.add(comp)
+                out.append(comp)
+        if self.include_iterative and m >= 2:
+            iterative = tuple([1] * m)
+            if iterative not in seen:
+                seen.add(iterative)
+                out.append(iterative)
+        return out
+
+    # -- search -----------------------------------------------------------------
+
+    def search(self, n: int) -> DPSearchResult:
+        """Run the DP for every exponent from 1 to ``n``."""
+        check_positive_int(n, "n")
+        result = DPSearchResult()
+        for m in range(1, n + 1):
+            self._search_exponent(m, result)
+        return result
+
+    def extend(self, result: DPSearchResult, n: int) -> DPSearchResult:
+        """Extend an existing result up to exponent ``n`` (reusing prior work)."""
+        check_positive_int(n, "n")
+        for m in range(1, n + 1):
+            if m not in result.best_plans:
+                self._search_exponent(m, result)
+        return result
+
+    def _search_exponent(self, m: int, result: DPSearchResult) -> None:
+        best_plan: Plan | None = None
+        best_cost = float("inf")
+
+        def consider(plan: Plan) -> None:
+            nonlocal best_plan, best_cost
+            value = float(self.cost(plan))
+            result.candidates.append(CandidateRecord(exponent=m, plan=plan, cost=value))
+            if value < best_cost:
+                best_cost = value
+                best_plan = plan
+
+        if m <= self.max_leaf:
+            consider(Small(m))
+        for comp in self.candidate_compositions(m):
+            children = []
+            feasible = True
+            for part in comp:
+                child = result.best_plans.get(part)
+                if child is None:
+                    feasible = False
+                    break
+                children.append(child)
+            if not feasible:  # pragma: no cover - parts are always smaller than m
+                continue
+            consider(Split(tuple(children)))
+        if best_plan is None:
+            raise RuntimeError(
+                f"no candidate plan found for exponent {m} "
+                f"(max_leaf={self.max_leaf}, max_children={self.max_children})"
+            )
+        result.best_plans[m] = best_plan
+        result.best_costs[m] = best_cost

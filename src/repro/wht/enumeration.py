@@ -1,0 +1,129 @@
+"""Exact enumeration and counting of the WHT algorithm space.
+
+Section 2 of the paper notes that the number of WHT algorithms (split trees)
+for size ``2^n`` grows like ``O(7^n)`` (with the precise asymptotics derived
+in Hitczenko–Johnson–Huang).  This module provides
+
+* :func:`count_plans` — the exact number of plans for exponent ``n`` with a
+  given maximum leaf size, computed with an ``O(n^2)`` dynamic program over
+  weighted compositions (exact Python integers, no overflow),
+* :func:`enumerate_plans` — a generator over *all* plans of exponent ``n``
+  (practical only for small ``n``; the count is checked against
+  :func:`count_plans` in the tests),
+* :func:`growth_ratios` — successive ratios ``W(n+1)/W(n)`` which approach the
+  ``~6.996`` growth constant behind the ``O(7^n)`` statement.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+from repro.util.compositions import compositions
+from repro.util.validation import check_positive_int
+from repro.wht.plan import MAX_UNROLLED, Plan, Small, Split
+
+__all__ = ["count_plans", "enumerate_plans", "growth_ratios"]
+
+
+def _count_table(n: int, max_leaf: int) -> list[int]:
+    """Table ``W[m]`` of plan counts for every exponent ``m <= n``.
+
+    ``W[m] = [m <= max_leaf] + sum over compositions of m with >= 2 parts of
+    prod W[part]``.  The inner sum is computed through the auxiliary sequence
+    ``H[m] = sum over compositions of m with >= 1 part of prod W[part]``
+    (parts strictly smaller than the exponent currently being filled in), via
+    the convolution ``H[m] = W[m] + sum_j W[j] * H[m - j]``.
+    """
+    W = [0] * (n + 1)
+    for m in range(1, n + 1):
+        leaf = 1 if m <= max_leaf else 0
+        # H over exponents < m, built from the already known W values.
+        H = [0] * (m + 1)
+        H[0] = 0
+        for s in range(1, m):
+            total = W[s]
+            for j in range(1, s):
+                total += W[j] * H[s - j]
+            H[s] = total
+        splits = 0
+        for j in range(1, m):
+            splits += W[j] * H[m - j]
+        W[m] = leaf + splits
+    return W
+
+
+@lru_cache(maxsize=None)
+def count_plans(n: int, max_leaf: int = MAX_UNROLLED) -> int:
+    """The exact number of WHT plans for size ``2^n``.
+
+    A plan is either a leaf (only when ``n <= max_leaf``) or a split into at
+    least two sub-plans; sub-plans are counted recursively.  Counts are exact
+    integers (they exceed 64 bits well before ``n = 30``).
+    """
+    check_positive_int(n, "n")
+    check_positive_int(max_leaf, "max_leaf")
+    return _count_table(n, max_leaf)[n]
+
+
+def growth_ratios(n_max: int, max_leaf: int = MAX_UNROLLED) -> list[float]:
+    """Successive ratios ``W(m+1) / W(m)`` for ``m = 1 .. n_max - 1``.
+
+    As ``m`` grows the ratio approaches the asymptotic growth constant of the
+    algorithm space (just under 7), which is the basis of the paper's
+    ``O(7^n)`` remark.
+    """
+    check_positive_int(n_max, "n_max")
+    table = _count_table(n_max, max_leaf)
+    out: list[float] = []
+    for m in range(1, n_max):
+        if table[m] == 0:
+            out.append(float("nan"))
+        else:
+            out.append(table[m + 1] / table[m])
+    return out
+
+
+def enumerate_plans(
+    n: int,
+    max_leaf: int = MAX_UNROLLED,
+    limit: int | None = None,
+) -> Iterator[Plan]:
+    """Yield every plan of exponent ``n`` (deterministic order).
+
+    The space grows roughly like ``7^n``; callers should pass ``limit`` or
+    keep ``n`` small (``n <= 7`` enumerates in well under a second).  When
+    ``limit`` is reached a ``RuntimeError`` is raised rather than silently
+    truncating the space, so callers can never mistake a partial enumeration
+    for a full one.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(max_leaf, "max_leaf")
+    produced = 0
+    for plan in _enumerate(n, max_leaf):
+        produced += 1
+        if limit is not None and produced > limit:
+            raise RuntimeError(
+                f"enumeration of exponent {n} exceeded limit={limit} plans"
+            )
+        yield plan
+
+
+def _enumerate(n: int, max_leaf: int) -> Iterator[Plan]:
+    if n <= max_leaf:
+        yield Small(n)
+    for comp in compositions(n, min_parts=2):
+        yield from _product_of_choices(comp, max_leaf)
+
+
+def _product_of_choices(comp: tuple[int, ...], max_leaf: int) -> Iterator[Plan]:
+    """All split plans whose root composition is ``comp``."""
+
+    def helper(index: int, chosen: tuple[Plan, ...]) -> Iterator[Plan]:
+        if index == len(comp):
+            yield Split(chosen)
+            return
+        for sub in _enumerate(comp[index], max_leaf):
+            yield from helper(index + 1, chosen + (sub,))
+
+    yield from helper(0, ())

@@ -1,0 +1,121 @@
+"""Parser and printer for the WHT package's plan syntax.
+
+The Johnson–Püschel WHT package describes algorithms with a small textual
+grammar::
+
+    plan  :=  small[k]
+           |  split[plan, plan, ..., plan]
+
+``small[k]`` is an unrolled codelet of size ``2^k``; ``split[...]`` applies
+the WHT factorisation with one child per factor.  This module converts between
+that syntax and :class:`repro.wht.plan.Plan` trees.  Whitespace between tokens
+is ignored, so strings may be pretty-printed over several lines.
+"""
+
+from __future__ import annotations
+
+from repro.wht.plan import Plan, Small, Split
+
+__all__ = ["plan_to_string", "parse_plan", "PlanSyntaxError"]
+
+
+class PlanSyntaxError(ValueError):
+    """Raised when a plan string cannot be parsed."""
+
+    def __init__(self, message: str, position: int, text: str):
+        super().__init__(f"{message} at position {position}: {text!r}")
+        self.position = position
+        self.text = text
+
+
+def plan_to_string(plan: Plan) -> str:
+    """Render ``plan`` in the WHT package syntax (compact, no whitespace)."""
+    if isinstance(plan, Small):
+        return f"small[{plan.n}]"
+    if isinstance(plan, Split):
+        inner = ",".join(plan_to_string(child) for child in plan.children)
+        return f"split[{inner}]"
+    raise TypeError(f"not a Plan node: {plan!r}")
+
+
+class _Parser:
+    """Recursive-descent parser for the plan grammar."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> PlanSyntaxError:
+        return PlanSyntaxError(message, self.pos, self.text)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        self.skip_ws()
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def parse_keyword(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isalpha():
+            self.pos += 1
+        word = self.text[start : self.pos]
+        if not word:
+            raise self.error("expected 'small' or 'split'")
+        return word
+
+    def parse_int(self) -> int:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        digits = self.text[start : self.pos]
+        if not digits:
+            raise self.error("expected an integer")
+        return int(digits)
+
+    def parse_plan(self) -> Plan:
+        word = self.parse_keyword()
+        if word == "small":
+            self.expect("[")
+            k = self.parse_int()
+            self.expect("]")
+            try:
+                return Small(k)
+            except ValueError as exc:
+                raise self.error(str(exc)) from exc
+        if word == "split":
+            self.expect("[")
+            children = [self.parse_plan()]
+            self.skip_ws()
+            while self.peek() == ",":
+                self.pos += 1
+                children.append(self.parse_plan())
+                self.skip_ws()
+            self.expect("]")
+            try:
+                return Split(tuple(children))
+            except ValueError as exc:
+                raise self.error(str(exc)) from exc
+        raise self.error(f"unknown node kind {word!r}")
+
+    def parse(self) -> Plan:
+        plan = self.parse_plan()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing characters after plan")
+        return plan
+
+
+def parse_plan(text: str) -> Plan:
+    """Parse a plan string such as ``split[small[1],split[small[2],small[3]]]``."""
+    if not isinstance(text, str):
+        raise TypeError(f"plan text must be a string, got {type(text).__name__}")
+    return _Parser(text).parse()

@@ -1,0 +1,110 @@
+"""Reference Walsh–Hadamard transforms and plan application.
+
+Three independent implementations are provided so correctness can be
+cross-checked:
+
+* :func:`wht_matrix` — the dense ``2^n x 2^n`` Hadamard matrix built from the
+  Kronecker (Sylvester) construction used in the paper's Section 2.
+* :func:`wht_reference` — an out-of-place fast transform (vectorised butterfly
+  network), the gold standard used throughout the test suite.
+* :func:`apply_plan` — executes an arbitrary split-tree plan with the paper's
+  triple-loop recursion (via the interpreter); every plan must produce the
+  same result as :func:`wht_reference`.
+
+All transforms use the unnormalised convention ``WHT_N = DFT_2 (x) ... (x) DFT_2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative_int, check_power_of_two
+from repro.wht.plan import Plan
+
+__all__ = [
+    "wht_matrix",
+    "wht_reference",
+    "wht_inplace",
+    "apply_plan",
+    "random_input",
+]
+
+
+def wht_matrix(n: int) -> np.ndarray:
+    """Dense ``WHT_{2^n}`` matrix (entries ±1), Sylvester construction.
+
+    ``n = 0`` gives the 1x1 identity; each further step Kronecker-multiplies by
+    ``DFT_2 = [[1, 1], [1, -1]]``.
+    """
+    check_nonnegative_int(n, "n")
+    dft2 = np.array([[1.0, 1.0], [1.0, -1.0]])
+    result = np.array([[1.0]])
+    for _ in range(n):
+        result = np.kron(result, dft2)
+    return result
+
+
+def wht_reference(x: np.ndarray) -> np.ndarray:
+    """Out-of-place fast WHT of a length ``2^n`` vector (new array returned)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {x.shape}")
+    size = check_power_of_two(x.shape[0], "len(x)")
+    out = x.copy()
+    half = 1
+    while half < size:
+        block = half * 2
+        pairs = out.reshape(size // block, 2, half)
+        top = pairs[:, 0, :].copy()
+        bottom = pairs[:, 1, :]
+        pairs[:, 0, :] = top + bottom
+        pairs[:, 1, :] = top - bottom
+        half = block
+    return out
+
+
+def wht_inplace(x: np.ndarray) -> None:
+    """In-place fast WHT of a length ``2^n`` float64 vector."""
+    if not isinstance(x, np.ndarray):
+        raise TypeError("wht_inplace requires a numpy array (it mutates its input)")
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {x.shape}")
+    if not x.flags["C_CONTIGUOUS"]:
+        raise ValueError("wht_inplace requires a contiguous array (reshape must be a view)")
+    size = check_power_of_two(x.shape[0], "len(x)")
+    half = 1
+    while half < size:
+        block = half * 2
+        pairs = x.reshape(size // block, 2, half)
+        top = pairs[:, 0, :].copy()
+        bottom = pairs[:, 1, :]
+        pairs[:, 0, :] = top + bottom
+        pairs[:, 1, :] = top - bottom
+        half = block
+
+
+def apply_plan(plan: Plan, x: np.ndarray) -> np.ndarray:
+    """Compute ``WHT_{2^n} x`` by executing ``plan``; returns a new array.
+
+    The computation is delegated to the plan interpreter (the same executor
+    the simulated machine instruments), run without instrumentation.
+    """
+    from repro.wht.interpreter import PlanInterpreter
+
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {x.shape}")
+    if x.shape[0] != plan.size:
+        raise ValueError(
+            f"plan computes WHT of length {plan.size} but input has length {x.shape[0]}"
+        )
+    out = x.copy()
+    PlanInterpreter().execute(plan, out)
+    return out
+
+
+def random_input(n: int, seed: int | None = 0) -> np.ndarray:
+    """A reproducible random input vector of length ``2^n`` for tests/examples."""
+    check_nonnegative_int(n, "n")
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(1 << n)

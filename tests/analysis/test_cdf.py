@@ -1,0 +1,95 @@
+"""Tests for the percentile pruning curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import (
+    PAPER_PERCENTILES,
+    pruning_curves,
+    safe_pruning_threshold,
+)
+
+
+@pytest.fixture
+def correlated_sample():
+    """Model values and cycles with strong positive correlation."""
+    rng = np.random.default_rng(0)
+    model = rng.uniform(1e4, 1e5, size=2000)
+    cycles = model * 1.5 + rng.normal(0, 5e3, size=2000)
+    return model, cycles
+
+
+class TestPruningCurves:
+    def test_default_percentiles(self, correlated_sample):
+        curves = pruning_curves(*correlated_sample)
+        assert tuple(c.percentile for c in curves) == PAPER_PERCENTILES
+
+    def test_curves_are_monotone(self, correlated_sample):
+        for curve in pruning_curves(*correlated_sample):
+            assert np.all(np.diff(curve.cumulative) >= 0)
+            assert np.all(np.diff(curve.captured_top) >= 0)
+
+    def test_limit_reached_at_max_threshold(self, correlated_sample):
+        for curve in pruning_curves(*correlated_sample):
+            assert curve.cumulative[-1] == pytest.approx(curve.limit, abs=0.01)
+            assert curve.captured_top[-1] == pytest.approx(1.0)
+
+    def test_limit_values(self, correlated_sample):
+        curves = pruning_curves(*correlated_sample, percentiles=(5.0,))
+        assert curves[0].limit == pytest.approx(0.95)
+
+    def test_value_at_and_miss_probability(self, correlated_sample):
+        model, cycles = correlated_sample
+        curve = pruning_curves(model, cycles, percentiles=(5.0,))[0]
+        max_threshold = model.max()
+        assert curve.value_at(max_threshold) == pytest.approx(0.95, abs=0.01)
+        assert curve.value_at(model.min() - 1) == 0.0
+        assert curve.miss_probability(max_threshold) == pytest.approx(0.0)
+        assert curve.miss_probability(model.min() - 1) == pytest.approx(1.0)
+
+    def test_correlated_data_allows_early_capture(self, correlated_sample):
+        # With strong correlation the top 5% of performers are captured well
+        # before the median model value.
+        model, cycles = correlated_sample
+        curve = pruning_curves(model, cycles, percentiles=(5.0,))[0]
+        median_model = float(np.median(model))
+        assert curve.miss_probability(median_model) == pytest.approx(0.0)
+
+    def test_uncorrelated_data_requires_full_range(self):
+        rng = np.random.default_rng(1)
+        model = rng.uniform(0, 1, size=2000)
+        cycles = rng.uniform(0, 1, size=2000)
+        curve = pruning_curves(model, cycles, percentiles=(10.0,))[0]
+        median_model = float(np.median(model))
+        # Roughly half of the top performers are still above the median model value.
+        assert 0.3 < curve.miss_probability(median_model) < 0.7
+
+    def test_invalid_inputs(self, correlated_sample):
+        model, cycles = correlated_sample
+        with pytest.raises(ValueError):
+            pruning_curves(model[:10], cycles[:9])
+        with pytest.raises(ValueError):
+            pruning_curves(model, cycles, percentiles=(0.0,))
+        with pytest.raises(ValueError):
+            pruning_curves(np.array([1.0]), np.array([1.0]))
+
+
+class TestSafePruningThreshold:
+    def test_correlated_sample_discards_a_lot(self, correlated_sample):
+        model, cycles = correlated_sample
+        threshold, discarded = safe_pruning_threshold(model, cycles, percentile=5.0)
+        assert discarded > 0.5
+        # The threshold keeps every top-5% algorithm by construction.
+        cutoff = np.percentile(cycles, 5.0)
+        assert model[cycles <= cutoff].max() <= threshold
+
+    def test_threshold_grows_with_percentile(self, correlated_sample):
+        model, cycles = correlated_sample
+        t1, _ = safe_pruning_threshold(model, cycles, percentile=1.0)
+        t10, _ = safe_pruning_threshold(model, cycles, percentile=10.0)
+        assert t10 >= t1
+
+    def test_invalid_percentile(self, correlated_sample):
+        model, cycles = correlated_sample
+        with pytest.raises(ValueError):
+            safe_pruning_threshold(model, cycles, percentile=100.0)

@@ -1,0 +1,77 @@
+"""Tests for distribution summaries."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.analysis.distribution import (
+    excess_kurtosis,
+    skewness,
+    summarize_distribution,
+)
+
+
+class TestSkewness:
+    def test_symmetric_sample_near_zero(self):
+        values = np.random.default_rng(0).normal(size=20000)
+        assert abs(skewness(values)) < 0.05
+
+    def test_right_skewed_sample_positive(self):
+        values = np.random.default_rng(1).exponential(size=5000)
+        assert skewness(values) > 1.0
+
+    def test_matches_scipy(self):
+        values = np.random.default_rng(2).gamma(2.0, size=500)
+        assert skewness(values) == pytest.approx(scipy_stats.skew(values), rel=1e-9)
+
+    def test_constant_sample(self):
+        assert skewness(np.ones(10)) == 0.0
+
+    def test_too_small_sample(self):
+        with pytest.raises(ValueError):
+            skewness(np.array([1.0, 2.0]))
+
+
+class TestExcessKurtosis:
+    def test_normal_sample_near_zero(self):
+        values = np.random.default_rng(3).normal(size=20000)
+        assert abs(excess_kurtosis(values)) < 0.1
+
+    def test_matches_scipy(self):
+        values = np.random.default_rng(4).gamma(2.0, size=500)
+        assert excess_kurtosis(values) == pytest.approx(
+            scipy_stats.kurtosis(values), rel=1e-9
+        )
+
+    def test_heavy_tailed_positive(self):
+        values = np.random.default_rng(5).standard_t(df=3, size=5000)
+        assert excess_kurtosis(values) > 1.0
+
+
+class TestSummarizeDistribution:
+    def test_fields(self):
+        values = np.random.default_rng(6).normal(10.0, 2.0, size=1000)
+        summary = summarize_distribution(values)
+        assert summary.count == 1000
+        assert summary.mean == pytest.approx(10.0, abs=0.3)
+        assert summary.std == pytest.approx(2.0, abs=0.3)
+        assert summary.minimum <= summary.q1 <= summary.median <= summary.q3 <= summary.maximum
+        assert summary.iqr == pytest.approx(summary.q3 - summary.q1)
+
+    def test_normality_check_on_normal_data(self):
+        values = np.random.default_rng(7).normal(size=2000)
+        assert summarize_distribution(values).looks_normal()
+
+    def test_normality_check_rejects_exponential(self):
+        values = np.random.default_rng(8).exponential(size=2000)
+        assert not summarize_distribution(values).looks_normal()
+
+    def test_as_dict(self):
+        summary = summarize_distribution(np.arange(100.0))
+        data = summary.as_dict()
+        assert data["count"] == 100
+        assert "jarque_bera" in data
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            summarize_distribution(np.array([1.0, 2.0, 3.0]))

@@ -1,0 +1,48 @@
+"""Tests for fixed-bin histograms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import PAPER_BIN_COUNT, Histogram, histogram
+
+
+class TestHistogram:
+    def test_default_bins_match_paper(self):
+        hist = histogram(np.random.default_rng(0).normal(size=1000))
+        assert hist.bins == PAPER_BIN_COUNT == 50
+
+    def test_total_count_preserved(self):
+        values = np.random.default_rng(1).uniform(0, 10, size=777)
+        assert histogram(values).total == 777
+
+    def test_counts_match_numpy(self):
+        values = np.random.default_rng(2).normal(size=300)
+        hist = histogram(values, bins=20)
+        counts, edges = np.histogram(values, bins=20)
+        assert np.array_equal(hist.counts, counts)
+        assert np.allclose(hist.edges, edges)
+
+    def test_explicit_range(self):
+        hist = histogram(np.array([1.0, 2.0, 3.0]), bins=4, value_range=(0.0, 4.0))
+        assert hist.edges[0] == 0.0 and hist.edges[-1] == 4.0
+
+    def test_centers_and_mode(self):
+        values = np.concatenate([np.zeros(90), np.ones(10) * 10])
+        hist = histogram(values, bins=10)
+        assert hist.mode_center == pytest.approx(hist.centers[0])
+
+    def test_normalized_sums_to_one(self):
+        hist = histogram(np.random.default_rng(3).normal(size=200), bins=10)
+        assert hist.normalized().sum() == pytest.approx(1.0)
+
+    def test_render_contains_bars(self):
+        hist = histogram(np.random.default_rng(4).normal(size=100), bins=5)
+        assert "#" in hist.render()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            histogram(np.array([]))
+        with pytest.raises(ValueError):
+            histogram(np.arange(10.0), bins=0)
+        with pytest.raises(ValueError):
+            Histogram(edges=np.arange(3.0), counts=np.arange(3))

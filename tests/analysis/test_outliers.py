@@ -1,0 +1,60 @@
+"""Tests for IQR outer-fence outlier filtering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.outliers import iqr_bounds, remove_outer_fence_outliers
+
+
+class TestIqrBounds:
+    def test_symmetric_sample(self):
+        values = np.arange(101.0)
+        lower, upper = iqr_bounds(values)
+        q1, q3 = 25.0, 75.0
+        assert lower == pytest.approx(q1 - 3 * 50.0)
+        assert upper == pytest.approx(q3 + 3 * 50.0)
+
+    def test_custom_factor(self):
+        values = np.arange(101.0)
+        lower_15, upper_15 = iqr_bounds(values, factor=1.5)
+        lower_30, upper_30 = iqr_bounds(values, factor=3.0)
+        assert lower_30 < lower_15 and upper_30 > upper_15
+
+    def test_rejects_empty_and_negative_factor(self):
+        with pytest.raises(ValueError):
+            iqr_bounds(np.array([]))
+        with pytest.raises(ValueError):
+            iqr_bounds(np.arange(5.0), factor=-1.0)
+
+
+class TestRemoveOuterFenceOutliers:
+    def test_keeps_clean_sample(self):
+        values = np.random.default_rng(0).normal(100.0, 5.0, size=500)
+        result = remove_outer_fence_outliers(values)
+        assert result.removed == 0
+        assert result.kept == 500
+
+    def test_removes_extreme_point(self):
+        values = np.concatenate([np.random.default_rng(1).normal(0, 1, 200), [1e6]])
+        result = remove_outer_fence_outliers(values)
+        assert result.removed == 1
+        assert not result.mask[-1]
+
+    def test_mask_applies_to_paired_columns(self):
+        values = np.concatenate([np.arange(50.0), [1e9]])
+        other = np.arange(51.0) * 10.0
+        result = remove_outer_fence_outliers(values)
+        filtered = result.apply(other)
+        assert result.removed == 1
+        assert filtered.shape == (50,)
+        assert 500.0 not in filtered.tolist()
+
+    def test_apply_length_mismatch(self):
+        result = remove_outer_fence_outliers(np.arange(10.0))
+        with pytest.raises(ValueError):
+            result.apply(np.arange(5.0))
+
+    def test_counts_consistent(self):
+        values = np.concatenate([np.zeros(50), np.ones(50) * 1e7])
+        result = remove_outer_fence_outliers(values)
+        assert result.kept + result.removed == 100

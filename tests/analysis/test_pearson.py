@@ -1,0 +1,99 @@
+"""Tests for the Pearson correlation implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.analysis.pearson import (
+    correlation_matrix,
+    fisher_confidence_interval,
+    pearson_correlation,
+)
+
+
+class TestPearsonCorrelation:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 3 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_samples_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(5000)
+        y = rng.standard_normal(5000)
+        assert abs(pearson_correlation(x, y)) < 0.05
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            x = rng.standard_normal(50)
+            y = 0.6 * x + rng.standard_normal(50)
+            expected = scipy_stats.pearsonr(x, y).statistic
+            assert pearson_correlation(x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_constant_sample_gives_nan(self):
+        assert np.isnan(pearson_correlation(np.ones(10), np.arange(10.0)))
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(100)
+        y = rng.standard_normal(100)
+        assert pearson_correlation(1000 * x + 5, y) == pytest.approx(pearson_correlation(x, y))
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [2.0])
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            pearson_correlation(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    @given(
+        seed=st.integers(0, 10**6),
+        slope=st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_bounded_and_sign_correct(self, seed, slope):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(40)
+        y = slope * x + 0.1 * rng.standard_normal(40)
+        rho = pearson_correlation(x, y)
+        assert -1.0 <= rho <= 1.0
+        assert rho > 0.5
+
+
+class TestCorrelationMatrix:
+    def test_pairs(self):
+        data = {"a": np.arange(10.0), "b": np.arange(10.0) * 2, "c": -np.arange(10.0)}
+        matrix = correlation_matrix(data)
+        assert matrix[("a", "b")] == pytest.approx(1.0)
+        assert matrix[("a", "c")] == pytest.approx(-1.0)
+        assert len(matrix) == 3
+
+    def test_keys_sorted(self):
+        data = {"z": np.arange(5.0), "a": np.arange(5.0)}
+        assert list(correlation_matrix(data)) == [("a", "z")]
+
+
+class TestFisherInterval:
+    def test_contains_estimate(self):
+        lo, hi = fisher_confidence_interval(0.8, 100)
+        assert lo < 0.8 < hi
+
+    def test_narrows_with_sample_size(self):
+        lo_small, hi_small = fisher_confidence_interval(0.7, 30)
+        lo_large, hi_large = fisher_confidence_interval(0.7, 3000)
+        assert (hi_large - lo_large) < (hi_small - lo_small)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            fisher_confidence_interval(1.5, 100)
+        with pytest.raises(ValueError):
+            fisher_confidence_interval(0.5, 3)
+        with pytest.raises(ValueError):
+            fisher_confidence_interval(0.5, 100, confidence=1.5)

@@ -1,0 +1,40 @@
+"""Tests for scatter-plot data assembly."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scatter import scatter_data
+
+
+class TestScatterData:
+    def test_correlation_computed(self):
+        x = np.arange(50.0)
+        data = scatter_data(x, 2 * x, "instructions", "cycles")
+        assert data.correlation == pytest.approx(1.0)
+        assert data.count == 50
+
+    def test_references_recorded(self):
+        x = np.arange(10.0)
+        data = scatter_data(x, x, "i", "c", references={"best": (1.0, 1.0)})
+        assert data.references["best"] == (1.0, 1.0)
+        assert not data.reference_outside_range("best")
+
+    def test_reference_outside_range(self):
+        x = np.arange(10.0)
+        data = scatter_data(x, x, "i", "c", references={"left": (100.0, 5.0)})
+        assert data.reference_outside_range("left")
+
+    def test_unknown_reference(self):
+        data = scatter_data(np.arange(5.0), np.arange(5.0), "i", "c")
+        with pytest.raises(KeyError):
+            data.reference_outside_range("missing")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_data(np.arange(5.0), np.arange(6.0), "i", "c")
+
+    def test_as_dict(self):
+        data = scatter_data(np.arange(5.0), np.arange(5.0), "i", "c")
+        payload = data.as_dict()
+        assert payload["x_label"] == "i"
+        assert payload["count"] == 5

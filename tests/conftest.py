@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite.
+
+Tests default to the tiny machine (cache boundaries at a few dozen elements,
+deterministic cycle model) and small transform sizes so the whole suite runs
+in seconds while still crossing every cache regime the paper studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ci_scale
+from repro.machine.configs import (
+    default_machine_config,
+    tiny_machine,
+    tiny_machine_config,
+)
+from repro.machine.machine import SimulatedMachine
+from repro.wht.canonical import (
+    balanced_plan,
+    iterative_plan,
+    left_recursive_plan,
+    right_recursive_plan,
+)
+from repro.wht.random_plans import RSUSampler
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sampler() -> RSUSampler:
+    """An RSU sampler with the package defaults."""
+    return RSUSampler()
+
+
+@pytest.fixture
+def tiny_config():
+    """The tiny machine configuration (deterministic, small caches)."""
+    return tiny_machine_config()
+
+
+@pytest.fixture
+def machine() -> SimulatedMachine:
+    """A deterministic tiny machine."""
+    return tiny_machine(noise_sigma=0.0)
+
+
+@pytest.fixture
+def noisy_machine() -> SimulatedMachine:
+    """A tiny machine with the default measurement-noise level."""
+    return tiny_machine(noise_sigma=0.02, rng=7)
+
+
+@pytest.fixture
+def default_config():
+    """The scaled default machine configuration (not instantiated per test)."""
+    return default_machine_config()
+
+
+@pytest.fixture
+def scale():
+    """The miniature experiment scale used for harness tests."""
+    return ci_scale()
+
+
+@pytest.fixture
+def canonical_plan_set():
+    """A dictionary of canonical plans of exponent 6 (all shapes)."""
+    return {
+        "iterative": iterative_plan(6),
+        "right": right_recursive_plan(6),
+        "left": left_recursive_plan(6),
+        "balanced": balanced_plan(6),
+    }
+
+
+@pytest.fixture
+def assorted_plans(rng, sampler):
+    """A mix of canonical and random plans covering exponents 1..8."""
+    plans = []
+    for n in range(1, 9):
+        plans.append(iterative_plan(n))
+        plans.append(right_recursive_plan(n))
+        plans.append(left_recursive_plan(n))
+    for n in (4, 6, 8):
+        plans.extend(sampler.sample_many(n, 5, rng))
+    return plans

@@ -1,0 +1,130 @@
+"""Tests for measurement campaigns and tables."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.campaign import (
+    MeasurementTable,
+    SampleCampaign,
+    clear_campaign_cache,
+)
+from repro.wht.canonical import canonical_plans
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_campaign_cache()
+    yield
+    clear_campaign_cache()
+
+
+class TestMeasurementTable:
+    def test_from_measurements(self, machine):
+        plans = list(canonical_plans(6).values())
+        measurements = [machine.measure(p) for p in plans]
+        table = MeasurementTable.from_measurements(measurements)
+        assert len(table) == 3
+        assert table.n == 6
+        assert table.cycles.shape == (3,)
+        assert table.instructions.dtype == float
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MeasurementTable.from_measurements([])
+
+    def test_rejects_mixed_sizes(self, machine):
+        from repro.wht.canonical import iterative_plan
+
+        measurements = [machine.measure(iterative_plan(5)), machine.measure(iterative_plan(6))]
+        with pytest.raises(ValueError):
+            MeasurementTable.from_measurements(measurements)
+
+    def test_column_access_and_unknown_column(self, machine):
+        table = MeasurementTable.from_measurements(
+            [machine.measure(p) for p in canonical_plans(6).values()]
+        )
+        assert np.array_equal(table.column("cycles"), table.cycles)
+        with pytest.raises(KeyError):
+            table.column("nonexistent")
+
+    def test_filtered(self, machine):
+        table = MeasurementTable.from_measurements(
+            [machine.measure(p) for p in canonical_plans(6).values()]
+        )
+        mask = np.array([True, False, True])
+        filtered = table.filtered(mask)
+        assert len(filtered) == 2
+        assert filtered.cycles.shape == (2,)
+
+    def test_filtered_length_mismatch(self, machine):
+        table = MeasurementTable.from_measurements(
+            [machine.measure(p) for p in canonical_plans(6).values()]
+        )
+        with pytest.raises(ValueError):
+            table.filtered(np.array([True]))
+
+    def test_combined_model_values(self, machine):
+        table = MeasurementTable.from_measurements(
+            [machine.measure(p) for p in canonical_plans(6).values()]
+        )
+        combined = table.combined_model_values(1.0, 2.0)
+        assert np.allclose(combined, table.instructions + 2.0 * table.l1_misses)
+
+    def test_best_row(self, machine):
+        table = MeasurementTable.from_measurements(
+            [machine.measure(p) for p in canonical_plans(6).values()]
+        )
+        assert table.cycles[table.best_row()] == table.cycles.min()
+
+    def test_as_dict(self, machine):
+        table = MeasurementTable.from_measurements(
+            [machine.measure(p) for p in canonical_plans(5).values()]
+        )
+        payload = table.as_dict()
+        assert payload["n"] == 5
+        assert len(payload["plans"]) == 3
+
+
+class TestSampleCampaign:
+    def test_run_produces_requested_count(self, machine):
+        campaign = SampleCampaign(machine, seed=1)
+        table = campaign.run(6, 15)
+        assert len(table) == 15
+        assert table.n == 6
+
+    def test_deterministic_given_seed(self, noisy_machine):
+        a = SampleCampaign(noisy_machine, seed=5, use_cache=False).run(6, 10)
+        b = SampleCampaign(noisy_machine, seed=5, use_cache=False).run(6, 10)
+        assert a.plans == b.plans
+        assert np.allclose(a.cycles, b.cycles)
+
+    def test_different_seeds_differ(self, machine):
+        a = SampleCampaign(machine, seed=1, use_cache=False).run(7, 10)
+        b = SampleCampaign(machine, seed=2, use_cache=False).run(7, 10)
+        assert a.plans != b.plans
+
+    def test_cache_returns_same_object(self, machine):
+        campaign = SampleCampaign(machine, seed=3)
+        assert campaign.run(6, 10) is campaign.run(6, 10)
+
+    def test_cache_can_be_disabled(self, machine):
+        campaign = SampleCampaign(machine, seed=3, use_cache=False)
+        assert campaign.run(6, 10) is not campaign.run(6, 10)
+
+    def test_measure_plans_explicit(self, machine):
+        campaign = SampleCampaign(machine, seed=3)
+        plans = list(canonical_plans(6).values())
+        table = campaign.measure_plans(plans)
+        assert len(table) == 3
+        assert table.plans == tuple(plans)
+
+    def test_measure_plans_rejects_empty(self, machine):
+        with pytest.raises(ValueError):
+            SampleCampaign(machine).measure_plans([])
+
+    def test_invalid_arguments(self, machine):
+        campaign = SampleCampaign(machine)
+        with pytest.raises(ValueError):
+            campaign.run(0, 5)
+        with pytest.raises(ValueError):
+            campaign.run(5, 0)

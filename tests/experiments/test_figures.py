@@ -1,0 +1,208 @@
+"""Tests for the per-figure experiment harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.alphabeta import alphabeta_surface
+from repro.experiments.campaign import SampleCampaign
+from repro.experiments.canonical import CANONICAL_NAMES, canonical_sweep, ratio_series
+from repro.experiments.correlation_table import correlation_table
+from repro.experiments.histograms import (
+    LARGE_SIZE_METRICS,
+    SMALL_SIZE_METRICS,
+    histogram_figure,
+)
+from repro.experiments.pruning import pruning_figure
+from repro.experiments.scatter_fig import scatter_figure
+from repro.experiments.theory_table import theory_table
+from repro.models.combined import CombinedModel
+from repro.wht.canonical import canonical_plans
+
+
+@pytest.fixture(scope="module")
+def small_table(request):
+    from repro.machine.configs import tiny_machine
+
+    machine = tiny_machine(noise_sigma=0.02)
+    return SampleCampaign(machine, seed=11, use_cache=False).run(4, 60)
+
+
+@pytest.fixture(scope="module")
+def large_table(request):
+    from repro.machine.configs import tiny_machine
+
+    machine = tiny_machine(noise_sigma=0.02)
+    return SampleCampaign(machine, seed=11, use_cache=False).run(7, 60)
+
+
+class TestCanonicalSweep:
+    def test_sweep_contents(self, machine):
+        sweep = canonical_sweep(machine, sizes=range(1, 9))
+        assert sweep.sizes == tuple(range(1, 9))
+        assert set(sweep.measurements) == {"iterative", "left", "right", "best"}
+        assert len(sweep.best_plans) == 8
+        assert sweep.dp_evaluations > 0
+
+    def test_ratios_at_least_one_no_noise(self, machine):
+        # With a deterministic machine the DP-best is measured identically in
+        # the sweep, so every canonical/best ratio is >= 1 (up to DP having
+        # found something at least as good as the canonicals).
+        sweep = canonical_sweep(machine, sizes=range(1, 9))
+        for metric in ("cycles", "instructions"):
+            for name, series in sweep.ratios(metric).items():
+                assert all(r >= 0.999 for r in series), (metric, name)
+
+    def test_crossover_detected_beyond_l2(self, machine):
+        top = machine.config.l2_capacity_exponent() + 2
+        sweep = canonical_sweep(machine, sizes=range(1, top + 1))
+        crossover = sweep.crossover_size("right")
+        assert crossover is not None
+        assert crossover > machine.config.l1_capacity_exponent()
+
+    def test_instruction_ordering_matches_paper(self, machine):
+        sweep = canonical_sweep(machine, sizes=range(4, 9))
+        ratios = sweep.ratios("instructions")
+        for i in range(len(sweep.sizes)):
+            assert ratios["iterative"][i] <= ratios["right"][i] <= ratios["left"][i]
+
+    def test_log10_ratios(self, machine):
+        sweep = canonical_sweep(machine, sizes=range(4, 8))
+        logs = sweep.log10_ratios("l1_misses")
+        assert set(logs) == set(CANONICAL_NAMES)
+
+    def test_ratio_series_validates_metric(self, machine):
+        sweep = canonical_sweep(machine, sizes=range(1, 5))
+        with pytest.raises(ValueError):
+            ratio_series(sweep, "not_a_metric")
+
+    def test_empty_sizes_rejected(self, machine):
+        with pytest.raises(ValueError):
+            canonical_sweep(machine, sizes=[])
+
+
+class TestHistogramFigure:
+    def test_small_metrics(self, small_table):
+        figure = histogram_figure(small_table, metrics=SMALL_SIZE_METRICS)
+        assert figure.metric_names() == SMALL_SIZE_METRICS
+        assert figure.sample_count == len(small_table)
+        for metric in SMALL_SIZE_METRICS:
+            assert figure.histograms[metric].total + figure.outliers_removed[metric] == len(
+                small_table
+            )
+
+    def test_large_metrics_include_misses(self, large_table):
+        figure = histogram_figure(large_table, metrics=LARGE_SIZE_METRICS)
+        assert "l1_misses" in figure.histograms
+
+    def test_render(self, small_table):
+        text = histogram_figure(small_table).render()
+        assert "cycles" in text and "#" in text
+
+    def test_no_filtering_option(self, small_table):
+        figure = histogram_figure(small_table, filter_outliers=False)
+        assert all(v == 0 for v in figure.outliers_removed.values())
+
+
+class TestScatterFigure:
+    def test_basic(self, large_table):
+        data = scatter_figure(large_table)
+        assert data.count == len(large_table)
+        assert -1.0 <= data.correlation <= 1.0
+
+    def test_with_references(self, large_table, machine):
+        refs = {name: machine.measure(p) for name, p in canonical_plans(large_table.n).items()}
+        data = scatter_figure(large_table, references=refs)
+        assert set(data.references) == {"iterative", "left", "right"}
+
+    def test_reference_size_mismatch(self, large_table, machine):
+        from repro.wht.canonical import iterative_plan
+
+        with pytest.raises(ValueError):
+            scatter_figure(
+                large_table, references={"iterative": machine.measure(iterative_plan(3))}
+            )
+
+    def test_miss_scatter(self, large_table):
+        data = scatter_figure(large_table, x_metric="l1_misses")
+        assert data.x_label == "l1_misses"
+
+
+class TestAlphaBetaSurface:
+    def test_grid_shape_and_best(self, large_table):
+        surface = alphabeta_surface(large_table)
+        assert surface.rho.shape == (21, 21)
+        alpha, beta, rho = surface.best
+        assert 0.0 <= alpha <= 1.0 and 0.0 <= beta <= 1.0
+        assert -1.0 <= rho <= 1.0
+
+    def test_combined_at_least_individual(self, large_table):
+        from repro.analysis.pearson import pearson_correlation
+
+        surface = alphabeta_surface(large_table)
+        _, _, rho = surface.best
+        rho_i = pearson_correlation(large_table.instructions, large_table.cycles)
+        assert rho >= rho_i - 1e-9
+
+
+class TestPruningFigure:
+    def test_instruction_pruning(self, small_table):
+        figure = pruning_figure(small_table)
+        assert figure.model_label == "instructions"
+        assert len(figure.curves) == 3
+        for percentile, (threshold, discarded) in figure.safe_thresholds.items():
+            assert threshold <= small_table.instructions.max()
+            assert 0.0 <= discarded < 1.0
+
+    def test_combined_pruning(self, large_table):
+        figure = pruning_figure(large_table, combined=CombinedModel(1.0, 0.05))
+        assert "Instructions" in figure.model_label
+
+    def test_conflicting_arguments(self, large_table):
+        with pytest.raises(ValueError):
+            pruning_figure(
+                large_table,
+                model_values=large_table.instructions,
+                combined=CombinedModel(),
+            )
+
+    def test_curve_lookup(self, small_table):
+        figure = pruning_figure(small_table)
+        assert figure.curve(5.0).percentile == 5.0
+        with pytest.raises(KeyError):
+            figure.curve(42.0)
+
+    def test_describe(self, small_table):
+        assert "top 5%" in pruning_figure(small_table).describe()
+
+
+class TestCorrelationTable:
+    def test_values_in_range(self, small_table, large_table):
+        table = correlation_table(small_table, large_table)
+        for _, value in table.as_rows():
+            assert -1.0 <= value <= 1.0
+        assert table.small_n == small_table.n
+        assert table.large_n == large_table.n
+
+    def test_best_model(self, small_table, large_table):
+        table = correlation_table(small_table, large_table)
+        model = table.best_model()
+        assert model.alpha == table.best_alpha and model.beta == table.best_beta
+
+
+class TestTheoryTable:
+    def test_rows(self):
+        table = theory_table(range(1, 7))
+        rows = table.as_rows()
+        assert len(rows) == 6
+        assert rows[0][1] == 1  # one plan of size 2^1
+        assert rows[5][1] == 568
+        assert len(table.headers) == len(rows[0])
+
+    def test_growth_column(self):
+        table = theory_table([2, 3, 4])
+        rows = table.as_rows()
+        assert rows[1][2] == pytest.approx(3.0)  # 6 / 2
+
+    def test_without_extremes(self):
+        table = theory_table([3, 4], include_extremes=False)
+        assert np.isnan(table.as_rows()[0][3])

@@ -1,0 +1,93 @@
+"""Tests for the experiment suite and report rendering."""
+
+import pytest
+
+from repro.config import ci_scale
+from repro.experiments.campaign import clear_campaign_cache
+from repro.experiments.report import (
+    render_correlation_table,
+    render_histogram_figure,
+    render_pruning_figure,
+    render_ratio_figure,
+    render_scatter_figure,
+    render_surface,
+    render_theory_table,
+)
+from repro.experiments.runner import ExperimentSuite
+from repro.machine.configs import tiny_machine
+
+
+@pytest.fixture(scope="module")
+def suite():
+    clear_campaign_cache()
+    return ExperimentSuite(machine=tiny_machine(noise_sigma=0.02), scale=ci_scale())
+
+
+class TestExperimentSuite:
+    def test_tables_are_cached(self, suite):
+        assert suite.small_table() is suite.small_table()
+        assert suite.large_table() is suite.large_table()
+        assert suite.sweep() is suite.sweep()
+
+    def test_table_sizes_match_scale(self, suite):
+        assert suite.small_table().n == suite.scale.small_size
+        assert suite.large_table().n == suite.scale.large_size
+        assert len(suite.small_table()) == suite.scale.sample_count
+
+    def test_figures_1_to_3_share_the_sweep(self, suite):
+        assert suite.figure1() is suite.figure2() is suite.figure3()
+
+    def test_figure4_and_5_metrics(self, suite):
+        assert suite.figure4().metric_names() == ("cycles", "instructions")
+        assert suite.figure5().metric_names() == ("cycles", "instructions", "l1_misses")
+
+    def test_figures_6_to_8_reference_points(self, suite):
+        fig6 = suite.figure6()
+        assert {"iterative", "left", "right", "best"} <= set(fig6.references)
+        fig8 = suite.figure8()
+        assert fig8.x_label == "l1_misses"
+
+    def test_figure9_surface(self, suite):
+        surface = suite.figure9()
+        assert surface.rho.shape == (21, 21)
+
+    def test_figure10_and_11(self, suite):
+        assert suite.figure10().model_label == "instructions"
+        assert "Instructions" in suite.figure11().model_label
+
+    def test_correlation_summary_ordering(self, suite):
+        table = suite.correlation_summary()
+        assert table.rho_large_combined >= table.rho_large_misses - 1e-9
+
+    def test_run_all_keys(self, suite):
+        results = suite.run_all()
+        expected = {f"figure{i}" for i in range(1, 12)} | {"correlations", "theory"}
+        assert expected == set(results)
+
+    def test_references_cached(self, suite):
+        n = suite.scale.small_size
+        assert suite.references(n) is suite.references(n)
+
+
+class TestReportRendering:
+    def test_render_report_mentions_every_figure(self, suite):
+        text = suite.render_report()
+        for i in range(1, 12):
+            assert f"Figure {i}" in text
+        assert "correlation" in text.lower()
+
+    def test_write_experiments_report(self, suite, tmp_path):
+        path = tmp_path / "report.txt"
+        text = suite.write_experiments_report(str(path))
+        assert path.exists()
+        assert path.read_text().strip() == text.strip()
+
+    def test_individual_renderers(self, suite):
+        sweep = suite.sweep()
+        assert "iterative/best" in render_ratio_figure(sweep, "cycles", "Figure 1")
+        assert "#" in render_histogram_figure(suite.figure4())
+        assert "rho" in render_scatter_figure(suite.figure6(), "Figure 6")
+        assert "alpha" in render_surface(suite.figure9(), "Figure 9")
+        assert "top 5%" in render_pruning_figure(suite.figure10())
+        assert "reproduced" in render_correlation_table(suite.correlation_summary())
+        assert "plans" in render_theory_table(suite.theory_summary(6))

@@ -1,0 +1,214 @@
+"""Tests for the cache simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import (
+    CacheConfig,
+    CacheStatistics,
+    DirectMappedCache,
+    SetAssociativeLRUCache,
+    TwoWayLRUCache,
+    make_cache,
+    simulate_trace,
+)
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        config = CacheConfig(size_bytes=1024, line_size=64, associativity=2)
+        assert config.num_lines == 16
+        assert config.num_sets == 8
+        assert config.offset_bits == 6
+        assert config.index_bits == 3
+
+    def test_line_set_tag_extraction(self):
+        config = CacheConfig(size_bytes=1024, line_size=64, associativity=2)
+        address = (5 << (6 + 3)) | (3 << 6) | 17  # tag 5, set 3, offset 17
+        assert config.set_of(address) == 3
+        assert config.tag_of(address) == 5
+        assert config.line_of(address) == (5 << 3) | 3
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_size=64)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, line_size=48)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, line_size=64, associativity=3)
+
+    def test_rejects_line_larger_than_cache(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64, line_size=128)
+
+    def test_rejects_excess_associativity(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=128, line_size=64, associativity=4)
+
+    def test_describe_mentions_geometry(self):
+        text = CacheConfig(size_bytes=2048, line_size=64, associativity=2, name="L1").describe()
+        assert "L1" in text and "2048" in text and "2-way" in text
+
+
+class TestCacheStatistics:
+    def test_hits_and_miss_ratio(self):
+        stats = CacheStatistics()
+        stats.record(10, 4)
+        assert stats.hits == 6
+        assert stats.miss_ratio == pytest.approx(0.4)
+
+    def test_empty_ratio_is_zero(self):
+        assert CacheStatistics().miss_ratio == 0.0
+
+    def test_rejects_more_misses_than_accesses(self):
+        with pytest.raises(ValueError):
+            CacheStatistics().record(1, 2)
+
+    def test_merged(self):
+        merged = CacheStatistics(10, 2).merged(CacheStatistics(5, 3))
+        assert merged.accesses == 15 and merged.misses == 5
+
+
+class TestReferenceLRU:
+    def test_cold_misses(self):
+        cache = SetAssociativeLRUCache(CacheConfig(256, 32, 2))
+        assert cache.access(0) is True
+        assert cache.access(0) is False
+        assert cache.access(8) is False  # same line
+        assert cache.access(32) is True  # next line
+
+    def test_lru_eviction_order(self):
+        # One set (fully associative with 2 ways over 2 lines).
+        cache = SetAssociativeLRUCache(CacheConfig(64, 32, 2))
+        a, b, c = 0, 1024, 2048  # all map to set 0
+        assert cache.access(a) and cache.access(b)
+        assert cache.access(a) is False  # a now MRU
+        assert cache.access(c) is True  # evicts b
+        assert cache.access(a) is False  # a still resident
+        assert cache.access(b) is True  # b was evicted
+
+    def test_reset(self):
+        cache = SetAssociativeLRUCache(CacheConfig(256, 32, 2))
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is True
+
+    def test_simulate_matches_access_loop(self):
+        config = CacheConfig(512, 32, 4)
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 8192, size=300) * 8
+        a = SetAssociativeLRUCache(config)
+        b = SetAssociativeLRUCache(config)
+        vector = a.simulate(addresses)
+        scalar = np.array([b.access(int(addr)) for addr in addresses])
+        assert np.array_equal(vector, scalar)
+
+
+class TestVectorisedCaches:
+    @pytest.mark.parametrize("assoc,cls", [(1, DirectMappedCache), (2, TwoWayLRUCache)])
+    def test_matches_reference_on_random_traces(self, assoc, cls):
+        config = CacheConfig(1024, 32, assoc)
+        rng = np.random.default_rng(assoc)
+        for _ in range(10):
+            addresses = rng.integers(0, 4096, size=400) * 8
+            reference = SetAssociativeLRUCache(config).simulate(addresses)
+            vectorised = cls(config).simulate(addresses)
+            assert np.array_equal(reference, vectorised)
+
+    @pytest.mark.parametrize("assoc,cls", [(1, DirectMappedCache), (2, TwoWayLRUCache)])
+    def test_warm_continuation_matches_reference(self, assoc, cls):
+        config = CacheConfig(512, 32, assoc)
+        rng = np.random.default_rng(10 + assoc)
+        reference = SetAssociativeLRUCache(config)
+        vectorised = cls(config)
+        for _ in range(5):
+            addresses = rng.integers(0, 2048, size=200) * 8
+            assert np.array_equal(
+                reference.simulate(addresses), vectorised.simulate(addresses)
+            )
+
+    @pytest.mark.parametrize("assoc,cls", [(1, DirectMappedCache), (2, TwoWayLRUCache)])
+    def test_strided_power_of_two_traces(self, assoc, cls):
+        # Power-of-two strides are the pathological pattern for WHT plans.
+        config = CacheConfig(2048, 64, assoc)
+        for stride in (1, 4, 8, 64, 256, 1024):
+            addresses = (np.arange(500, dtype=np.int64) * stride * 8) % (1 << 20)
+            reference = SetAssociativeLRUCache(config).simulate(addresses)
+            vectorised = cls(config).simulate(addresses)
+            assert np.array_equal(reference, vectorised), stride
+
+    def test_access_scalar_api_matches_simulate(self):
+        config = CacheConfig(256, 32, 2)
+        rng = np.random.default_rng(3)
+        addresses = rng.integers(0, 1024, size=100) * 8
+        a = TwoWayLRUCache(config)
+        b = TwoWayLRUCache(config)
+        assert np.array_equal(
+            np.array([a.access(int(x)) for x in addresses]), b.simulate(addresses)
+        )
+
+    def test_direct_mapped_rejects_wrong_associativity(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(CacheConfig(256, 32, 2))
+        with pytest.raises(ValueError):
+            TwoWayLRUCache(CacheConfig(256, 32, 1))
+
+    def test_empty_trace(self):
+        cache = DirectMappedCache(CacheConfig(256, 32, 1))
+        assert cache.simulate(np.zeros(0, dtype=np.int64)).shape == (0,)
+        assert cache.stats.accesses == 0
+
+    def test_negative_addresses_rejected(self):
+        cache = DirectMappedCache(CacheConfig(256, 32, 1))
+        with pytest.raises(ValueError):
+            cache.simulate(np.array([-8]))
+
+    def test_sequential_scan_miss_rate(self):
+        # A sequential scan of a large array misses once per line.
+        config = CacheConfig(1024, 64, 2)
+        addresses = np.arange(0, 64 * 1024, 8, dtype=np.int64)
+        misses = TwoWayLRUCache(config).simulate(addresses)
+        assert misses.sum() == 64 * 1024 // 64
+
+    def test_working_set_within_cache_only_cold_misses(self):
+        config = CacheConfig(4096, 64, 2)
+        addresses = np.tile(np.arange(0, 2048, 8, dtype=np.int64), 5)
+        cache = TwoWayLRUCache(config)
+        misses = cache.simulate(addresses)
+        assert misses.sum() == 2048 // 64  # only the first pass misses
+
+    @given(
+        assoc=st.sampled_from([1, 2]),
+        seed=st.integers(0, 10**6),
+        length=st.integers(1, 200),
+        spread=st.integers(1, 512),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_vectorised_equals_reference(self, assoc, seed, length, spread):
+        config = CacheConfig(512, 32, assoc)
+        addresses = np.random.default_rng(seed).integers(0, spread, size=length) * 8
+        cls = DirectMappedCache if assoc == 1 else TwoWayLRUCache
+        assert np.array_equal(
+            SetAssociativeLRUCache(config).simulate(addresses),
+            cls(config).simulate(addresses),
+        )
+
+
+class TestFactories:
+    def test_make_cache_picks_vectorised(self):
+        assert isinstance(make_cache(CacheConfig(256, 32, 1)), DirectMappedCache)
+        assert isinstance(make_cache(CacheConfig(256, 32, 2)), TwoWayLRUCache)
+        assert isinstance(make_cache(CacheConfig(256, 32, 4)), SetAssociativeLRUCache)
+
+    def test_make_cache_reference_override(self):
+        assert isinstance(
+            make_cache(CacheConfig(256, 32, 1), vectorized=False), SetAssociativeLRUCache
+        )
+
+    def test_simulate_trace_helper(self):
+        stats = simulate_trace(CacheConfig(256, 32, 2), np.arange(0, 1024, 8))
+        assert stats.accesses == 128
+        assert stats.misses == 32

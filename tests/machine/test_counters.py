@@ -1,0 +1,66 @@
+"""Tests for the PAPI-like counter facade."""
+
+import pytest
+
+from repro.machine.counters import PAPI_EVENTS, CounterSet, counters_from_measurement
+from repro.wht.canonical import iterative_plan, right_recursive_plan
+
+
+class TestCountersFromMeasurement:
+    def test_all_events_present(self, machine):
+        values = counters_from_measurement(machine.measure(iterative_plan(6)))
+        assert set(values) == set(PAPI_EVENTS)
+
+    def test_values_consistent_with_measurement(self, machine):
+        m = machine.measure(right_recursive_plan(6))
+        values = counters_from_measurement(m)
+        assert values["PAPI_TOT_CYC"] == pytest.approx(m.cycles)
+        assert values["PAPI_TOT_INS"] == m.instructions
+        assert values["PAPI_L1_DCM"] == m.l1_misses
+        assert values["PAPI_LD_INS"] == m.loads
+        assert values["PAPI_FP_OPS"] == m.arithmetic_ops
+
+
+class TestCounterSet:
+    def test_requires_start(self, machine):
+        counters = CounterSet(machine, ["PAPI_TOT_CYC"])
+        with pytest.raises(RuntimeError):
+            counters.run(iterative_plan(4))
+        with pytest.raises(RuntimeError):
+            counters.read()
+        with pytest.raises(RuntimeError):
+            counters.stop()
+
+    def test_unknown_event_rejected(self, machine):
+        with pytest.raises(ValueError):
+            CounterSet(machine, ["PAPI_MADE_UP"])
+
+    def test_accumulates_over_runs(self, machine):
+        counters = CounterSet(machine, ["PAPI_TOT_INS"])
+        counters.start()
+        m1 = counters.run(iterative_plan(5))
+        m2 = counters.run(iterative_plan(5))
+        totals = counters.stop()
+        assert totals["PAPI_TOT_INS"] == pytest.approx(m1.instructions + m2.instructions)
+
+    def test_read_without_stopping(self, machine):
+        counters = CounterSet(machine, ["PAPI_TOT_CYC"])
+        counters.start()
+        counters.run(iterative_plan(4))
+        snapshot = counters.read()
+        counters.run(iterative_plan(4))
+        assert counters.read()["PAPI_TOT_CYC"] > snapshot["PAPI_TOT_CYC"]
+
+    def test_start_resets(self, machine):
+        counters = CounterSet(machine, ["PAPI_TOT_INS"])
+        counters.start()
+        counters.run(iterative_plan(4))
+        counters.stop()
+        counters.start()
+        assert counters.read()["PAPI_TOT_INS"] == 0.0
+
+    def test_default_event_list_is_everything(self, machine):
+        counters = CounterSet(machine)
+        counters.start()
+        counters.run(iterative_plan(4))
+        assert set(counters.stop()) == set(PAPI_EVENTS)

@@ -1,0 +1,127 @@
+"""Tests for the instruction-cost and cycle models."""
+
+import pytest
+
+from repro.machine.cpu import CycleModel, InstructionCostModel
+from repro.wht.canonical import iterative_plan, left_recursive_plan, right_recursive_plan
+from repro.wht.interpreter import PlanInterpreter
+from repro.wht.plan import Small
+
+
+def stats_for(plan):
+    stats, _ = PlanInterpreter().profile(plan)
+    return stats
+
+
+class TestInstructionCostModel:
+    def test_leaf_breakdown(self):
+        model = InstructionCostModel()
+        stats = stats_for(Small(3))
+        breakdown = model.breakdown(stats)
+        assert breakdown.arithmetic == 3 * 8
+        assert breakdown.loads == 8 and breakdown.stores == 8
+        assert breakdown.codelet_overhead == model.codelet_call_base + 3 * model.codelet_call_per_unit
+        assert breakdown.split_overhead == 0
+        assert breakdown.loop_overhead == 0
+        assert breakdown.recursion_overhead == 0
+        assert breakdown.total == model.instructions(stats)
+
+    def test_breakdown_total_is_sum_of_parts(self):
+        model = InstructionCostModel()
+        for plan in (iterative_plan(7), right_recursive_plan(7), left_recursive_plan(7)):
+            breakdown = model.breakdown(stats_for(plan))
+            parts = breakdown.as_dict()
+            total = parts.pop("total")
+            assert total == sum(parts.values())
+
+    def test_canonical_ordering_matches_paper(self):
+        # Figure 2: iterative lowest, left recursive highest instruction count.
+        model = InstructionCostModel()
+        for n in (6, 8, 10):
+            iterative = model.instructions(stats_for(iterative_plan(n)))
+            right = model.instructions(stats_for(right_recursive_plan(n)))
+            left = model.instructions(stats_for(left_recursive_plan(n)))
+            assert iterative < right < left
+
+    def test_arithmetic_identical_across_plans(self):
+        model = InstructionCostModel()
+        n = 8
+        breakdowns = [
+            model.breakdown(stats_for(plan))
+            for plan in (iterative_plan(n), right_recursive_plan(n), left_recursive_plan(n))
+        ]
+        assert len({b.arithmetic for b in breakdowns}) == 1
+        assert len({b.loads for b in breakdowns}) == 1
+
+    def test_zero_overhead_model_counts_only_work(self):
+        model = InstructionCostModel(
+            codelet_call_base=0,
+            codelet_call_per_unit=0,
+            split_invocation_cost=0,
+            outer_loop_cost=0,
+            block_loop_cost=0,
+            stride_loop_cost=0,
+            inner_loop_cost=0,
+            recursive_call_cost=0,
+        )
+        n = 6
+        stats = stats_for(iterative_plan(n))
+        assert model.instructions(stats) == stats.arithmetic_ops + stats.memory_ops
+
+    def test_custom_weights_change_total(self):
+        stats = stats_for(right_recursive_plan(6))
+        cheap = InstructionCostModel(split_invocation_cost=1)
+        expensive = InstructionCostModel(split_invocation_cost=100)
+        assert expensive.instructions(stats) > cheap.instructions(stats)
+
+
+class TestCycleModel:
+    def test_deterministic_cycles_grow_with_misses(self):
+        model = CycleModel(noise_sigma=0.0)
+        stats = stats_for(iterative_plan(6))
+        breakdown = InstructionCostModel().breakdown(stats)
+        low = model.deterministic_cycles(stats, breakdown, l1_misses=10, l2_misses=0)
+        high = model.deterministic_cycles(stats, breakdown, l1_misses=1000, l2_misses=0)
+        assert high - low == pytest.approx(model.l1_miss_penalty * 990)
+
+    def test_l2_penalty_larger_than_l1(self):
+        model = CycleModel()
+        assert model.l2_miss_penalty > model.l1_miss_penalty
+
+    def test_spill_penalty_only_above_threshold(self):
+        model = CycleModel(spill_threshold_k=6, spill_cost_per_element=2.0)
+        assert model.spill_penalty(5) == 0.0
+        assert model.spill_penalty(6) == 0.0
+        assert model.spill_penalty(7) == 2.0 * 64
+        assert model.spill_penalty(8) == 2.0 * 192
+
+    def test_noise_free_is_reproducible(self):
+        model = CycleModel(noise_sigma=0.0)
+        stats = stats_for(right_recursive_plan(6))
+        breakdown = InstructionCostModel().breakdown(stats)
+        a = model.cycles(stats, breakdown, 5, 1, rng=1)
+        b = model.cycles(stats, breakdown, 5, 1, rng=2)
+        assert a == b
+
+    def test_noise_depends_on_rng(self):
+        model = CycleModel(noise_sigma=0.05)
+        stats = stats_for(right_recursive_plan(6))
+        breakdown = InstructionCostModel().breakdown(stats)
+        a = model.cycles(stats, breakdown, 5, 1, rng=1)
+        b = model.cycles(stats, breakdown, 5, 1, rng=2)
+        assert a != b
+
+    def test_noise_is_bounded(self):
+        model = CycleModel(noise_sigma=0.5)
+        stats = stats_for(Small(4))
+        breakdown = InstructionCostModel().breakdown(stats)
+        base = model.deterministic_cycles(stats, breakdown, 0, 0)
+        for seed in range(50):
+            value = model.cycles(stats, breakdown, 0, 0, rng=seed)
+            assert 0.5 * base <= value <= 1.5 * base
+
+    def test_cycles_exceed_instruction_cost_floor(self):
+        model = CycleModel(noise_sigma=0.0)
+        stats = stats_for(iterative_plan(6))
+        breakdown = InstructionCostModel().breakdown(stats)
+        assert model.deterministic_cycles(stats, breakdown, 0, 0) >= breakdown.total

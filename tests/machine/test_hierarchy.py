@@ -1,0 +1,105 @@
+"""Tests for the two-level memory hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import CacheConfig, SetAssociativeLRUCache
+from repro.machine.hierarchy import HierarchyStatistics, MemoryHierarchy
+from repro.machine.trace import trace_from_nests
+from repro.wht.canonical import (
+    iterative_plan,
+    left_recursive_plan,
+    right_recursive_plan,
+)
+from repro.wht.interpreter import PlanInterpreter
+from repro.wht.random_plans import random_plan
+
+
+def trace_for(plan):
+    _, nests = PlanInterpreter().profile(plan, record_trace=True)
+    return trace_from_nests(nests)
+
+
+L1 = CacheConfig(256, 32, 2, name="L1")
+L2 = CacheConfig(2048, 32, 4, name="L2")
+
+
+class TestHierarchyStatistics:
+    def test_ratios(self):
+        stats = HierarchyStatistics(100, 20, 20, 5)
+        assert stats.l1_miss_ratio == pytest.approx(0.2)
+        assert stats.l2_miss_ratio == pytest.approx(0.25)
+
+    def test_zero_access_ratios(self):
+        stats = HierarchyStatistics(0, 0, 0, 0)
+        assert stats.l1_miss_ratio == 0.0
+        assert stats.l2_miss_ratio == 0.0
+
+    def test_as_dict_keys(self):
+        keys = set(HierarchyStatistics(1, 1, 1, 1).as_dict())
+        assert {"l1_accesses", "l1_misses", "l2_accesses", "l2_misses"} <= keys
+
+
+class TestMemoryHierarchy:
+    def test_l2_smaller_than_l1_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(L2, L1)
+
+    def test_l2_sees_only_l1_misses(self):
+        hierarchy = MemoryHierarchy(L1, L2)
+        stats = hierarchy.process_trace(trace_for(random_plan(7, rng=0)))
+        assert stats.l2_accesses == stats.l1_misses
+        assert stats.l2_misses <= stats.l2_accesses
+        assert stats.l1_misses <= stats.l1_accesses
+
+    def test_l1_accesses_count_every_element_access(self):
+        plan = iterative_plan(6)
+        trace = trace_for(plan)
+        stats = MemoryHierarchy(L1, L2).process_trace(trace)
+        assert stats.l1_accesses == trace.accesses
+
+    def test_no_l2_configured(self):
+        stats = MemoryHierarchy(L1, None).process_trace(trace_for(iterative_plan(6)))
+        assert stats.l2_accesses == 0 and stats.l2_misses == 0
+
+    def test_in_cache_transform_has_only_cold_misses(self):
+        # 2^4 doubles = 128 bytes fits the 256-byte L1: cold misses only.
+        plan = right_recursive_plan(4)
+        stats = MemoryHierarchy(L1, L2).process_trace(trace_for(plan))
+        assert stats.l1_misses == plan.size * 8 // L1.line_size
+
+    def test_out_of_cache_transform_misses_more_than_cold(self):
+        small = MemoryHierarchy(L1, L2).process_trace(trace_for(iterative_plan(4)))
+        large = MemoryHierarchy(L1, L2).process_trace(trace_for(iterative_plan(8)))
+        # The in-cache transform only takes cold misses; the out-of-cache one
+        # misses well beyond its cold-miss count of N * 8 / line_size.
+        assert small.l1_misses == (1 << 4) * 8 // L1.line_size
+        assert large.l1_misses > (1 << 8) * 8 // L1.line_size
+
+    def test_vectorised_and_reference_agree(self):
+        for seed in range(4):
+            plan = random_plan(8, rng=seed)
+            trace = trace_for(plan)
+            fast = MemoryHierarchy(L1, L2, vectorized=True).process_trace(trace)
+            slow = MemoryHierarchy(L1, L2, vectorized=False).process_trace(trace)
+            assert fast == slow
+
+    def test_collapse_does_not_change_miss_counts(self):
+        # Compare against a raw per-access simulation with no collapsing.
+        plan = random_plan(7, rng=3)
+        trace = trace_for(plan)
+        hierarchy_stats = MemoryHierarchy(L1, L2).process_trace(trace)
+        l1 = SetAssociativeLRUCache(L1)
+        mask = l1.simulate(trace.addresses)
+        assert int(mask.sum()) == hierarchy_stats.l1_misses
+
+    def test_describe(self):
+        assert "L1" in MemoryHierarchy(L1, L2).describe()
+        assert "no L2" in MemoryHierarchy(L1, None).describe()
+
+    def test_canonical_algorithms_differ_beyond_cache(self):
+        # Beyond the L1 boundary the recursive (contiguous) algorithm
+        # localises better than the strided left recursive one.
+        right = MemoryHierarchy(L1, L2).process_trace(trace_for(right_recursive_plan(8)))
+        left = MemoryHierarchy(L1, L2).process_trace(trace_for(left_recursive_plan(8)))
+        assert right.l1_misses < left.l1_misses

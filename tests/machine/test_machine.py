@@ -1,0 +1,147 @@
+"""Tests for the simulated machine and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import CacheConfig
+from repro.machine.configs import (
+    MACHINE_PRESETS,
+    default_machine,
+    default_machine_config,
+    opteron_like_config,
+    tiny_machine,
+    tiny_machine_config,
+)
+from repro.machine.machine import MachineConfig, SimulatedMachine
+from repro.wht.canonical import iterative_plan, left_recursive_plan, right_recursive_plan
+from repro.wht.plan import Small
+from repro.wht.random_plans import random_plan
+
+
+class TestMachineConfig:
+    def test_capacity_exponents(self):
+        config = default_machine_config()
+        assert config.l1_capacity_exponent() == 11
+        assert config.l2_capacity_exponent() == 13
+
+    def test_opteron_capacity_exponents(self):
+        config = opteron_like_config()
+        assert config.l1_capacity_exponent() == 13
+        assert config.l2_capacity_exponent() == 17
+
+    def test_l2_must_be_larger(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                name="bad",
+                l1=CacheConfig(1024, 64, 2),
+                l2=CacheConfig(512, 64, 2),
+            )
+
+    def test_with_noise(self):
+        config = default_machine_config().with_noise(0.0)
+        assert config.cycle_model.noise_sigma == 0.0
+
+    def test_describe_mentions_boundary(self):
+        assert "2^11" in default_machine_config().describe()
+
+    def test_presets_exist(self):
+        assert {"default", "opteron", "tiny"} <= set(MACHINE_PRESETS)
+        for factory in MACHINE_PRESETS.values():
+            assert isinstance(factory(), MachineConfig)
+
+
+class TestSimulatedMachine:
+    def test_measurement_fields(self, machine):
+        plan = right_recursive_plan(6)
+        m = machine.measure(plan)
+        assert m.plan == plan
+        assert m.n == 6
+        assert m.instructions > 0
+        assert m.cycles > m.instructions * 0.5
+        assert m.l1_accesses == 2 * plan.size * plan.num_leaves()
+        assert 0 <= m.l1_misses <= m.l1_accesses
+        assert 0 <= m.l2_misses <= m.l1_misses
+        assert m.machine == "tiny"
+
+    def test_deterministic_without_noise(self, machine):
+        plan = random_plan(7, rng=0)
+        assert machine.measure(plan).cycles == machine.measure(plan).cycles
+
+    def test_noise_reproducible_with_explicit_rng(self, noisy_machine):
+        plan = random_plan(7, rng=0)
+        a = noisy_machine.measure(plan, rng=123)
+        b = noisy_machine.measure(plan, rng=123)
+        assert a.cycles == b.cycles
+
+    def test_noise_varies_without_explicit_rng(self, noisy_machine):
+        plan = random_plan(7, rng=0)
+        values = {noisy_machine.measure(plan).cycles for _ in range(5)}
+        assert len(values) > 1
+
+    def test_instructions_only_matches_full_measurement(self, machine):
+        plan = random_plan(6, rng=1)
+        assert machine.measure_instructions_only(plan) == machine.measure(plan).instructions
+
+    def test_cycles_per_instruction_reasonable(self, machine):
+        m = machine.measure(iterative_plan(5))
+        assert 0.5 < m.cycles_per_instruction < 50
+
+    def test_combined_model_value(self, machine):
+        m = machine.measure(iterative_plan(6))
+        assert m.combined_model_value(1.0, 0.0) == pytest.approx(m.instructions)
+        assert m.combined_model_value(0.0, 1.0) == pytest.approx(m.l1_misses)
+
+    def test_as_dict_round_trip_fields(self, machine):
+        d = machine.measure(Small(4)).as_dict()
+        assert d["plan"] == "small[4]"
+        assert d["n"] == 4
+        assert "cycles" in d and "l1_misses" in d
+
+    def test_measure_wall_time_positive(self, machine):
+        assert machine.measure_wall_time(iterative_plan(5)) > 0.0
+
+    def test_in_cache_plans_have_equal_misses(self, machine):
+        # Below the L1 boundary every plan of one size takes only cold misses.
+        exps = machine.config.l1_capacity_exponent()
+        n = exps - 1
+        misses = {
+            machine.measure(plan).l1_misses
+            for plan in (iterative_plan(n), right_recursive_plan(n), left_recursive_plan(n))
+        }
+        assert len(misses) == 1
+
+    def test_out_of_cache_plans_differ_in_misses(self, machine):
+        n = machine.config.l2_capacity_exponent() + 1
+        misses = {
+            machine.measure(plan).l1_misses
+            for plan in (iterative_plan(n), right_recursive_plan(n), left_recursive_plan(n))
+        }
+        assert len(misses) > 1
+
+    def test_canonical_cycle_ordering_small_sizes(self, machine):
+        # In cache the instruction count decides: iterative < right < left.
+        n = machine.config.l1_capacity_exponent() - 1
+        iterative = machine.measure(iterative_plan(n)).cycles
+        right = machine.measure(right_recursive_plan(n)).cycles
+        left = machine.measure(left_recursive_plan(n)).cycles
+        assert iterative < right < left
+
+    def test_crossover_beyond_l2_boundary(self):
+        # Past the L2 boundary the right recursive algorithm overtakes the
+        # iterative one (the paper's Figure 1 crossover), checked on the tiny
+        # machine where the boundary sits at 2^8 elements.
+        machine = tiny_machine(noise_sigma=0.0)
+        n = machine.config.l2_capacity_exponent() + 2
+        iterative = machine.measure(iterative_plan(n)).cycles
+        right = machine.measure(right_recursive_plan(n)).cycles
+        assert right < iterative
+
+    def test_default_machine_factory(self):
+        machine = default_machine(noise_sigma=0.0)
+        assert isinstance(machine, SimulatedMachine)
+        assert machine.config.name == "scaled-opteron"
+
+    def test_tiny_machine_config_boundaries(self):
+        config = tiny_machine_config()
+        assert config.l1_capacity_exponent() == 5
+        assert config.l2_capacity_exponent() == 8

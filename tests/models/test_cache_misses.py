@@ -1,0 +1,120 @@
+"""Tests for the analytic cache-miss model."""
+
+import pytest
+
+from repro.models.cache_misses import CacheMissModel, cache_miss_count
+from repro.machine.configs import default_machine_config, tiny_machine_config
+from repro.wht.canonical import iterative_plan, left_recursive_plan, right_recursive_plan
+from repro.wht.plan import Small, Split
+from repro.wht.random_plans import random_plan
+
+
+@pytest.fixture
+def model():
+    # 64 elements of capacity, 8-element lines (a scaled-down L1).
+    return CacheMissModel(capacity_elements=64, line_elements=8)
+
+
+class TestConstruction:
+    def test_from_cache_config(self):
+        config = default_machine_config()
+        model = CacheMissModel.from_cache_config(config.l1)
+        assert model.capacity_elements == config.l1.size_bytes // 8
+        assert model.line_elements == 8
+
+    def test_from_machine_config_levels(self):
+        config = tiny_machine_config()
+        l1 = CacheMissModel.from_machine_config(config, "l1")
+        l2 = CacheMissModel.from_machine_config(config, "l2")
+        assert l2.capacity_elements > l1.capacity_elements
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            CacheMissModel.from_machine_config(tiny_machine_config(), "l3")
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheMissModel(capacity_elements=4, line_elements=8)
+        with pytest.raises(ValueError):
+            CacheMissModel(capacity_elements=0)
+
+
+class TestFootprint:
+    def test_unit_stride_footprint(self, model):
+        assert model.footprint_lines(64, 1) == 8
+        assert model.footprint_lines(12, 1) == 2  # ceil(12/8)
+
+    def test_large_stride_footprint(self, model):
+        assert model.footprint_lines(16, 8) == 16
+        assert model.footprint_lines(16, 100) == 16
+
+    def test_fits(self, model):
+        assert model.fits(64, 1)
+        assert not model.fits(128, 1)
+        assert model.fits(8, 8)
+        assert not model.fits(16, 16) or model.capacity_lines >= 16
+
+
+class TestMisses:
+    def test_in_cache_plan_has_cold_misses_only(self, model):
+        # 2^5 = 32 elements fit the 64-element cache: 4 lines of cold misses.
+        for plan in (iterative_plan(5), right_recursive_plan(5), left_recursive_plan(5)):
+            assert model.misses(plan) == 4
+
+    def test_out_of_cache_iterative_misses_grow_per_pass(self, model):
+        plan = iterative_plan(8)  # 256 elements, 4x the cache
+        misses = model.misses(plan)
+        # At least one full sweep of cold misses per pass over the data.
+        assert misses >= 8 * (256 // 8)
+
+    def test_right_recursive_localises(self, model):
+        # The right recursive plan recurses on contiguous halves, so once the
+        # subproblem fits in cache its passes stop missing; the left recursive
+        # plan recurses on strided subvectors and keeps missing.
+        n = 9
+        right = model.misses(right_recursive_plan(n))
+        left = model.misses(left_recursive_plan(n))
+        assert right < left
+
+    def test_misses_monotone_in_cache_size(self):
+        plan = random_plan(9, rng=1)
+        small_cache = CacheMissModel(capacity_elements=32, line_elements=8)
+        large_cache = CacheMissModel(capacity_elements=512, line_elements=8)
+        assert large_cache.misses(plan) <= small_cache.misses(plan)
+
+    def test_strided_leaf_call(self, model):
+        # A leaf evaluated at a stride beyond the line length touches one line
+        # per element.
+        assert model.misses(Small(4), stride=8) == 16
+
+    def test_caching_returns_same_value(self, model):
+        plan = random_plan(8, rng=2)
+        assert model.misses(plan) == model.misses(plan)
+
+    def test_callable_interface(self, model):
+        plan = iterative_plan(7)
+        assert model(plan) == float(model.misses(plan))
+
+    def test_convenience_wrapper(self):
+        plan = iterative_plan(6)
+        assert cache_miss_count(plan, capacity_elements=64, line_elements=8) == CacheMissModel(
+            64, 8
+        ).misses(plan)
+
+    def test_model_correlates_with_simulated_misses(self, machine):
+        # The analytic model is not exact, but across plans it must rank
+        # broadly like the trace-driven simulation (positive correlation).
+        from repro.analysis.pearson import pearson_correlation
+
+        model = CacheMissModel.from_machine_config(machine.config, "l1")
+        n = machine.config.l2_capacity_exponent()
+        plans = [random_plan(n, rng=seed) for seed in range(25)]
+        modelled = [model.misses(p) for p in plans]
+        simulated = [machine.measure(p).l1_misses for p in plans]
+        assert pearson_correlation(modelled, simulated) > 0.5
+
+    def test_split_larger_than_cache_sums_children(self, model):
+        plan = Split((Small(4), Small(4)))  # 256 elements >> 64-element cache
+        # Children: small[4] at stride 1 called 16 times (16 calls x 2 lines)
+        # and small[4] at stride 16 called 16 times (16 calls x 16 lines).
+        assert model.misses(plan) == 16 * 2 + 16 * 16

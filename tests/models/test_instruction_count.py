@@ -1,0 +1,116 @@
+"""Tests for the analytic instruction-count model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cpu import InstructionCostModel
+from repro.models.instruction_count import (
+    InstructionCountModel,
+    analytic_stats,
+    instruction_count,
+)
+from repro.wht.canonical import (
+    balanced_plan,
+    iterative_plan,
+    left_recursive_plan,
+    right_recursive_plan,
+)
+from repro.wht.interpreter import PlanInterpreter
+from repro.wht.plan import Small, Split
+from repro.wht.random_plans import random_plan
+
+
+class TestAnalyticStats:
+    def test_leaf_counts(self):
+        stats = analytic_stats(Small(4))
+        assert stats.codelet_calls == {4: 1}
+        assert stats.loads == 16 and stats.stores == 16
+        assert stats.arithmetic_ops == 64
+        assert stats.split_invocations == 0
+
+    @pytest.mark.parametrize(
+        "factory", [iterative_plan, right_recursive_plan, left_recursive_plan, balanced_plan]
+    )
+    @pytest.mark.parametrize("n", [1, 3, 5, 8, 10])
+    def test_matches_interpreter_for_canonical_plans(self, factory, n):
+        plan = factory(n)
+        measured, _ = PlanInterpreter().profile(plan)
+        assert analytic_stats(plan).as_dict() == measured.as_dict()
+
+    def test_matches_interpreter_for_random_plans(self):
+        interpreter = PlanInterpreter()
+        for seed in range(20):
+            plan = random_plan(9, rng=seed)
+            measured, _ = interpreter.profile(plan)
+            assert analytic_stats(plan).as_dict() == measured.as_dict()
+
+    @given(seed=st.integers(0, 10**6), n=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_analytic_equals_measured(self, seed, n):
+        plan = random_plan(n, rng=seed)
+        measured, _ = PlanInterpreter().profile(plan)
+        assert analytic_stats(plan).as_dict() == measured.as_dict()
+
+    def test_returns_fresh_objects(self):
+        plan = Split((Small(1), Small(2)))
+        first = analytic_stats(plan)
+        first.additions += 1000
+        assert analytic_stats(plan).additions != first.additions
+
+    def test_much_cheaper_than_interpretation_for_large_plans(self):
+        # The analytic recursion must not scale with the loop trip counts, so
+        # a size-2^20 plan is still instantaneous.
+        plan = right_recursive_plan(20, leaf=8)
+        stats = analytic_stats(plan)
+        assert stats.arithmetic_ops == 20 * (1 << 20)
+
+
+class TestInstructionCount:
+    def test_count_positive_and_deterministic(self):
+        plan = random_plan(8, rng=3)
+        assert instruction_count(plan) == instruction_count(plan) > 0
+
+    def test_custom_cost_model(self):
+        plan = right_recursive_plan(6)
+        heavy = InstructionCostModel(split_invocation_cost=1000)
+        assert instruction_count(plan, heavy) > instruction_count(plan)
+
+    def test_matches_machine_instruction_count(self, machine):
+        # The machine uses the same cost model, so analytic == measured.
+        model = InstructionCountModel(machine.config.instruction_model)
+        for seed in range(5):
+            plan = random_plan(7, rng=seed)
+            assert model.count(plan) == machine.measure(plan).instructions
+
+    def test_canonical_ordering(self):
+        for n in (6, 9, 12):
+            model = InstructionCountModel()
+            assert (
+                model.count(iterative_plan(n))
+                < model.count(right_recursive_plan(n))
+                < model.count(left_recursive_plan(n))
+            )
+
+    def test_larger_codelets_reduce_overhead(self):
+        # The same transform with bigger unrolled base cases executes fewer
+        # instructions (the reason the DP-best plans use large codelets).
+        model = InstructionCountModel()
+        assert model.count(iterative_plan(12, radix=4)) < model.count(iterative_plan(12))
+
+    def test_callable_interface(self):
+        model = InstructionCountModel()
+        plan = iterative_plan(5)
+        assert model(plan) == float(model.count(plan))
+
+    def test_breakdown_consistency(self):
+        model = InstructionCountModel()
+        plan = random_plan(7, rng=11)
+        assert model.breakdown(plan).total == model.count(plan)
+
+    def test_scaling_with_size(self):
+        # Instruction counts grow slightly faster than linearly in N
+        # (N log N arithmetic), so doubling the size should more than double
+        # the count.
+        model = InstructionCountModel()
+        assert model.count(iterative_plan(10)) > 2 * model.count(iterative_plan(9))

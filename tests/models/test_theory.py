@@ -1,0 +1,102 @@
+"""Tests for the theoretical properties of the algorithm space."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cpu import InstructionCostModel
+from repro.models.instruction_count import instruction_count
+from repro.models.theory import (
+    algorithm_space_size,
+    extreme_instruction_counts,
+    rsu_instruction_moments,
+    space_growth_ratios,
+)
+from repro.wht.enumeration import enumerate_plans
+from repro.wht.random_plans import RSUSampler
+
+
+class TestSpaceSize:
+    def test_matches_enumeration_module(self):
+        from repro.wht.enumeration import count_plans
+
+        for n in range(1, 10):
+            assert algorithm_space_size(n) == count_plans(n)
+
+    def test_growth_ratios_increase_toward_seven(self):
+        ratios = space_growth_ratios(20)
+        assert ratios[-1] > ratios[5]
+        assert 6.0 < ratios[-1] < 7.2
+
+
+class TestExtremeInstructionCounts:
+    def test_extremes_bound_every_plan_small_sizes(self):
+        for n in (3, 4, 5):
+            extremes = extreme_instruction_counts(n)
+            counts = [instruction_count(p) for p in enumerate_plans(n)]
+            assert extremes.min_count == min(counts)
+            assert extremes.max_count == max(counts)
+
+    def test_extreme_plans_have_matching_counts(self):
+        extremes = extreme_instruction_counts(6)
+        assert instruction_count(extremes.min_plan) == extremes.min_count
+        assert instruction_count(extremes.max_plan) == extremes.max_count
+
+    def test_minimum_is_single_codelet_when_available(self):
+        # A lone unrolled codelet beats any split for sizes within the
+        # unrolled range under the default cost model.
+        extremes = extreme_instruction_counts(7)
+        assert extremes.min_plan.is_leaf
+
+    def test_maximum_uses_smallest_leaves(self):
+        extremes = extreme_instruction_counts(6)
+        assert set(extremes.max_plan.leaf_exponents()) == {1}
+
+    def test_spread_grows_with_size(self):
+        assert extreme_instruction_counts(8).spread >= extreme_instruction_counts(4).spread
+
+    def test_custom_cost_model(self):
+        heavy_overhead = InstructionCostModel(split_invocation_cost=10_000)
+        default = extreme_instruction_counts(5)
+        heavy = extreme_instruction_counts(5, cost_model=heavy_overhead)
+        assert heavy.max_count > default.max_count
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            extreme_instruction_counts(0)
+
+
+class TestRSUMoments:
+    def test_moments_match_monte_carlo(self):
+        n = 6
+        moments = rsu_instruction_moments(n)
+        sampler = RSUSampler()
+        rng = np.random.default_rng(0)
+        sample = np.array(
+            [instruction_count(sampler.sample(n, rng)) for _ in range(4000)], dtype=float
+        )
+        assert moments.mean == pytest.approx(sample.mean(), rel=0.05)
+        assert moments.std == pytest.approx(sample.std(), rel=0.15)
+
+    def test_moments_exact_for_trivial_size(self):
+        # n = 1 has a single plan: zero variance, mean = its count.
+        from repro.wht.plan import Small
+
+        moments = rsu_instruction_moments(1)
+        assert moments.mean == pytest.approx(instruction_count(Small(1)))
+        assert moments.variance == pytest.approx(0.0)
+
+    def test_mean_within_extremes(self):
+        for n in (4, 6, 8):
+            moments = rsu_instruction_moments(n)
+            extremes = extreme_instruction_counts(n)
+            assert extremes.min_count <= moments.mean <= extremes.max_count
+
+    def test_variance_nonnegative_and_grows(self):
+        small = rsu_instruction_moments(4)
+        large = rsu_instruction_moments(8)
+        assert small.variance >= 0.0
+        assert large.variance > small.variance
+
+    def test_coefficient_of_variation_reasonable(self):
+        moments = rsu_instruction_moments(8)
+        assert 0.0 < moments.coefficient_of_variation < 1.0

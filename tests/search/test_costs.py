@@ -1,0 +1,68 @@
+"""Tests for search cost functions."""
+
+import pytest
+
+from repro.models.combined import CombinedModel
+from repro.search.costs import (
+    CombinedModelCost,
+    InstructionModelCost,
+    MeasuredCyclesCost,
+    WallClockCost,
+)
+from repro.wht.canonical import iterative_plan, left_recursive_plan, right_recursive_plan
+
+
+class TestMeasuredCyclesCost:
+    def test_matches_machine(self, machine):
+        cost = MeasuredCyclesCost(machine)
+        plan = iterative_plan(6)
+        assert cost(plan) == pytest.approx(machine.measure(plan).cycles)
+
+    def test_counts_evaluations(self, machine):
+        cost = MeasuredCyclesCost(machine)
+        cost(iterative_plan(4))
+        cost(iterative_plan(5))
+        assert cost.evaluations == 2
+
+
+class TestInstructionModelCost:
+    def test_matches_model(self):
+        cost = InstructionModelCost()
+        plan = right_recursive_plan(7)
+        assert cost(plan) == float(cost.model.count(plan))
+
+    def test_orders_canonicals(self):
+        cost = InstructionModelCost()
+        n = 8
+        assert cost(iterative_plan(n)) < cost(right_recursive_plan(n)) < cost(left_recursive_plan(n))
+
+    def test_counts_evaluations(self):
+        cost = InstructionModelCost()
+        for _ in range(3):
+            cost(iterative_plan(5))
+        assert cost.evaluations == 3
+
+
+class TestCombinedModelCost:
+    def test_for_machine_builds_matching_models(self, machine):
+        cost = CombinedModelCost.for_machine(machine)
+        assert cost.miss_model.capacity_elements == machine.config.l1.size_bytes // 8
+
+    def test_value_formula(self, machine):
+        combined = CombinedModel(alpha=1.0, beta=2.0)
+        cost = CombinedModelCost.for_machine(machine, combined=combined)
+        plan = right_recursive_plan(8)
+        expected = cost.instruction_model.count(plan) + 2.0 * cost.miss_model.misses(plan)
+        assert cost(plan) == pytest.approx(expected)
+
+    def test_evaluation_counter(self, machine):
+        cost = CombinedModelCost.for_machine(machine)
+        cost(iterative_plan(6))
+        assert cost.evaluations == 1
+
+
+class TestWallClockCost:
+    def test_positive_and_counted(self, machine):
+        cost = WallClockCost(machine)
+        assert cost(iterative_plan(5)) > 0.0
+        assert cost.evaluations == 1

@@ -1,0 +1,199 @@
+"""Tests for the search strategies (random, exhaustive, DP wrapper, pruned)."""
+
+import pytest
+
+from repro.models.instruction_count import InstructionCountModel
+from repro.search.costs import InstructionModelCost, MeasuredCyclesCost
+from repro.search.dp import dp_best_plan, dp_search
+from repro.search.exhaustive import ExhaustiveSearch
+from repro.search.pruned import ModelPrunedSearch
+from repro.search.random_search import RandomSearch
+from repro.search.result import SearchResult
+from repro.wht.enumeration import count_plans
+from repro.wht.plan import validate_plan
+
+
+class TestSearchResult:
+    def test_top_orders_by_cost(self, machine):
+        cost = InstructionModelCost()
+        result = RandomSearch(cost, samples=30).search(6, rng=0)
+        top = result.top(3)
+        assert len(top) == 3
+        assert top[0][1] <= top[1][1] <= top[2][1]
+        assert top[0][1] == result.best_cost
+
+    def test_describe_mentions_strategy(self, machine):
+        result = RandomSearch(InstructionModelCost(), samples=5).search(5, rng=0)
+        assert "random" in result.describe()
+
+    def test_evaluation_fraction(self):
+        result = SearchResult(
+            n=5, best_plan=None, best_cost=0.0, evaluated=5, considered=20, strategy="x"
+        )
+        assert result.evaluation_fraction == pytest.approx(0.25)
+
+
+class TestRandomSearch:
+    def test_finds_valid_plan(self, machine):
+        cost = MeasuredCyclesCost(machine)
+        result = RandomSearch(cost, samples=25).search(7, rng=1)
+        validate_plan(result.best_plan)
+        assert result.best_plan.n == 7
+        assert result.strategy == "random"
+
+    def test_deterministic_given_seed(self):
+        cost = InstructionModelCost()
+        a = RandomSearch(cost, samples=20).search(8, rng=42)
+        b = RandomSearch(InstructionModelCost(), samples=20).search(8, rng=42)
+        assert a.best_plan == b.best_plan
+
+    def test_deduplication(self):
+        cost = InstructionModelCost()
+        result = RandomSearch(cost, samples=200, dedupe=True).search(3, rng=0)
+        # Only 6 distinct plans exist at size 2^3.
+        assert result.evaluated <= 6
+        assert result.considered == 200
+
+    def test_more_samples_never_worse(self):
+        cost = InstructionModelCost()
+        small = RandomSearch(cost, samples=5).search(8, rng=7)
+        large = RandomSearch(InstructionModelCost(), samples=100).search(8, rng=7)
+        assert large.best_cost <= small.best_cost
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            RandomSearch(InstructionModelCost(), samples=0)
+        with pytest.raises(TypeError):
+            RandomSearch("nope", samples=5)
+
+
+class TestExhaustiveSearch:
+    def test_space_size_matches_enumeration(self):
+        search = ExhaustiveSearch(InstructionModelCost())
+        assert search.space_size(5) == count_plans(5)
+
+    def test_finds_global_optimum_of_model(self):
+        cost = InstructionModelCost()
+        result = ExhaustiveSearch(cost).search(5)
+        assert result.evaluated == count_plans(5)
+        # Exhaustive beats or matches any other strategy on the same cost.
+        random_result = RandomSearch(InstructionModelCost(), samples=50).search(5, rng=0)
+        assert result.best_cost <= random_result.best_cost
+
+    def test_limit_guard(self):
+        with pytest.raises(ValueError):
+            ExhaustiveSearch(InstructionModelCost(), limit=10).search(6)
+
+    def test_history_complete(self):
+        result = ExhaustiveSearch(InstructionModelCost()).search(4)
+        assert len(result.history) == count_plans(4)
+
+
+class TestDPSearchWrappers:
+    def test_dp_search_with_model_cost(self):
+        result = dp_search(7, InstructionCountModel())
+        assert 7 in result.best_plans
+
+    def test_dp_best_plan_on_machine(self, machine):
+        result = dp_best_plan(machine, 7)
+        validate_plan(result.best_plan)
+        assert result.strategy == "dynamic-programming"
+        assert result.evaluated > 0
+        assert result.n == 7
+
+    def test_dp_best_beats_canonicals_on_its_cost(self, machine):
+        from repro.wht.canonical import canonical_plans
+
+        result = dp_best_plan(machine, 8)
+        for name, plan in canonical_plans(8).items():
+            assert result.best_cost <= machine.measure(plan).cycles * 1.001, name
+
+
+class TestModelPrunedSearch:
+    def test_basic_run(self, machine):
+        search = ModelPrunedSearch(
+            model_cost=InstructionModelCost(),
+            measure_cost=MeasuredCyclesCost(machine),
+            samples=60,
+            keep_fraction=0.25,
+        )
+        report = search.search(7, rng=0)
+        validate_plan(report.result.best_plan)
+        assert report.measured_evaluations <= report.model_evaluations
+        assert 0.0 <= report.pruned_fraction <= 1.0
+        assert report.result.strategy == "model-pruned"
+
+    def test_pruning_saves_measurements(self, machine):
+        search = ModelPrunedSearch(
+            model_cost=InstructionModelCost(),
+            measure_cost=MeasuredCyclesCost(machine),
+            samples=80,
+            keep_fraction=0.2,
+        )
+        report = search.search(7, rng=1)
+        assert report.measurement_savings > 0.5
+
+    def test_pruned_result_close_to_full_search(self, machine):
+        # Measuring only the model-selected quarter should find a plan whose
+        # cycle count is close to the best of measuring everything (this is
+        # the operational claim of the paper's conclusion).
+        candidates_seed = 3
+        full_cost = MeasuredCyclesCost(machine)
+        full = RandomSearch(full_cost, samples=60).search(7, rng=candidates_seed)
+        pruned = ModelPrunedSearch(
+            model_cost=InstructionModelCost(),
+            measure_cost=MeasuredCyclesCost(machine),
+            samples=60,
+            keep_fraction=0.25,
+        ).search(7, rng=candidates_seed)
+        assert pruned.result.best_cost <= full.best_cost * 1.10
+
+    def test_explicit_threshold_keeps_everything_when_huge(self, machine):
+        search = ModelPrunedSearch(
+            model_cost=InstructionModelCost(),
+            measure_cost=MeasuredCyclesCost(machine),
+            samples=40,
+            threshold=1e12,
+        )
+        report = search.search(6, rng=2)
+        assert report.pruned_fraction == 0.0
+
+    def test_threshold_below_everything_falls_back_to_cheapest(self, machine):
+        search = ModelPrunedSearch(
+            model_cost=InstructionModelCost(),
+            measure_cost=MeasuredCyclesCost(machine),
+            samples=30,
+            threshold=1.0,
+        )
+        report = search.search(6, rng=3)
+        assert report.measured_evaluations == 1
+
+    def test_explicit_candidates(self, machine):
+        from repro.wht.canonical import canonical_plans
+
+        plans = list(canonical_plans(7).values())
+        search = ModelPrunedSearch(
+            model_cost=InstructionModelCost(),
+            measure_cost=MeasuredCyclesCost(machine),
+            keep_fraction=1.0,
+        )
+        report = search.search(7, candidates=plans)
+        assert report.model_evaluations == len(plans)
+
+    def test_candidate_size_mismatch_rejected(self, machine):
+        from repro.wht.canonical import iterative_plan
+
+        search = ModelPrunedSearch(
+            model_cost=InstructionModelCost(),
+            measure_cost=MeasuredCyclesCost(machine),
+        )
+        with pytest.raises(ValueError):
+            search.search(7, candidates=[iterative_plan(6)])
+
+    def test_invalid_configuration(self, machine):
+        with pytest.raises(ValueError):
+            ModelPrunedSearch(
+                model_cost=InstructionModelCost(),
+                measure_cost=MeasuredCyclesCost(machine),
+                keep_fraction=0.0,
+            )

@@ -1,0 +1,64 @@
+"""Tests for the experiment-scale configuration."""
+
+import pytest
+
+from repro.config import ExperimentScale, ci_scale, default_scale, paper_scale, scale_from_env
+
+
+class TestExperimentScale:
+    def test_defaults(self):
+        scale = default_scale()
+        assert scale.small_size == 9
+        assert scale.large_size == 13
+        assert scale.sample_count >= 100
+
+    def test_paper_scale_matches_paper(self):
+        scale = paper_scale()
+        assert scale.small_size == 9
+        assert scale.large_size == 18
+        assert scale.canonical_max_size == 20
+        assert scale.sample_count == 10_000
+
+    def test_ci_scale_is_small(self):
+        scale = ci_scale()
+        assert scale.sample_count <= 100
+        assert scale.large_size <= 8
+
+    def test_small_must_be_less_than_large(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(small_size=10, large_size=10)
+
+    def test_with_samples(self):
+        assert default_scale().with_samples(7).sample_count == 7
+
+    def test_describe(self):
+        assert "2^9" in default_scale().describe()
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(sample_count=0)
+
+
+class TestScaleFromEnv:
+    def test_no_overrides(self, monkeypatch):
+        for name in (
+            "REPRO_SMALL_SIZE",
+            "REPRO_LARGE_SIZE",
+            "REPRO_CANONICAL_MAX_SIZE",
+            "REPRO_SAMPLE_COUNT",
+            "REPRO_SEED",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert scale_from_env() == default_scale()
+
+    def test_overrides_applied(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLE_COUNT", "123")
+        monkeypatch.setenv("REPRO_LARGE_SIZE", "12")
+        scale = scale_from_env()
+        assert scale.sample_count == 123
+        assert scale.large_size == 12
+
+    def test_invalid_override_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLE_COUNT", "lots")
+        with pytest.raises(ValueError):
+            scale_from_env()

@@ -1,0 +1,120 @@
+"""Tests for integer composition utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.compositions import (
+    compositions,
+    compositions_with_max_part,
+    count_compositions,
+    count_compositions_with_max_part,
+    random_composition,
+    weak_compositions,
+)
+
+
+class TestCompositions:
+    def test_compositions_of_one(self):
+        assert list(compositions(1)) == [(1,)]
+
+    def test_compositions_of_three(self):
+        assert set(compositions(3)) == {(3,), (1, 2), (2, 1), (1, 1, 1)}
+
+    def test_every_composition_sums_to_n(self):
+        for comp in compositions(6):
+            assert sum(comp) == 6
+
+    def test_count_matches_enumeration(self):
+        for n in range(1, 9):
+            assert len(list(compositions(n))) == count_compositions(n) == 2 ** (n - 1)
+
+    def test_min_parts_two_excludes_trivial(self):
+        comps = list(compositions(5, min_parts=2))
+        assert (5,) not in comps
+        assert len(comps) == 2**4 - 1
+
+    def test_max_part_restriction(self):
+        comps = list(compositions(5, max_part=2))
+        assert all(max(c) <= 2 for c in comps)
+        assert (1, 2, 2) in comps and (5,) not in comps
+
+    def test_count_with_max_part_matches_enumeration(self):
+        for n in range(1, 9):
+            for max_part in range(1, n + 1):
+                expected = len(list(compositions_with_max_part(n, max_part)))
+                assert count_compositions_with_max_part(n, max_part) == expected
+
+    def test_lexicographic_order_is_deterministic(self):
+        assert list(compositions(4)) == list(compositions(4))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            list(compositions(0))
+        with pytest.raises(ValueError):
+            list(compositions(3, min_parts=0))
+        with pytest.raises(ValueError):
+            list(compositions(3, max_part=0))
+
+
+class TestWeakCompositions:
+    def test_weak_compositions_count(self):
+        # n + parts - 1 choose parts - 1
+        assert len(list(weak_compositions(4, 3))) == 15
+
+    def test_weak_compositions_allow_zero(self):
+        assert (0, 4) in set(weak_compositions(4, 2))
+
+    def test_weak_compositions_sum(self):
+        for comp in weak_compositions(5, 3):
+            assert sum(comp) == 5
+            assert len(comp) == 3
+
+    def test_zero_total(self):
+        assert list(weak_compositions(0, 2)) == [(0, 0)]
+
+
+class TestRandomComposition:
+    def test_sums_to_n(self, rng):
+        for _ in range(50):
+            comp = random_composition(10, rng)
+            assert sum(comp) == 10
+            assert len(comp) >= 2
+
+    def test_respects_max_part(self, rng):
+        for _ in range(50):
+            comp = random_composition(9, rng, max_part=3)
+            assert max(comp) <= 3
+
+    def test_min_parts_one_allows_trivial(self, rng):
+        seen_trivial = False
+        for _ in range(200):
+            comp = random_composition(3, rng, min_parts=1)
+            if comp == (3,):
+                seen_trivial = True
+        assert seen_trivial
+
+    def test_impossible_request_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_composition(2, rng, min_parts=5)
+
+    def test_uniformity_over_small_space(self, rng):
+        # Compositions of 4 with >= 2 parts: 7 equally likely outcomes.
+        counts = {}
+        trials = 7000
+        for _ in range(trials):
+            comp = random_composition(4, rng, min_parts=2)
+            counts[comp] = counts.get(comp, 0) + 1
+        assert len(counts) == 7
+        expected = trials / 7
+        for value in counts.values():
+            assert abs(value - expected) < 5 * np.sqrt(expected)
+
+    @given(n=st.integers(min_value=2, max_value=12), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_property_valid_composition(self, n, seed):
+        comp = random_composition(n, np.random.default_rng(seed))
+        assert sum(comp) == n
+        assert all(p >= 1 for p in comp)
+        assert len(comp) >= 2

@@ -1,0 +1,74 @@
+"""Tests for RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, derive_seed, spawn_generators
+
+
+class TestAsGenerator:
+    def test_accepts_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_accepts_int_and_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_passes_generator_through(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_accepts_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = as_generator(seq)
+        assert isinstance(a, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(3, 5)
+        assert len(gens) == 5
+
+    def test_independence(self):
+        gens = spawn_generators(3, 2)
+        a = gens[0].integers(0, 10**9, size=20)
+        b = gens[1].integers(0, 10**9, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_seed(self):
+        a = spawn_generators(9, 3)[1].integers(0, 10**9, size=5)
+        b = spawn_generators(9, 3)[1].integers(0, 10**9, size=5)
+        assert np.array_equal(a, b)
+
+    def test_zero_count(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(0), 2)
+        assert len(gens) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, "plans", 9) == derive_seed(5, "plans", 9)
+
+    def test_different_tags_differ(self):
+        assert derive_seed(5, "plans", 9) != derive_seed(5, "noise", 9)
+        assert derive_seed(5, "plans", 9) != derive_seed(5, "plans", 10)
+
+    def test_different_base_differ(self):
+        assert derive_seed(5, "plans") != derive_seed(6, "plans")
+
+    def test_in_63_bit_range(self):
+        for base in (0, 1, 2**40, None):
+            value = derive_seed(base, "x", 123456789)
+            assert 0 <= value < 2**63
+
+    def test_usable_as_numpy_seed(self):
+        gen = np.random.default_rng(derive_seed(3, "tag", 1))
+        assert gen.integers(0, 10) >= 0

@@ -1,0 +1,55 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import format_histogram, format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in text and "b" in text
+        assert "3" in text and "4" in text
+
+    def test_title_on_first_line(self):
+        text = format_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159265]], float_fmt=".3g")
+        assert "3.14" in text
+
+    def test_alignment_consistent_width(self):
+        text = format_table(["col"], [[1], [100000]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFormatSeries:
+    def test_columns_present(self):
+        text = format_series([1, 2, 3], {"a": [10, 20, 30], "b": [1.5, 2.5, 3.5]}, x_label="n")
+        assert "n" in text and "a" in text and "b" in text
+        assert "30" in text
+
+    def test_short_series_padded(self):
+        text = format_series([1, 2], {"a": [10]})
+        assert "10" in text
+
+
+class TestFormatHistogram:
+    def test_bar_lengths_scale_with_counts(self):
+        text = format_histogram([0, 1, 2], [1, 10], width=20)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 20
+        assert 0 < lines[0].count("#") <= 3
+
+    def test_mismatched_edges_raise(self):
+        with pytest.raises(ValueError):
+            format_histogram([0, 1], [1, 2])
+
+    def test_empty_histogram_is_fine(self):
+        assert format_histogram([0, 1], [0]) != ""

@@ -1,0 +1,82 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+    ensure_in_range,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "x")
+
+    def test_accepts_integral_float(self):
+        assert check_positive_int(4.0, "x") == 4
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_positive_int("three", "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="widgets"):
+            check_positive_int(0, "widgets")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts_powers(self):
+        for value in (1, 2, 4, 64, 4096):
+            assert check_power_of_two(value, "x") == value
+
+    def test_rejects_non_powers(self):
+        for value in (3, 6, 12, 100):
+            with pytest.raises(ValueError):
+                check_power_of_two(value, "x")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_power_of_two(0, "x")
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+
+class TestEnsureInRange:
+    def test_accepts_inside(self):
+        assert ensure_in_range(0.5, 0.0, 1.0, "x") == 0.5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(2.0, 0.0, 1.0, "x")

@@ -1,0 +1,119 @@
+"""Tests for canonical plan constructors."""
+
+import numpy as np
+import pytest
+
+from repro.wht.canonical import (
+    balanced_plan,
+    canonical_plans,
+    iterative_plan,
+    left_recursive_plan,
+    mixed_radix_plan,
+    right_recursive_plan,
+)
+from repro.wht.plan import MAX_UNROLLED, Small, Split, validate_plan
+from repro.wht.transform import apply_plan, random_input, wht_reference
+
+
+class TestIterativePlan:
+    def test_structure(self):
+        plan = iterative_plan(5)
+        assert isinstance(plan, Split)
+        assert plan.composition == (1, 1, 1, 1, 1)
+        assert all(isinstance(c, Small) for c in plan.children)
+
+    def test_small_n_collapses_to_leaf(self):
+        assert iterative_plan(1) == Small(1)
+
+    def test_radix_4(self):
+        plan = iterative_plan(6, radix=2)
+        assert plan.composition == (2, 2, 2)
+
+    def test_radix_with_remainder(self):
+        plan = iterative_plan(7, radix=3)
+        assert plan.composition == (3, 3, 1)
+
+    def test_radix_above_unrolled_limit_rejected(self):
+        with pytest.raises(ValueError):
+            iterative_plan(20, radix=MAX_UNROLLED + 1)
+
+    def test_depth_is_one(self):
+        assert iterative_plan(10).depth() == 1
+
+
+class TestRecursivePlans:
+    def test_right_recursive_structure(self):
+        plan = right_recursive_plan(5)
+        assert plan.composition == (1, 4)
+        assert plan.children[0] == Small(1)
+        assert plan.children[1].composition == (1, 3)
+
+    def test_left_recursive_structure(self):
+        plan = left_recursive_plan(5)
+        assert plan.composition == (4, 1)
+        assert plan.children[1] == Small(1)
+
+    def test_left_is_mirror_of_right(self):
+        assert right_recursive_plan(7).mirrored() == left_recursive_plan(7)
+
+    def test_depth_grows_linearly(self):
+        assert right_recursive_plan(8).depth() == 7
+
+    def test_larger_leaf(self):
+        plan = right_recursive_plan(9, leaf=3)
+        assert plan.composition == (3, 6)
+        assert plan.leaf_exponents() == [3, 3, 3]
+
+    def test_terminates_in_single_leaf_when_small(self):
+        assert right_recursive_plan(3, leaf=4) == Small(3)
+
+    def test_oversized_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            right_recursive_plan(10, leaf=MAX_UNROLLED + 1)
+        with pytest.raises(ValueError):
+            left_recursive_plan(10, leaf=MAX_UNROLLED + 1)
+
+
+class TestBalancedPlan:
+    def test_structure(self):
+        plan = balanced_plan(8)
+        assert plan.composition == (4, 4)
+        assert plan.depth() == 3
+
+    def test_leaf_max_controls_leaves(self):
+        plan = balanced_plan(8, leaf_max=4)
+        assert set(plan.leaf_exponents()) <= {3, 4}
+
+    def test_small_exponent_is_leaf(self):
+        assert balanced_plan(3, leaf_max=4) == Small(3)
+
+
+class TestMixedRadixPlan:
+    def test_structure(self):
+        plan = mixed_radix_plan(7, (3, 2, 2))
+        assert plan.composition == (3, 2, 2)
+
+    def test_sum_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_radix_plan(6, (2, 2))
+
+    def test_oversized_radix_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_radix_plan(12, (MAX_UNROLLED + 1, 3))
+
+    def test_single_part(self):
+        assert mixed_radix_plan(4, (4,)) == Small(4)
+
+
+class TestCanonicalPlans:
+    def test_contains_three_algorithms(self):
+        plans = canonical_plans(6)
+        assert set(plans) == {"iterative", "right", "left"}
+
+    def test_all_valid_and_correct(self):
+        for n in range(1, 9):
+            for name, plan in canonical_plans(n).items():
+                validate_plan(plan)
+                assert plan.n == n
+                x = random_input(n, seed=n)
+                assert np.allclose(apply_plan(plan, x), wht_reference(x)), name

@@ -1,0 +1,88 @@
+"""Tests for the unrolled-codelet source generator."""
+
+import numpy as np
+import pytest
+
+from repro.wht.codegen import (
+    compile_codelet,
+    generate_codelet_source,
+    unrolled_operation_counts,
+)
+from repro.wht.plan import MAX_UNROLLED
+from repro.wht.transform import wht_reference
+
+
+class TestGenerateSource:
+    def test_source_defines_named_function(self):
+        source = generate_codelet_source(3)
+        assert source.startswith("def wht_codelet_3(")
+
+    def test_custom_name(self):
+        source = generate_codelet_source(2, name="my_kernel")
+        assert "def my_kernel(" in source
+
+    def test_statement_counts_match_declared_counts(self):
+        import re
+
+        butterfly = re.compile(r"^\s*t\d+_\d+ = t\d+_\d+ ([+-]) t\d+_\d+$")
+        for k in range(1, 6):
+            source = generate_codelet_source(k)
+            counts = unrolled_operation_counts(k)
+            adds = subs = 0
+            for line in source.splitlines():
+                match = butterfly.match(line)
+                if match:
+                    if match.group(1) == "+":
+                        adds += 1
+                    else:
+                        subs += 1
+            loads = sum(1 for line in source.splitlines() if "= x[" in line)
+            stores = sum(1 for line in source.splitlines() if line.strip().startswith("x["))
+            assert adds == counts["additions"]
+            assert subs == counts["subtractions"]
+            assert loads == counts["loads"]
+            assert stores == counts["stores"]
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            generate_codelet_source(MAX_UNROLLED + 1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            generate_codelet_source(0)
+
+
+class TestOperationCounts:
+    def test_formula(self):
+        counts = unrolled_operation_counts(4)
+        assert counts["additions"] == 4 * 16 // 2
+        assert counts["subtractions"] == 4 * 16 // 2
+        assert counts["loads"] == 16
+        assert counts["stores"] == 16
+
+    def test_consistency_with_compiled(self):
+        codelet = compile_codelet(3)
+        assert codelet.arithmetic_ops == 3 * 8
+        assert codelet.memory_ops == 16
+
+
+class TestCompiledCodelet:
+    @pytest.mark.parametrize("k", range(1, 6))
+    def test_computes_wht(self, k):
+        codelet = compile_codelet(k)
+        rng = np.random.default_rng(k)
+        x = rng.standard_normal(1 << k)
+        work = x.copy()
+        codelet.function(work)
+        assert np.allclose(work, wht_reference(x))
+
+    def test_source_is_stored(self):
+        codelet = compile_codelet(2)
+        assert "def wht_codelet_2(" in codelet.source
+
+    def test_largest_supported_codelet_compiles(self):
+        codelet = compile_codelet(MAX_UNROLLED)
+        x = np.arange(1 << MAX_UNROLLED, dtype=float)
+        work = x.copy()
+        codelet.function(work)
+        assert np.allclose(work, wht_reference(x))

@@ -1,0 +1,126 @@
+"""Tests for base-case codelets and their operation counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wht.codelets import (
+    apply_codelet,
+    apply_codelet_unrolled,
+    codelet_costs,
+    codelet_working_set_bytes,
+    get_unrolled,
+)
+from repro.wht.plan import MAX_UNROLLED
+from repro.wht.transform import wht_matrix, wht_reference
+
+
+class TestCodeletCosts:
+    def test_arithmetic_count_formula(self):
+        for k in range(1, MAX_UNROLLED + 1):
+            costs = codelet_costs(k)
+            assert costs.arithmetic_ops == k * (1 << k)
+            assert costs.additions == costs.subtractions
+
+    def test_memory_count_formula(self):
+        for k in range(1, MAX_UNROLLED + 1):
+            costs = codelet_costs(k)
+            assert costs.loads == 1 << k
+            assert costs.stores == 1 << k
+
+    def test_total_includes_overhead(self):
+        costs = codelet_costs(3)
+        assert costs.total_instructions == (
+            costs.arithmetic_ops + costs.memory_ops + costs.call_overhead
+        )
+
+    def test_overhead_grows_with_size(self):
+        assert codelet_costs(8).call_overhead > codelet_costs(1).call_overhead
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            codelet_costs(MAX_UNROLLED + 1)
+
+    def test_working_set_bytes(self):
+        assert codelet_working_set_bytes(3) == 8 * 8
+        assert codelet_working_set_bytes(3, element_size=4) == 8 * 4
+
+
+class TestApplyCodelet:
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_matches_reference_unit_stride(self, k):
+        rng = np.random.default_rng(k)
+        x = rng.standard_normal(1 << k)
+        expected = wht_reference(x)
+        work = x.copy()
+        apply_codelet(work, k)
+        assert np.allclose(work, expected)
+
+    @pytest.mark.parametrize("k", range(1, 5))
+    @pytest.mark.parametrize("stride", [2, 3, 5])
+    def test_strided_application(self, k, stride):
+        rng = np.random.default_rng(10 * k + stride)
+        size = 1 << k
+        x = rng.standard_normal(size * stride + 3)
+        original = x.copy()
+        apply_codelet(x, k, base=1, stride=stride)
+        # The strided sub-vector is transformed...
+        sub = original[1 : 1 + size * stride : stride]
+        assert np.allclose(x[1 : 1 + size * stride : stride], wht_reference(sub))
+        # ...and everything else is untouched.
+        mask = np.ones(x.shape[0], dtype=bool)
+        mask[1 : 1 + size * stride : stride] = False
+        assert np.array_equal(x[mask], original[mask])
+
+    def test_out_of_bounds_raises(self):
+        x = np.zeros(4)
+        with pytest.raises(IndexError):
+            apply_codelet(x, 3)
+
+    def test_invalid_stride_raises(self):
+        x = np.zeros(8)
+        with pytest.raises(ValueError):
+            apply_codelet(x, 2, stride=0)
+
+    def test_matches_hadamard_matrix(self):
+        for k in range(1, 5):
+            size = 1 << k
+            matrix = wht_matrix(k)
+            for column in range(size):
+                x = np.zeros(size)
+                x[column] = 1.0
+                apply_codelet(x, k)
+                assert np.allclose(x, matrix[:, column])
+
+
+class TestUnrolledCodelets:
+    @pytest.mark.parametrize("k", range(1, 6))
+    def test_unrolled_matches_vectorised(self, k):
+        rng = np.random.default_rng(k)
+        x = rng.standard_normal(1 << k)
+        a = x.copy()
+        b = x.copy()
+        apply_codelet(a, k)
+        apply_codelet_unrolled(b, k)
+        assert np.allclose(a, b)
+
+    def test_unrolled_with_stride(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(16)
+        a = x.copy()
+        b = x.copy()
+        apply_codelet(a, 2, base=1, stride=3)
+        apply_codelet_unrolled(b, 2, base=1, stride=3)
+        assert np.allclose(a, b)
+
+    def test_generated_codelet_is_cached(self):
+        assert get_unrolled(4) is get_unrolled(4)
+
+    @given(k=st.integers(min_value=1, max_value=5), seed=st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_unrolled_equals_reference(self, k, seed):
+        x = np.random.default_rng(seed).standard_normal(1 << k)
+        work = x.copy()
+        apply_codelet_unrolled(work, k)
+        assert np.allclose(work, wht_reference(x))

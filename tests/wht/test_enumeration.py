@@ -1,0 +1,68 @@
+"""Tests for plan-space enumeration and counting."""
+
+import pytest
+
+from repro.wht.enumeration import count_plans, enumerate_plans, growth_ratios
+from repro.wht.plan import validate_plan
+
+
+class TestCountPlans:
+    def test_known_small_counts(self):
+        # With unrolled codelets up to 2^8 every exponent <= 8 may also stop
+        # immediately, giving the sequence below (verified by enumeration).
+        expected = {1: 1, 2: 2, 3: 6, 4: 24, 5: 112, 6: 568, 7: 3032, 8: 16768}
+        for n, value in expected.items():
+            assert count_plans(n) == value
+
+    def test_count_matches_enumeration(self):
+        for n in range(1, 7):
+            assert count_plans(n) == len(list(enumerate_plans(n)))
+
+    def test_max_leaf_one_counts(self):
+        # With only small[1] leaves the count of plans for n=2 and n=3 shrinks.
+        assert count_plans(1, max_leaf=1) == 1
+        assert count_plans(2, max_leaf=1) == 1
+        assert count_plans(3, max_leaf=1) == 3
+
+    def test_monotone_in_max_leaf(self):
+        for n in range(2, 9):
+            assert count_plans(n, max_leaf=1) <= count_plans(n, max_leaf=4) <= count_plans(n)
+
+    def test_growth_is_roughly_seven(self):
+        ratios = growth_ratios(24)
+        # The asymptotic growth constant of the WHT plan space is just below 7;
+        # the ratios increase towards it.
+        assert ratios[-1] > 6.0
+        assert ratios[-1] < 7.2
+        assert ratios[-1] >= ratios[10]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            count_plans(0)
+        with pytest.raises(ValueError):
+            growth_ratios(0)
+
+
+class TestEnumeratePlans:
+    def test_all_plans_distinct_and_valid(self):
+        plans = list(enumerate_plans(5))
+        assert len(plans) == len(set(plans)) == count_plans(5)
+        for plan in plans:
+            validate_plan(plan)
+            assert plan.n == 5
+
+    def test_max_leaf_filter(self):
+        plans = list(enumerate_plans(4, max_leaf=2))
+        assert all(max(p.leaf_exponents()) <= 2 for p in plans)
+        assert len(plans) == count_plans(4, max_leaf=2)
+
+    def test_limit_exceeded_raises(self):
+        with pytest.raises(RuntimeError):
+            list(enumerate_plans(6, limit=10))
+
+    def test_limit_not_reached_is_fine(self):
+        plans = list(enumerate_plans(3, limit=100))
+        assert len(plans) == 6
+
+    def test_deterministic_order(self):
+        assert list(enumerate_plans(4)) == list(enumerate_plans(4))

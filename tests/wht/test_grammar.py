@@ -1,0 +1,88 @@
+"""Tests for the plan grammar (parser and printer)."""
+
+import pytest
+
+from repro.wht.grammar import PlanSyntaxError, parse_plan, plan_to_string
+from repro.wht.plan import Small, Split
+from repro.wht.random_plans import RSUSampler
+
+
+class TestPrinter:
+    def test_small(self):
+        assert plan_to_string(Small(3)) == "small[3]"
+
+    def test_split(self):
+        plan = Split((Small(1), Small(2)))
+        assert plan_to_string(plan) == "split[small[1],small[2]]"
+
+    def test_nested(self):
+        plan = Split((Small(1), Split((Small(2), Small(3)))))
+        assert plan_to_string(plan) == "split[small[1],split[small[2],small[3]]]"
+
+    def test_str_dunder_matches(self):
+        plan = Split((Small(1), Small(2)))
+        assert str(plan) == plan_to_string(plan)
+
+    def test_rejects_non_plan(self):
+        with pytest.raises(TypeError):
+            plan_to_string("small[1]")
+
+
+class TestParser:
+    def test_small(self):
+        assert parse_plan("small[4]") == Small(4)
+
+    def test_split(self):
+        assert parse_plan("split[small[1],small[2]]") == Split((Small(1), Small(2)))
+
+    def test_whitespace_tolerated(self):
+        text = " split[ small[1] ,\n small[2] ] "
+        assert parse_plan(text) == Split((Small(1), Small(2)))
+
+    def test_nested(self):
+        text = "split[split[small[1],small[1]],small[2]]"
+        plan = parse_plan(text)
+        assert plan.n == 4
+        assert plan.composition == (2, 2)
+
+    def test_round_trip_random_plans(self):
+        sampler = RSUSampler()
+        for seed in range(25):
+            plan = sampler.sample(9, seed)
+            assert parse_plan(plan_to_string(plan)) == plan
+
+    def test_error_on_garbage(self):
+        with pytest.raises(PlanSyntaxError):
+            parse_plan("medium[3]")
+
+    def test_error_on_trailing_characters(self):
+        with pytest.raises(PlanSyntaxError):
+            parse_plan("small[3]garbage")
+
+    def test_error_on_missing_bracket(self):
+        with pytest.raises(PlanSyntaxError):
+            parse_plan("split[small[1],small[2]")
+
+    def test_error_on_single_child_split(self):
+        with pytest.raises(PlanSyntaxError):
+            parse_plan("split[small[3]]")
+
+    def test_error_on_oversized_leaf(self):
+        with pytest.raises(PlanSyntaxError):
+            parse_plan("small[9]")
+
+    def test_error_on_empty_string(self):
+        with pytest.raises(PlanSyntaxError):
+            parse_plan("")
+
+    def test_error_on_non_string(self):
+        with pytest.raises(TypeError):
+            parse_plan(42)
+
+    def test_error_position_reported(self):
+        try:
+            parse_plan("split[small[1],medium[2]]")
+        except PlanSyntaxError as exc:
+            assert exc.position > 0
+        else:  # pragma: no cover
+            pytest.fail("expected PlanSyntaxError")

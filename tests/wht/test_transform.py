@@ -1,0 +1,132 @@
+"""Tests for the reference WHT transforms and plan application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wht.canonical import iterative_plan, right_recursive_plan
+from repro.wht.random_plans import random_plan
+from repro.wht.transform import (
+    apply_plan,
+    random_input,
+    wht_inplace,
+    wht_matrix,
+    wht_reference,
+)
+
+
+class TestWHTMatrix:
+    def test_base_cases(self):
+        assert np.array_equal(wht_matrix(0), [[1.0]])
+        assert np.array_equal(wht_matrix(1), [[1.0, 1.0], [1.0, -1.0]])
+
+    def test_entries_are_plus_minus_one(self):
+        matrix = wht_matrix(4)
+        assert set(np.unique(matrix)) == {-1.0, 1.0}
+
+    def test_symmetric(self):
+        matrix = wht_matrix(5)
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_orthogonality(self):
+        n = 4
+        matrix = wht_matrix(n)
+        assert np.allclose(matrix @ matrix.T, (1 << n) * np.eye(1 << n))
+
+    def test_kronecker_structure(self):
+        assert np.array_equal(wht_matrix(3), np.kron(wht_matrix(1), wht_matrix(2)))
+
+
+class TestWHTReference:
+    def test_matches_matrix_product(self):
+        for n in range(0, 7):
+            x = random_input(n, seed=n)
+            assert np.allclose(wht_reference(x), wht_matrix(n) @ x)
+
+    def test_does_not_modify_input(self):
+        x = random_input(5, seed=1)
+        original = x.copy()
+        wht_reference(x)
+        assert np.array_equal(x, original)
+
+    def test_linearity(self):
+        x = random_input(6, seed=2)
+        y = random_input(6, seed=3)
+        assert np.allclose(
+            wht_reference(2.0 * x + y), 2.0 * wht_reference(x) + wht_reference(y)
+        )
+
+    def test_involution_up_to_scale(self):
+        x = random_input(6, seed=4)
+        assert np.allclose(wht_reference(wht_reference(x)), (1 << 6) * x)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            wht_reference(np.zeros(12))
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            wht_reference(np.zeros((4, 4)))
+
+    def test_impulse_gives_constant_row(self):
+        x = np.zeros(8)
+        x[0] = 1.0
+        assert np.allclose(wht_reference(x), np.ones(8))
+
+
+class TestWHTInplace:
+    def test_matches_reference(self):
+        x = random_input(7, seed=5)
+        work = x.copy()
+        wht_inplace(work)
+        assert np.allclose(work, wht_reference(x))
+
+    def test_requires_ndarray(self):
+        with pytest.raises(TypeError):
+            wht_inplace([1.0, 2.0])
+
+    def test_requires_contiguous(self):
+        x = np.zeros(16)[::2]
+        with pytest.raises(ValueError):
+            wht_inplace(x)
+
+
+class TestApplyPlan:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_canonical_plans_match_reference(self, n):
+        x = random_input(n, seed=n)
+        expected = wht_reference(x)
+        assert np.allclose(apply_plan(iterative_plan(n), x), expected)
+        assert np.allclose(apply_plan(right_recursive_plan(n), x), expected)
+
+    def test_random_plans_match_reference(self):
+        for seed in range(10):
+            plan = random_plan(8, rng=seed)
+            x = random_input(8, seed=seed)
+            assert np.allclose(apply_plan(plan, x), wht_reference(x))
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            apply_plan(iterative_plan(4), np.zeros(8))
+
+    def test_input_not_modified(self):
+        x = random_input(6, seed=9)
+        original = x.copy()
+        apply_plan(iterative_plan(6), x)
+        assert np.array_equal(x, original)
+
+    @given(seed=st.integers(0, 10**6), n=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_property_any_rsu_plan_computes_wht(self, seed, n):
+        plan = random_plan(n, rng=seed)
+        x = random_input(n, seed=seed)
+        assert np.allclose(apply_plan(plan, x), wht_reference(x))
+
+
+class TestRandomInput:
+    def test_deterministic_for_seed(self):
+        assert np.array_equal(random_input(5, seed=3), random_input(5, seed=3))
+
+    def test_length(self):
+        assert random_input(6).shape == (64,)
