@@ -10,8 +10,6 @@ we also record the timing difference).
 
 from __future__ import annotations
 
-import numpy as np
-
 from _bench_utils import run_once
 
 from repro.machine.cache import CacheConfig, make_cache

@@ -8,7 +8,6 @@ the speed difference and reports the compression factor on a realistic plan.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.machine.cache import CacheConfig, TwoWayLRUCache

@@ -1,0 +1,68 @@
+"""Execution-backend throughput: serial vs multiprocess vs batched campaigns.
+
+Times one small-size RSU campaign through each
+:class:`repro.runtime.backends.ExecutionBackend` with caching disabled, so the
+numbers compare pure execution strategies on identical work units.  All three
+backends produce bit-identical tables (asserted here against the serial
+reference), so the only thing that varies is throughput:
+
+* ``serial`` is the baseline single-loop execution;
+* ``multiprocess`` pays pool start-up and per-unit IPC, and wins once the
+  campaign is large enough and more than one core is available
+  (``REPRO_SAMPLE_COUNT=2000 pytest benchmarks/bench_backends.py`` to see the
+  crossover);
+* ``batched`` deduplicates the deterministic prepare step across repeated
+  plans — the RSU distribution re-draws common shapes frequently at small
+  sizes, so its advantage grows with the sample count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import run_once
+
+from repro.runtime.backends import BatchedBackend, MultiprocessBackend, SerialBackend
+from repro.runtime.campaigns import run_campaign
+from repro.runtime.store import NullStore
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "multiprocess": MultiprocessBackend,
+    "batched": BatchedBackend,
+}
+
+
+@pytest.fixture(scope="module")
+def reference_table(machine, scale):
+    """The serial-backend table every other backend must reproduce exactly."""
+    return run_campaign(
+        machine,
+        scale.small_size,
+        scale.sample_count,
+        seed=scale.seed,
+        store=NullStore(),
+    )
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKENDS))
+def test_campaign_backend_throughput(benchmark, machine, scale, reference_table, backend_name):
+    backend = BACKENDS[backend_name]()
+    table = run_once(
+        benchmark,
+        run_campaign,
+        machine,
+        scale.small_size,
+        scale.sample_count,
+        seed=scale.seed,
+        backend=backend,
+        store=NullStore(),
+    )
+    assert table.plans == reference_table.plans
+    for name in table.columns:
+        assert np.array_equal(table.columns[name], reference_table.columns[name])
+    print(
+        f"\n{backend_name}: {len(table)} samples of 2^{scale.small_size} "
+        f"on {machine.config.name!r}, bit-identical to serial"
+    )

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from _bench_utils import run_once
 
-from repro.analysis.pearson import pearson_correlation
 from repro.experiments import paper_values
 from repro.experiments.report import render_scatter_figure
 

@@ -2,7 +2,10 @@
 
 Run with::
 
-    python examples/correlation_study.py [samples]
+    python examples/correlation_study.py [samples] [backend]
+
+where ``backend`` is ``serial`` (default), ``multiprocess`` or ``batched``;
+every backend produces bit-identical campaign tables.
 
 This reproduces the paper's Section 3/4 methodology at reduced sample count
 (default 150 random algorithms per size instead of 10,000): it measures a
@@ -18,16 +21,17 @@ from __future__ import annotations
 import sys
 import time
 
+import repro
 from repro.config import default_scale
-from repro.experiments import ExperimentSuite
-from repro.machine import default_machine
 
 
-def main(samples: int = 150) -> None:
+def main(samples: int = 150, backend: str = "serial") -> None:
     scale = default_scale().with_samples(samples)
-    suite = ExperimentSuite(machine=default_machine(), scale=scale)
+    sess = repro.session(machine="default", scale=scale, backend=backend)
+    suite = sess.suite()
     start = time.perf_counter()
 
+    print(f"Session : {sess.describe()}")
     print(f"Machine : {suite.machine.config.describe()}")
     print(f"Scale   : {scale.describe()}\n")
 
@@ -51,4 +55,7 @@ def main(samples: int = 150) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 150,
+        backend=sys.argv[2] if len(sys.argv) > 2 else "serial",
+    )

@@ -1,26 +1,26 @@
-"""Quickstart: plans, transforms, measurements and models in five minutes.
+"""Quickstart: sessions, plans, campaigns and models in five minutes.
 
 Run with::
 
     python examples/quickstart.py
 
-The script walks through the core objects of the library in the order a new
-user meets them: build WHT plans (split trees), check they all compute the
-same transform, measure them on the simulated machine, and evaluate the
-analytic models the paper builds its search-pruning argument on.
+The script walks through the library in the order a new user meets it: open a
+:func:`repro.session` (the single entry point owning machine, scale, execution
+backend and campaign store), build WHT plans, check they all compute the same
+transform, measure them through the session, run a measurement campaign, and
+evaluate the analytic models the paper builds its search-pruning argument on.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.machine import default_machine
+import repro
 from repro.models import CacheMissModel, InstructionCountModel
 from repro.wht import (
     iterative_plan,
     left_recursive_plan,
     parse_plan,
-    random_plans,
     right_recursive_plan,
 )
 from repro.wht.transform import apply_plan, random_input, wht_reference
@@ -29,7 +29,15 @@ from repro.wht.transform import apply_plan, random_input, wht_reference
 def main() -> None:
     n = 10  # transform size 2^10 = 1024
 
-    # 1. Plans are split trees; the canonical algorithms are one-liners and
+    # 1. A session bundles the simulated machine, the experiment scale, an
+    #    execution backend and a campaign store.  Presets cover the common
+    #    cases; pass backend="multiprocess" to fan campaigns out across
+    #    worker processes, or store="./campaigns" to persist completed
+    #    campaigns to disk so later runs skip re-measurement.
+    sess = repro.session(machine="default", scale="default", backend="serial")
+    print(sess.describe())
+
+    # 2. Plans are split trees; the canonical algorithms are one-liners and
     #    arbitrary algorithms can be parsed from the WHT package's syntax.
     plans = {
         "iterative": iterative_plan(n),
@@ -37,27 +45,37 @@ def main() -> None:
         "left recursive": left_recursive_plan(n),
         "custom": parse_plan("split[small[4],split[small[3],small[3]]]"),
     }
-    print("Plans under study:")
+    print("\nPlans under study:")
     for name, plan in plans.items():
         print(f"  {name:16s} {plan}")
 
-    # 2. Every plan computes the same Walsh–Hadamard transform.
+    # 3. Every plan computes the same Walsh–Hadamard transform.
     x = random_input(n, seed=42)
     reference = wht_reference(x)
     for name, plan in plans.items():
         assert np.allclose(apply_plan(plan, x), reference), name
     print("\nAll plans agree with the reference transform.")
 
-    # 3. The simulated machine plays the role of the paper's Opteron + PAPI.
-    machine = default_machine()
-    print(f"\nMachine: {machine.config.describe()}")
-    print(f"{'plan':16s} {'instructions':>14s} {'L1 misses':>10s} {'cycles':>12s}")
-    for name, plan in plans.items():
-        m = machine.measure(plan)
-        print(f"{name:16s} {m.instructions:>14d} {m.l1_misses:>10d} {m.cycles:>12.0f}")
+    # 4. The session measures plans on its machine (the paper's Opteron+PAPI
+    #    stand-in); one table row per plan.
+    table = sess.measure_plans(plans.values())
+    print(f"\n{'plan':16s} {'instructions':>14s} {'L1 misses':>10s} {'cycles':>12s}")
+    for name, instructions, misses, cycles in zip(
+        plans, table.instructions, table.l1_misses, table.cycles
+    ):
+        print(f"{name:16s} {instructions:>14.0f} {misses:>10.0f} {cycles:>12.0f}")
 
-    # 4. The analytic models give the same instruction counts without running
+    # 5. Campaigns are the paper's random-sampling methodology: RSU-random
+    #    plans measured through the session's backend and cached in its
+    #    store.  (This is what sess.run_all() builds every figure from.)
+    campaign = sess.campaign(n, 5)
+    print("\nFive RSU-random plans and their measured cycles:")
+    for plan, cycles in zip(campaign.plans, campaign.cycles):
+        print(f"  {cycles:>12.0f}  {plan}")
+
+    # 6. The analytic models give instruction counts without running
     #    anything, and a cache-miss estimate from the plan structure alone.
+    machine = sess.machine
     instruction_model = InstructionCountModel(machine.config.instruction_model)
     miss_model = CacheMissModel.from_machine_config(machine.config)
     print("\nAnalytic models (no execution):")
@@ -68,11 +86,9 @@ def main() -> None:
             f"{miss_model.misses(plan):>14d}"
         )
 
-    # 5. Random algorithms from the paper's sampling distribution.
-    sample = random_plans(n, 5, rng=0)
-    print("\nFive RSU-random plans and their measured cycles:")
-    for plan in sample:
-        print(f"  {machine.measure(plan).cycles:>12.0f}  {plan}")
+    # 7. The DP search the WHT package uses to find its best algorithm:
+    best = sess.search(n)
+    print(f"\nDP-best plan at 2^{n}: {best.best_plan} ({best.best_cost:.0f} cycles)")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,24 @@ figure.
 
 Quickstart
 ----------
+The single entry point for running the paper's evaluation is
+:func:`repro.session`, which bundles a machine, an experiment scale, an
+execution backend and a campaign store:
+
+>>> import repro
+>>> sess = repro.session(machine="default", scale="default", backend="serial")
+>>> table = sess.small_table()          # one measurement campaign
+>>> results = sess.run_all()            # all eleven paper figures
+>>> best = sess.search(10)              # DP-best plan on this machine
+
+Campaigns fan out across worker processes with ``backend="multiprocess"`` and
+deduplicate repeated plans with ``backend="batched"`` — every backend
+produces bit-identical tables.  Passing ``store="./campaigns"`` persists
+completed campaigns as JSON so later processes (figure reruns, CI) complete
+the same campaigns via cache hits instead of re-measuring.
+
+Lower-level objects remain available for direct use:
+
 >>> from repro import wht, machine, models
 >>> plan = wht.right_recursive_plan(10)
 >>> mach = machine.default_machine()
@@ -19,7 +37,7 @@ Quickstart
 >>> models.instruction_count(plan)  # analytic, no execution needed
 """
 
-from repro import analysis, config, experiments, machine, models, search, util, wht
+from repro import analysis, config, experiments, machine, models, runtime, search, util, wht
 from repro.config import ExperimentScale, ci_scale, default_scale, paper_scale
 from repro.machine import Measurement, SimulatedMachine, default_machine
 from repro.models import (
@@ -28,6 +46,18 @@ from repro.models import (
     InstructionCountModel,
     instruction_count,
     optimize_combined_model,
+)
+from repro.runtime import (
+    BatchedBackend,
+    CampaignStore,
+    DiskStore,
+    ExecutionBackend,
+    MeasurementTable,
+    MemoryStore,
+    MultiprocessBackend,
+    SerialBackend,
+    Session,
+    session,
 )
 from repro.wht import (
     Plan,
@@ -40,7 +70,7 @@ from repro.wht import (
     right_recursive_plan,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -48,6 +78,7 @@ __all__ = [
     "experiments",
     "machine",
     "models",
+    "runtime",
     "search",
     "util",
     "wht",
@@ -63,6 +94,16 @@ __all__ = [
     "InstructionCountModel",
     "instruction_count",
     "optimize_combined_model",
+    "Session",
+    "session",
+    "ExecutionBackend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "BatchedBackend",
+    "CampaignStore",
+    "MemoryStore",
+    "DiskStore",
+    "MeasurementTable",
     "Plan",
     "Small",
     "Split",

@@ -1,171 +1,53 @@
-"""Measurement campaigns: random samples of plans run through the machine.
+"""Measurement campaigns — legacy surface over :mod:`repro.runtime`.
 
-A campaign is the reproduction's analogue of the paper's "10,000 random
-samples of size 2^9 / 2^18 measured with PAPI": draw plans from the RSU
-distribution, measure each one on the simulated machine, and collect the
-counters into a column-oriented :class:`MeasurementTable`.
+The campaign machinery now lives in the runtime layer: plans-to-work-units in
+:mod:`repro.runtime.campaigns`, execution in :mod:`repro.runtime.backends`,
+result durability in :mod:`repro.runtime.store`, and the table type in
+:mod:`repro.runtime.table`.  This module keeps the historical import surface
+working:
 
-Campaigns are deterministic given (machine configuration, size, sample count,
-seed): each sample's cycle-noise draw uses a seed derived from the campaign
-seed and the sample index, so the same table is produced regardless of
-execution order or interleaving with other campaigns.  Completed campaigns are
-cached in-process because several figures share the same underlying sample
-(Figures 5, 7, 8, 9 and 11 all analyse the large-size campaign).
+* :class:`MeasurementTable` and ``TABLE_COLUMNS`` are re-exported unchanged;
+* :class:`SampleCampaign` is a deprecation shim that delegates to the runtime
+  (serial backend, shared in-process store) — new code should use
+  :func:`repro.session` instead;
+* :func:`clear_campaign_cache` clears the shared in-process store.
+
+The old cache keyed on ``(machine name, noise sigma, ...)`` and therefore
+confused two machines sharing a name but differing in cache geometry or
+instruction weights; the runtime store keys on a content hash of the *full*
+machine configuration, so that collision is gone.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
-
-import numpy as np
+import warnings
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.machine.machine import SimulatedMachine
-from repro.machine.measurement import Measurement
-from repro.util.rng import RandomState, as_generator, derive_seed
-from repro.util.validation import check_positive_int
+from repro.runtime.campaigns import campaign_key, measure_plan_list, run_campaign
+from repro.runtime.store import CampaignKey, NullStore, default_memory_store
+from repro.runtime.table import TABLE_COLUMNS, MeasurementTable
 from repro.wht.plan import MAX_UNROLLED, Plan
 from repro.wht.random_plans import RSUSampler
 
-__all__ = ["MeasurementTable", "SampleCampaign", "clear_campaign_cache"]
-
-#: Column names exposed by :class:`MeasurementTable`.
-TABLE_COLUMNS = (
-    "cycles",
-    "instructions",
-    "l1_misses",
-    "l2_misses",
-    "l1_accesses",
-    "loads",
-    "stores",
-    "arithmetic_ops",
-)
-
-
-@dataclass(frozen=True)
-class MeasurementTable:
-    """Column-oriented view of a list of measurements."""
-
-    n: int
-    plans: tuple[Plan, ...]
-    columns: dict[str, np.ndarray]
-    machine: str = "default"
-
-    def __post_init__(self) -> None:
-        for name, column in self.columns.items():
-            if column.shape[0] != len(self.plans):
-                raise ValueError(
-                    f"column {name!r} has {column.shape[0]} rows for "
-                    f"{len(self.plans)} plans"
-                )
-
-    # -- construction ------------------------------------------------------------
-
-    @classmethod
-    def from_measurements(cls, measurements: Sequence[Measurement]) -> "MeasurementTable":
-        """Build a table from a nonempty measurement list (all of one size)."""
-        if not measurements:
-            raise ValueError("cannot build a table from zero measurements")
-        sizes = {m.n for m in measurements}
-        if len(sizes) != 1:
-            raise ValueError(f"measurements mix transform sizes: {sorted(sizes)}")
-        columns = {
-            "cycles": np.array([m.cycles for m in measurements], dtype=float),
-            "instructions": np.array([m.instructions for m in measurements], dtype=float),
-            "l1_misses": np.array([m.l1_misses for m in measurements], dtype=float),
-            "l2_misses": np.array([m.l2_misses for m in measurements], dtype=float),
-            "l1_accesses": np.array([m.l1_accesses for m in measurements], dtype=float),
-            "loads": np.array([m.loads for m in measurements], dtype=float),
-            "stores": np.array([m.stores for m in measurements], dtype=float),
-            "arithmetic_ops": np.array([m.arithmetic_ops for m in measurements], dtype=float),
-        }
-        return cls(
-            n=measurements[0].n,
-            plans=tuple(m.plan for m in measurements),
-            columns=columns,
-            machine=measurements[0].machine,
-        )
-
-    # -- access ------------------------------------------------------------------
-
-    def __len__(self) -> int:
-        return len(self.plans)
-
-    def column(self, name: str) -> np.ndarray:
-        """One column by name (see ``TABLE_COLUMNS``)."""
-        try:
-            return self.columns[name]
-        except KeyError as exc:
-            raise KeyError(
-                f"unknown column {name!r}; available: {sorted(self.columns)}"
-            ) from exc
-
-    @property
-    def cycles(self) -> np.ndarray:
-        """Simulated cycle counts."""
-        return self.columns["cycles"]
-
-    @property
-    def instructions(self) -> np.ndarray:
-        """Retired instruction counts."""
-        return self.columns["instructions"]
-
-    @property
-    def l1_misses(self) -> np.ndarray:
-        """L1 data-cache miss counts."""
-        return self.columns["l1_misses"]
-
-    @property
-    def l2_misses(self) -> np.ndarray:
-        """L2 data-cache miss counts."""
-        return self.columns["l2_misses"]
-
-    def filtered(self, mask: np.ndarray) -> "MeasurementTable":
-        """A new table containing only the rows where ``mask`` is True."""
-        mask = np.asarray(mask, dtype=bool)
-        if mask.shape[0] != len(self.plans):
-            raise ValueError(
-                f"mask of length {mask.shape[0]} does not match table of length "
-                f"{len(self.plans)}"
-            )
-        return MeasurementTable(
-            n=self.n,
-            plans=tuple(p for p, keep in zip(self.plans, mask) if keep),
-            columns={name: col[mask] for name, col in self.columns.items()},
-            machine=self.machine,
-        )
-
-    def combined_model_values(self, alpha: float, beta: float) -> np.ndarray:
-        """The paper's combined metric for every row."""
-        return alpha * self.instructions + beta * self.l1_misses
-
-    def best_row(self) -> int:
-        """Index of the row with the fewest cycles."""
-        return int(np.argmin(self.cycles))
-
-    def as_dict(self) -> dict:
-        """Plain-Python view (plans rendered as strings) for serialisation."""
-        return {
-            "n": self.n,
-            "machine": self.machine,
-            "plans": [str(p) for p in self.plans],
-            "columns": {name: col.tolist() for name, col in self.columns.items()},
-        }
-
-
-# In-process cache of completed campaigns, keyed by
-# (machine name, noise sigma, n, count, seed, max_leaf, max_children).
-_CAMPAIGN_CACHE: dict[tuple, MeasurementTable] = {}
+__all__ = ["MeasurementTable", "SampleCampaign", "clear_campaign_cache", "TABLE_COLUMNS"]
 
 
 def clear_campaign_cache() -> None:
     """Drop all cached campaign tables (used by tests and the benchmarks)."""
-    _CAMPAIGN_CACHE.clear()
+    default_memory_store().clear()
 
 
 @dataclass
 class SampleCampaign:
-    """Runs RSU random samples through a simulated machine."""
+    """Runs RSU random samples through a simulated machine.
+
+    .. deprecated::
+        ``SampleCampaign`` is a compatibility shim over the runtime layer;
+        use ``repro.session(...)`` for new code, which additionally supports
+        multiprocess/batched execution and persistent stores.
+    """
 
     machine: SimulatedMachine
     seed: int = 20070122
@@ -173,47 +55,44 @@ class SampleCampaign:
     max_children: int | None = None
     use_cache: bool = True
 
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "SampleCampaign is deprecated; use repro.session(...) which adds "
+            "pluggable execution backends and persistent campaign stores",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def _store(self):
+        return default_memory_store() if self.use_cache else NullStore()
+
     def sampler(self) -> RSUSampler:
         """The RSU sampler used for plan generation."""
         return RSUSampler(max_leaf=self.max_leaf, max_children=self.max_children)
 
-    def _cache_key(self, n: int, count: int) -> tuple:
-        return (
-            self.machine.config.name,
-            self.machine.config.cycle_model.noise_sigma,
+    def _cache_key(self, n: int, count: int) -> CampaignKey:
+        """The store key for one campaign (full machine-config hash)."""
+        return campaign_key(
+            self.machine,
             n,
             count,
             self.seed,
-            self.max_leaf,
-            self.max_children,
+            max_leaf=self.max_leaf,
+            max_children=self.max_children,
         )
 
     def run(self, n: int, count: int) -> MeasurementTable:
         """Measure ``count`` RSU samples of size ``2^n``."""
-        check_positive_int(n, "n")
-        check_positive_int(count, "count")
-        key = self._cache_key(n, count)
-        if self.use_cache and key in _CAMPAIGN_CACHE:
-            return _CAMPAIGN_CACHE[key]
-        plan_rng = as_generator(derive_seed(self.seed, "plans", n, count))
-        sampler = self.sampler()
-        measurements: list[Measurement] = []
-        for index in range(count):
-            plan = sampler.sample(n, plan_rng)
-            noise_rng = as_generator(derive_seed(self.seed, "noise", n, index))
-            measurements.append(self.machine.measure(plan, rng=noise_rng))
-        table = MeasurementTable.from_measurements(measurements)
-        if self.use_cache:
-            _CAMPAIGN_CACHE[key] = table
-        return table
+        return run_campaign(
+            self.machine,
+            n,
+            count,
+            seed=self.seed,
+            max_leaf=self.max_leaf,
+            max_children=self.max_children,
+            store=self._store(),
+        )
 
     def measure_plans(self, plans: Iterable[Plan], tag: str = "explicit") -> MeasurementTable:
         """Measure an explicit list of plans (all of one size)."""
-        plan_list = list(plans)
-        if not plan_list:
-            raise ValueError("measure_plans requires at least one plan")
-        measurements = []
-        for index, plan in enumerate(plan_list):
-            noise_rng = as_generator(derive_seed(self.seed, tag, plan.n, index))
-            measurements.append(self.machine.measure(plan, rng=noise_rng))
-        return MeasurementTable.from_measurements(measurements)
+        return measure_plan_list(self.machine, plans, seed=self.seed, tag=tag)

@@ -12,7 +12,7 @@ canonical algorithm's metric to the best algorithm's metric:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import math

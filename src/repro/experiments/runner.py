@@ -1,22 +1,33 @@
 """Top-level experiment orchestration.
 
-:class:`ExperimentSuite` owns one simulated machine and one experiment scale,
-lazily builds the shared measurement campaigns, and exposes one method per
-paper figure.  ``run_all`` executes everything and ``render_report`` /
+:class:`ExperimentSuite` is the figure layer of the reproduction: one method
+per paper figure, plus report rendering.  Campaigns, canonical sweeps and
+caching are delegated to a :class:`repro.runtime.session.Session`, which owns
+the machine, the scale, the execution backend and the campaign store.  A
+suite can be built two ways:
+
+* ``ExperimentSuite(machine=..., scale=...)`` — the historical constructor;
+  it creates an internal session with the serial backend and the shared
+  in-process store, so existing code behaves exactly as before.
+* ``ExperimentSuite.from_session(session)`` (or ``session.suite()``) — bind
+  the suite to an explicit session, inheriting its backend and store.
+
+``run_all`` executes everything and ``render_report`` /
 ``write_experiments_report`` produce the text that EXPERIMENTS.md is built
 from.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+import warnings
+from dataclasses import dataclass
+from typing import Any
 
 from repro.config import ExperimentScale, default_scale
 from repro.experiments import paper_values
 from repro.experiments.alphabeta import alphabeta_surface
 from repro.experiments.campaign import MeasurementTable, SampleCampaign
-from repro.experiments.canonical import CanonicalSweep, canonical_sweep
+from repro.experiments.canonical import CanonicalSweep
 from repro.experiments.correlation_table import CorrelationTable, correlation_table
 from repro.experiments.histograms import (
     LARGE_SIZE_METRICS,
@@ -39,6 +50,9 @@ from repro.experiments.theory_table import TheoryTable, theory_table
 from repro.machine.configs import default_machine
 from repro.machine.machine import SimulatedMachine
 from repro.machine.measurement import Measurement
+from repro.runtime.backends import SerialBackend
+from repro.runtime.session import Session
+from repro.runtime.store import default_memory_store
 from repro.models.combined import CombinedModel, CorrelationSurface
 from repro.analysis.scatter import ScatterData
 from repro.wht.canonical import canonical_plans
@@ -50,48 +64,76 @@ __all__ = ["ExperimentSuite"]
 class ExperimentSuite:
     """All of the paper's experiments against one machine and scale."""
 
-    machine: SimulatedMachine = field(default_factory=default_machine)
-    scale: ExperimentScale = field(default_factory=default_scale)
+    #: Machine and scale; ``None`` means "the default" (or, when a session is
+    #: given, "inherit from the session").
+    machine: SimulatedMachine | None = None
+    scale: ExperimentScale | None = None
     dp_max_children: int | None = 2
+    #: The runtime session the suite delegates campaigns and sweeps to.  When
+    #: omitted, a serial session over the shared in-process store is built
+    #: (the historical behaviour).
+    session: Session | None = None
 
     def __post_init__(self) -> None:
-        self._campaign = SampleCampaign(self.machine, seed=self.scale.seed)
-        self._small_table: MeasurementTable | None = None
-        self._large_table: MeasurementTable | None = None
-        self._sweep: CanonicalSweep | None = None
+        if self.session is None:
+            if self.machine is None:
+                self.machine = default_machine()
+            if self.scale is None:
+                self.scale = default_scale()
+            self.session = Session(
+                machine=self.machine,
+                scale=self.scale,
+                backend=SerialBackend(),
+                store=default_memory_store(),
+                dp_max_children=self.dp_max_children,
+            )
+        else:
+            # A session fully determines machine/scale/dp settings; passing a
+            # *different* machine or scale alongside it would silently run the
+            # figures on the session's values, so reject the conflict.
+            if self.machine is not None and self.machine is not self.session.machine:
+                raise ValueError(
+                    "conflicting arguments: the given machine is not the "
+                    "session's machine; pass only session= (or only machine=)"
+                )
+            if self.scale is not None and self.scale != self.session.scale:
+                raise ValueError(
+                    "conflicting arguments: the given scale differs from the "
+                    "session's scale; pass only session= (or only scale=)"
+                )
+            self.machine = self.session.machine
+            self.scale = self.session.scale
+            self.dp_max_children = self.session.dp_max_children
+        self._legacy_campaign: SampleCampaign | None = None
         self._references: dict[int, dict[str, Measurement]] = {}
+
+    @classmethod
+    def from_session(cls, session: Session) -> "ExperimentSuite":
+        """The figure suite bound to an existing runtime session."""
+        return cls(session=session)
 
     # -- shared data -------------------------------------------------------------
 
     @property
     def campaign(self) -> SampleCampaign:
-        """The campaign runner shared by all figures."""
-        return self._campaign
+        """Legacy campaign runner (prefer ``self.session`` for new code)."""
+        if self._legacy_campaign is None:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                self._legacy_campaign = SampleCampaign(self.machine, seed=self.scale.seed)
+        return self._legacy_campaign
 
     def small_table(self) -> MeasurementTable:
         """The in-cache random-sample campaign (paper size 2^9)."""
-        if self._small_table is None:
-            self._small_table = self._campaign.run(
-                self.scale.small_size, self.scale.sample_count
-            )
-        return self._small_table
+        return self.session.small_table()
 
     def large_table(self) -> MeasurementTable:
         """The out-of-cache random-sample campaign (paper size 2^18)."""
-        if self._large_table is None:
-            self._large_table = self._campaign.run(
-                self.scale.large_size, self.scale.sample_count
-            )
-        return self._large_table
+        return self.session.large_table()
 
     def sweep(self) -> CanonicalSweep:
         """Canonical + DP-best measurements across the Figure 1–3 sizes."""
-        if self._sweep is None:
-            sizes = range(1, self.scale.canonical_max_size + 1)
-            self._sweep = canonical_sweep(
-                self.machine, sizes, dp_max_children=self.dp_max_children
-            )
-        return self._sweep
+        return self.session.canonical_sweep()
 
     def references(self, n: int) -> dict[str, Measurement]:
         """Canonical + best measurements at one size (scatter plot markers)."""

@@ -33,7 +33,7 @@ from repro.machine.trace import MemoryTrace, trace_from_nests
 from repro.machine.cpu import CycleModel, InstructionCostModel
 from repro.machine.measurement import Measurement
 from repro.machine.counters import PAPI_EVENTS, CounterSet, counters_from_measurement
-from repro.machine.machine import MachineConfig, SimulatedMachine
+from repro.machine.machine import MachineConfig, PreparedPlan, SimulatedMachine
 from repro.machine.configs import (
     default_machine,
     default_machine_config,
@@ -62,6 +62,7 @@ __all__ = [
     "CounterSet",
     "counters_from_measurement",
     "MachineConfig",
+    "PreparedPlan",
     "SimulatedMachine",
     "default_machine",
     "default_machine_config",

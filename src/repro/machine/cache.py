@@ -21,12 +21,12 @@ All simulators implement the same small interface (``access``, ``simulate``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 import numpy as np
 
-from repro.util.validation import check_positive_int, check_power_of_two
+from repro.util.validation import check_power_of_two
 
 __all__ = [
     "CacheConfig",

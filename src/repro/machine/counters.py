@@ -9,7 +9,7 @@ interest, ``start`` it, run a plan, ``stop`` it and read the counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Mapping
+from typing import TYPE_CHECKING
 
 from repro.machine.measurement import Measurement
 from repro.wht.plan import Plan

@@ -21,12 +21,9 @@ hierarchy's miss counts into the quantities the paper measures with PAPI:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.util.rng import RandomState, as_generator
-from repro.wht.codelets import codelet_costs
 from repro.wht.interpreter import ExecutionStats
 
 __all__ = ["InstructionCostModel", "CycleModel", "InstructionBreakdown"]

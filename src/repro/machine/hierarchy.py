@@ -12,12 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.machine.cache import (
     CacheConfig,
     CacheSimulator,
-    CacheStatistics,
     make_cache,
 )
 from repro.machine.trace import MemoryTrace, collapse_consecutive

@@ -22,10 +22,10 @@ from repro.machine.measurement import Measurement
 from repro.machine.trace import DEFAULT_ELEMENT_SIZE, trace_from_nests
 from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_positive_int
-from repro.wht.interpreter import PlanInterpreter
+from repro.wht.interpreter import ExecutionStats, PlanInterpreter
 from repro.wht.plan import Plan
 
-__all__ = ["MachineConfig", "SimulatedMachine"]
+__all__ = ["MachineConfig", "PreparedPlan", "SimulatedMachine"]
 
 
 @dataclass(frozen=True)
@@ -78,6 +78,22 @@ class MachineConfig:
         )
 
 
+@dataclass(frozen=True)
+class PreparedPlan:
+    """The deterministic half of a measurement: profile and cache statistics.
+
+    Interpreting the plan, expanding the trace and simulating the cache
+    hierarchy are pure functions of (plan, machine configuration); only the
+    cycle-noise draw varies between repeated measurements of the same plan.
+    Splitting the two lets batched execution amortise the expensive half
+    across work units that share a plan while keeping exact result parity.
+    """
+
+    plan: Plan
+    stats: ExecutionStats
+    hierarchy_stats: HierarchyStatistics
+
+
 class SimulatedMachine:
     """Execution-driven simulator producing PAPI-style measurements."""
 
@@ -91,6 +107,26 @@ class SimulatedMachine:
 
     # -- measurement -----------------------------------------------------------
 
+    def prepare(self, plan: Plan) -> PreparedPlan:
+        """Profile ``plan`` and simulate the caches (the deterministic part)."""
+        stats, nests = self._interpreter.profile(plan, record_trace=True)
+        if nests is None:
+            raise RuntimeError(
+                "plan interpreter returned no leaf nests despite record_trace=True; "
+                "cannot generate a memory trace"
+            )
+        trace = trace_from_nests(nests, element_size=self.config.element_size)
+        hierarchy_stats = self.hierarchy.process_trace(trace)
+        return PreparedPlan(plan=plan, stats=stats, hierarchy_stats=hierarchy_stats)
+
+    def measure_prepared(self, prepared: PreparedPlan, rng: RandomState = None) -> Measurement:
+        """Turn a :class:`PreparedPlan` into a measurement (noise draw included).
+
+        ``measure(plan, rng=r)`` and ``measure_prepared(prepare(plan), rng=r)``
+        produce bit-identical measurements.
+        """
+        return self._assemble(prepared.plan, prepared.stats, prepared.hierarchy_stats, rng)
+
     def measure(self, plan: Plan, rng: RandomState = None) -> Measurement:
         """Run ``plan`` once on cold caches and return the full measurement.
 
@@ -98,11 +134,7 @@ class SimulatedMachine:
         which lets campaigns make every sample reproducible independently of
         execution order.
         """
-        stats, nests = self._interpreter.profile(plan, record_trace=True)
-        assert nests is not None
-        trace = trace_from_nests(nests, element_size=self.config.element_size)
-        hierarchy_stats = self.hierarchy.process_trace(trace)
-        return self._assemble(plan, stats, hierarchy_stats, rng)
+        return self.measure_prepared(self.prepare(plan), rng=rng)
 
     def measure_instructions_only(self, plan: Plan) -> int:
         """Retired-instruction count without simulating the caches (fast)."""

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from dataclasses import dataclass
+from typing import Any
 
 from repro.machine.cpu import InstructionBreakdown
 from repro.wht.interpreter import ExecutionStats

@@ -30,8 +30,6 @@ space possible.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.machine.cache import CacheConfig
 from repro.machine.machine import MachineConfig
 from repro.util.validation import check_positive_int

@@ -25,7 +25,6 @@ from repro.machine.cpu import InstructionCostModel
 from repro.models.instruction_count import instruction_count
 from repro.util.compositions import compositions
 from repro.util.validation import check_positive_int
-from repro.wht.canonical import iterative_plan, left_recursive_plan
 from repro.wht.enumeration import count_plans, growth_ratios
 from repro.wht.plan import MAX_UNROLLED, Plan, Small, Split
 

@@ -1,0 +1,76 @@
+"""Execution runtime: backends, campaign stores and the session façade.
+
+This subpackage separates *what* is measured (plans, seeds, machine
+configurations) from *how and where* it executes and *where the results
+live*:
+
+* :mod:`repro.runtime.table` — :class:`MeasurementTable`, the durable
+  column-oriented result of a campaign (exact ``as_dict``/``from_dict``
+  round-trip);
+* :mod:`repro.runtime.backends` — the :class:`ExecutionBackend` protocol and
+  the serial / multiprocess / batched implementations, all bit-identical for
+  the same work units;
+* :mod:`repro.runtime.store` — the :class:`CampaignStore` protocol with
+  in-memory and on-disk implementations, keyed by a content hash of the full
+  machine configuration;
+* :mod:`repro.runtime.campaigns` — the deterministic campaign driver that
+  samples plans, derives per-sample noise seeds and routes work units through
+  a backend and a store;
+* :mod:`repro.runtime.session` — :class:`Session` / :func:`session`, the
+  fluent top-level entry point owning machine, scale, backend and store.
+"""
+
+from repro.runtime.backends import (
+    BACKEND_PRESETS,
+    BatchedBackend,
+    ExecutionBackend,
+    MultiprocessBackend,
+    SerialBackend,
+    WorkUnit,
+    resolve_backend,
+)
+from repro.runtime.campaigns import (
+    campaign_key,
+    measure_plan_list,
+    run_campaign,
+    sample_units,
+)
+from repro.runtime.session import SCALE_PRESETS, Session, session
+from repro.runtime.store import (
+    CampaignKey,
+    CampaignStore,
+    DiskStore,
+    MemoryStore,
+    NullStore,
+    default_memory_store,
+    machine_config_hash,
+    resolve_store,
+)
+from repro.runtime.table import TABLE_COLUMNS, MeasurementTable
+
+__all__ = [
+    "WorkUnit",
+    "ExecutionBackend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "BatchedBackend",
+    "BACKEND_PRESETS",
+    "resolve_backend",
+    "campaign_key",
+    "sample_units",
+    "run_campaign",
+    "measure_plan_list",
+    "Session",
+    "session",
+    "SCALE_PRESETS",
+    "CampaignKey",
+    "CampaignStore",
+    "MemoryStore",
+    "DiskStore",
+    "NullStore",
+    "default_memory_store",
+    "machine_config_hash",
+    "resolve_store",
+    "TABLE_COLUMNS",
+    "MeasurementTable",
+]

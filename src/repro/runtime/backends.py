@@ -1,0 +1,208 @@
+"""Pluggable execution backends for measurement campaigns.
+
+A campaign is a list of :class:`WorkUnit`\\ s — ``(plan, noise_seed)`` pairs —
+measured against one machine.  Because every unit carries its own noise seed
+(derived from the campaign seed and the sample index), the resulting
+measurements are independent of execution order and of *where* they execute,
+so all backends are guaranteed to produce bit-identical results:
+
+* :class:`SerialBackend` — the reference: one Python loop over the units on
+  the caller's machine instance.
+* :class:`MultiprocessBackend` — fans the units out across worker processes
+  with :mod:`concurrent.futures`; each worker rebuilds the machine from its
+  :class:`~repro.machine.machine.MachineConfig` once and measures its share.
+* :class:`BatchedBackend` — amortises the deterministic half of a measurement
+  (plan interpretation, trace expansion, cache simulation) across units that
+  share a plan.  RSU samples at small sizes re-draw common shapes frequently,
+  so deduplicating the prepare step is a large win there; only the per-unit
+  cycle-noise draw is recomputed.
+
+Backends receive the *caller's* :class:`SimulatedMachine` so that serial and
+batched execution reuse its interpreter and hierarchy (and respect
+monkeypatched machines in tests); the multiprocess backend ships only the
+picklable configuration to its workers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.machine.machine import MachineConfig, PreparedPlan, SimulatedMachine
+from repro.machine.measurement import Measurement
+from repro.util.validation import check_positive_int
+from repro.wht.plan import Plan
+
+__all__ = [
+    "WorkUnit",
+    "ExecutionBackend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "BatchedBackend",
+    "BACKEND_PRESETS",
+    "resolve_backend",
+]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One campaign sample: a plan plus the seed of its cycle-noise draw.
+
+    ``noise_seed`` of ``None`` defers to the machine's own generator (not
+    reproducible across backends; campaigns always provide explicit seeds).
+    """
+
+    plan: Plan
+    noise_seed: int | None = None
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """How and where a list of work units is measured."""
+
+    #: Short identifier used in reports and benchmarks.
+    name: str
+
+    def measure_units(
+        self, machine: SimulatedMachine, units: Sequence[WorkUnit]
+    ) -> list[Measurement]:
+        """Measure every unit against ``machine``, preserving unit order."""
+        ...
+
+
+class SerialBackend:
+    """Reference backend: measure units one after another, in order."""
+
+    name = "serial"
+
+    def measure_units(
+        self, machine: SimulatedMachine, units: Sequence[WorkUnit]
+    ) -> list[Measurement]:
+        return [machine.measure(unit.plan, rng=unit.noise_seed) for unit in units]
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class BatchedBackend:
+    """Amortise plan preparation across units that share a plan.
+
+    ``machine.prepare`` (interpret + trace + cache simulation) runs once per
+    *distinct* plan in the batch; every unit then gets its own noise draw via
+    ``measure_prepared``.  Since preparation is deterministic and the noise
+    seed fully determines the stochastic part, results are bit-identical to
+    :class:`SerialBackend`.
+    """
+
+    name = "batched"
+
+    def measure_units(
+        self, machine: SimulatedMachine, units: Sequence[WorkUnit]
+    ) -> list[Measurement]:
+        prepared: dict[Plan, PreparedPlan] = {}
+        out: list[Measurement] = []
+        for unit in units:
+            prep = prepared.get(unit.plan)
+            if prep is None:
+                prep = machine.prepare(unit.plan)
+                prepared[unit.plan] = prep
+            out.append(machine.measure_prepared(prep, rng=unit.noise_seed))
+        return out
+
+    def __repr__(self) -> str:
+        return "BatchedBackend()"
+
+
+# -- multiprocess worker plumbing -------------------------------------------------
+#
+# The worker functions live at module scope so every start method (fork,
+# forkserver, spawn) can import them.  Each worker process builds its machine
+# exactly once from the pickled configuration.
+
+_WORKER_MACHINE: SimulatedMachine | None = None
+
+
+def _worker_init(config: MachineConfig) -> None:
+    global _WORKER_MACHINE
+    _WORKER_MACHINE = SimulatedMachine(config)
+
+
+def _worker_measure(payload: tuple[Plan, int | None]) -> Measurement:
+    plan, noise_seed = payload
+    machine = _WORKER_MACHINE
+    if machine is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker process was not initialised with a machine config")
+    return machine.measure(plan, rng=noise_seed)
+
+
+class MultiprocessBackend:
+    """Fan units out across worker processes via ``concurrent.futures``.
+
+    Workers are handed ``(plan, noise_seed)`` payloads and rebuild the machine
+    from the configuration once per process, so per-unit IPC is one plan and
+    one integer in, one measurement out.  Result order follows unit order
+    regardless of scheduling, and the per-unit seeds make the measurements
+    identical to serial execution.
+    """
+
+    def __init__(self, max_workers: int | None = None, chunksize: int | None = None):
+        if max_workers is not None:
+            check_positive_int(max_workers, "max_workers")
+        if chunksize is not None:
+            check_positive_int(chunksize, "chunksize")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    name = "multiprocess"
+
+    def _effective_workers(self) -> int:
+        return self.max_workers or os.cpu_count() or 1
+
+    def measure_units(
+        self, machine: SimulatedMachine, units: Sequence[WorkUnit]
+    ) -> list[Measurement]:
+        if not units:
+            return []
+        workers = min(self._effective_workers(), len(units))
+        if workers == 1:
+            # A single worker cannot parallelise anything; skip the pool and
+            # its process-spawn overhead entirely (bit-identical by design).
+            return SerialBackend().measure_units(machine, units)
+        chunksize = self.chunksize or max(1, len(units) // (workers * 4))
+        payloads = [(unit.plan, unit.noise_seed) for unit in units]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(machine.config,),
+        ) as pool:
+            return list(pool.map(_worker_measure, payloads, chunksize=chunksize))
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiprocessBackend(max_workers={self.max_workers}, "
+            f"chunksize={self.chunksize})"
+        )
+
+
+#: Mapping of backend names accepted by :func:`repro.session` to factories.
+BACKEND_PRESETS = {
+    "serial": SerialBackend,
+    "multiprocess": MultiprocessBackend,
+    "batched": BatchedBackend,
+}
+
+
+def resolve_backend(spec: "str | ExecutionBackend") -> ExecutionBackend:
+    """Normalise a backend name or instance into an :class:`ExecutionBackend`."""
+    if isinstance(spec, str):
+        try:
+            return BACKEND_PRESETS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {spec!r}; available: {sorted(BACKEND_PRESETS)}"
+            ) from None
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    raise TypeError(f"cannot interpret {spec!r} as an execution backend")

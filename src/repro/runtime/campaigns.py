@@ -1,0 +1,124 @@
+"""Campaign execution on top of backends and stores.
+
+This module is the runtime's analogue of the paper's measurement campaigns:
+draw plans from the RSU distribution, derive one noise seed per sample, and
+hand the resulting work units to an execution backend.  Plan sampling stays in
+the driver (it is a sequential draw from one generator), so every backend
+measures the exact same plans with the exact same seeds; that is what makes
+serial, multiprocess and batched execution bit-identical.
+
+The seed derivation scheme is unchanged from the original serial loop:
+``derive_seed(seed, "plans", n, count)`` seeds the plan sampler and
+``derive_seed(seed, "noise", n, index)`` seeds sample ``index``'s cycle-noise
+draw, so tables produced through this module match the historical ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.machine.machine import SimulatedMachine
+from repro.runtime.backends import ExecutionBackend, SerialBackend, WorkUnit
+from repro.runtime.store import CampaignKey, CampaignStore, NullStore, machine_config_hash
+from repro.runtime.table import MeasurementTable
+from repro.util.rng import as_generator, derive_seed
+from repro.util.validation import check_positive_int
+from repro.wht.plan import MAX_UNROLLED, Plan
+from repro.wht.random_plans import RSUSampler
+
+__all__ = ["campaign_key", "sample_units", "run_campaign", "measure_plan_list"]
+
+
+def campaign_key(
+    machine: SimulatedMachine,
+    n: int,
+    count: int,
+    seed: int,
+    max_leaf: int = MAX_UNROLLED,
+    max_children: int | None = None,
+) -> CampaignKey:
+    """The content-addressed store key of one RSU campaign."""
+    return CampaignKey(
+        machine_hash=machine_config_hash(machine.config),
+        n=n,
+        count=count,
+        seed=seed,
+        max_leaf=max_leaf,
+        max_children=max_children,
+    )
+
+
+def sample_units(
+    n: int,
+    count: int,
+    seed: int,
+    max_leaf: int = MAX_UNROLLED,
+    max_children: int | None = None,
+) -> list[WorkUnit]:
+    """Draw ``count`` RSU plans of size ``2^n`` with per-sample noise seeds."""
+    check_positive_int(n, "n")
+    check_positive_int(count, "count")
+    plan_rng = as_generator(derive_seed(seed, "plans", n, count))
+    sampler = RSUSampler(max_leaf=max_leaf, max_children=max_children)
+    return [
+        WorkUnit(
+            plan=sampler.sample(n, plan_rng),
+            noise_seed=derive_seed(seed, "noise", n, index),
+        )
+        for index in range(count)
+    ]
+
+
+def run_campaign(
+    machine: SimulatedMachine,
+    n: int,
+    count: int,
+    *,
+    seed: int,
+    max_leaf: int = MAX_UNROLLED,
+    max_children: int | None = None,
+    backend: ExecutionBackend | None = None,
+    store: CampaignStore | None = None,
+) -> MeasurementTable:
+    """Measure an RSU campaign, consulting ``store`` before executing.
+
+    On a store hit the backend is never invoked (zero ``measure`` calls); on a
+    miss the sampled work units go through ``backend`` and the resulting table
+    is stored before being returned.
+    """
+    backend = backend if backend is not None else SerialBackend()
+    store = store if store is not None else NullStore()
+    key = campaign_key(machine, n, count, seed, max_leaf=max_leaf, max_children=max_children)
+    cached = store.get(key)
+    if cached is not None:
+        return cached
+    units = sample_units(n, count, seed, max_leaf=max_leaf, max_children=max_children)
+    measurements = backend.measure_units(machine, units)
+    table = MeasurementTable.from_measurements(measurements)
+    store.put(key, table)
+    return table
+
+
+def measure_plan_list(
+    machine: SimulatedMachine,
+    plans: Iterable[Plan],
+    *,
+    seed: int,
+    tag: str = "explicit",
+    backend: ExecutionBackend | None = None,
+) -> MeasurementTable:
+    """Measure an explicit list of plans (all of one size) through a backend.
+
+    Noise seeds are derived per index from ``(seed, tag, plan.n, index)``,
+    matching the legacy ``SampleCampaign.measure_plans`` scheme exactly.
+    """
+    backend = backend if backend is not None else SerialBackend()
+    plan_list: Sequence[Plan] = list(plans)
+    if not plan_list:
+        raise ValueError("measure_plan_list requires at least one plan")
+    units = [
+        WorkUnit(plan=plan, noise_seed=derive_seed(seed, tag, plan.n, index))
+        for index, plan in enumerate(plan_list)
+    ]
+    measurements = backend.measure_units(machine, units)
+    return MeasurementTable.from_measurements(measurements)

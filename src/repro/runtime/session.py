@@ -1,0 +1,259 @@
+"""The session façade: one object owning machine, scale, backend and store.
+
+``repro.session(...)`` is the package's single entry point for running the
+paper's evaluation: it resolves machine/scale/backend/store presets, and the
+returned :class:`Session` runs campaigns, canonical sweeps, searches and every
+figure of the paper through the configured runtime::
+
+    import repro
+
+    sess = repro.session(machine="default", scale="default", backend="multiprocess")
+    table = sess.large_table()          # campaign via the backend + store
+    results = sess.run_all()            # all eleven figures end-to-end
+    best = sess.search(10)              # DP-best plan on this machine
+
+Campaign results flow through the session's :class:`~repro.runtime.store.CampaignStore`,
+so a session configured with ``store="./campaigns"`` persists its tables to
+disk and a later process (or CI job) completes the same campaigns via cache
+hits without re-measuring anything.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.config import ExperimentScale, ci_scale, default_scale, paper_scale
+from repro.machine.configs import MACHINE_PRESETS
+from repro.machine.machine import MachineConfig, SimulatedMachine
+from repro.runtime.backends import ExecutionBackend, resolve_backend
+from repro.runtime.campaigns import measure_plan_list, run_campaign
+from repro.runtime.store import CampaignStore, resolve_store
+from repro.runtime.table import MeasurementTable
+from repro.search import (
+    ExhaustiveSearch,
+    MeasuredCyclesCost,
+    RandomSearch,
+    SearchResult,
+    dp_best_plan,
+)
+from repro.util.rng import derive_seed
+from repro.wht.plan import MAX_UNROLLED, Plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.canonical import CanonicalSweep
+    from repro.experiments.runner import ExperimentSuite
+
+__all__ = ["Session", "session", "SCALE_PRESETS"]
+
+#: Mapping of scale names accepted by :func:`session` to factories.
+SCALE_PRESETS = {
+    "default": default_scale,
+    "paper": paper_scale,
+    "ci": ci_scale,
+}
+
+
+def _resolve_machine(spec: "str | MachineConfig | SimulatedMachine") -> SimulatedMachine:
+    if isinstance(spec, SimulatedMachine):
+        return spec
+    if isinstance(spec, MachineConfig):
+        return SimulatedMachine(spec)
+    if isinstance(spec, str):
+        try:
+            factory = MACHINE_PRESETS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown machine preset {spec!r}; available: {sorted(MACHINE_PRESETS)}"
+            ) from None
+        return SimulatedMachine(factory())
+    raise TypeError(f"cannot interpret {spec!r} as a machine")
+
+
+def _resolve_scale(spec: "str | ExperimentScale") -> ExperimentScale:
+    if isinstance(spec, ExperimentScale):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return SCALE_PRESETS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scale preset {spec!r}; available: {sorted(SCALE_PRESETS)}"
+            ) from None
+    raise TypeError(f"cannot interpret {spec!r} as an experiment scale")
+
+
+class Session:
+    """One machine + one scale + one backend + one store, fluent on top.
+
+    Campaign tables are memoised per session *object* (so repeated figure
+    methods share them by identity) and cached in the session's store (so
+    other sessions — including ones in other processes, for a disk store —
+    reuse the completed measurement work).
+    """
+
+    def __init__(
+        self,
+        machine: SimulatedMachine,
+        scale: ExperimentScale,
+        backend: ExecutionBackend,
+        store: CampaignStore,
+        dp_max_children: int | None = 2,
+    ):
+        self.machine = machine
+        self.scale = scale
+        self.backend = backend
+        self.store = store
+        self.dp_max_children = dp_max_children
+        self._tables: dict[tuple[int, int, int, int | None], MeasurementTable] = {}
+        self._sweep: "CanonicalSweep | None" = None
+        self._suite: "ExperimentSuite | None" = None
+
+    # -- campaigns ---------------------------------------------------------------
+
+    def campaign(
+        self,
+        n: int,
+        count: int | None = None,
+        *,
+        max_leaf: int = MAX_UNROLLED,
+        max_children: int | None = None,
+    ) -> MeasurementTable:
+        """Measure ``count`` RSU samples of size ``2^n`` via backend + store.
+
+        ``count`` defaults to the scale's sample count; ``max_leaf`` and
+        ``max_children`` constrain the RSU sampler (the full ``SampleCampaign``
+        surface, so migrating callers lose nothing).
+        """
+        effective = count if count is not None else self.scale.sample_count
+        memo_key = (n, effective, max_leaf, max_children)
+        table = self._tables.get(memo_key)
+        if table is None:
+            table = run_campaign(
+                self.machine,
+                n,
+                effective,
+                seed=self.scale.seed,
+                max_leaf=max_leaf,
+                max_children=max_children,
+                backend=self.backend,
+                store=self.store,
+            )
+            self._tables[memo_key] = table
+        return table
+
+    def small_table(self) -> MeasurementTable:
+        """The in-cache random-sample campaign (paper size 2^9)."""
+        return self.campaign(self.scale.small_size)
+
+    def large_table(self) -> MeasurementTable:
+        """The out-of-cache random-sample campaign (paper size 2^18)."""
+        return self.campaign(self.scale.large_size)
+
+    def measure_plans(self, plans: Iterable[Plan], tag: str = "explicit") -> MeasurementTable:
+        """Measure an explicit list of plans (all of one size)."""
+        return measure_plan_list(
+            self.machine, plans, seed=self.scale.seed, tag=tag, backend=self.backend
+        )
+
+    # -- sweeps and searches -----------------------------------------------------
+
+    def canonical_sweep(self) -> "CanonicalSweep":
+        """Canonical + DP-best measurements across the Figure 1–3 sizes."""
+        if self._sweep is None:
+            from repro.experiments.canonical import canonical_sweep
+
+            sizes = range(1, self.scale.canonical_max_size + 1)
+            self._sweep = canonical_sweep(
+                self.machine, sizes, dp_max_children=self.dp_max_children
+            )
+        return self._sweep
+
+    def search(self, n: int, strategy: str = "dp", **kwargs: Any) -> SearchResult:
+        """Search the algorithm space of exponent ``n`` on this machine.
+
+        ``strategy`` selects the search family: ``"dp"`` (the WHT package's
+        dynamic programming, the default), ``"random"`` (RSU sampling) or
+        ``"exhaustive"``; extra keyword arguments go to the strategy.
+        """
+        if strategy == "dp":
+            kwargs.setdefault("max_children", self.dp_max_children)
+            return dp_best_plan(self.machine, n, **kwargs)
+        cost = kwargs.pop("cost", None) or MeasuredCyclesCost(self.machine)
+        if strategy == "random":
+            rng = kwargs.pop("rng", derive_seed(self.scale.seed, "search", n))
+            return RandomSearch(cost=cost, **kwargs).search(n, rng=rng)
+        if strategy == "exhaustive":
+            return ExhaustiveSearch(cost=cost, **kwargs).search(n)
+        raise ValueError(
+            f"unknown search strategy {strategy!r}; available: dp, random, exhaustive"
+        )
+
+    # -- figures -----------------------------------------------------------------
+
+    def suite(self) -> "ExperimentSuite":
+        """The figure-level experiment suite bound to this session."""
+        if self._suite is None:
+            from repro.experiments.runner import ExperimentSuite
+
+            self._suite = ExperimentSuite.from_session(self)
+        return self._suite
+
+    def run_all(self) -> dict[str, Any]:
+        """Run all eleven paper figures plus the summary tables."""
+        return self.suite().run_all()
+
+    def render_report(self) -> str:
+        """Human-readable report covering every figure."""
+        return self.suite().render_report()
+
+    def write_experiments_report(self, path: str) -> str:
+        """Write the full report to ``path`` and return the text."""
+        return self.suite().write_experiments_report(path)
+
+    # -- introspection -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line summary of the session's configuration."""
+        return (
+            f"Session(machine={self.machine.config.name!r}, "
+            f"scale=[{self.scale.describe()}], "
+            f"backend={getattr(self.backend, 'name', type(self.backend).__name__)}, "
+            f"store={self.store!r})"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+def session(
+    machine: "str | MachineConfig | SimulatedMachine" = "default",
+    scale: "str | ExperimentScale" = "default",
+    backend: "str | ExecutionBackend" = "serial",
+    store: "str | CampaignStore | None" = "memory",
+    *,
+    dp_max_children: int | None = 2,
+) -> Session:
+    """Create a :class:`Session` from presets or concrete objects.
+
+    Parameters
+    ----------
+    machine:
+        Preset name (``"default"``, ``"opteron"``, ``"tiny"``, ...), a
+        :class:`MachineConfig`, or a ready :class:`SimulatedMachine`.
+    scale:
+        ``"default"``, ``"paper"``, ``"ci"``, or an :class:`ExperimentScale`.
+    backend:
+        ``"serial"``, ``"multiprocess"``, ``"batched"``, or an
+        :class:`ExecutionBackend` instance.
+    store:
+        ``"memory"`` (shared in-process store), ``"none"``/``None`` (no
+        caching), a directory path for a persistent
+        :class:`~repro.runtime.store.DiskStore`, or a store instance.
+    """
+    return Session(
+        machine=_resolve_machine(machine),
+        scale=_resolve_scale(scale),
+        backend=resolve_backend(backend),
+        store=resolve_store(store),
+        dp_max_children=dp_max_children,
+    )

@@ -1,0 +1,256 @@
+"""Persistent campaign stores.
+
+Completed campaigns are durable artifacts: several figures analyse the same
+underlying sample (Figures 5, 7, 8, 9 and 11 all share the large-size
+campaign), and at paper scale a campaign is minutes-to-hours of simulation.
+The store layer replaces the old process-local cache dict with a small
+protocol:
+
+* :class:`MemoryStore` — in-process dictionary (the old behaviour, now keyed
+  correctly).
+* :class:`DiskStore` — one JSON file per campaign under a directory, written
+  atomically, so repeated figure runs and CI jobs skip re-measurement *across
+  processes*.
+* :class:`NullStore` — never stores anything (``use_cache=False``).
+
+Keys are content-addressed: :func:`machine_config_hash` digests the *full*
+:class:`~repro.machine.machine.MachineConfig` (cache geometry, instruction
+weights, cycle model, element size — not just the config's name), which fixes
+the historical collision where two machines sharing a name but differing in
+geometry silently shared cached tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.machine.machine import MachineConfig
+from repro.runtime.table import MeasurementTable
+
+__all__ = [
+    "machine_config_hash",
+    "CampaignKey",
+    "CampaignStore",
+    "MemoryStore",
+    "DiskStore",
+    "NullStore",
+    "default_memory_store",
+    "resolve_store",
+]
+
+#: Format version written into every DiskStore file; bump on layout changes.
+DISK_FORMAT_VERSION = 1
+
+
+def machine_config_hash(config: MachineConfig) -> str:
+    """Stable content hash of a full machine configuration.
+
+    Every field of the configuration — nested cache geometries, instruction
+    and cycle model weights, element size, simulator flags — contributes to
+    the digest, so two configurations compare equal iff they would produce
+    identical measurements.  The hash is stable across processes and Python
+    versions (canonical JSON, no ``hash()`` involvement).
+    """
+    payload = dataclasses.asdict(config)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CampaignKey:
+    """Content-addressed identity of one campaign.
+
+    ``machine_hash`` is :func:`machine_config_hash` of the full configuration;
+    the remaining fields are the sampler settings that determine which plans
+    are drawn and which noise seeds they receive.  ``kind`` distinguishes RSU
+    sample campaigns from other table-producing runs.
+    """
+
+    machine_hash: str
+    n: int
+    count: int
+    seed: int
+    max_leaf: int
+    max_children: int | None
+    kind: str = "rsu"
+
+    def as_dict(self) -> dict:
+        """Plain dictionary view (written into DiskStore files)."""
+        return dataclasses.asdict(self)
+
+    def token(self) -> str:
+        """Compact filesystem-safe identifier for this key."""
+        canonical = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+        return f"{self.kind}-n{self.n}-c{self.count}-{digest}"
+
+
+@runtime_checkable
+class CampaignStore(Protocol):
+    """Where completed campaign tables live."""
+
+    def get(self, key: CampaignKey) -> MeasurementTable | None:
+        """The stored table for ``key``, or ``None`` on a miss."""
+        ...
+
+    def put(self, key: CampaignKey, table: MeasurementTable) -> None:
+        """Store ``table`` under ``key`` (overwriting any previous entry)."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every stored table."""
+        ...
+
+
+class MemoryStore:
+    """In-process store: a plain dictionary keyed by :class:`CampaignKey`."""
+
+    def __init__(self) -> None:
+        self._tables: dict[CampaignKey, MeasurementTable] = {}
+
+    def get(self, key: CampaignKey) -> MeasurementTable | None:
+        return self._tables.get(key)
+
+    def put(self, key: CampaignKey, table: MeasurementTable) -> None:
+        self._tables[key] = table
+
+    def clear(self) -> None:
+        self._tables.clear()
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        return f"MemoryStore({len(self._tables)} tables)"
+
+
+class NullStore:
+    """A store that never hits and never retains (``use_cache=False``)."""
+
+    def get(self, key: CampaignKey) -> MeasurementTable | None:
+        return None
+
+    def put(self, key: CampaignKey, table: MeasurementTable) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullStore()"
+
+
+class DiskStore:
+    """One JSON file per campaign under ``path``; durable across processes.
+
+    Files are written atomically (temp file + ``os.replace``) so a crashed or
+    concurrent writer can never leave a half-written table behind; readers
+    either see the old file, the new file, or no file.  There is deliberately
+    no in-memory memoisation: every ``get`` re-reads the file, which is what
+    makes a second process's cache hit equivalent to a same-process one.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]"):
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def _file_for(self, key: CampaignKey) -> Path:
+        return self.path / f"{key.token()}.json"
+
+    def get(self, key: CampaignKey) -> MeasurementTable | None:
+        file = self._file_for(key)
+        try:
+            with open(file, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("version") != DISK_FORMAT_VERSION:
+                return None  # written by an incompatible version; treat as a miss
+            return MeasurementTable.from_dict(payload["table"])
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # A concurrent clear(), a truncated write that never reached
+            # os.replace, or a corrupt/foreign file: all are misses — the
+            # campaign is simply re-measured and re-stored.
+            return None
+
+    def put(self, key: CampaignKey, table: MeasurementTable) -> None:
+        payload = {
+            "version": DISK_FORMAT_VERSION,
+            "key": key.as_dict(),
+            "table": table.as_dict(),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key.token()}.", suffix=".tmp", dir=self.path
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self._file_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        for file in self.path.glob("*.json"):
+            try:
+                file.unlink()
+            except OSError:
+                pass
+
+    def entries(self) -> Iterator[Path]:
+        """Paths of every stored campaign file (for inspection and tests)."""
+        return iter(sorted(self.path.glob("*.json")))
+
+    def __repr__(self) -> str:
+        return f"DiskStore({str(self.path)!r})"
+
+
+#: The process-wide default store, shared by every session and legacy
+#: campaign that asks for ``"memory"``.  Sharing preserves the old behaviour
+#: where several suites reused each other's completed campaigns in-process.
+_DEFAULT_MEMORY_STORE = MemoryStore()
+
+
+def default_memory_store() -> MemoryStore:
+    """The shared in-process store used by ``store="memory"``."""
+    return _DEFAULT_MEMORY_STORE
+
+
+def resolve_store(spec: "str | os.PathLike[str] | CampaignStore | None") -> CampaignStore:
+    """Normalise a store spec into a :class:`CampaignStore`.
+
+    ``"memory"`` is the shared in-process store, ``"none"``/``None`` disables
+    caching, and a path (any :class:`os.PathLike`, or a string containing a
+    path separator such as ``"./campaigns"``) becomes a :class:`DiskStore`
+    rooted at that directory.  A bare string that is neither a known store
+    name nor path-like raises — so a typo of ``"memory"`` cannot silently
+    switch caching semantics.  Store instances pass through unchanged.
+    """
+    if spec is None:
+        return NullStore()
+    if isinstance(spec, str):
+        if spec == "memory":
+            return default_memory_store()
+        if spec == "none":
+            return NullStore()
+        if os.sep in spec or (os.altsep is not None and os.altsep in spec):
+            return DiskStore(spec)
+        raise ValueError(
+            f"unknown store {spec!r}; use 'memory', 'none', a directory path "
+            f"like {'./' + spec!r}, or a CampaignStore instance"
+        )
+    if isinstance(spec, os.PathLike):
+        return DiskStore(spec)
+    if isinstance(spec, CampaignStore):
+        return spec
+    raise TypeError(f"cannot interpret {spec!r} as a campaign store")

@@ -1,0 +1,191 @@
+"""Column-oriented measurement tables.
+
+:class:`MeasurementTable` is the durable unit of the runtime: one campaign's
+worth of measurements, stored column-wise so the statistical analysis
+(histograms, correlations, pruning curves) can operate on whole arrays.  It
+lives in the runtime layer (rather than the experiments layer) because the
+execution backends produce it and the campaign stores persist it; the
+experiments layer re-exports it for backwards compatibility.
+
+Tables round-trip exactly through :meth:`MeasurementTable.as_dict` /
+:meth:`MeasurementTable.from_dict`: plans are rendered in the WHT package's
+grammar and re-parsed, and the float columns survive JSON encoding bit-for-bit
+(JSON renders doubles with round-trip precision).  :class:`repro.runtime.store.DiskStore`
+builds directly on this pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.machine.measurement import Measurement
+from repro.wht.grammar import parse_plan
+from repro.wht.plan import Plan
+
+__all__ = ["TABLE_COLUMNS", "MeasurementTable"]
+
+#: Column names exposed by :class:`MeasurementTable`.
+TABLE_COLUMNS = (
+    "cycles",
+    "instructions",
+    "l1_misses",
+    "l2_misses",
+    "l1_accesses",
+    "loads",
+    "stores",
+    "arithmetic_ops",
+)
+
+
+@dataclass(frozen=True)
+class MeasurementTable:
+    """Column-oriented view of a list of measurements."""
+
+    n: int
+    plans: tuple[Plan, ...]
+    columns: dict[str, np.ndarray]
+    machine: str = "default"
+
+    def __post_init__(self) -> None:
+        for name, column in self.columns.items():
+            if column.shape[0] != len(self.plans):
+                raise ValueError(
+                    f"column {name!r} has {column.shape[0]} rows for "
+                    f"{len(self.plans)} plans"
+                )
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_measurements(cls, measurements: Sequence[Measurement]) -> "MeasurementTable":
+        """Build a table from a nonempty measurement list (all of one size)."""
+        if not measurements:
+            raise ValueError("cannot build a table from zero measurements")
+        sizes = {m.n for m in measurements}
+        if len(sizes) != 1:
+            raise ValueError(f"measurements mix transform sizes: {sorted(sizes)}")
+        columns = {
+            name: np.array([getattr(m, name) for m in measurements], dtype=float)
+            for name in TABLE_COLUMNS
+        }
+        return cls(
+            n=measurements[0].n,
+            plans=tuple(m.plan for m in measurements),
+            columns=columns,
+            machine=measurements[0].machine,
+        )
+
+    # -- access ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def column(self, name: str) -> np.ndarray:
+        """One column by name (see ``TABLE_COLUMNS``)."""
+        try:
+            return self.columns[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown column {name!r}; available: {sorted(self.columns)}"
+            ) from exc
+
+    @property
+    def cycles(self) -> np.ndarray:
+        """Simulated cycle counts."""
+        return self.columns["cycles"]
+
+    @property
+    def instructions(self) -> np.ndarray:
+        """Retired instruction counts."""
+        return self.columns["instructions"]
+
+    @property
+    def l1_misses(self) -> np.ndarray:
+        """L1 data-cache miss counts."""
+        return self.columns["l1_misses"]
+
+    @property
+    def l2_misses(self) -> np.ndarray:
+        """L2 data-cache miss counts."""
+        return self.columns["l2_misses"]
+
+    def filtered(self, mask: np.ndarray) -> "MeasurementTable":
+        """A new table containing only the rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != len(self.plans):
+            raise ValueError(
+                f"mask of length {mask.shape[0]} does not match table of length "
+                f"{len(self.plans)}"
+            )
+        return MeasurementTable(
+            n=self.n,
+            plans=tuple(p for p, keep in zip(self.plans, mask) if keep),
+            columns={name: col[mask] for name, col in self.columns.items()},
+            machine=self.machine,
+        )
+
+    def combined_model_values(self, alpha: float, beta: float) -> np.ndarray:
+        """The paper's combined metric for every row."""
+        return alpha * self.instructions + beta * self.l1_misses
+
+    def best_row(self) -> int:
+        """Index of the row with the fewest cycles."""
+        return int(np.argmin(self.cycles))
+
+    # -- serialisation -----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Plain-Python view (plans rendered as strings) for serialisation."""
+        return {
+            "n": self.n,
+            "machine": self.machine,
+            "plans": [str(p) for p in self.plans],
+            "columns": {name: col.tolist() for name, col in self.columns.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MeasurementTable":
+        """Inverse of :meth:`as_dict`: reconstruct a table from plain Python.
+
+        Plans are re-parsed from the grammar strings and every column becomes
+        a float array again, so ``from_dict(as_dict(t))`` equals ``t`` exactly
+        (plan equality and bit-identical columns).
+        """
+        try:
+            n = int(payload["n"])
+            plan_strings = payload["plans"]
+            raw_columns = payload["columns"]
+        except KeyError as exc:
+            raise ValueError(f"table payload missing required key: {exc}") from exc
+        plans = tuple(parse_plan(text) for text in plan_strings)
+        for plan in plans:
+            if plan.n != n:
+                raise ValueError(
+                    f"plan {plan} has exponent {plan.n}, table declares n={n}"
+                )
+        columns = {
+            str(name): np.asarray(values, dtype=float)
+            for name, values in raw_columns.items()
+        }
+        return cls(
+            n=n,
+            plans=plans,
+            columns=columns,
+            machine=str(payload.get("machine", "default")),
+        )
+
+    def equals(self, other: "MeasurementTable") -> bool:
+        """Exact equality: same plans, same machine, bit-identical columns."""
+        return (
+            self.n == other.n
+            and self.machine == other.machine
+            and self.plans == other.plans
+            and set(self.columns) == set(other.columns)
+            and all(
+                np.array_equal(self.columns[name], other.columns[name])
+                for name in self.columns
+            )
+        )

@@ -16,7 +16,7 @@ theoretical model module (:mod:`repro.models.theory`).
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 

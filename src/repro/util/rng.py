@@ -8,8 +8,6 @@ end-to-end from a single integer seed.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
-
 import numpy as np
 
 __all__ = ["RandomState", "as_generator", "spawn_generators", "derive_seed"]

@@ -16,7 +16,7 @@ combination; this is what the model-pruned search experiments build on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.util.compositions import compositions
 from repro.util.validation import check_positive_int

@@ -84,6 +84,14 @@ class TestMeasurementTable:
         assert payload["n"] == 5
         assert len(payload["plans"]) == 3
 
+    def test_from_dict_round_trip(self, machine):
+        table = MeasurementTable.from_measurements(
+            [machine.measure(p) for p in canonical_plans(5).values()]
+        )
+        rebuilt = MeasurementTable.from_dict(table.as_dict())
+        assert rebuilt.plans == table.plans
+        assert table.equals(rebuilt)
+
 
 class TestSampleCampaign:
     def test_run_produces_requested_count(self, machine):

@@ -1,6 +1,5 @@
 """Tests for the two-level memory hierarchy."""
 
-import numpy as np
 import pytest
 
 from repro.machine.cache import CacheConfig, SetAssociativeLRUCache

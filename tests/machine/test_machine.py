@@ -1,6 +1,5 @@
 """Tests for the simulated machine and its configuration."""
 
-import numpy as np
 import pytest
 
 from repro.machine.cache import CacheConfig

@@ -1,0 +1,105 @@
+"""Backend parity: serial, multiprocess and batched must agree bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.machine.configs import tiny_machine
+from repro.runtime.backends import (
+    BatchedBackend,
+    ExecutionBackend,
+    MultiprocessBackend,
+    SerialBackend,
+    WorkUnit,
+    resolve_backend,
+)
+from repro.runtime.campaigns import run_campaign, sample_units
+from repro.wht.canonical import iterative_plan
+
+
+def _campaign(backend, noise_sigma=0.03):
+    machine = tiny_machine(noise_sigma=noise_sigma)
+    return run_campaign(machine, 5, 20, seed=77, backend=backend)
+
+
+class TestParity:
+    def test_batched_matches_serial(self):
+        serial = _campaign(SerialBackend())
+        batched = _campaign(BatchedBackend())
+        assert serial.plans == batched.plans
+        for name in serial.columns:
+            assert np.array_equal(serial.columns[name], batched.columns[name])
+
+    def test_multiprocess_matches_serial(self):
+        serial = _campaign(SerialBackend())
+        multi = _campaign(MultiprocessBackend(max_workers=2))
+        assert serial.plans == multi.plans
+        for name in serial.columns:
+            assert np.array_equal(serial.columns[name], multi.columns[name])
+
+    def test_all_backends_identical_with_noise_disabled(self):
+        tables = [
+            _campaign(backend, noise_sigma=0.0)
+            for backend in (SerialBackend(), BatchedBackend(), MultiprocessBackend())
+        ]
+        assert tables[0].equals(tables[1])
+        assert tables[0].equals(tables[2])
+
+
+class TestWorkUnits:
+    def test_sample_units_deterministic(self):
+        a = sample_units(5, 10, seed=3)
+        b = sample_units(5, 10, seed=3)
+        assert [u.plan for u in a] == [u.plan for u in b]
+        assert [u.noise_seed for u in a] == [u.noise_seed for u in b]
+
+    def test_noise_seeds_are_per_index(self):
+        units = sample_units(5, 10, seed=3)
+        assert len({u.noise_seed for u in units}) == len(units)
+
+    def test_empty_units_short_circuit(self, machine):
+        assert MultiprocessBackend().measure_units(machine, []) == []
+        assert SerialBackend().measure_units(machine, []) == []
+
+
+class TestBatchedBackend:
+    def test_prepares_each_distinct_plan_once(self, machine, monkeypatch):
+        prepares = 0
+        original = type(machine).prepare
+
+        def counting(self, plan):
+            nonlocal prepares
+            prepares += 1
+            return original(self, plan)
+
+        monkeypatch.setattr(type(machine), "prepare", counting)
+        plan = iterative_plan(5)
+        units = [WorkUnit(plan=plan, noise_seed=i) for i in range(6)]
+        out = BatchedBackend().measure_units(machine, units)
+        assert prepares == 1
+        assert len(out) == 6
+
+    def test_noise_still_varies_within_a_batch(self):
+        machine = tiny_machine(noise_sigma=0.05)
+        plan = iterative_plan(5)
+        units = [WorkUnit(plan=plan, noise_seed=i) for i in range(4)]
+        cycles = [m.cycles for m in BatchedBackend().measure_units(machine, units)]
+        assert len(set(cycles)) > 1
+
+
+class TestResolveBackend:
+    def test_names_resolve(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("multiprocess"), MultiprocessBackend)
+        assert isinstance(resolve_backend("batched"), BatchedBackend)
+
+    def test_instance_passes_through(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_backend("quantum")
+
+    def test_protocol_check(self):
+        assert isinstance(SerialBackend(), ExecutionBackend)
+        assert not isinstance(object(), ExecutionBackend)

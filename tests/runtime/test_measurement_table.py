@@ -1,0 +1,63 @@
+"""Tests for the runtime measurement table, including serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.table import TABLE_COLUMNS, MeasurementTable
+from repro.wht.canonical import canonical_plans
+
+
+@pytest.fixture
+def table(machine):
+    return MeasurementTable.from_measurements(
+        [machine.measure(p) for p in canonical_plans(6).values()]
+    )
+
+
+@pytest.fixture
+def noisy_table(noisy_machine):
+    return MeasurementTable.from_measurements(
+        [noisy_machine.measure(p) for p in canonical_plans(6).values()]
+    )
+
+
+class TestRoundTrip:
+    def test_from_dict_inverts_as_dict(self, table):
+        rebuilt = MeasurementTable.from_dict(table.as_dict())
+        assert rebuilt.n == table.n
+        assert rebuilt.machine == table.machine
+        assert rebuilt.plans == table.plans
+        assert set(rebuilt.columns) == set(TABLE_COLUMNS)
+        for name in TABLE_COLUMNS:
+            assert np.array_equal(rebuilt.columns[name], table.columns[name])
+        assert table.equals(rebuilt)
+
+    def test_round_trip_survives_json(self, noisy_table):
+        # The DiskStore path: as_dict -> JSON text -> from_dict must be exact
+        # even for noisy (non-integral) cycle counts.
+        import json
+
+        payload = json.loads(json.dumps(noisy_table.as_dict()))
+        rebuilt = MeasurementTable.from_dict(payload)
+        assert noisy_table.equals(rebuilt)
+        assert rebuilt.cycles.dtype == float
+
+    def test_from_dict_rejects_missing_keys(self):
+        with pytest.raises(ValueError):
+            MeasurementTable.from_dict({"n": 3})
+
+    def test_from_dict_rejects_mismatched_plan_size(self, table):
+        payload = table.as_dict()
+        payload["n"] = table.n + 1
+        with pytest.raises(ValueError):
+            MeasurementTable.from_dict(payload)
+
+
+class TestEquals:
+    def test_equal_tables(self, table):
+        assert table.equals(MeasurementTable.from_dict(table.as_dict()))
+
+    def test_unequal_columns_detected(self, table):
+        other = MeasurementTable.from_dict(table.as_dict())
+        other.columns["cycles"][0] += 1.0
+        assert not table.equals(other)

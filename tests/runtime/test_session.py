@@ -1,0 +1,243 @@
+"""Tests for the Session façade: resolution, figures, persistence."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import ci_scale
+from repro.machine.configs import tiny_machine, tiny_machine_config
+from repro.machine.machine import SimulatedMachine
+from repro.runtime.backends import MultiprocessBackend, SerialBackend
+from repro.runtime.store import DiskStore, MemoryStore, NullStore
+
+
+def _tiny_session(backend="serial", store=None, noise=0.02, rng=7):
+    return repro.session(
+        machine=tiny_machine(noise_sigma=noise, rng=rng),
+        scale=ci_scale(),
+        backend=backend,
+        store=store if store is not None else MemoryStore(),
+    )
+
+
+class TestSessionFactory:
+    def test_presets_resolve(self):
+        sess = repro.session(machine="tiny", scale="ci", backend="serial", store="none")
+        assert sess.machine.config.name == "tiny"
+        assert sess.scale == ci_scale()
+        assert isinstance(sess.backend, SerialBackend)
+        assert isinstance(sess.store, NullStore)
+
+    def test_concrete_objects_pass_through(self):
+        machine = tiny_machine()
+        store = MemoryStore()
+        sess = repro.session(machine=machine, scale=ci_scale(), store=store)
+        assert sess.machine is machine
+        assert sess.store is store
+
+    def test_machine_config_resolves(self):
+        sess = repro.session(machine=tiny_machine_config(), scale="ci", store="none")
+        assert isinstance(sess.machine, SimulatedMachine)
+
+    def test_unknown_presets_raise(self):
+        with pytest.raises(ValueError):
+            repro.session(machine="cray")
+        with pytest.raises(ValueError):
+            repro.session(scale="galactic")
+        with pytest.raises(ValueError):
+            repro.session(backend="quantum")
+
+    def test_describe_mentions_configuration(self):
+        sess = repro.session(machine="tiny", scale="ci", backend="batched", store="none")
+        text = sess.describe()
+        assert "tiny" in text and "batched" in text
+
+
+class TestSessionCampaigns:
+    def test_tables_memoised_per_session(self):
+        sess = _tiny_session()
+        assert sess.small_table() is sess.small_table()
+        assert sess.large_table() is sess.large_table()
+
+    def test_campaign_count_defaults_to_scale(self):
+        sess = _tiny_session()
+        assert len(sess.small_table()) == sess.scale.sample_count
+
+    def test_store_shared_across_sessions(self):
+        store = MemoryStore()
+        first = _tiny_session(store=store)
+        table = first.campaign(5, 10)
+        second = _tiny_session(store=store)
+        assert second.campaign(5, 10) is table
+
+    def test_campaign_forwards_sampler_settings(self):
+        sess = _tiny_session()
+        table = sess.campaign(6, 10, max_children=2)
+        assert all(
+            len(node.children) <= 2
+            for plan in table.plans
+            for node in plan.splits()
+        )
+        # distinct sampler settings get distinct memoisation slots
+        assert sess.campaign(6, 10, max_children=2) is table
+        assert sess.campaign(6, 10) is not table
+
+    def test_measure_plans(self):
+        sess = _tiny_session()
+        from repro.wht.canonical import canonical_plans
+
+        table = sess.measure_plans(list(canonical_plans(5).values()))
+        assert len(table) == 3
+
+    def test_search_strategies(self):
+        sess = _tiny_session()
+        dp = sess.search(5)
+        assert dp.strategy == "dynamic-programming"
+        rnd = sess.search(5, strategy="random", samples=20)
+        assert rnd.best_plan is not None
+        with pytest.raises(ValueError):
+            sess.search(5, strategy="simulated-annealing")
+
+
+class TestAllFiguresAcrossBackends:
+    """Acceptance: all eleven figures end-to-end, serial vs multiprocess,
+    identical numerical results."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        serial = _tiny_session(backend="serial")
+        multi = _tiny_session(backend=MultiprocessBackend(max_workers=2))
+        return serial, multi, serial.run_all(), multi.run_all()
+
+    def test_every_figure_present(self, results):
+        _, _, serial_results, multi_results = results
+        expected = {f"figure{i}" for i in range(1, 12)} | {"correlations", "theory"}
+        assert expected <= set(serial_results)
+        assert expected <= set(multi_results)
+
+    def test_campaign_tables_bit_identical(self, results):
+        serial, multi, _, _ = results
+        for getter in ("small_table", "large_table"):
+            a, b = getattr(serial, getter)(), getattr(multi, getter)()
+            assert a.plans == b.plans
+            for name in a.columns:
+                assert np.array_equal(a.columns[name], b.columns[name])
+
+    def test_figure_numerics_identical(self, results):
+        _, _, serial_results, multi_results = results
+        assert serial_results["figure9"].best == multi_results["figure9"].best
+        sc, mc = serial_results["correlations"], multi_results["correlations"]
+        assert sc.rho_small_instructions == mc.rho_small_instructions
+        assert sc.rho_large_instructions == mc.rho_large_instructions
+        assert sc.rho_large_misses == mc.rho_large_misses
+        assert sc.rho_large_combined == mc.rho_large_combined
+
+    def test_sweep_identical(self, results):
+        serial, multi, serial_results, multi_results = results
+        assert serial_results["figure1"].sizes == multi_results["figure1"].sizes
+        for name in serial_results["figure1"].measurements:
+            a = serial_results["figure1"].metric(name, "cycles")
+            b = multi_results["figure1"].metric(name, "cycles")
+            assert a == b
+
+
+class TestDiskStorePersistence:
+    def test_second_session_hits_cache_with_zero_measure_calls(self, tmp_path, monkeypatch):
+        path = tmp_path / "campaigns"
+        first = repro.session(machine="tiny", scale="ci", backend="serial", store=path)
+        table = first.campaign(5, 15)
+
+        calls = 0
+        original = SimulatedMachine.measure
+
+        def counting(self, plan, rng=None):
+            nonlocal calls
+            calls += 1
+            return original(self, plan, rng=rng)
+
+        monkeypatch.setattr(SimulatedMachine, "measure", counting)
+        second = repro.session(machine="tiny", scale="ci", backend="serial", store=path)
+        reloaded = second.campaign(5, 15)
+        assert calls == 0
+        assert table.equals(reloaded)
+
+    def test_cross_process_cache_hit(self, tmp_path, monkeypatch):
+        """A real second process completes the campaign via DiskStore hit."""
+        path = tmp_path / "campaigns"
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        script = (
+            "import repro; "
+            f"sess = repro.session(machine='tiny', scale='ci', backend='serial', store={str(path)!r}); "
+            "table = sess.campaign(5, 15); print(len(table))"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_dir) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "15"
+
+        calls = 0
+        original = SimulatedMachine.measure
+
+        def counting(self, plan, rng=None):
+            nonlocal calls
+            calls += 1
+            return original(self, plan, rng=rng)
+
+        monkeypatch.setattr(SimulatedMachine, "measure", counting)
+        sess = repro.session(machine="tiny", scale="ci", backend="serial", store=path)
+        table = sess.campaign(5, 15)
+        assert calls == 0
+        assert len(table) == 15
+
+    def test_different_backends_share_disk_entries(self, tmp_path):
+        path = tmp_path / "campaigns"
+        serial = repro.session(machine="tiny", scale="ci", backend="serial", store=path)
+        a = serial.campaign(5, 12)
+        batched = repro.session(machine="tiny", scale="ci", backend="batched", store=path)
+        b = batched.campaign(5, 12)
+        assert a.equals(b)
+        assert len(list(DiskStore(path).entries())) == 1
+
+
+class TestSuiteSessionIntegration:
+    def test_suite_binds_to_session(self):
+        sess = _tiny_session()
+        suite = sess.suite()
+        assert suite.session is sess
+        assert suite.machine is sess.machine
+        assert sess.suite() is suite
+
+    def test_legacy_suite_builds_own_session(self):
+        from repro.experiments.runner import ExperimentSuite
+
+        suite = ExperimentSuite(machine=tiny_machine(), scale=ci_scale())
+        assert suite.session is not None
+        assert suite.session.machine is suite.machine
+        assert isinstance(suite.session.backend, SerialBackend)
+
+    def test_suite_rejects_conflicting_machine_and_session(self):
+        from repro.experiments.runner import ExperimentSuite
+
+        sess = _tiny_session()
+        with pytest.raises(ValueError, match="conflicting"):
+            ExperimentSuite(machine=tiny_machine(), session=sess)
+        other_scale = ci_scale().with_samples(ci_scale().sample_count + 1)
+        with pytest.raises(ValueError, match="conflicting"):
+            ExperimentSuite(scale=other_scale, session=sess)
+        # consistent values are fine
+        suite = ExperimentSuite(machine=sess.machine, scale=sess.scale, session=sess)
+        assert suite.session is sess
+
+    def test_suite_tables_flow_through_session(self):
+        sess = _tiny_session()
+        suite = sess.suite()
+        assert suite.small_table() is sess.small_table()
+        assert suite.sweep() is sess.canonical_sweep()

@@ -1,0 +1,169 @@
+"""Tests for campaign stores and content-addressed keys."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.cache import CacheConfig
+from repro.machine.configs import tiny_machine, tiny_machine_config
+from repro.runtime.campaigns import campaign_key, run_campaign
+from repro.runtime.store import (
+    CampaignKey,
+    DiskStore,
+    MemoryStore,
+    NullStore,
+    default_memory_store,
+    machine_config_hash,
+    resolve_store,
+)
+
+
+class TestMachineConfigHash:
+    def test_stable_for_equal_configs(self):
+        assert machine_config_hash(tiny_machine_config()) == machine_config_hash(
+            tiny_machine_config()
+        )
+
+    def test_name_collision_does_not_collide_keys(self):
+        """Two machines sharing a name but differing in cache geometry must
+        not share cached tables (the historical ``_cache_key`` collision)."""
+        base = tiny_machine_config()
+        bigger_l1 = dataclasses.replace(
+            base, l1=CacheConfig(size_bytes=512, line_size=32, associativity=2, name="L1d")
+        )
+        assert base.name == bigger_l1.name
+        assert machine_config_hash(base) != machine_config_hash(bigger_l1)
+
+    def test_instruction_weights_contribute(self):
+        base = tiny_machine_config()
+        reweighted = dataclasses.replace(
+            base,
+            instruction_model=dataclasses.replace(
+                base.instruction_model, codelet_call_base=99
+            ),
+        )
+        assert machine_config_hash(base) != machine_config_hash(reweighted)
+
+    def test_noise_level_contributes(self):
+        base = tiny_machine_config()
+        assert machine_config_hash(base) != machine_config_hash(base.with_noise(0.5))
+
+
+class TestCampaignKey:
+    def test_token_is_filesystem_safe_and_stable(self):
+        key = CampaignKey("abc", n=5, count=10, seed=1, max_leaf=8, max_children=None)
+        token = key.token()
+        assert token == key.token()
+        assert "/" not in token and " " not in token
+
+    def test_distinct_settings_distinct_tokens(self):
+        key = CampaignKey("abc", n=5, count=10, seed=1, max_leaf=8, max_children=None)
+        other = dataclasses.replace(key, seed=2)
+        assert key.token() != other.token()
+
+    def test_campaign_key_uses_full_config_hash(self, machine):
+        key = campaign_key(machine, 5, 10, seed=1)
+        assert key.machine_hash == machine_config_hash(machine.config)
+
+
+class TestMemoryStore:
+    def test_get_put_clear(self, machine):
+        store = MemoryStore()
+        key = campaign_key(machine, 4, 5, seed=3)
+        assert store.get(key) is None
+        table = run_campaign(machine, 4, 5, seed=3, store=store)
+        assert store.get(key) is table
+        store.clear()
+        assert store.get(key) is None
+
+    def test_default_memory_store_is_shared(self):
+        assert default_memory_store() is default_memory_store()
+
+
+class TestDiskStore:
+    def test_persists_and_reloads(self, tmp_path, machine):
+        store = DiskStore(tmp_path / "campaigns")
+        table = run_campaign(machine, 4, 6, seed=9, store=store)
+        key = campaign_key(machine, 4, 6, seed=9)
+        reloaded = store.get(key)
+        assert reloaded is not table  # re-read from disk, not memoised
+        assert table.equals(reloaded)
+        assert list(store.entries())
+
+    def test_fresh_instance_sees_existing_files(self, tmp_path, machine):
+        path = tmp_path / "campaigns"
+        run_campaign(machine, 4, 6, seed=9, store=DiskStore(path))
+        key = campaign_key(machine, 4, 6, seed=9)
+        assert DiskStore(path).get(key) is not None
+
+    def test_miss_on_other_machine(self, tmp_path, machine):
+        store = DiskStore(tmp_path)
+        run_campaign(machine, 4, 6, seed=9, store=store)
+        other = tiny_machine(noise_sigma=0.3)
+        assert store.get(campaign_key(other, 4, 6, seed=9)) is None
+
+    def test_clear_removes_entries(self, tmp_path, machine):
+        store = DiskStore(tmp_path)
+        run_campaign(machine, 4, 6, seed=9, store=store)
+        store.clear()
+        assert store.get(campaign_key(machine, 4, 6, seed=9)) is None
+
+    def test_incompatible_version_is_a_miss(self, tmp_path, machine):
+        import json
+
+        store = DiskStore(tmp_path)
+        run_campaign(machine, 4, 6, seed=9, store=store)
+        key = campaign_key(machine, 4, 6, seed=9)
+        file = next(iter(store.entries()))
+        payload = json.loads(file.read_text())
+        payload["version"] = 999
+        file.write_text(json.dumps(payload))
+        assert store.get(key) is None
+
+    def test_corrupt_file_is_a_miss_not_a_crash(self, tmp_path, machine):
+        store = DiskStore(tmp_path)
+        run_campaign(machine, 4, 6, seed=9, store=store)
+        key = campaign_key(machine, 4, 6, seed=9)
+        file = next(iter(store.entries()))
+        file.write_text('{"version": 1, "table": {"n"')  # truncated write
+        assert store.get(key) is None
+        # and the campaign transparently re-measures and re-stores
+        table = run_campaign(machine, 4, 6, seed=9, store=store)
+        assert store.get(key) is not None
+        assert len(table) == 6
+
+    def test_concurrent_unlink_is_a_miss(self, tmp_path, machine):
+        store = DiskStore(tmp_path)
+        run_campaign(machine, 4, 6, seed=9, store=store)
+        key = campaign_key(machine, 4, 6, seed=9)
+        next(iter(store.entries())).unlink()  # e.g. a concurrent clear()
+        assert store.get(key) is None
+
+
+class TestResolveStore:
+    def test_memory_resolves_to_shared_store(self):
+        assert resolve_store("memory") is default_memory_store()
+
+    def test_none_resolves_to_null(self):
+        assert isinstance(resolve_store(None), NullStore)
+        assert isinstance(resolve_store("none"), NullStore)
+
+    def test_path_resolves_to_disk(self, tmp_path):
+        store = resolve_store(tmp_path / "c")
+        assert isinstance(store, DiskStore)
+
+    def test_string_path_resolves_to_disk(self, tmp_path):
+        store = resolve_store(str(tmp_path / "c"))
+        assert isinstance(store, DiskStore)
+
+    def test_instance_passes_through(self):
+        store = MemoryStore()
+        assert resolve_store(store) is store
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            resolve_store(42)
+
+    def test_bare_string_typo_raises_instead_of_creating_a_directory(self):
+        with pytest.raises(ValueError, match="memroy"):
+            resolve_store("memroy")  # typo of "memory" must not become a DiskStore

@@ -9,7 +9,6 @@ and produce cache-miss counts bounded by physical invariants of its trace.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
