@@ -2,17 +2,33 @@
 
 These are conventional pytest-benchmark timings (many rounds) of the kernels
 everything else is built from: the plan interpreter, the vectorised cache
-simulators, trace generation, the analytic models and the RSU sampler.  They
-are the numbers to watch when optimising the simulator itself.
+simulators, trace generation (eager and streaming), the analytic models and
+the RSU sampler.  They are the numbers to watch when optimising the
+simulator itself.
+
+Substrate-level benchmarks additionally record the tracemalloc peak of one
+run in ``benchmark.extra_info["peak_bytes"]`` (so ``--benchmark-json``
+output captures memory alongside time), and ``benchmarks/perf_smoke.py``
+checks the headline numbers against the committed ``BENCH_substrate.json``
+baseline in CI.
 """
 
 from __future__ import annotations
 
+import tracemalloc
+
 import numpy as np
 import pytest
 
-from repro.machine.cache import CacheConfig, DirectMappedCache, SetAssociativeLRUCache, TwoWayLRUCache
-from repro.machine.trace import trace_from_nests
+from repro.machine.cache import (
+    CacheConfig,
+    DirectMappedCache,
+    NWayLRUCache,
+    SetAssociativeLRUCache,
+    TwoWayLRUCache,
+)
+from repro.machine.configs import opteron_like
+from repro.machine.trace import stream_line_chunks, trace_from_nests
 from repro.models.cache_misses import CacheMissModel
 from repro.models.instruction_count import InstructionCountModel
 from repro.wht.canonical import iterative_plan, right_recursive_plan
@@ -20,6 +36,21 @@ from repro.wht.codelets import apply_codelet
 from repro.wht.interpreter import PlanInterpreter
 from repro.wht.random_plans import RSUSampler
 from repro.wht.transform import wht_inplace
+
+
+def record_peak_memory(benchmark, function, *args, **kwargs):
+    """Record one run's tracemalloc peak, then benchmark the call normally.
+
+    The traced run is separate from the timed rounds because tracemalloc
+    slows allocation-heavy NumPy code considerably; its peak lands in
+    ``benchmark.extra_info["peak_bytes"]``.
+    """
+    tracemalloc.start()
+    function(*args, **kwargs)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    benchmark.extra_info["peak_bytes"] = int(peak)
+    return benchmark(function, *args, **kwargs)
 
 
 @pytest.fixture(scope="module")
@@ -66,7 +97,20 @@ def test_bench_interpreter_profile_2_to_the_12(benchmark, interpreter, sample_pl
 
 def test_bench_trace_generation_2_to_the_12(benchmark, interpreter, sample_plan):
     _, nests = interpreter.profile(sample_plan, record_trace=True)
-    benchmark(trace_from_nests, nests)
+    record_peak_memory(benchmark, trace_from_nests, nests)
+
+
+def test_bench_stream_line_chunks_2_to_the_12(benchmark, interpreter, sample_plan):
+    # The streaming expander: blocks -> collapsed line chunks, 64 B lines.
+    def run():
+        total = 0
+        for chunk in stream_line_chunks(
+            interpreter.iter_nest_blocks(sample_plan), line_size=64
+        ):
+            total += chunk.lines.shape[0]
+        return total
+
+    record_peak_memory(benchmark, run)
 
 
 def test_bench_direct_mapped_cache_simulation(benchmark, sample_trace):
@@ -98,8 +142,28 @@ def test_bench_reference_lru_cache_simulation(benchmark, sample_trace):
     benchmark(run)
 
 
+def test_bench_nway_cache_simulation(benchmark, sample_trace):
+    # The vectorised 16-way simulator on the same reduced trace as the
+    # reference benchmark above, for a direct speedup read-off.
+    config = CacheConfig(64 * 1024, 64, 16)
+    addresses = sample_trace.addresses[::16]
+
+    def run():
+        return NWayLRUCache(config).simulate(addresses)
+
+    benchmark(run)
+
+
 def test_bench_machine_measure_2_to_the_12(benchmark, machine, sample_plan):
     benchmark(machine.measure, sample_plan)
+
+
+def test_bench_machine_prepare_streaming_2_to_the_12(benchmark, sample_plan):
+    # The full streaming substrate (walker -> chunker -> warm hierarchy) on
+    # the paper's Opteron geometry; the headline number of DESIGN.md §3 and
+    # the quantity guarded by benchmarks/perf_smoke.py.
+    machine = opteron_like(noise_sigma=0.0)
+    record_peak_memory(benchmark, machine.prepare, sample_plan)
 
 
 def test_bench_instruction_model_2_to_the_16(benchmark):

@@ -1,0 +1,168 @@
+"""CI perf smoke test for the measurement substrate.
+
+Runs a small but representative workload — `SimulatedMachine.prepare` of an
+n=12 RSU plan on the Opteron-like geometry — and checks it against
+
+* a generous absolute wall-time budget (to catch order-of-magnitude
+  regressions such as an accidental fall-back to a per-access Python loop),
+* the committed ``BENCH_substrate.json`` baseline, with wide multipliers
+  (CI machines vary; only gross regressions should fail), and
+* a bit-exactness cross-check of the streaming pipeline against the eager
+  reference pipeline, so a "fast but wrong" regression cannot pass.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py                 # check
+    PYTHONPATH=src python benchmarks/perf_smoke.py --write-baseline
+
+The baseline file records the machine it was captured on; treat its numbers
+as indicative, not as a cross-hardware contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+
+#: Absolute ceiling for the smoke workload.  The streaming pipeline runs it
+#: in well under a second; the seed's eager pipeline took ~2 s; a per-access
+#: Python loop regression lands in the minutes.
+TIME_BUDGET_SECONDS = 60.0
+
+#: Multipliers applied to the recorded baseline before failing.
+TIME_SLACK = 15.0
+MEMORY_SLACK = 10.0
+
+SMOKE_SIZE = 12
+SMOKE_SEED = 7
+
+
+def run_smoke():
+    """Time and trace the n=12 prepare; returns (seconds, peak_bytes, stats).
+
+    One untimed warmup absorbs first-touch effects (imports, allocator,
+    NumPy lazy setup) and the reported time is the best of three runs, so a
+    momentarily loaded CI runner does not fail the gate spuriously.
+    """
+    from repro.machine.configs import opteron_like
+    from repro.wht.random_plans import RSUSampler
+
+    plan = RSUSampler().sample(SMOKE_SIZE, rng=SMOKE_SEED)
+
+    machine = opteron_like(noise_sigma=0.0)
+    prepared = machine.prepare(plan)  # warmup
+    seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        prepared = machine.prepare(plan)
+        seconds = min(seconds, time.perf_counter() - start)
+
+    machine = opteron_like(noise_sigma=0.0)
+    tracemalloc.start()
+    traced = machine.prepare(plan)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert traced.hierarchy_stats == prepared.hierarchy_stats
+    return seconds, int(peak), prepared.hierarchy_stats
+
+
+def check_exactness() -> None:
+    """Streaming pipeline must be bit-identical to the eager reference."""
+    from repro.machine.configs import opteron_like, tiny_machine
+    from repro.machine.hierarchy import MemoryHierarchy
+    from repro.machine.trace import trace_from_nests
+    from repro.wht.interpreter import PlanInterpreter
+    from repro.wht.random_plans import random_plan
+
+    interpreter = PlanInterpreter()
+    for machine, size in ((tiny_machine(), 8), (opteron_like(noise_sigma=0.0), 9)):
+        for seed in range(3):
+            plan = random_plan(size, rng=seed)
+            streamed = machine.prepare(plan).hierarchy_stats
+            _, nests = interpreter.profile(plan, record_trace=True)
+            trace = trace_from_nests(nests, element_size=machine.config.element_size)
+            hierarchy = MemoryHierarchy(
+                machine.config.l1, machine.config.l2, vectorized=False
+            )
+            eager = hierarchy.process_trace(trace)
+            if streamed != eager:
+                raise SystemExit(
+                    f"exactness regression: streamed {streamed} != eager {eager} "
+                    f"({machine.config.name}, n={size}, seed={seed})"
+                )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current machine's numbers into BENCH_substrate.json",
+    )
+    args = parser.parse_args()
+
+    check_exactness()
+    print("exactness: streaming pipeline matches eager reference")
+
+    seconds, peak, stats = run_smoke()
+    name = f"prepare_n{SMOKE_SIZE}_opteron"
+    print(
+        f"{name}: {seconds:.3f} s, peak {peak / 1e6:.1f} MB, "
+        f"l1_misses={stats.l1_misses}, l2_misses={stats.l2_misses}"
+    )
+
+    if args.write_baseline:
+        baseline = {
+            "note": (
+                "Substrate perf baseline; indicative numbers from the machine "
+                "below, checked by benchmarks/perf_smoke.py with wide slack."
+            ),
+            "machine": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "recorded": {
+                name: {"seconds": round(seconds, 4), "peak_bytes": peak},
+            },
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    failures = []
+    if seconds > TIME_BUDGET_SECONDS:
+        failures.append(
+            f"{name} took {seconds:.2f} s > absolute budget {TIME_BUDGET_SECONDS} s"
+        )
+    if BASELINE_PATH.exists():
+        recorded = json.loads(BASELINE_PATH.read_text())["recorded"].get(name)
+        if recorded:
+            if seconds > recorded["seconds"] * TIME_SLACK:
+                failures.append(
+                    f"{name} took {seconds:.2f} s > {TIME_SLACK}x baseline "
+                    f"{recorded['seconds']} s"
+                )
+            if peak > recorded["peak_bytes"] * MEMORY_SLACK:
+                failures.append(
+                    f"{name} peaked at {peak} B > {MEMORY_SLACK}x baseline "
+                    f"{recorded['peak_bytes']} B"
+                )
+    else:
+        print("no BENCH_substrate.json baseline; absolute budget only")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("perf smoke OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,13 +23,14 @@ from repro.machine.cache import (
     CacheConfig,
     CacheStatistics,
     DirectMappedCache,
+    NWayLRUCache,
     SetAssociativeLRUCache,
     TwoWayLRUCache,
     make_cache,
     simulate_trace,
 )
 from repro.machine.hierarchy import HierarchyStatistics, MemoryHierarchy
-from repro.machine.trace import MemoryTrace, trace_from_nests
+from repro.machine.trace import LineChunk, MemoryTrace, stream_line_chunks, trace_from_nests
 from repro.machine.cpu import CycleModel, InstructionCostModel
 from repro.machine.measurement import Measurement
 from repro.machine.counters import PAPI_EVENTS, CounterSet, counters_from_measurement
@@ -47,13 +48,16 @@ __all__ = [
     "CacheConfig",
     "CacheStatistics",
     "DirectMappedCache",
+    "NWayLRUCache",
     "SetAssociativeLRUCache",
     "TwoWayLRUCache",
     "make_cache",
     "simulate_trace",
     "HierarchyStatistics",
     "MemoryHierarchy",
+    "LineChunk",
     "MemoryTrace",
+    "stream_line_chunks",
     "trace_from_nests",
     "CycleModel",
     "InstructionCostModel",

@@ -1,11 +1,11 @@
 """Cache simulators.
 
-Three simulators are provided, all operating on byte addresses:
+Four simulators are provided, all operating on byte addresses:
 
 * :class:`SetAssociativeLRUCache` — the reference simulator: any associativity,
-  true LRU replacement, one Python-level update per access.  Used for the L2
-  level (which only sees the much smaller L1 miss stream), for small traces
-  and as the oracle the vectorised simulators are validated against.
+  true LRU replacement, one Python-level update per access.  Kept as the
+  oracle the vectorised simulators are validated against (and selectable via
+  ``vectorized=False`` for cross-checks and ablations).
 * :class:`DirectMappedCache` — associativity 1, with a fully vectorised
   ``simulate`` path: an access misses exactly when the previous access to the
   same set carried a different tag, which reduces to a grouped comparison.
@@ -14,9 +14,19 @@ Three simulators are provided, all operating on byte addresses:
   lines, an LRU pair contains exactly the two most recently used distinct
   lines, so an access hits iff it equals the previous or the
   previous-previous distinct line of its set.
+* :class:`NWayLRUCache` — arbitrary associativity ``A`` (the 16-way L2 and
+  the associativity ablation), vectorised via set-grouped stack distances:
+  within one set, an access hits iff fewer than ``A`` distinct lines occurred
+  since its previous occurrence.  The hit depth is resolved with ``A - 1``
+  vectorised passes that track the contents of each LRU stack position over
+  time (see DESIGN.md), so cost is ``O(A · n)`` NumPy work with no per-access
+  Python loop.
 
 All simulators implement the same small interface (``access``, ``simulate``,
-``reset``, ``stats``) so the memory hierarchy can mix them freely.
+``reset``, ``stats``) so the memory hierarchy can mix them freely, and all
+``simulate`` paths support warm continuation: state carries exactly across
+successive calls, which is what lets the hierarchy stream a trace in bounded
+chunks while producing bit-identical miss counts.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ __all__ = [
     "SetAssociativeLRUCache",
     "DirectMappedCache",
     "TwoWayLRUCache",
+    "NWayLRUCache",
     "make_cache",
     "simulate_trace",
 ]
@@ -147,18 +158,22 @@ class CacheSimulator(Protocol):
     def access(self, address: int) -> bool:
         """Process one byte address; return True on a miss."""
 
-    def simulate(self, addresses: np.ndarray) -> np.ndarray:
-        """Process a trace of byte addresses; return a boolean miss mask."""
+    def simulate(self, addresses: np.ndarray, check: bool = True) -> np.ndarray:
+        """Process a trace of byte addresses; return a boolean miss mask.
+
+        ``check=False`` skips the non-negativity scan for callers that have
+        already validated the trace at the pipeline boundary.
+        """
 
     def reset(self) -> None:
         """Invalidate all contents and zero the statistics."""
 
 
-def _as_address_array(addresses: np.ndarray) -> np.ndarray:
+def _as_address_array(addresses: np.ndarray, check: bool = True) -> np.ndarray:
     arr = np.asarray(addresses)
     if arr.ndim != 1:
         raise ValueError(f"trace must be a 1-D array of addresses, got shape {arr.shape}")
-    if arr.size and arr.min() < 0:
+    if check and arr.size and arr.min() < 0:
         raise ValueError("addresses must be nonnegative")
     return arr.astype(np.int64, copy=False)
 
@@ -193,8 +208,8 @@ class SetAssociativeLRUCache:
         self.stats.record(1, int(miss))
         return miss
 
-    def simulate(self, addresses: np.ndarray) -> np.ndarray:
-        arr = _as_address_array(addresses)
+    def simulate(self, addresses: np.ndarray, check: bool = True) -> np.ndarray:
+        arr = _as_address_array(addresses, check=check)
         config = self.config
         offset_bits = config.offset_bits
         index_mask = config.num_sets - 1
@@ -253,8 +268,8 @@ class DirectMappedCache:
         self.stats.record(1, int(miss))
         return bool(miss)
 
-    def simulate(self, addresses: np.ndarray) -> np.ndarray:
-        arr = _as_address_array(addresses)
+    def simulate(self, addresses: np.ndarray, check: bool = True) -> np.ndarray:
+        arr = _as_address_array(addresses, check=check)
         if arr.size == 0:
             return np.zeros(0, dtype=bool)
         config = self.config
@@ -337,8 +352,8 @@ class TwoWayLRUCache:
         self.stats.record(1, int(miss))
         return bool(miss)
 
-    def simulate(self, addresses: np.ndarray) -> np.ndarray:
-        arr = _as_address_array(addresses)
+    def simulate(self, addresses: np.ndarray, check: bool = True) -> np.ndarray:
+        arr = _as_address_array(addresses, check=check)
         if arr.size == 0:
             return np.zeros(0, dtype=bool)
         config = self.config
@@ -430,11 +445,162 @@ class TwoWayLRUCache:
             last_idx = np.nonzero(group_last)[0]
             last_sets = d_sets[last_idx]
             self._mru[last_sets] = d_tags[last_idx]
-            has_prev_in_group = np.zeros(m, dtype=bool)
-            has_prev_in_group[last_idx] = ~d_new_group[last_idx]
-            prev_idx = last_idx - 1
             usable = last_idx[~d_new_group[last_idx]]
             self._lru[d_sets[usable]] = d_tags[usable - 1]
+
+        self.stats.record(arr.shape[0], int(misses.sum()))
+        return misses
+
+
+class NWayLRUCache:
+    """Arbitrary-associativity LRU cache with a vectorised trace simulation.
+
+    The simulation works on the set-grouped trace with runs of consecutive
+    identical lines removed (those are depth-1 hits).  In the remaining
+    *distinct* per-set sequence the LRU stack evolves mechanically: the
+    incoming line always lands at stack position 1 and the old position-1
+    line always drops to position 2, while position ``d`` receives the old
+    position ``d-1`` line exactly at steps whose hit depth is ``>= d``.
+    Tracking "content of stack position ``d`` before each step" therefore
+    reduces to a masked forward-fill of the position ``d-1`` contents, and
+    ``A - 1`` such passes classify every access: an access hits iff its tag
+    equals the content of some position ``<= A``.  This is the stack-distance
+    criterion — an access hits iff fewer than ``A`` distinct lines were
+    referenced in its set since its previous occurrence — computed without a
+    per-access Python loop.
+
+    Warm continuation across ``simulate`` calls is exact: the per-set LRU
+    stack state is replayed as virtual leading accesses (LRU way first) and
+    re-extracted from the tail of the simulated chunk.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStatistics()
+        # Per-set LRU stack of tags, most recently used first, -1 invalid.
+        self._stack = np.full(
+            (config.num_sets, config.associativity), -1, dtype=np.int64
+        )
+
+    def reset(self) -> None:
+        self.stats = CacheStatistics()
+        self._stack.fill(-1)
+
+    def access(self, address: int) -> bool:
+        config = self.config
+        line = int(address) >> config.offset_bits
+        index = line & (config.num_sets - 1)
+        tag = line >> config.index_bits
+        row = self._stack[index]
+        hits = np.nonzero(row == tag)[0]
+        miss = hits.size == 0
+        depth = row.shape[0] - 1 if miss else int(hits[0])
+        row[1 : depth + 1] = row[:depth].copy()
+        row[0] = tag
+        self.stats.record(1, int(miss))
+        return miss
+
+    def simulate(self, addresses: np.ndarray, check: bool = True) -> np.ndarray:
+        arr = _as_address_array(addresses, check=check)
+        if arr.size == 0:
+            return np.zeros(0, dtype=bool)
+        config = self.config
+        associativity = config.associativity
+        lines = arr >> config.offset_bits
+        sets = (lines & (config.num_sets - 1)).astype(np.int64)
+        tags = (lines >> config.index_bits).astype(np.int64)
+
+        # Replay warm state as virtual leading accesses for the sets touched
+        # by this chunk: LRU way first, so the MRU way ends up most recent.
+        present = np.unique(sets)
+        reversed_stacks = self._stack[present, ::-1]
+        valid = reversed_stacks >= 0
+        virtual_sets = np.repeat(present, valid.sum(axis=1))
+        virtual_tags = reversed_stacks[valid]
+        n_virtual = virtual_sets.shape[0]
+
+        all_sets = np.concatenate([virtual_sets, sets])
+        all_tags = np.concatenate([virtual_tags, tags])
+        total = all_sets.shape[0]
+
+        order = np.argsort(all_sets, kind="stable")
+        g_sets = all_sets[order]
+        g_tags = all_tags[order]
+
+        new_group = np.empty(total, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = g_sets[1:] != g_sets[:-1]
+
+        # Depth-1 hits: consecutive duplicates within a set group.  They do
+        # not change the LRU stack and are removed before depth resolution.
+        duplicate = np.zeros(total, dtype=bool)
+        duplicate[1:] = (~new_group[1:]) & (g_tags[1:] == g_tags[:-1])
+        distinct_idx = np.nonzero(~duplicate)[0]
+        d_sets = g_sets[distinct_idx]
+        d_tags = g_tags[distinct_idx]
+        m = distinct_idx.shape[0]
+
+        d_new_group = np.empty(m, dtype=bool)
+        d_new_group[0] = True
+        d_new_group[1:] = d_sets[1:] != d_sets[:-1]
+        positions = np.arange(m, dtype=np.int64)
+        group_start = np.maximum.accumulate(np.where(d_new_group, positions, 0))
+
+        # Content of stack position 2 before each step: the distinct line two
+        # back in the same group (position 1 is always the previous line, and
+        # a depth-2-or-deeper access never equals it by construction).
+        current = np.full(m, -1, dtype=np.int64)
+        if m > 2:
+            current[2:] = np.where(
+                positions[2:] >= group_start[2:] + 2, d_tags[:-2], -1
+            )
+        hit = np.zeros(m, dtype=bool)
+        for depth in range(2, associativity + 1):
+            hit |= (current >= 0) & (d_tags == current)
+            if depth == associativity:
+                break
+            # Stack position depth+1 receives the old position-depth content
+            # exactly at steps that did not hit at depth <= depth; its content
+            # before step t is therefore the last such arrival before t.
+            mask = ~hit
+            last_arrival = np.maximum.accumulate(np.where(mask, positions, -1))
+            previous = np.empty(m, dtype=np.int64)
+            previous[0] = -1
+            previous[1:] = last_arrival[:-1]
+            current = np.where(
+                previous >= group_start, current[np.maximum(previous, 0)], -1
+            )
+
+        miss_grouped = np.zeros(total, dtype=bool)
+        miss_grouped[distinct_idx] = ~hit
+        misses_all = np.empty(total, dtype=bool)
+        misses_all[order] = miss_grouped
+        misses = misses_all[n_virtual:]
+
+        # Re-extract per-set warm state: the last occurrence of every
+        # (set, tag) pair, ranked by recency, gives the final LRU stacks.
+        last_order = np.lexsort((positions, d_tags, d_sets))
+        s_sorted = d_sets[last_order]
+        t_sorted = d_tags[last_order]
+        last_of_pair = np.empty(m, dtype=bool)
+        last_of_pair[-1] = True
+        last_of_pair[:-1] = (s_sorted[1:] != s_sorted[:-1]) | (
+            t_sorted[1:] != t_sorted[:-1]
+        )
+        pair_sets = s_sorted[last_of_pair]
+        pair_tags = t_sorted[last_of_pair]
+        pair_pos = last_order[last_of_pair]
+        recency = np.lexsort((-pair_pos, pair_sets))
+        r_sets = pair_sets[recency]
+        r_tags = pair_tags[recency]
+        r_positions = np.arange(r_sets.shape[0], dtype=np.int64)
+        r_new = np.empty(r_sets.shape[0], dtype=bool)
+        r_new[0] = True
+        r_new[1:] = r_sets[1:] != r_sets[:-1]
+        rank = r_positions - np.maximum.accumulate(np.where(r_new, r_positions, 0))
+        keep = rank < associativity
+        self._stack[present] = -1
+        self._stack[r_sets[keep], rank[keep]] = r_tags[keep]
 
         self.stats.record(arr.shape[0], int(misses.sum()))
         return misses
@@ -452,7 +618,7 @@ def make_cache(config: CacheConfig, vectorized: bool = True) -> CacheSimulator:
         return DirectMappedCache(config)
     if config.associativity == 2:
         return TwoWayLRUCache(config)
-    return SetAssociativeLRUCache(config)
+    return NWayLRUCache(config)
 
 
 def simulate_trace(config: CacheConfig, addresses: np.ndarray, vectorized: bool = True) -> CacheStatistics:

@@ -2,22 +2,31 @@
 
 The Opteron of the paper has a 64 KB 2-way L1 data cache and a 1 MB 16-way L2.
 :class:`MemoryHierarchy` models an inclusive two-level hierarchy: every access
-probes L1, and L1 misses probe L2.  The L1 level is simulated with the fastest
-exact simulator available for its geometry (vectorised for direct-mapped and
-2-way configurations); the L2 level only ever sees the L1 miss stream, which
-is orders of magnitude shorter, so the reference LRU simulator is sufficient.
+probes L1, and L1 misses probe L2.  Both levels use the fastest exact
+simulator available for their geometry (vectorised for direct-mapped, 2-way
+and arbitrary N-way LRU configurations).
+
+The default entry point is :meth:`MemoryHierarchy.process_line_chunks`, which
+consumes the streamed, duplicate-collapsed line chunks produced by
+:func:`repro.machine.trace.stream_line_chunks`.  Simulator state carries
+across chunks (the vectorised caches support warm continuation), so the
+resulting miss counts are bit-identical to a single-shot simulation of the
+full trace while only ever holding one bounded chunk in memory.
+:meth:`MemoryHierarchy.process_trace` is retained as the eager compatibility
+view over a fully materialised :class:`MemoryTrace`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.machine.cache import (
     CacheConfig,
     CacheSimulator,
     make_cache,
 )
-from repro.machine.trace import MemoryTrace, collapse_consecutive
+from repro.machine.trace import LineChunk, MemoryTrace, collapse_consecutive
 
 __all__ = ["HierarchyStatistics", "MemoryHierarchy"]
 
@@ -81,47 +90,66 @@ class MemoryHierarchy:
             return None
         return make_cache(self.l2_config, vectorized=self.vectorized)
 
-    def process_trace(self, trace: MemoryTrace) -> HierarchyStatistics:
-        """Run a full trace through cold caches and return the miss counts.
+    def process_line_chunks(self, chunks: Iterable[LineChunk]) -> HierarchyStatistics:
+        """Stream collapsed line chunks through warm-started simulators.
 
-        Runs of consecutive accesses to the same L1 line are collapsed before
-        simulation; they are guaranteed hits at every level and do not change
-        LRU state, so the miss counts are exact while the simulated trace is
-        typically several times shorter (see
-        :func:`repro.machine.trace.collapse_consecutive`).
+        Each chunk's lines are simulated at L1 and the surviving miss stream
+        at L2, with simulator state carried across chunk boundaries, so the
+        returned statistics are bit-identical to simulating the whole trace
+        in one shot — regardless of how the stream was chunked.  Consecutive
+        duplicate lines may already be collapsed away (they are guaranteed
+        hits at every level and do not change LRU state; see
+        :func:`repro.machine.trace.collapse_consecutive`); each chunk's raw
+        ``accesses`` count is what L1 reports.
         """
-        addresses = trace.addresses
-        total_accesses = int(addresses.shape[0])
-        if total_accesses == 0:
-            return HierarchyStatistics(0, 0, 0, 0)
-
-        l1_lines = addresses >> self.l1_config.offset_bits
-        collapsed_lines, _removed = collapse_consecutive(l1_lines)
-        # Rebuild byte addresses at line granularity for the simulators (the
-        # sub-line offset is irrelevant to hit/miss behaviour).
-        collapsed_addresses = collapsed_lines << self.l1_config.offset_bits
-
         l1 = self.build_l1()
-        l1_miss_mask = l1.simulate(collapsed_addresses)
-        l1_misses = int(l1_miss_mask.sum())
-
+        l2 = self.build_l2()
+        offset_bits = self.l1_config.offset_bits
+        total_accesses = 0
         l2_accesses = 0
         l2_misses = 0
-        if self.l2_config is not None:
-            l2 = self.build_l2()
-            assert l2 is not None
-            miss_addresses = collapsed_addresses[l1_miss_mask]
-            l2_accesses = int(miss_addresses.shape[0])
-            if l2_accesses:
-                l2_miss_mask = l2.simulate(miss_addresses)
-                l2_misses = int(l2_miss_mask.sum())
-
+        for chunk in chunks:
+            total_accesses += chunk.accesses
+            if chunk.lines.shape[0] == 0:
+                continue
+            # Rebuild byte addresses at line granularity for the simulators
+            # (the sub-line offset is irrelevant to hit/miss behaviour).
+            addresses = chunk.lines << offset_bits
+            l1_miss_mask = l1.simulate(addresses, check=False)
+            if l2 is not None:
+                miss_addresses = addresses[l1_miss_mask]
+                if miss_addresses.shape[0]:
+                    l2.simulate(miss_addresses, check=False)
+        l1_misses = l1.stats.misses
+        if l2 is not None:
+            l2_accesses = l2.stats.accesses
+            l2_misses = l2.stats.misses
         return HierarchyStatistics(
             l1_accesses=total_accesses,
             l1_misses=l1_misses,
             l2_accesses=l2_accesses,
             l2_misses=l2_misses,
         )
+
+    def process_trace(self, trace: MemoryTrace) -> HierarchyStatistics:
+        """Run a fully materialised trace through cold caches.
+
+        Compatibility view over :meth:`process_line_chunks`: the trace is
+        validated once, collapsed to line granularity and simulated as a
+        single chunk, which produces exactly the statistics of the seed
+        implementation (and of any other chunking of the same trace).
+        """
+        addresses = trace.addresses
+        total_accesses = int(addresses.shape[0])
+        if total_accesses == 0:
+            return HierarchyStatistics(0, 0, 0, 0)
+        if int(addresses.min()) < 0:
+            raise ValueError("addresses must be nonnegative")
+
+        l1_lines = addresses >> self.l1_config.offset_bits
+        collapsed_lines, _removed = collapse_consecutive(l1_lines)
+        chunk = LineChunk(lines=collapsed_lines, accesses=total_accesses)
+        return self.process_line_chunks([chunk])
 
     def describe(self) -> str:
         """Human-readable summary of the hierarchy geometry."""

@@ -19,7 +19,7 @@ from repro.machine.cache import CacheConfig
 from repro.machine.cpu import CycleModel, InstructionCostModel
 from repro.machine.hierarchy import HierarchyStatistics, MemoryHierarchy
 from repro.machine.measurement import Measurement
-from repro.machine.trace import DEFAULT_ELEMENT_SIZE, trace_from_nests
+from repro.machine.trace import DEFAULT_ELEMENT_SIZE, stream_line_chunks
 from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_positive_int
 from repro.wht.interpreter import ExecutionStats, PlanInterpreter
@@ -108,15 +108,22 @@ class SimulatedMachine:
     # -- measurement -----------------------------------------------------------
 
     def prepare(self, plan: Plan) -> PreparedPlan:
-        """Profile ``plan`` and simulate the caches (the deterministic part)."""
-        stats, nests = self._interpreter.profile(plan, record_trace=True)
-        if nests is None:
-            raise RuntimeError(
-                "plan interpreter returned no leaf nests despite record_trace=True; "
-                "cannot generate a memory trace"
-            )
-        trace = trace_from_nests(nests, element_size=self.config.element_size)
-        hierarchy_stats = self.hierarchy.process_trace(trace)
+        """Profile ``plan`` and simulate the caches (the deterministic part).
+
+        The whole measurement substrate streams: the interpreter's nest-block
+        walker feeds the batched line-granular trace expander, whose bounded
+        chunks feed warm-started hierarchy simulators.  Neither the nest list
+        nor the address trace is ever materialised, and the statistics are
+        bit-identical to the eager profile → trace → simulate pipeline.
+        """
+        stats = ExecutionStats(n=plan.n)
+        blocks = self._interpreter.iter_nest_blocks(plan, stats=stats)
+        chunks = stream_line_chunks(
+            blocks,
+            line_size=self.config.l1.line_size,
+            element_size=self.config.element_size,
+        )
+        hierarchy_stats = self.hierarchy.process_line_chunks(chunks)
         return PreparedPlan(plan=plan, stats=stats, hierarchy_stats=hierarchy_stats)
 
     def measure_prepared(self, prepared: PreparedPlan, rng: RandomState = None) -> Measurement:

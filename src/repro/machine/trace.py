@@ -2,30 +2,56 @@
 
 The plan interpreter summarises execution as a sequence of :class:`LeafNest`
 events (one per leaf loop nest, in execution order).  This module expands
-those events into the byte-address trace the cache hierarchy consumes.
+those events into the data-access trace the cache hierarchy consumes.
 
 Per codelet call the WHT package's unrolled code loads its ``2^k`` input
 elements and then stores the ``2^k`` results back to the same locations; the
 trace therefore contains, for every call, one read pass followed by one write
-pass over the call's strided element block.  Expansion is a single NumPy
-broadcast per nest, so generating a multi-million access trace stays cheap.
+pass over the call's strided element block.
+
+Two expansion paths are provided (see DESIGN.md):
+
+* :func:`stream_line_chunks` — the default pipeline.  Nest blocks are grouped
+  by shape and expanded with one broadcast per group, directly at cache-line
+  granularity, with runs of consecutive identical lines collapsed per chunk
+  at generation time (line-aligned unit-stride nests collapse analytically,
+  without ever materialising their per-element accesses).  The full trace is
+  never held in memory; bounded :class:`LineChunk` batches stream into the
+  hierarchy simulators.
+* :func:`trace_from_nests` / :class:`MemoryTrace` — the eager byte-address
+  view, retained as a thin compatibility layer for tests, ablations and any
+  consumer that wants the exact per-element access sequence.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.util.validation import check_positive_int
-from repro.wht.interpreter import LeafNest
+from repro.wht.interpreter import _SINGLE_OFFSET, LeafNest, NestBlock
 
-__all__ = ["MemoryTrace", "trace_from_nests", "nest_addresses", "collapse_consecutive"]
+__all__ = [
+    "MemoryTrace",
+    "LineChunk",
+    "trace_from_nests",
+    "nest_addresses",
+    "collapse_consecutive",
+    "stream_line_chunks",
+]
 
 #: Size of a double-precision vector element in bytes (the WHT package
 #: computes on doubles).
 DEFAULT_ELEMENT_SIZE = 8
+
+#: Default upper bound on raw (pre-collapse) accesses expanded per chunk.
+#: Bounds the pipeline's peak memory: every intermediate array (expansion
+#: grids, scatter positions, simulator sort buffers) scales with the chunk
+#: length, and 2^18 accesses keep them all in the single-digit megabytes
+#: while staying far above the vectorisation break-even point.
+DEFAULT_CHUNK_ACCESSES = 1 << 18
 
 
 @dataclass(frozen=True)
@@ -114,6 +140,390 @@ def trace_from_nests(
         stores=stores,
         element_size=element_size,
     )
+
+
+@dataclass(frozen=True)
+class LineChunk:
+    """One streamed batch of the line-granular, duplicate-collapsed trace.
+
+    ``lines`` holds cache-line numbers in exact access order with runs of
+    consecutive identical lines removed; ``accesses`` records how many raw
+    element accesses the chunk represents (before collapsing), which is what
+    the hierarchy reports as L1 accesses.
+    """
+
+    lines: np.ndarray
+    accesses: int
+
+    def __post_init__(self) -> None:
+        lines = np.asarray(self.lines)
+        if lines.ndim != 1:
+            raise ValueError("chunk lines must form a 1-D array")
+        # Chunk construction is the validation boundary: the simulators
+        # downstream run with their non-negativity scan disabled (negative
+        # values would collide with their invalid-slot sentinels).
+        if lines.size and lines.min() < 0:
+            raise ValueError("chunk lines must be nonnegative")
+        object.__setattr__(self, "lines", lines.astype(np.int64, copy=False))
+        if self.accesses < lines.shape[0]:
+            raise ValueError(
+                f"accesses ({self.accesses}) cannot be fewer than the collapsed "
+                f"line count ({lines.shape[0]})"
+            )
+
+
+def _nest_min_element(nest: LeafNest, min_offset: int) -> int:
+    """Smallest element index any instance of the nest can touch."""
+    low = nest.base + min_offset
+    if nest.outer_count > 1:
+        low += min(0, (nest.outer_count - 1) * nest.outer_stride)
+    if nest.inner_count > 1:
+        low += min(0, (nest.inner_count - 1) * nest.inner_stride)
+    if nest.elements_per_call > 1:
+        low += min(0, (nest.elements_per_call - 1) * nest.elem_stride)
+    return low
+
+
+def _analytic_lines_per_call(
+    nest: LeafNest,
+    bases: np.ndarray,
+    line_size: int,
+    element_size: int,
+    base_address: int,
+) -> int:
+    """Lines per call when the nest collapses analytically, else 0.
+
+    A nest collapses analytically when every call is a unit-stride pass over
+    whole cache lines: contiguous elements (``elem_stride == 1``), a call
+    length that is a multiple of the line length, and line-aligned bases and
+    strides.  Each call then touches exactly ``elements_per_call / epl``
+    consecutive lines, each ``epl`` times per pass, so its collapsed form is
+    known without expanding per-element addresses.
+    """
+    if nest.elem_stride != 1:
+        return 0
+    if line_size % element_size != 0:
+        return 0
+    epl = line_size // element_size  # elements per line
+    epc = nest.elements_per_call
+    if epc % epl != 0:
+        return 0
+    if nest.outer_count > 1 and (nest.outer_stride * element_size) % line_size != 0:
+        return 0
+    if nest.inner_count > 1 and (nest.inner_stride * element_size) % line_size != 0:
+        return 0
+    if base_address % line_size != 0:
+        return 0
+    if np.any((bases * element_size) % line_size != 0):
+        return 0
+    return epc // epl
+
+
+def _expand_group_analytic(
+    k: int,
+    outer_count: int,
+    inner_count: int,
+    lines_per_call: int,
+    bases: np.ndarray,
+    outer_stride: int,
+    inner_stride: int,
+    line_size: int,
+    element_size: int,
+    base_address: int,
+) -> np.ndarray:
+    """Collapsed line numbers of a group of line-aligned unit-stride nests.
+
+    Returns shape ``(instances, emitted_per_instance)``: per call, one line
+    when the call fits a single line (the read and the write pass collapse
+    together), otherwise the ``lines_per_call`` run twice (read pass then
+    write pass, each already collapsed to one entry per line).
+    """
+    base_lines = (base_address + bases * element_size) // line_size
+    outer_lines = outer_stride * element_size // line_size
+    inner_lines = inner_stride * element_size // line_size
+    j = np.arange(outer_count, dtype=np.int64) * outer_lines
+    kk = np.arange(inner_count, dtype=np.int64) * inner_lines
+    grid = base_lines[:, None, None] + j[None, :, None] + kk[None, None, :]
+    runs = grid[..., None] + np.arange(lines_per_call, dtype=np.int64)
+    if lines_per_call == 1:
+        return runs.reshape(bases.shape[0], -1)
+    doubled = np.broadcast_to(
+        runs[:, :, :, None, :],
+        (bases.shape[0], outer_count, inner_count, 2, lines_per_call),
+    )
+    return doubled.reshape(bases.shape[0], -1)
+
+
+def _expand_group_raw(
+    k: int,
+    outer_count: int,
+    inner_count: int,
+    bases: np.ndarray,
+    outer_stride: int,
+    inner_stride: int,
+    elem_stride: int,
+    line_size: int,
+    element_size: int,
+    base_address: int,
+) -> np.ndarray:
+    """Per-access line numbers of a group of same-shape nests (read + write)."""
+    elements = 1 << k
+    j = np.arange(outer_count, dtype=np.int64) * outer_stride
+    kk = np.arange(inner_count, dtype=np.int64) * inner_stride
+    e = np.arange(elements, dtype=np.int64) * elem_stride
+    grid = (
+        bases[:, None, None, None]
+        + j[None, :, None, None]
+        + kk[None, None, :, None]
+        + e[None, None, None, :]
+    )
+    lines = (base_address + grid * element_size) // line_size
+    doubled = np.broadcast_to(
+        lines[:, :, :, None, :],
+        (bases.shape[0], outer_count, inner_count, 2, elements),
+    )
+    return doubled.reshape(bases.shape[0], -1)
+
+
+class _BlockTable:
+    """Per-block metadata and per-instance arrays collected from a nest stream.
+
+    Collecting first and chunking afterwards keeps the Python-level work
+    proportional to the number of *blocks* (the plan's structure) while every
+    per-instance quantity — stream position, base, chunk assignment, scatter
+    offset — is handled with vectorised array operations.  The per-instance
+    arrays are a few machine words per nest, orders of magnitude smaller than
+    the trace itself.
+    """
+
+    def __init__(
+        self,
+        line_size: int,
+        element_size: int,
+        base_address: int,
+        chunk_accesses: int,
+    ):
+        self.line_size = line_size
+        self.element_size = element_size
+        self.base_address = base_address
+        self.chunk_accesses = chunk_accesses
+        self.nests: list[LeafNest] = []
+        self.bases: list[np.ndarray] = []
+        self.starts: list[np.ndarray] = []
+        self.raw: list[int] = []
+        self.emitted: list[int] = []
+        self.group_ids: list[int] = []
+        self._groups: dict[tuple, int] = {}
+        self.group_info: list[tuple] = []
+
+    def add(self, block: NestBlock) -> None:
+        nest = block.nest
+        if 2 * nest.total_elements > self.chunk_accesses and nest.calls > 1:
+            # A single instance overflows the chunk budget: split it along its
+            # outer (or, failing that, inner) loop axis into budget-sized
+            # sub-nests.  The pieces cover the original call sequence in
+            # order, so expansion and collapse are unchanged; only the chunk
+            # boundaries (which are semantically irrelevant) move.
+            elements = nest.elements_per_call
+            if nest.outer_count > 1:
+                per_row = nest.inner_count * 2 * elements
+                rows = max(1, self.chunk_accesses // per_row)
+                for row in range(0, nest.outer_count, rows):
+                    top = min(row + rows, nest.outer_count)
+                    sub = replace(
+                        nest,
+                        base=nest.base + row * nest.outer_stride,
+                        outer_count=top - row,
+                    )
+                    self.add(NestBlock(sub, block.offsets, block.starts + row * per_row))
+                return
+            per_row = 2 * elements
+            rows = max(1, self.chunk_accesses // per_row)
+            for row in range(0, nest.inner_count, rows):
+                top = min(row + rows, nest.inner_count)
+                sub = replace(
+                    nest,
+                    base=nest.base + row * nest.inner_stride,
+                    inner_count=top - row,
+                )
+                self.add(NestBlock(sub, block.offsets, block.starts + row * per_row))
+            return
+        offsets = block.offsets
+        bases = nest.base + offsets if offsets.shape[0] > 1 or offsets[0] else None
+        if bases is None:
+            bases = np.full(1, nest.base, dtype=np.int64)
+        min_element = _nest_min_element(nest, int(bases.min()) - nest.base)
+        if self.base_address + min_element * self.element_size < 0:
+            raise ValueError(
+                f"nest {nest} produces negative byte addresses "
+                f"(min element index {min_element})"
+            )
+        lines_per_call = _analytic_lines_per_call(
+            nest, bases, self.line_size, self.element_size, self.base_address
+        )
+        if lines_per_call == 1:
+            # The read and the write pass over a one-line call collapse to a
+            # single emitted entry.
+            emitted = nest.calls
+        elif lines_per_call:
+            emitted = nest.calls * 2 * lines_per_call
+        else:
+            emitted = 2 * nest.total_elements
+        key = (
+            nest.k,
+            nest.outer_count,
+            nest.inner_count,
+            nest.outer_stride,
+            nest.inner_stride,
+            nest.elem_stride,
+            lines_per_call,
+        )
+        group_id = self._groups.get(key)
+        if group_id is None:
+            group_id = self._groups[key] = len(self.group_info)
+            self.group_info.append(key + (emitted,))
+        self.nests.append(nest)
+        self.bases.append(bases)
+        self.starts.append(block.starts)
+        self.raw.append(2 * nest.total_elements)
+        self.emitted.append(emitted)
+        self.group_ids.append(group_id)
+
+
+def _expand_chunk(
+    table: _BlockTable,
+    bases: np.ndarray,
+    group_ids: np.ndarray,
+    emitted: np.ndarray,
+) -> np.ndarray:
+    """Expand one chunk's instances (given in execution order) to line numbers."""
+    scatter_starts = np.zeros(emitted.shape[0], dtype=np.int64)
+    np.cumsum(emitted[:-1], out=scatter_starts[1:])
+    total_emitted = int(scatter_starts[-1] + emitted[-1])
+    out = np.empty(total_emitted, dtype=np.int64)
+    for group_id in np.unique(group_ids):
+        k, outer_count, inner_count, ostride, istride, estride, lines_per_call, per = (
+            table.group_info[group_id]
+        )
+        mask = group_ids == group_id
+        group_bases = bases[mask]
+        if lines_per_call:
+            block = _expand_group_analytic(
+                k, outer_count, inner_count, lines_per_call, group_bases,
+                ostride, istride,
+                table.line_size, table.element_size, table.base_address,
+            )
+        else:
+            block = _expand_group_raw(
+                k, outer_count, inner_count, group_bases,
+                ostride, istride, estride,
+                table.line_size, table.element_size, table.base_address,
+            )
+        positions = scatter_starts[mask][:, None] + np.arange(per, dtype=np.int64)[None, :]
+        out[positions.reshape(-1)] = block.reshape(-1)
+    return out
+
+
+def stream_line_chunks(
+    nests: Iterable[LeafNest | NestBlock],
+    line_size: int,
+    element_size: int = DEFAULT_ELEMENT_SIZE,
+    base_address: int = 0,
+    chunk_accesses: int = DEFAULT_CHUNK_ACCESSES,
+) -> Iterator[LineChunk]:
+    """Stream a nest sequence as bounded, duplicate-collapsed line chunks.
+
+    Accepts :class:`NestBlock` groups (as produced by
+    :meth:`repro.wht.interpreter.PlanInterpreter.iter_nest_blocks`, instances
+    ordered by their ``starts``) or plain :class:`LeafNest` events (taken in
+    iteration order), and yields :class:`LineChunk` batches of roughly
+    ``chunk_accesses`` raw accesses each (instances larger than the budget
+    are split along their loop axes; only a single oversized codelet *call*,
+    which never occurs for realistic leaf sizes, can exceed the bound).
+    Concatenating the chunks' ``lines``
+    yields exactly ``collapse_consecutive(full_trace.line_addresses(...))``;
+    the full trace is never materialised — only per-nest descriptors and one
+    bounded chunk of expanded lines exist at any time.
+
+    Addresses are validated non-negative here, once, at the pipeline
+    boundary — per block, from the nest geometry — so the downstream
+    simulators can skip their per-call validation scans.
+    """
+    check_positive_int(line_size, "line_size")
+    check_positive_int(element_size, "element_size")
+    check_positive_int(chunk_accesses, "chunk_accesses")
+    if base_address < 0:
+        raise ValueError(f"base_address must be nonnegative, got {base_address}")
+
+    table = _BlockTable(line_size, element_size, base_address, chunk_accesses)
+    cursor = 0
+    for item in nests:
+        if isinstance(item, NestBlock):
+            block = item
+            if block.instances == 0:
+                continue
+            cursor = max(
+                cursor,
+                int(block.starts.max()) + block.accesses_per_instance,
+            )
+        else:
+            block = NestBlock(
+                item, _SINGLE_OFFSET, np.array([cursor], dtype=np.int64)
+            )
+            cursor += block.accesses_per_instance
+        table.add(block)
+    if not table.nests:
+        return
+
+    counts = np.array([b.shape[0] for b in table.bases])
+    block_ids = np.repeat(np.arange(len(table.nests)), counts)
+    all_bases = np.concatenate(table.bases)
+    all_starts = np.concatenate(table.starts)
+    table.bases.clear()
+    table.starts.clear()
+    order = np.argsort(all_starts, kind="stable")
+    del all_starts
+
+    sorted_blocks = block_ids[order]
+    sorted_bases = all_bases[order]
+    del block_ids, all_bases, order
+    raw_arr = np.array(table.raw, dtype=np.int64)
+    emitted_arr = np.array(table.emitted, dtype=np.int64)
+    gid_arr = np.array(table.group_ids)
+    sorted_raw = raw_arr[sorted_blocks]
+    sorted_emitted = emitted_arr[sorted_blocks]
+    sorted_gids = gid_arr[sorted_blocks]
+    cumulative_raw = np.cumsum(sorted_raw)
+    del sorted_raw
+
+    instances = sorted_blocks.shape[0]
+    prev_last: int | None = None
+    low = 0
+    consumed_raw = 0
+    while low < instances:
+        # Greedy chunking: take the shortest instance prefix reaching the
+        # access budget (matching a "flush once the buffer fills" stream).
+        high = int(
+            np.searchsorted(
+                cumulative_raw, consumed_raw + chunk_accesses, side="left"
+            )
+        ) + 1
+        high = min(high, instances)
+        lines = _expand_chunk(
+            table,
+            sorted_bases[low:high],
+            sorted_gids[low:high],
+            sorted_emitted[low:high],
+        )
+        collapsed, _removed = collapse_consecutive(lines)
+        if prev_last is not None and collapsed.shape[0] and int(collapsed[0]) == prev_last:
+            collapsed = collapsed[1:]
+        if collapsed.shape[0]:
+            prev_last = int(collapsed[-1])
+        chunk_raw = int(cumulative_raw[high - 1]) - consumed_raw
+        consumed_raw += chunk_raw
+        low = high
+        yield LineChunk(lines=collapsed, accesses=chunk_raw)
 
 
 def collapse_consecutive(line_addresses: np.ndarray) -> tuple[np.ndarray, int]:

@@ -41,14 +41,15 @@ analytically and the test suite asserts the two always agree.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterator
 
 import numpy as np
 
 from repro.wht.codelets import apply_codelet, codelet_costs
 from repro.wht.plan import Plan, Small, Split
 
-__all__ = ["LeafNest", "ExecutionStats", "PlanInterpreter"]
+__all__ = ["LeafNest", "NestBlock", "ExecutionStats", "PlanInterpreter"]
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,49 @@ class LeafNest:
         e = np.arange(self.elements_per_call, dtype=np.int64) * self.elem_stride
         grid = self.base + j[:, None, None] + k[None, :, None] + e[None, None, :]
         return grid.reshape(-1)
+
+
+#: Shared single-offset array for blocks describing exactly one nest instance.
+_SINGLE_OFFSET = np.zeros(1, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class NestBlock:
+    """Many instances of one leaf-nest shape, described once plus two arrays.
+
+    A sub-plan invoked ``R * S`` times by the triple loop emits the same nest
+    sequence every time, shifted by a different base and occurring at a
+    different point of the access stream.  The walker therefore yields one
+    :class:`NestBlock` per nest *emission site*: the template ``nest`` (whose
+    ``base`` is relative to the block) together with, per instance, its base
+    ``offsets`` (element indices) and its ``starts`` (position of the
+    instance's first access within the plan's raw access stream, counting the
+    read and the write pass).  Replaying a nested sub-plan composes both
+    arrays with one broadcast, so the number of blocks grows with the plan's
+    *structure*, not with its invocation counts.
+
+    Blocks are **not** yielded in execution order (instances of different
+    blocks interleave); sorting all instances by ``starts`` recovers the
+    exact recursive access order, which is how the streamed trace expander
+    and :meth:`PlanInterpreter.iter_nests` consume them.
+
+    ``offsets`` and ``starts`` must be treated as immutable (blocks share
+    template arrays).
+    """
+
+    nest: LeafNest
+    offsets: np.ndarray
+    starts: np.ndarray
+
+    @property
+    def instances(self) -> int:
+        """Number of nest instances described by the block."""
+        return int(self.offsets.shape[0])
+
+    @property
+    def accesses_per_instance(self) -> int:
+        """Raw accesses of one instance: read plus write pass."""
+        return 2 * self.nest.total_elements
 
 
 @dataclass
@@ -248,11 +292,167 @@ class PlanInterpreter:
         in its place and no per-nest bookkeeping is done.
         """
         stats = ExecutionStats(n=plan.n)
-        nests: list[LeafNest] | None = [] if record_trace else None
-        self._run(plan, base=0, stride=1, x=None, stats=stats, nests=nests)
-        return stats, nests
+        if not record_trace:
+            for _ in self.iter_nest_blocks(plan, stats=stats):
+                pass
+            return stats, None
+        return stats, list(self.iter_nests(plan, stats=stats))
+
+    def iter_nests(
+        self, plan: Plan, stats: ExecutionStats | None = None
+    ) -> Iterator[LeafNest]:
+        """Yield the plan's :class:`LeafNest` events in execution order.
+
+        Streaming equivalent of ``profile(plan, record_trace=True)``: the
+        plan is walked as nest blocks, whose instances are then sorted by
+        stream position to recover the exact recursive emission order.  When
+        ``stats`` is given, structural event counts are accumulated into it
+        while walking.
+        """
+        blocks = list(self.iter_nest_blocks(plan, stats=stats))
+        if not blocks:
+            return
+        counts = np.array([block.instances for block in blocks])
+        block_ids = np.repeat(np.arange(len(blocks)), counts)
+        offsets = np.concatenate([block.offsets for block in blocks])
+        starts = np.concatenate([block.starts for block in blocks])
+        order = np.argsort(starts, kind="stable")
+        for block_id, offset in zip(
+            block_ids[order].tolist(), offsets[order].tolist()
+        ):
+            nest = blocks[block_id].nest
+            yield replace(nest, base=nest.base + offset) if offset else nest
+
+    def iter_nest_blocks(
+        self, plan: Plan, stats: ExecutionStats | None = None
+    ) -> Iterator[NestBlock]:
+        """Yield the plan's nest stream as :class:`NestBlock` groups.
+
+        This is the fast producer behind :meth:`profile` and the simulated
+        machine's streaming trace pipeline.  Instead of re-walking a sub-plan
+        once per ``(j, k)`` invocation (the seed interpreter's deeply
+        recursive ``_run`` schedule), each repeated sub-plan is walked *once*
+        into a template whose blocks are replayed by composing base offsets
+        and stream positions with a single broadcast each, with event counts
+        merged back via exact integer scaling.  Sorting all block instances
+        by ``starts`` reproduces the recursive nest sequence exactly
+        (asserted by the test suite).
+        """
+        cursor = [0]
+        yield from self._walk_blocks(plan, base=0, stride=1, stats=stats, cursor=cursor)
 
     # -- internals -----------------------------------------------------------
+
+    def _walk_blocks(
+        self,
+        node: Plan,
+        base: int,
+        stride: int,
+        stats: ExecutionStats | None,
+        cursor: list[int],
+    ) -> Iterator[NestBlock]:
+        if isinstance(node, Small):
+            yield self._leaf_block(
+                node.n,
+                base=base,
+                outer_count=1,
+                outer_stride=0,
+                inner_count=1,
+                inner_stride=0,
+                elem_stride=stride,
+                stats=stats,
+                cursor=cursor,
+            )
+            return
+        assert isinstance(node, Split)
+        if stats is not None:
+            stats.split_invocations += 1
+        size = node.size
+        remaining = size  # R in the paper's pseudo-code
+        inner = 1  # S in the paper's pseudo-code
+        for child in reversed(node.children):
+            child_size = child.size
+            remaining //= child_size
+            if stats is not None:
+                stats.outer_iterations += 1
+                stats.stride_iterations += inner
+                stats.block_iterations += remaining
+                stats.child_calls += remaining * inner
+            if isinstance(child, Small):
+                yield self._leaf_block(
+                    child.n,
+                    base=base,
+                    outer_count=remaining,
+                    outer_stride=child_size * inner * stride,
+                    inner_count=inner,
+                    inner_stride=stride,
+                    elem_stride=inner * stride,
+                    stats=stats,
+                    cursor=cursor,
+                )
+            else:
+                child_stride = inner * stride
+                invocations = remaining * inner
+                if invocations == 1:
+                    yield from self._walk_blocks(child, base, child_stride, stats, cursor)
+                else:
+                    sub = ExecutionStats() if stats is not None else None
+                    sub_cursor = [0]
+                    template = list(
+                        self._walk_blocks(child, 0, child_stride, sub, sub_cursor)
+                    )
+                    if stats is not None and sub is not None:
+                        stats.merge(sub.scaled(invocations))
+                    template_accesses = sub_cursor[0]
+                    j = np.arange(remaining, dtype=np.int64) * (child_size * inner * stride)
+                    k = np.arange(inner, dtype=np.int64) * stride
+                    offsets = (base + (j[:, None] + k[None, :])).reshape(-1)
+                    starts = cursor[0] + (
+                        np.arange(invocations, dtype=np.int64) * template_accesses
+                    )
+                    for block in template:
+                        yield NestBlock(
+                            block.nest,
+                            (offsets[:, None] + block.offsets[None, :]).reshape(-1),
+                            (starts[:, None] + block.starts[None, :]).reshape(-1),
+                        )
+                    cursor[0] += invocations * template_accesses
+            inner *= child_size
+
+    def _leaf_block(
+        self,
+        k: int,
+        base: int,
+        outer_count: int,
+        outer_stride: int,
+        inner_count: int,
+        inner_stride: int,
+        elem_stride: int,
+        stats: ExecutionStats | None,
+        cursor: list[int],
+    ) -> NestBlock:
+        calls = outer_count * inner_count
+        if stats is not None:
+            costs = codelet_costs(k)
+            stats.codelet_calls[k] += calls
+            stats.additions += calls * costs.additions
+            stats.subtractions += calls * costs.subtractions
+            stats.loads += calls * costs.loads
+            stats.stores += calls * costs.stores
+        nest = LeafNest(
+            k=k,
+            base=base,
+            outer_count=outer_count,
+            outer_stride=outer_stride,
+            inner_count=inner_count,
+            inner_stride=inner_stride,
+            elem_stride=elem_stride,
+        )
+        start = cursor[0]
+        cursor[0] += 2 * calls * (1 << k)
+        return NestBlock(
+            nest, _SINGLE_OFFSET, np.array([start], dtype=np.int64)
+        )
 
     def _run(
         self,

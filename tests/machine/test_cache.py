@@ -9,6 +9,7 @@ from repro.machine.cache import (
     CacheConfig,
     CacheStatistics,
     DirectMappedCache,
+    NWayLRUCache,
     SetAssociativeLRUCache,
     TwoWayLRUCache,
     make_cache,
@@ -197,11 +198,143 @@ class TestVectorisedCaches:
         )
 
 
+class TestNWayLRU:
+    """The vectorised arbitrary-associativity simulator vs the oracle."""
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4, 8, 16])
+    def test_matches_reference_on_random_traces(self, assoc):
+        config = CacheConfig(2048, 32, assoc)
+        rng = np.random.default_rng(100 + assoc)
+        for _ in range(8):
+            addresses = rng.integers(0, 4096, size=400) * 8
+            reference = SetAssociativeLRUCache(config).simulate(addresses)
+            vectorised = NWayLRUCache(config).simulate(addresses)
+            assert np.array_equal(reference, vectorised)
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4, 8, 16])
+    def test_fully_associative_single_set_against_oracle(self, assoc):
+        # A single fully associative set is the hardest LRU case: every
+        # access contends for the same stack.  (CacheConfig constrains the
+        # associativity to powers of two, like the hardware it models.)
+        config = CacheConfig(32 * assoc, 32, assoc)
+        rng = np.random.default_rng(assoc)
+        addresses = rng.integers(0, 2048, size=600) * 8
+        assert np.array_equal(
+            SetAssociativeLRUCache(config).simulate(addresses),
+            NWayLRUCache(config).simulate(addresses),
+        )
+
+    @pytest.mark.parametrize("assoc", [4, 8, 16])
+    def test_warm_continuation_matches_reference(self, assoc):
+        # Chunked simulation with warm state must equal one-shot simulation.
+        config = CacheConfig(2048, 32, assoc)
+        rng = np.random.default_rng(200 + assoc)
+        reference = SetAssociativeLRUCache(config)
+        vectorised = NWayLRUCache(config)
+        for _ in range(6):
+            addresses = rng.integers(0, 4096, size=int(rng.integers(1, 300))) * 8
+            assert np.array_equal(
+                reference.simulate(addresses), vectorised.simulate(addresses)
+            )
+
+    @pytest.mark.parametrize("assoc", [4, 16])
+    def test_warm_state_matches_oracle_stacks(self, assoc):
+        config = CacheConfig(1024, 32, assoc)
+        rng = np.random.default_rng(assoc)
+        reference = SetAssociativeLRUCache(config)
+        vectorised = NWayLRUCache(config)
+        addresses = rng.integers(0, 4096, size=500) * 8
+        reference.simulate(addresses)
+        vectorised.simulate(addresses)
+        for index in range(config.num_sets):
+            tags = [int(t) for t in vectorised._stack[index] if t >= 0]
+            assert tags == reference._sets[index]
+
+    def test_strided_power_of_two_traces(self):
+        config = CacheConfig(4096, 64, 16)
+        for stride in (1, 4, 8, 64, 256, 1024):
+            addresses = (np.arange(600, dtype=np.int64) * stride * 8) % (1 << 20)
+            assert np.array_equal(
+                SetAssociativeLRUCache(config).simulate(addresses),
+                NWayLRUCache(config).simulate(addresses),
+            ), stride
+
+    def test_access_scalar_api_matches_simulate(self):
+        config = CacheConfig(512, 32, 4)
+        rng = np.random.default_rng(5)
+        addresses = rng.integers(0, 2048, size=200) * 8
+        a = NWayLRUCache(config)
+        b = NWayLRUCache(config)
+        assert np.array_equal(
+            np.array([a.access(int(x)) for x in addresses]), b.simulate(addresses)
+        )
+
+    def test_lru_eviction_order_fully_associative(self):
+        cache = NWayLRUCache(CacheConfig(128, 32, 4))  # one set, 4 ways
+        a, b, c, d, e = (i * 1024 for i in range(5))
+        assert all(cache.access(x) for x in (a, b, c, d))
+        assert cache.access(a) is False  # a promoted to MRU
+        assert cache.access(e) is True  # evicts b (now LRU)
+        assert cache.access(b) is True
+        assert cache.access(a) is False
+
+    def test_reset(self):
+        cache = NWayLRUCache(CacheConfig(256, 32, 4))
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is True
+
+    def test_empty_trace(self):
+        cache = NWayLRUCache(CacheConfig(256, 32, 4))
+        assert cache.simulate(np.zeros(0, dtype=np.int64)).shape == (0,)
+        assert cache.stats.accesses == 0
+
+    def test_negative_addresses_rejected_unless_trusted(self):
+        cache = NWayLRUCache(CacheConfig(256, 32, 4))
+        with pytest.raises(ValueError):
+            cache.simulate(np.array([-8]))
+
+    @given(
+        assoc=st.sampled_from([1, 2, 4, 8, 16]),
+        seed=st.integers(0, 10**6),
+        length=st.integers(1, 200),
+        spread=st.integers(1, 512),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_vectorised_equals_reference(self, assoc, seed, length, spread):
+        config = CacheConfig(1024, 32, assoc)
+        addresses = np.random.default_rng(seed).integers(0, spread, size=length) * 8
+        assert np.array_equal(
+            SetAssociativeLRUCache(config).simulate(addresses),
+            NWayLRUCache(config).simulate(addresses),
+        )
+
+    @given(
+        seed=st.integers(0, 10**6),
+        chunks=st.lists(st.integers(1, 120), min_size=1, max_size=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_chunked_equals_single_shot(self, seed, chunks):
+        config = CacheConfig(1024, 32, 8)
+        rng = np.random.default_rng(seed)
+        addresses = rng.integers(0, 1024, size=sum(chunks)) * 8
+        single = NWayLRUCache(config).simulate(addresses)
+        warm = NWayLRUCache(config)
+        parts = []
+        offset = 0
+        for size in chunks:
+            parts.append(warm.simulate(addresses[offset : offset + size]))
+            offset += size
+        assert np.array_equal(single, np.concatenate(parts))
+
+
 class TestFactories:
     def test_make_cache_picks_vectorised(self):
         assert isinstance(make_cache(CacheConfig(256, 32, 1)), DirectMappedCache)
         assert isinstance(make_cache(CacheConfig(256, 32, 2)), TwoWayLRUCache)
-        assert isinstance(make_cache(CacheConfig(256, 32, 4)), SetAssociativeLRUCache)
+        assert isinstance(make_cache(CacheConfig(256, 32, 4)), NWayLRUCache)
+        assert isinstance(make_cache(CacheConfig(1024, 64, 16)), NWayLRUCache)
 
     def test_make_cache_reference_override(self):
         assert isinstance(

@@ -11,7 +11,7 @@ from repro.wht.canonical import (
     right_recursive_plan,
 )
 from repro.wht.codelets import codelet_costs
-from repro.wht.interpreter import ExecutionStats, LeafNest, PlanInterpreter
+from repro.wht.interpreter import ExecutionStats, LeafNest, NestBlock, PlanInterpreter
 from repro.wht.plan import Small, Split
 from repro.wht.random_plans import random_plan
 from repro.wht.transform import random_input, wht_reference
@@ -162,3 +162,58 @@ class TestLeafNests:
         stats, _ = PlanInterpreter().profile(plan)
         adds = sum(codelet_costs(k).additions * c for k, c in stats.codelet_calls.items())
         assert stats.additions == adds
+
+
+class TestNestBlocks:
+    """The template-replaying block walker behind profile and the machine."""
+
+    def test_bare_leaf_is_one_block(self, interpreter):
+        blocks = list(interpreter.iter_nest_blocks(Small(3)))
+        assert len(blocks) == 1
+        assert blocks[0].instances == 1
+        assert blocks[0].starts.tolist() == [0]
+        assert blocks[0].accesses_per_instance == 2 * 8
+
+    def test_block_count_scales_with_structure_not_invocations(self, interpreter):
+        # A deep right-recursive plan has ~2 emission sites per level, while
+        # its nest count grows exponentially with depth.
+        plan = right_recursive_plan(10, leaf=1)
+        blocks = list(interpreter.iter_nest_blocks(plan))
+        nests = list(interpreter.iter_nests(plan))
+        assert len(blocks) < 25
+        assert sum(block.instances for block in blocks) == len(nests)
+
+    def test_iter_nests_matches_profile_record_trace(self, interpreter):
+        for seed in range(5):
+            plan = random_plan(8, rng=seed)
+            _, expected = interpreter.profile(plan, record_trace=True)
+            assert list(interpreter.iter_nests(plan)) == expected
+
+    def test_stats_accumulated_while_walking(self, interpreter):
+        plan = random_plan(8, rng=2)
+        expected, _ = interpreter.profile(plan)
+        stats = ExecutionStats(n=plan.n)
+        for _ in interpreter.iter_nest_blocks(plan, stats=stats):
+            pass
+        assert stats.as_dict() == expected.as_dict()
+
+    def test_starts_tile_the_access_stream(self, interpreter):
+        plan = random_plan(8, rng=4)
+        blocks = list(interpreter.iter_nest_blocks(plan))
+        spans = sorted(
+            (int(start), block.accesses_per_instance)
+            for block in blocks
+            for start in block.starts.tolist()
+        )
+        cursor = 0
+        for start, length in spans:
+            assert start == cursor
+            cursor += length
+        stats, _ = interpreter.profile(plan)
+        assert cursor == stats.memory_ops
+
+    def test_blocks_share_template_arrays_immutably(self, interpreter):
+        plan = Split((Small(1), Small(2)))
+        blocks = list(interpreter.iter_nest_blocks(plan))
+        assert all(isinstance(block, NestBlock) for block in blocks)
+        assert all(block.offsets.dtype == np.int64 for block in blocks)
