@@ -1,0 +1,248 @@
+"""Search-layer benchmark: batched plan evaluation vs the per-candidate loop.
+
+Measures the workloads the batched cost engine exists for, on the
+Opteron-like geometry (noise-free, so every path is bit-comparable):
+
+* ``dp_n14_scalar`` / ``dp_n16_scalar`` — the baseline: measured-cycles DP
+  search with a fresh per-candidate :class:`MeasuredCyclesCost`.
+* ``dp_n16_engine_cold`` — the same search through a :class:`CostEngine`
+  with an empty store (every candidate still simulated once, batched).
+* ``dp_n16_engine_resume`` — the same search through a second engine over
+  the now-populated store: the resume/re-run scenario the persistent
+  per-plan cost cache targets.  Zero measurements are performed; the
+  acceptance gate requires this to be >= 10x faster than the scalar
+  baseline and bit-identical to it.
+* ``pruned_n14`` — the paper's two-stage search, 1000 RSU candidates:
+  vectorised stage-1 model scoring plus engine-measured survivors.
+* ``model_score_10k_scalar`` / ``model_score_10k_batch`` — both analytic
+  models over 10,000 RSU samples of size 2^18: the per-plan recursion vs
+  one shared encoding driving the vectorised batch models.
+
+Every run re-verifies exactness before timing anything: batched DP results
+must equal the scalar search's, and the batch models must match the scalar
+models on every enumerated plan for n <= 7 — a "fast but wrong" engine
+cannot produce a benchmark number.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_search.py                  # check
+    PYTHONPATH=src python benchmarks/bench_search.py --write-baseline
+
+The committed ``BENCH_search.json`` records indicative numbers from the
+machine that wrote it; the check mode applies wide slack so only gross
+regressions fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+
+#: Multiplier applied to recorded baseline times before failing.
+TIME_SLACK = 15.0
+#: The acceptance gate: engine resume vs scalar DP at n=16.
+RESUME_SPEEDUP_FLOOR = 10.0
+
+MODEL_SAMPLES = 10_000
+MODEL_SIZE = 18
+
+
+def check_exactness() -> None:
+    """Batched paths must be bit-identical to the scalar paths."""
+    from repro.machine.configs import opteron_like
+    from repro.machine.machine import SimulatedMachine
+    from repro.models.cache_misses import CacheMissModel
+    from repro.models.instruction_count import InstructionCountModel
+    from repro.runtime.cost_engine import CostEngine
+    from repro.runtime.store import MemoryStore
+    from repro.search.costs import MeasuredCyclesCost
+    from repro.search.dp import dp_search
+    from repro.wht.encoding import encode_plans
+    from repro.wht.enumeration import enumerate_plans
+
+    config = opteron_like(noise_sigma=0.0).config
+    scalar = dp_search(12, MeasuredCyclesCost(SimulatedMachine(config)))
+    store = MemoryStore()
+    cold = dp_search(12, CostEngine(SimulatedMachine(config), store=store))
+    resumed_engine = CostEngine(SimulatedMachine(config), store=store)
+    resumed = dp_search(12, resumed_engine)
+    for result, label in ((cold, "engine"), (resumed, "engine-resume")):
+        if result.best_plans != scalar.best_plans or result.best_costs != scalar.best_costs:
+            raise SystemExit(f"exactness regression: {label} DP differs from scalar DP")
+    if resumed_engine.measured != 0:
+        raise SystemExit(
+            f"cost-cache regression: resume re-measured {resumed_engine.measured} plans"
+        )
+
+    instruction_model = InstructionCountModel()
+    miss_model = CacheMissModel.from_machine_config(config, level="l1")
+    for n in range(1, 8):
+        plans = list(enumerate_plans(n))
+        encoded = encode_plans(plans)
+        instr = instruction_model.count_batch(encoded)
+        misses = miss_model.misses_batch(encoded)
+        for index, plan in enumerate(plans):
+            if int(instr[index]) != instruction_model.count(plan):
+                raise SystemExit(f"instruction batch mismatch on {plan} (n={n})")
+            if int(misses[index]) != miss_model.misses(plan):
+                raise SystemExit(f"miss batch mismatch on {plan} (n={n})")
+    print("exactness: batched DP and batch models match the scalar paths")
+
+
+def run_benchmarks() -> dict[str, float]:
+    from repro.machine.configs import opteron_like
+    from repro.machine.machine import SimulatedMachine
+    from repro.models.cache_misses import CacheMissModel
+    from repro.models.instruction_count import InstructionCountModel
+    from repro.runtime.cost_engine import CostEngine
+    from repro.runtime.store import MemoryStore
+    from repro.search.costs import InstructionModelCost, MeasuredCyclesCost
+    from repro.search.dp import dp_search
+    from repro.search.pruned import ModelPrunedSearch
+    from repro.wht.encoding import encode_plans
+    from repro.wht.random_plans import RSUSampler
+
+    config = opteron_like(noise_sigma=0.0).config
+    recorded: dict[str, float] = {}
+
+    def bench(name: str, fn) -> object:
+        start = time.perf_counter()
+        out = fn()
+        recorded[name] = time.perf_counter() - start
+        print(f"{name}: {recorded[name]:.3f} s")
+        return out
+
+    scalar14 = bench(
+        "dp_n14_scalar",
+        lambda: dp_search(14, MeasuredCyclesCost(SimulatedMachine(config))),
+    )
+    scalar16 = bench(
+        "dp_n16_scalar",
+        lambda: dp_search(16, MeasuredCyclesCost(SimulatedMachine(config))),
+    )
+
+    store = MemoryStore()
+    cold = bench(
+        "dp_n16_engine_cold",
+        lambda: dp_search(16, CostEngine(SimulatedMachine(config), store=store)),
+    )
+    resume_engine = CostEngine(SimulatedMachine(config), store=store)
+    resumed = bench("dp_n16_engine_resume", lambda: dp_search(16, resume_engine))
+    for result, label in ((cold, "cold"), (resumed, "resume")):
+        assert result.best_plans == scalar16.best_plans, label
+        assert result.best_costs == scalar16.best_costs, label
+    assert resume_engine.measured == 0
+    assert scalar14.best_plans[14] == scalar16.best_plans[14]
+
+    engine = CostEngine(SimulatedMachine(config), store=MemoryStore())
+    bench(
+        "pruned_n14",
+        lambda: ModelPrunedSearch(
+            model_cost=InstructionModelCost(),
+            measure_cost=engine,
+            samples=1000,
+            keep_fraction=0.25,
+        ).search(14, rng=0),
+    )
+
+    sampler = RSUSampler()
+    rng = np.random.default_rng(0)
+    plans = [sampler.sample(MODEL_SIZE, rng) for _ in range(MODEL_SAMPLES)]
+    instruction_model = InstructionCountModel()
+    miss_model = CacheMissModel.from_machine_config(config, level="l1")
+
+    def scalar_scores():
+        return (
+            [instruction_model.count(plan) for plan in plans],
+            [miss_model.misses(plan) for plan in plans],
+        )
+
+    scalar_values = bench("model_score_10k_scalar", scalar_scores)
+
+    def batch_scores():
+        encoded = encode_plans(plans)
+        return (
+            instruction_model.count_batch(encoded),
+            miss_model.misses_batch(encoded),
+        )
+
+    batch_values = bench("model_score_10k_batch", batch_scores)
+    assert np.array_equal(batch_values[0], np.asarray(scalar_values[0]))
+    assert np.array_equal(batch_values[1], np.asarray(scalar_values[1]))
+
+    speedup = recorded["dp_n16_scalar"] / max(recorded["dp_n16_engine_resume"], 1e-9)
+    recorded["dp_n16_resume_speedup"] = speedup
+    print(f"dp_n16_resume_speedup: {speedup:.0f}x")
+    return recorded
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current machine's numbers into BENCH_search.json",
+    )
+    args = parser.parse_args()
+
+    check_exactness()
+    recorded = run_benchmarks()
+
+    if args.write_baseline:
+        baseline = {
+            "note": (
+                "Search-layer perf baseline; indicative numbers from the "
+                "machine below, checked by benchmarks/bench_search.py with "
+                "wide slack."
+            ),
+            "machine": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "recorded": {name: round(value, 4) for name, value in recorded.items()},
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    failures = []
+    if recorded["dp_n16_resume_speedup"] < RESUME_SPEEDUP_FLOOR:
+        failures.append(
+            f"engine resume speedup {recorded['dp_n16_resume_speedup']:.1f}x "
+            f"< required {RESUME_SPEEDUP_FLOOR}x"
+        )
+    if recorded["model_score_10k_batch"] >= 1.0:
+        failures.append(
+            f"batched 10k-sample model scoring took "
+            f"{recorded['model_score_10k_batch']:.2f} s (>= 1 s)"
+        )
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())["recorded"]
+        for name, value in recorded.items():
+            if name.endswith("_speedup"):
+                continue
+            reference = baseline.get(name)
+            if reference and value > reference * TIME_SLACK:
+                failures.append(
+                    f"{name} took {value:.2f} s > {TIME_SLACK}x baseline {reference} s"
+                )
+    else:
+        print("no BENCH_search.json baseline; absolute gates only")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("search bench OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

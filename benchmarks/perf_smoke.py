@@ -1,4 +1,4 @@
-"""CI perf smoke test for the measurement substrate.
+"""CI perf smoke test for the measurement substrate and the search engine.
 
 Runs a small but representative workload — `SimulatedMachine.prepare` of an
 n=12 RSU plan on the Opteron-like geometry — and checks it against
@@ -9,6 +9,14 @@ n=12 RSU plan on the Opteron-like geometry — and checks it against
   (CI machines vary; only gross regressions should fail), and
 * a bit-exactness cross-check of the streaming pipeline against the eager
   reference pipeline, so a "fast but wrong" regression cannot pass.
+
+It also gates the batched search engine (``check_search_budget``): the
+engine-backed DP search must be bit-identical to the scalar per-candidate
+search, must measure each distinct candidate exactly once on a cold store,
+must resume from a warm store with zero measurements, and the vectorised
+analytic models must match the scalar models on every enumerated plan for
+n <= 6.  (Timing gates for the search layer live in ``bench_search.py``
+against ``BENCH_search.json``.)
 
 Usage::
 
@@ -99,6 +107,73 @@ def check_exactness() -> None:
                 )
 
 
+def check_search_budget() -> None:
+    """Batched search must be exact and must respect its measurement budget.
+
+    Three gates on a small measured-cycles DP search (n=10, Opteron-like,
+    noise-free):
+
+    * the engine-backed search is bit-identical to the scalar per-candidate
+      search;
+    * a cold engine measures exactly one preparation per distinct candidate
+      (the search's measurement budget — no hidden re-measurement);
+    * a second engine over the same store resumes with *zero* measurements
+      and identical results (the persistent cost cache works).
+
+    Plus batch-vs-scalar parity of both analytic models over every
+    enumerated plan for n <= 6, so the vectorised stage-1 scoring of the
+    pruned search cannot silently drift.
+    """
+    from repro.machine.configs import opteron_like
+    from repro.machine.machine import SimulatedMachine
+    from repro.models.cache_misses import CacheMissModel
+    from repro.models.instruction_count import InstructionCountModel
+    from repro.runtime.cost_engine import CostEngine
+    from repro.runtime.store import MemoryStore
+    from repro.search.costs import MeasuredCyclesCost
+    from repro.search.dp import dp_search
+    from repro.wht.encoding import encode_plans
+    from repro.wht.enumeration import enumerate_plans
+
+    config = opteron_like(noise_sigma=0.0).config
+    scalar_cost = MeasuredCyclesCost(SimulatedMachine(config))
+    scalar = dp_search(10, scalar_cost)
+
+    store = MemoryStore()
+    cold_engine = CostEngine(SimulatedMachine(config), store=store)
+    cold = dp_search(10, cold_engine)
+    if cold.best_plans != scalar.best_plans or cold.best_costs != scalar.best_costs:
+        raise SystemExit("search exactness regression: engine DP differs from scalar DP")
+    if cold_engine.measured != scalar_cost.measured:
+        raise SystemExit(
+            f"search budget regression: engine measured {cold_engine.measured} "
+            f"candidates, scalar measured {scalar_cost.measured}"
+        )
+
+    warm_engine = CostEngine(SimulatedMachine(config), store=store)
+    warm = dp_search(10, warm_engine)
+    if warm.best_plans != scalar.best_plans or warm.best_costs != scalar.best_costs:
+        raise SystemExit("search exactness regression: resumed DP differs from scalar DP")
+    if warm_engine.measured != 0:
+        raise SystemExit(
+            f"cost-cache regression: resumed search re-measured "
+            f"{warm_engine.measured} candidates"
+        )
+
+    instruction_model = InstructionCountModel()
+    miss_model = CacheMissModel.from_machine_config(config, level="l1")
+    for n in range(1, 7):
+        plans = list(enumerate_plans(n))
+        encoded = encode_plans(plans)
+        instr = instruction_model.count_batch(encoded)
+        misses = miss_model.misses_batch(encoded)
+        for index, plan in enumerate(plans):
+            if int(instr[index]) != instruction_model.count(plan):
+                raise SystemExit(f"batch instruction model mismatch on {plan}")
+            if int(misses[index]) != miss_model.misses(plan):
+                raise SystemExit(f"batch miss model mismatch on {plan}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -110,6 +185,11 @@ def main() -> int:
 
     check_exactness()
     print("exactness: streaming pipeline matches eager reference")
+    check_search_budget()
+    print(
+        "search budget: engine DP bit-identical to scalar, cold run measures "
+        "each candidate once, resume measures nothing, batch models exact"
+    )
 
     seconds, peak, stats = run_smoke()
     name = f"prepare_n{SMOKE_SIZE}_opteron"

@@ -26,6 +26,7 @@ Section 2   algorithm-space size (~O(7^n))                         ``theory_tabl
 from repro.experiments.campaign import MeasurementTable, SampleCampaign
 from repro.experiments.canonical import CanonicalSweep, canonical_sweep, ratio_series
 from repro.experiments.histograms import HistogramFigure, histogram_figure
+from repro.experiments.model_scores import ModelScores, score_plans, with_model_columns
 from repro.experiments.scatter_fig import scatter_figure
 from repro.experiments.alphabeta import alphabeta_surface
 from repro.experiments.pruning import PruningFigure, pruning_figure
@@ -42,6 +43,9 @@ __all__ = [
     "ratio_series",
     "HistogramFigure",
     "histogram_figure",
+    "ModelScores",
+    "score_plans",
+    "with_model_columns",
     "scatter_figure",
     "alphabeta_surface",
     "PruningFigure",

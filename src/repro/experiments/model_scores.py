@@ -1,0 +1,105 @@
+"""Vectorised analytic model scoring for campaign tables and plan batches.
+
+The paper's figures repeatedly need the *analytic* model values of every plan
+in a 10,000-sample campaign — instruction counts for the Figure 10 pruning
+threshold, combined instruction/miss values for Figure 11, model-vs-measured
+scatter checks.  Scoring those one plan at a time through the recursive
+models is the per-node Python work the batched engine removes: this module
+encodes the whole plan list once
+(:func:`repro.wht.encoding.encode_plans`) and evaluates both models with
+their vectorised batch paths, which are bit-identical to the scalar
+recursions.
+
+:func:`with_model_columns` grafts the scores onto a
+:class:`~repro.runtime.table.MeasurementTable` as ordinary columns
+(``model_instructions``, ``model_l1_misses``, ``model_combined``), so the
+histogram and scatter figures can plot analytic model quantities exactly like
+measured ones::
+
+    table = with_model_columns(suite.large_table(), miss_model=miss_model)
+    scatter_figure(table, x_metric="model_instructions")
+    histogram_figure(table, metrics=("model_instructions",))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.machine.machine import MachineConfig
+from repro.models.cache_misses import CacheMissModel
+from repro.models.combined import CombinedModel
+from repro.models.instruction_count import InstructionCountModel
+from repro.runtime.table import MeasurementTable
+from repro.wht.encoding import encode_plans
+from repro.wht.plan import Plan
+
+__all__ = ["ModelScores", "score_plans", "with_model_columns"]
+
+
+@dataclass(frozen=True)
+class ModelScores:
+    """Vectorised analytic model values for one plan batch."""
+
+    #: Instruction-count model value per plan.
+    instructions: np.ndarray
+    #: Cache-miss model value per plan (``None`` when no miss model given).
+    l1_misses: np.ndarray | None
+
+    def combined(self, model: CombinedModel) -> np.ndarray:
+        """The combined metric ``alpha * I + beta * M`` per plan."""
+        if self.l1_misses is None:
+            raise ValueError("combined scores need a miss model; none was scored")
+        return model.values(
+            self.instructions.astype(float), self.l1_misses.astype(float)
+        )
+
+
+def score_plans(
+    plans: Sequence[Plan],
+    instruction_model: InstructionCountModel | None = None,
+    miss_model: CacheMissModel | None = None,
+) -> ModelScores:
+    """Score every plan with the analytic models in one vectorised batch.
+
+    One shared encoding feeds both models.  The values equal the scalar
+    ``instruction_model.count(plan)`` / ``miss_model.misses(plan)`` exactly.
+    """
+    encoded = encode_plans(plans)
+    model = instruction_model if instruction_model is not None else InstructionCountModel()
+    instructions = model.count_batch(encoded)
+    misses = miss_model.misses_batch(encoded) if miss_model is not None else None
+    return ModelScores(instructions=instructions, l1_misses=misses)
+
+
+def with_model_columns(
+    table: MeasurementTable,
+    instruction_model: InstructionCountModel | None = None,
+    miss_model: "CacheMissModel | MachineConfig | None" = None,
+    combined: CombinedModel | None = None,
+) -> MeasurementTable:
+    """A copy of ``table`` with analytic model columns added.
+
+    Adds ``model_instructions`` always, ``model_l1_misses`` when a miss model
+    (or a :class:`~repro.machine.machine.MachineConfig`, whose L1 geometry
+    builds one) is given, and ``model_combined`` when ``combined`` is given
+    as well.  The new columns are float arrays aligned with the table's rows,
+    so every downstream figure (histograms, scatter, pruning curves) accepts
+    them as metrics by name.
+    """
+    if isinstance(miss_model, MachineConfig):
+        miss_model = CacheMissModel.from_machine_config(miss_model, level="l1")
+    scores = score_plans(
+        table.plans, instruction_model=instruction_model, miss_model=miss_model
+    )
+    columns = dict(table.columns)
+    columns["model_instructions"] = scores.instructions.astype(float)
+    if scores.l1_misses is not None:
+        columns["model_l1_misses"] = scores.l1_misses.astype(float)
+    if combined is not None:
+        columns["model_combined"] = scores.combined(combined)
+    return MeasurementTable(
+        n=table.n, plans=table.plans, columns=columns, machine=table.machine
+    )

@@ -20,12 +20,14 @@ from repro.machine.cpu import CycleModel, InstructionCostModel
 from repro.machine.hierarchy import HierarchyStatistics, MemoryHierarchy
 from repro.machine.measurement import Measurement
 from repro.machine.trace import DEFAULT_ELEMENT_SIZE, stream_line_chunks
+from repro.util.lru import LRUCache
 from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_positive_int
+from repro.wht.encoding import plan_key
 from repro.wht.interpreter import ExecutionStats, PlanInterpreter
 from repro.wht.plan import Plan
 
-__all__ = ["MachineConfig", "PreparedPlan", "SimulatedMachine"]
+__all__ = ["MachineConfig", "PreparedPlan", "PreparedPlanCache", "SimulatedMachine"]
 
 
 @dataclass(frozen=True)
@@ -94,16 +96,74 @@ class PreparedPlan:
     hierarchy_stats: HierarchyStatistics
 
 
+class PreparedPlanCache:
+    """Bounded LRU cache of :class:`PreparedPlan` keyed by plan content.
+
+    Preparing a plan (interpret + trace + cache simulation) is a pure
+    function of (plan, machine configuration), so a machine that is asked to
+    measure the same plan repeatedly — a search re-visiting candidates, a
+    figure re-running on a warm session — can reuse the deterministic half
+    and pay only for the noise draw.  Keys are
+    :func:`repro.wht.encoding.plan_key`, so structurally equal plans share an
+    entry regardless of object identity.  Entries are treated as immutable.
+
+    A cache instance must only ever be attached to machines with identical
+    configurations (the cache does not key on the machine).
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self._entries: LRUCache[str, PreparedPlan] = LRUCache(capacity)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained preparations."""
+        return self._entries.capacity
+
+    def get(self, plan: Plan) -> PreparedPlan | None:
+        """The cached preparation of ``plan``, or ``None``."""
+        entry = self._entries.get(plan_key(plan))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, prepared: PreparedPlan) -> None:
+        """Store a preparation (evicting the least recently used entry)."""
+        self._entries.put(plan_key(prepared.plan), prepared)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedPlanCache({len(self._entries)}/{self.capacity} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+
 class SimulatedMachine:
     """Execution-driven simulator producing PAPI-style measurements."""
 
-    def __init__(self, config: MachineConfig, rng: RandomState = None):
+    def __init__(
+        self,
+        config: MachineConfig,
+        rng: RandomState = None,
+        prepared_cache: PreparedPlanCache | None = None,
+    ):
         self.config = config
         self.hierarchy = MemoryHierarchy(
             config.l1, config.l2, vectorized=config.vectorized_caches
         )
         self._interpreter = PlanInterpreter()
         self._rng = as_generator(rng)
+        self.prepared_cache = prepared_cache
 
     # -- measurement -----------------------------------------------------------
 
@@ -115,7 +175,15 @@ class SimulatedMachine:
         chunks feed warm-started hierarchy simulators.  Neither the nest list
         nor the address trace is ever materialised, and the statistics are
         bit-identical to the eager profile → trace → simulate pipeline.
+
+        With a :class:`PreparedPlanCache` attached, repeated preparations of
+        structurally equal plans return the cached (identical) result.
         """
+        cache = self.prepared_cache
+        if cache is not None:
+            cached = cache.get(plan)
+            if cached is not None:
+                return cached
         stats = ExecutionStats(n=plan.n)
         blocks = self._interpreter.iter_nest_blocks(plan, stats=stats)
         chunks = stream_line_chunks(
@@ -124,7 +192,10 @@ class SimulatedMachine:
             element_size=self.config.element_size,
         )
         hierarchy_stats = self.hierarchy.process_line_chunks(chunks)
-        return PreparedPlan(plan=plan, stats=stats, hierarchy_stats=hierarchy_stats)
+        prepared = PreparedPlan(plan=plan, stats=stats, hierarchy_stats=hierarchy_stats)
+        if cache is not None:
+            cache.put(prepared)
+        return prepared
 
     def measure_prepared(self, prepared: PreparedPlan, rng: RandomState = None) -> Measurement:
         """Turn a :class:`PreparedPlan` into a measurement (noise draw included).

@@ -30,9 +30,14 @@ space possible.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.machine.cache import CacheConfig
 from repro.machine.machine import MachineConfig
 from repro.util.validation import check_positive_int
+from repro.wht.encoding import EncodedPlans, encode_plans
 from repro.wht.plan import Plan, Small, Split
 
 __all__ = ["CacheMissModel", "cache_miss_count"]
@@ -186,6 +191,89 @@ class CacheMissModel:
                 total += calls * self.misses(child, child_stride)
             inner *= child_size
         return total
+
+    def misses_batch(
+        self, plans: "Sequence[Plan] | EncodedPlans", stride: int = 1
+    ) -> np.ndarray:
+        """Vectorised :meth:`misses` over a batch of plans (exact parity).
+
+        Accepts a plan sequence or a shared
+        :class:`~repro.wht.encoding.EncodedPlans`.  The scalar recursion
+        visits every node at exactly one stride — the root stride times the
+        product of the ``S`` factors along its ancestor path — so the batch
+        path materialises that stride per node with one top-down sweep per
+        tree level, classifies every node's footprint against the capacity
+        its stride can reach, and then resolves the recursion bottom-up one
+        level at a time: a non-fitting split charges, per child, either one
+        pass over its own footprint (child fits) or the child's full value
+        once per call (child overflows).  All arithmetic is int64 and matches
+        the scalar model bit-for-bit (property-tested).
+        """
+        check_positive_int(stride, "stride")
+        enc = plans if isinstance(plans, EncodedPlans) else encode_plans(plans)
+        if enc.num_plans == 0:
+            return np.zeros(0, dtype=np.int64)
+        line = self.line_elements
+        num_sets = self.num_sets
+        assoc = self.associativity
+
+        # The encoder bounds plan exponents, but the caller's root stride
+        # multiplies every per-node stride.  Footprints and miss values stay
+        # below ~2^(n + log2 nodes) regardless of the stride, so the only
+        # quantity that grows with it is the footprint span
+        # ``elements * node_stride <= stride * 2^n`` — guard that so the
+        # int64 arithmetic can never silently wrap (the scalar model computes
+        # in arbitrary-precision Python ints and stays exact at any stride).
+        max_root = int(enc.root_exponent.max())
+        if int(stride).bit_length() - 1 + max_root > 62:
+            raise ValueError(
+                f"stride {stride} with root exponent {max_root} exceeds the "
+                f"batch path's exact-int64 range; use the scalar misses()"
+            )
+
+        # -- per-node strides (top-down, one vectorised step per level) ------
+        stride_exp = np.zeros(enc.num_nodes, dtype=np.int64)
+        owner_depth = enc.node_depth[enc.slot_owner]
+        for depth in range(int(enc.node_depth.max()) + 1 if enc.num_slots else 0):
+            mask = owner_depth == depth
+            if not mask.any():
+                continue
+            stride_exp[enc.slot_child[mask]] = (
+                stride_exp[enc.slot_owner[mask]] + enc.slot_suffix_exponent[mask]
+            )
+        node_stride = np.int64(stride) << stride_exp
+
+        # -- footprints and reachable capacity (mirrors the scalar methods) --
+        elements = np.int64(1) << enc.node_exponent
+        span = elements * node_stride
+        footprint = np.where(node_stride >= line, elements, -(-span // line))
+        stride_in_lines = np.maximum(node_stride // line, 1)
+        reachable_sets = num_sets // np.gcd(stride_in_lines, num_sets)
+        effective = np.maximum(reachable_sets * assoc, assoc)
+        fits = footprint <= effective
+
+        # -- bottom-up resolution, deepest level first -----------------------
+        leaf = enc.node_is_leaf
+        value = np.where(fits | leaf, footprint, 0).astype(np.int64)
+        needs = ~fits & ~leaf
+        if needs.any():
+            owner_exp = enc.node_exponent[enc.slot_owner]
+            child_exp = enc.node_exponent[enc.slot_child]
+            slot_calls = np.int64(1) << (owner_exp - child_exp)
+            active = needs[enc.slot_owner]
+            for depth in range(int(owner_depth.max()), -1, -1):
+                mask = active & (owner_depth == depth)
+                if not mask.any():
+                    continue
+                children = enc.slot_child[mask]
+                owners = enc.slot_owner[mask]
+                contribution = np.where(
+                    fits[children],
+                    footprint[owners],
+                    slot_calls[mask] * value[children],
+                )
+                np.add.at(value, owners, contribution)
+        return value[enc.root_index]
 
     def __call__(self, plan: Plan) -> float:
         """Cost-function interface (misses at unit stride)."""

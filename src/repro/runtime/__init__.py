@@ -16,6 +16,9 @@ live*:
 * :mod:`repro.runtime.campaigns` — the deterministic campaign driver that
   samples plans, derives per-sample noise seeds and routes work units through
   a backend and a store;
+* :mod:`repro.runtime.cost_engine` — :class:`CostEngine`, batched search-cost
+  evaluation with a persistent per-plan cost cache keyed by
+  ``(machine content hash, plan key)``;
 * :mod:`repro.runtime.session` — :class:`Session` / :func:`session`, the
   fluent top-level entry point owning machine, scale, backend and store.
 """
@@ -35,10 +38,12 @@ from repro.runtime.campaigns import (
     run_campaign,
     sample_units,
 )
+from repro.runtime.cost_engine import CostEngine
 from repro.runtime.session import SCALE_PRESETS, Session, session
 from repro.runtime.store import (
     CampaignKey,
     CampaignStore,
+    CostTableKey,
     DiskStore,
     MemoryStore,
     NullStore,
@@ -65,6 +70,8 @@ __all__ = [
     "SCALE_PRESETS",
     "CampaignKey",
     "CampaignStore",
+    "CostTableKey",
+    "CostEngine",
     "MemoryStore",
     "DiskStore",
     "NullStore",

@@ -1,0 +1,180 @@
+"""The batched plan-evaluation engine for measured search costs.
+
+The paper's search economics are "spend expensive work only where it pays":
+analytic models prune the space and only the survivors are measured.  This
+module applies the same economics to the *measurement* side of a search:
+
+* candidates are evaluated in **batches** — a search round hands the whole
+  candidate list to :meth:`CostEngine.batch`, which deduplicates by
+  :func:`repro.wht.encoding.plan_key` and routes the remaining work through a
+  pluggable :class:`~repro.runtime.backends.ExecutionBackend` (serial or
+  multiprocess fan-out);
+* every measured cost lands in a **persistent per-plan cost cache** in the
+  session's :class:`~repro.runtime.store.CampaignStore`, keyed by
+  ``(machine content hash, plan key)`` — re-running a figure or resuming a
+  search in a later process skips every already-measured candidate;
+* the noise draw of each measurement is seeded per plan
+  (``derive_seed(seed, "plan-cost", plan_key)``), so the cost of a plan is
+  one well-defined number independent of evaluation order, batch shape or
+  backend — which is what makes serial, multiprocess and cached evaluation
+  bit-identical.  (On a noise-free machine the engine matches the plain
+  :class:`~repro.search.costs.MeasuredCyclesCost` exactly as well; with noise
+  the engine's per-plan seeding replaces that cost's order-dependent shared
+  generator.)
+
+The engine is a drop-in cost function: it is callable on a single plan and
+exposes ``batch`` for the search strategies' batched evaluation protocol,
+plus the ``evaluations`` / ``measured`` counter pair so pruning reports can
+distinguish cache hits from real simulation work.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.machine.machine import PreparedPlanCache, SimulatedMachine
+from repro.runtime.backends import ExecutionBackend, SerialBackend, WorkUnit
+from repro.runtime.store import CampaignStore, CostTableKey, NullStore, machine_config_hash
+from repro.util.rng import derive_seed
+from repro.wht.encoding import plan_key
+from repro.wht.plan import Plan
+
+__all__ = ["CostEngine"]
+
+
+class CostEngine:
+    """Batched, cached measured-cycles evaluation of candidate plans.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine to measure on.  Unless it already has one, a
+        :class:`~repro.machine.machine.PreparedPlanCache` is attached so
+        repeated preparations within the engine's lifetime are also reused.
+    backend:
+        How candidate batches execute (default:
+        :class:`~repro.runtime.backends.SerialBackend`).
+    store:
+        Where the per-plan cost table persists (default:
+        :class:`~repro.runtime.store.NullStore`, i.e. in-memory for the
+        engine's lifetime only).  With a
+        :class:`~repro.runtime.store.DiskStore` the cache survives across
+        processes.
+    seed:
+        Seed of the per-plan noise derivation.  Engines sharing (machine
+        configuration, metric, seed) share cached costs.
+    """
+
+    metric = "cycles"
+
+    def __init__(
+        self,
+        machine: SimulatedMachine,
+        *,
+        backend: ExecutionBackend | None = None,
+        store: CampaignStore | None = None,
+        seed: int = 0,
+        prepared_cache_size: int = 256,
+    ):
+        self.machine = machine
+        if machine.prepared_cache is None and prepared_cache_size > 0:
+            machine.prepared_cache = PreparedPlanCache(prepared_cache_size)
+        self.backend = backend if backend is not None else SerialBackend()
+        self.store = store if store is not None else NullStore()
+        self.seed = int(seed)
+        self.key = CostTableKey(
+            machine_hash=machine_config_hash(machine.config),
+            metric=self.metric,
+            seed=self.seed,
+        )
+        self._costs: dict[str, float] = self.store.get_cost_table(self.key) or {}
+        self._flushes = 0
+        #: Plan-cost requests served (cache hits included).
+        self.evaluations = 0
+        #: Plans actually prepared and measured (cache misses).
+        self.measured = 0
+
+    #: Merge-read amortisation.  The store holds one table per engine key and
+    #: every write serialises the whole table, so each measuring batch pays
+    #: one table write — that is the durability contract (``batch`` returns
+    #: only after its new costs are persisted; nothing is lost on a clean or
+    #: dirty exit).  The *read*-and-merge half exists only to pick up
+    #: concurrent writers and is amortised to every ``REMERGE_EVERY``-th
+    #: flush (always the first, so sequential engine handoffs stay
+    #: lossless); a concurrent writer's entries clobbered between re-merges
+    #: are simply re-measured on demand — identical keys carry identical
+    #: values, so nothing can be corrupted, only re-done.  Per-plan scalar
+    #: loops over a large persistent table pay one table write per
+    #: measurement; prefer ``batch`` for bulk evaluation.
+    REMERGE_EVERY = 16
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _noise_seed(self, key: str) -> int:
+        return derive_seed(self.seed, "plan-cost", key)
+
+    def batch(self, plans: Sequence[Plan]) -> list[float]:
+        """Costs of ``plans`` in order (one measurement per *distinct* plan).
+
+        Duplicates within the batch and plans already in the cost cache are
+        served without touching the machine; the remaining distinct plans go
+        through the execution backend as one unit list and their costs are
+        persisted to the store before returning.
+        """
+        keys = [plan_key(plan) for plan in plans]
+        self.evaluations += len(keys)
+        missing: dict[str, Plan] = {}
+        for key, plan in zip(keys, plans):
+            if key not in self._costs and key not in missing:
+                missing[key] = plan
+        if missing:
+            units = [
+                WorkUnit(plan=plan, noise_seed=self._noise_seed(key))
+                for key, plan in missing.items()
+            ]
+            measurements = self.backend.measure_units(self.machine, units)
+            self.measured += len(units)
+            for key, measurement in zip(missing, measurements):
+                self._costs[key] = float(measurement.cycles)
+            self.flush()
+        return [self._costs[key] for key in keys]
+
+    def __call__(self, plan: Plan) -> float:
+        """Scalar cost-function interface (a batch of one)."""
+        return self.batch([plan])[0]
+
+    # -- persistence -------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Merge this engine's costs into the store's table and write it back.
+
+        ``batch`` calls this after every round that measured something, so
+        every cost ever returned is already persisted; the method is public
+        for symmetry and tests.  The read-merge step keeps sequential engine
+        handoffs lossless — an engine created after another's flush starts
+        from the merged table, and each engine's first flush always merges —
+        and is amortised per :data:`REMERGE_EVERY`.
+        """
+        if self._flushes % self.REMERGE_EVERY == 0:
+            stored = self.store.get_cost_table(self.key)
+            if stored:
+                stored.update(self._costs)
+                self._costs = stored
+        self._flushes += 1
+        self.store.put_cost_table(self.key, self._costs)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def cached_costs(self) -> int:
+        """Number of plan costs currently known to the engine."""
+        return len(self._costs)
+
+    def __repr__(self) -> str:
+        return (
+            f"CostEngine(machine={self.machine.config.name!r}, "
+            f"backend={getattr(self.backend, 'name', type(self.backend).__name__)}, "
+            f"store={self.store!r}, seed={self.seed}, "
+            f"{self.cached_costs} cached costs, "
+            f"{self.measured}/{self.evaluations} measured)"
+        )

@@ -27,6 +27,7 @@ from repro.machine.configs import MACHINE_PRESETS
 from repro.machine.machine import MachineConfig, SimulatedMachine
 from repro.runtime.backends import ExecutionBackend, resolve_backend
 from repro.runtime.campaigns import measure_plan_list, run_campaign
+from repro.runtime.cost_engine import CostEngine
 from repro.runtime.store import CampaignStore, resolve_store
 from repro.runtime.table import MeasurementTable
 from repro.search import (
@@ -107,6 +108,7 @@ class Session:
         self._tables: dict[tuple[int, int, int, int | None], MeasurementTable] = {}
         self._sweep: "CanonicalSweep | None" = None
         self._suite: "ExperimentSuite | None" = None
+        self._cost_engine: CostEngine | None = None
 
     # -- campaigns ---------------------------------------------------------------
 
@@ -168,13 +170,42 @@ class Session:
             )
         return self._sweep
 
-    def search(self, n: int, strategy: str = "dp", **kwargs: Any) -> SearchResult:
+    def cost_engine(self) -> CostEngine:
+        """The session's batched measured-cycles cost engine (memoised).
+
+        The engine evaluates candidate batches through the session's backend
+        and persists every measured plan cost in the session's store keyed by
+        ``(machine content hash, plan key)``, so a later session over the
+        same store resumes a search with zero re-measurement.  Note the
+        engine seeds measurement noise per plan (order-independent) rather
+        than from the machine's shared generator; on a noise-free machine
+        both schemes coincide exactly.
+        """
+        if self._cost_engine is None:
+            self._cost_engine = CostEngine(
+                self.machine,
+                backend=self.backend,
+                store=self.store,
+                seed=derive_seed(self.scale.seed, "cost-engine"),
+            )
+        return self._cost_engine
+
+    def search(
+        self, n: int, strategy: str = "dp", use_engine: bool = False, **kwargs: Any
+    ) -> SearchResult:
         """Search the algorithm space of exponent ``n`` on this machine.
 
         ``strategy`` selects the search family: ``"dp"`` (the WHT package's
         dynamic programming, the default), ``"random"`` (RSU sampling) or
         ``"exhaustive"``; extra keyword arguments go to the strategy.
+
+        ``use_engine=True`` evaluates candidates through
+        :meth:`cost_engine` — batched through the session's backend, with the
+        persistent per-plan cost cache — instead of a fresh per-call
+        :class:`~repro.search.costs.MeasuredCyclesCost`.
         """
+        if use_engine:
+            kwargs.setdefault("cost", self.cost_engine())
         if strategy == "dp":
             kwargs.setdefault("max_children", self.dp_max_children)
             return dp_best_plan(self.machine, n, **kwargs)

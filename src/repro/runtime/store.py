@@ -37,6 +37,7 @@ from repro.runtime.table import MeasurementTable
 __all__ = [
     "machine_config_hash",
     "CampaignKey",
+    "CostTableKey",
     "CampaignStore",
     "MemoryStore",
     "DiskStore",
@@ -92,9 +93,36 @@ class CampaignKey:
         return f"{self.kind}-n{self.n}-c{self.count}-{digest}"
 
 
+@dataclass(frozen=True)
+class CostTableKey:
+    """Content-addressed identity of one per-plan cost table.
+
+    ``machine_hash`` is :func:`machine_config_hash` of the full machine
+    configuration (which includes the cycle model and its noise level);
+    ``metric`` names the cost quantity (``"cycles"``), and ``seed`` is the
+    cost engine's noise-derivation seed, so two engines share cached costs
+    iff they would have produced identical values.  The table itself maps
+    :func:`repro.wht.encoding.plan_key` strings to floats.
+    """
+
+    machine_hash: str
+    metric: str = "cycles"
+    seed: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain dictionary view (written into DiskStore files)."""
+        return dataclasses.asdict(self)
+
+    def token(self) -> str:
+        """Compact filesystem-safe identifier for this key."""
+        canonical = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+        return f"costs-{self.metric}-{digest}"
+
+
 @runtime_checkable
 class CampaignStore(Protocol):
-    """Where completed campaign tables live."""
+    """Where completed campaign tables and per-plan cost tables live."""
 
     def get(self, key: CampaignKey) -> MeasurementTable | None:
         """The stored table for ``key``, or ``None`` on a miss."""
@@ -104,16 +132,25 @@ class CampaignStore(Protocol):
         """Store ``table`` under ``key`` (overwriting any previous entry)."""
         ...
 
+    def get_cost_table(self, key: CostTableKey) -> dict[str, float] | None:
+        """The stored plan-key → cost mapping for ``key``, or ``None``."""
+        ...
+
+    def put_cost_table(self, key: CostTableKey, costs: dict[str, float]) -> None:
+        """Store ``costs`` under ``key`` (overwriting any previous entry)."""
+        ...
+
     def clear(self) -> None:
         """Drop every stored table."""
         ...
 
 
 class MemoryStore:
-    """In-process store: a plain dictionary keyed by :class:`CampaignKey`."""
+    """In-process store: plain dictionaries keyed by the content keys."""
 
     def __init__(self) -> None:
         self._tables: dict[CampaignKey, MeasurementTable] = {}
+        self._cost_tables: dict[CostTableKey, dict[str, float]] = {}
 
     def get(self, key: CampaignKey) -> MeasurementTable | None:
         return self._tables.get(key)
@@ -121,14 +158,25 @@ class MemoryStore:
     def put(self, key: CampaignKey, table: MeasurementTable) -> None:
         self._tables[key] = table
 
+    def get_cost_table(self, key: CostTableKey) -> dict[str, float] | None:
+        costs = self._cost_tables.get(key)
+        return dict(costs) if costs is not None else None
+
+    def put_cost_table(self, key: CostTableKey, costs: dict[str, float]) -> None:
+        self._cost_tables[key] = dict(costs)
+
     def clear(self) -> None:
         self._tables.clear()
+        self._cost_tables.clear()
 
     def __len__(self) -> int:
-        return len(self._tables)
+        return len(self._tables) + len(self._cost_tables)
 
     def __repr__(self) -> str:
-        return f"MemoryStore({len(self._tables)} tables)"
+        return (
+            f"MemoryStore({len(self._tables)} tables, "
+            f"{len(self._cost_tables)} cost tables)"
+        )
 
 
 class NullStore:
@@ -138,6 +186,12 @@ class NullStore:
         return None
 
     def put(self, key: CampaignKey, table: MeasurementTable) -> None:
+        return None
+
+    def get_cost_table(self, key: CostTableKey) -> dict[str, float] | None:
+        return None
+
+    def put_cost_table(self, key: CostTableKey, costs: dict[str, float]) -> None:
         return None
 
     def clear(self) -> None:
@@ -186,13 +240,38 @@ class DiskStore:
             "key": key.as_dict(),
             "table": table.as_dict(),
         }
+        self._write_atomic(self._file_for(key), payload)
+
+    def get_cost_table(self, key: CostTableKey) -> dict[str, float] | None:
+        file = self.path / f"{key.token()}.json"
+        try:
+            with open(file, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("version") != DISK_FORMAT_VERSION:
+                return None
+            return {str(k): float(v) for k, v in payload["costs"].items()}
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Same policy as campaign tables: anything unreadable is a miss.
+            return None
+
+    def put_cost_table(self, key: CostTableKey, costs: dict[str, float]) -> None:
+        payload = {
+            "version": DISK_FORMAT_VERSION,
+            "key": key.as_dict(),
+            "costs": {str(k): float(v) for k, v in costs.items()},
+        }
+        self._write_atomic(self.path / f"{key.token()}.json", payload)
+
+    def _write_atomic(self, file: Path, payload: dict) -> None:
         fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key.token()}.", suffix=".tmp", dir=self.path
+            prefix=f".{file.stem}.", suffix=".tmp", dir=self.path
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
-            os.replace(tmp_name, self._file_for(key))
+            os.replace(tmp_name, file)
         except BaseException:
             try:
                 os.unlink(tmp_name)

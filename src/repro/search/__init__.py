@@ -21,6 +21,7 @@ from repro.search.costs import (
     InstructionModelCost,
     MeasuredCyclesCost,
     WallClockCost,
+    evaluate_cost_batch,
 )
 from repro.search.result import SearchResult
 from repro.search.dp import dp_best_plan, dp_search
@@ -33,6 +34,7 @@ __all__ = [
     "InstructionModelCost",
     "CombinedModelCost",
     "WallClockCost",
+    "evaluate_cost_batch",
     "SearchResult",
     "dp_search",
     "dp_best_plan",

@@ -2,38 +2,82 @@
 
 Every cost is a callable mapping a plan to a float (lower is better), so the
 strategies are agnostic to whether they optimise measured cycles, an analytic
-model, or wall-clock time.  Each cost also counts its invocations, which the
-experiments use to report how much measurement a strategy needed.
+model, or wall-clock time.  Costs additionally implement two optional pieces
+of protocol that the strategies exploit when present:
+
+* ``batch(plans) -> sequence of floats`` — evaluate a whole candidate list at
+  once.  The analytic model costs implement it with the vectorised batch
+  models (one shared :class:`~repro.wht.encoding.EncodedPlans` per batch);
+  :class:`~repro.runtime.cost_engine.CostEngine` implements it with
+  backend-parallel measurement plus its persistent cost cache.
+  :func:`evaluate_cost_batch` is the helper the strategies call: it falls
+  back to a plain evaluation loop, so arbitrary callables keep working.
+* the ``evaluations`` / ``measured`` counter pair — ``evaluations`` counts
+  cost *requests* (one per plan per call, batched or not) while ``measured``
+  counts the evaluations that performed real work (prepares/measures or
+  model computations).  For the plain costs below the two coincide; for a
+  caching cost such as the engine they diverge, which is what lets pruning
+  reports stay honest about how much measurement a strategy actually bought.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.machine.machine import SimulatedMachine
 from repro.models.cache_misses import CacheMissModel
 from repro.models.combined import CombinedModel
 from repro.models.instruction_count import InstructionCountModel
+from repro.util.batching import evaluate_cost_batch
+from repro.wht.encoding import MAX_ENCODABLE_EXPONENT, encode_plans
 from repro.wht.plan import Plan
+
+
+def _encodable(plans: Sequence[Plan]) -> bool:
+    """Whether the batch encoder's exact-int64 range covers every plan.
+
+    The scalar models compute in arbitrary-precision Python ints and work at
+    any size; the model costs fall back to them for out-of-range plans so
+    the strategies' unconditional ``batch`` dispatch never narrows the
+    supported plan space.
+    """
+    return all(plan.n <= MAX_ENCODABLE_EXPONENT for plan in plans)
 
 __all__ = [
     "MeasuredCyclesCost",
     "InstructionModelCost",
     "CombinedModelCost",
     "WallClockCost",
+    "evaluate_cost_batch",
 ]
 
 
 @dataclass
 class MeasuredCyclesCost:
-    """Simulated cycle count of one run on a given machine."""
+    """Simulated cycle count of one run on a given machine.
+
+    Noise draws come from the machine's shared generator in evaluation
+    order (the historical behaviour); every evaluation prepares and measures,
+    so ``measured`` always equals ``evaluations``.  Use
+    :class:`~repro.runtime.cost_engine.CostEngine` for cached, batched,
+    order-independent measured costs.
+    """
 
     machine: SimulatedMachine
     evaluations: int = field(default=0, init=False)
+    measured: int = field(default=0, init=False)
 
     def __call__(self, plan: Plan) -> float:
         self.evaluations += 1
+        self.measured += 1
         return float(self.machine.measure(plan).cycles)
+
+    def batch(self, plans: Sequence[Plan]) -> list[float]:
+        """Measure every plan, in order (identical to repeated calls)."""
+        return [self(plan) for plan in plans]
 
 
 @dataclass
@@ -42,10 +86,20 @@ class InstructionModelCost:
 
     model: InstructionCountModel = field(default_factory=InstructionCountModel)
     evaluations: int = field(default=0, init=False)
+    measured: int = field(default=0, init=False)
 
     def __call__(self, plan: Plan) -> float:
         self.evaluations += 1
+        self.measured += 1
         return float(self.model.count(plan))
+
+    def batch(self, plans: Sequence[Plan]) -> "np.ndarray | list[float]":
+        """Vectorised scoring of the whole candidate list."""
+        if not _encodable(plans):
+            return [self(plan) for plan in plans]
+        self.evaluations += len(plans)
+        self.measured += len(plans)
+        return self.model.count_batch(plans).astype(float)
 
 
 @dataclass
@@ -56,6 +110,7 @@ class CombinedModelCost:
     miss_model: CacheMissModel
     combined: CombinedModel = field(default_factory=CombinedModel)
     evaluations: int = field(default=0, init=False)
+    measured: int = field(default=0, init=False)
 
     @classmethod
     def for_machine(
@@ -72,9 +127,22 @@ class CombinedModelCost:
 
     def __call__(self, plan: Plan) -> float:
         self.evaluations += 1
+        self.measured += 1
         return self.combined.value(
             self.instruction_model.count(plan),
             self.miss_model.misses(plan),
+        )
+
+    def batch(self, plans: Sequence[Plan]) -> "np.ndarray | list[float]":
+        """Vectorised scoring: one shared encoding feeds both batch models."""
+        if not _encodable(plans):
+            return [self(plan) for plan in plans]
+        self.evaluations += len(plans)
+        self.measured += len(plans)
+        encoded = encode_plans(plans)
+        return self.combined.values(
+            self.instruction_model.count_batch(encoded).astype(float),
+            self.miss_model.misses_batch(encoded).astype(float),
         )
 
 
@@ -89,7 +157,9 @@ class WallClockCost:
     machine: SimulatedMachine
     repetitions: int = 1
     evaluations: int = field(default=0, init=False)
+    measured: int = field(default=0, init=False)
 
     def __call__(self, plan: Plan) -> float:
         self.evaluations += 1
+        self.measured += 1
         return float(self.machine.measure_wall_time(plan, repetitions=self.repetitions))

@@ -26,6 +26,7 @@ def dp_search(
     max_leaf: int = MAX_UNROLLED,
     max_children: int | None = 2,
     include_iterative: bool = True,
+    record_candidates: bool = True,
 ) -> DPSearchResult:
     """Run the package's DP search up to exponent ``n`` with an arbitrary cost."""
     check_positive_int(n, "n")
@@ -34,6 +35,7 @@ def dp_search(
         max_leaf=max_leaf,
         max_children=max_children,
         include_iterative=include_iterative,
+        record_candidates=record_candidates,
     )
     return searcher.search(n)
 
@@ -44,29 +46,41 @@ def dp_best_plan(
     max_leaf: int = MAX_UNROLLED,
     max_children: int | None = 2,
     include_iterative: bool = True,
+    cost: Callable[[Plan], float] | None = None,
+    record_candidates: bool = True,
 ) -> SearchResult:
     """The DP-best plan for ``n`` under simulated cycle counts.
 
     This is the reproduction's analogue of "the best algorithm determined by
-    the dynamic programming search performed by the WHT package".
+    the dynamic programming search performed by the WHT package".  ``cost``
+    overrides the default per-call :class:`MeasuredCyclesCost` — pass a
+    :class:`~repro.runtime.cost_engine.CostEngine` for batched, cached
+    evaluation; any cost exposing the ``evaluations``/``measured`` counters
+    is reported faithfully.
     """
     check_positive_int(n, "n")
-    cost = MeasuredCyclesCost(machine)
+    if cost is None:
+        cost = MeasuredCyclesCost(machine)
+    evaluations_before = int(getattr(cost, "evaluations", 0))
     result = dp_search(
         n,
         cost,
         max_leaf=max_leaf,
         max_children=max_children,
         include_iterative=include_iterative,
+        record_candidates=record_candidates,
     )
+    evaluated = int(getattr(cost, "evaluations", evaluations_before)) - evaluations_before
+    if evaluated <= 0:
+        evaluated = result.evaluations
     best = result.best(n)
     history = [(record.plan, record.cost) for record in result.candidates_for(n)]
     return SearchResult(
         n=n,
         best_plan=best,
         best_cost=result.best_costs[n],
-        evaluated=cost.evaluations,
-        considered=cost.evaluations,
+        evaluated=evaluated,
+        considered=evaluated,
         strategy="dynamic-programming",
         history=history,
     )

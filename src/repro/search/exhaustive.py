@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.search.costs import evaluate_cost_batch
 from repro.search.result import SearchResult
 from repro.util.validation import check_positive_int
 from repro.wht.enumeration import count_plans, enumerate_plans
@@ -21,14 +22,21 @@ class ExhaustiveSearch:
     infeasibly large space (the space grows roughly like ``7^n``); exceeding it
     raises instead of silently truncating, so an "exhaustive" result can never
     be partial.
+
+    Candidates are evaluated in rounds of ``batch_size`` plans straight off
+    the enumeration stream (which is duplicate-free by construction), so
+    batch-capable costs amortise work per round while only one round of plans
+    is in flight beyond the recorded history.
     """
 
     cost: Callable[[Plan], float]
     max_leaf: int = MAX_UNROLLED
     limit: int = 200_000
+    batch_size: int = 2048
 
     def __post_init__(self) -> None:
         check_positive_int(self.limit, "limit")
+        check_positive_int(self.batch_size, "batch_size")
         if not callable(self.cost):
             raise TypeError("cost must be callable")
 
@@ -49,12 +57,22 @@ class ExhaustiveSearch:
         history: list[tuple[Plan, float]] = []
         best_plan: Plan | None = None
         best_cost = float("inf")
-        for plan in enumerate_plans(n, max_leaf=self.max_leaf):
-            value = float(self.cost(plan))
-            history.append((plan, value))
-            if value < best_cost:
-                best_cost = value
-                best_plan = plan
+        stream = enumerate_plans(n, max_leaf=self.max_leaf)
+        while True:
+            round_plans: list[Plan] = []
+            for plan in stream:
+                round_plans.append(plan)
+                if len(round_plans) >= self.batch_size:
+                    break
+            if not round_plans:
+                break
+            for plan, value in zip(
+                round_plans, evaluate_cost_batch(self.cost, round_plans)
+            ):
+                history.append((plan, value))
+                if value < best_cost:
+                    best_cost = value
+                    best_plan = plan
         assert best_plan is not None
         return SearchResult(
             n=n,

@@ -26,9 +26,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.search.costs import evaluate_cost_batch
 from repro.search.result import SearchResult
 from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_positive_int, check_probability
+from repro.wht.encoding import plan_key
 from repro.wht.plan import MAX_UNROLLED, Plan
 from repro.wht.random_plans import RSUSampler
 
@@ -42,7 +44,9 @@ class PrunedSearchReport:
     result: SearchResult
     #: Number of candidates scored with the cheap model.
     model_evaluations: int
-    #: Number of candidates measured with the expensive cost.
+    #: Number of expensive measurements actually performed.  Equals the
+    #: survivor count for a plain measured cost; smaller when the measured
+    #: cost caches (cache hits cost nothing and are not counted).
     measured_evaluations: int
     #: Model threshold actually applied.
     threshold: float
@@ -85,15 +89,16 @@ class ModelPrunedSearch:
     # -- candidate generation ---------------------------------------------------
 
     def generate_candidates(self, n: int, rng: RandomState = None) -> list[Plan]:
-        """Draw the default candidate set (deduplicated RSU sample)."""
+        """Draw the default candidate set (deduplicated by plan key)."""
         generator = as_generator(rng)
         sampler = RSUSampler(max_leaf=self.max_leaf, max_children=self.max_children)
-        seen: set[Plan] = set()
+        seen: set[str] = set()
         candidates: list[Plan] = []
         for _ in range(self.samples):
             plan = sampler.sample(n, generator)
-            if plan not in seen:
-                seen.add(plan)
+            key = plan_key(plan)
+            if key not in seen:
+                seen.add(key)
                 candidates.append(plan)
         return candidates
 
@@ -116,7 +121,7 @@ class ModelPrunedSearch:
                     f"candidate {plan} has exponent {plan.n}, expected {n}"
                 )
 
-        model_values = np.array([float(self.model_cost(plan)) for plan in plans])
+        model_values = np.array(evaluate_cost_batch(self.model_cost, plans))
         if self.threshold is not None:
             threshold = float(self.threshold)
         else:
@@ -133,16 +138,25 @@ class ModelPrunedSearch:
             survivor_mask = np.zeros(len(plans), dtype=bool)
             survivor_mask[best_index] = True
 
-        history: list[tuple[Plan, float]] = []
+        measured_before = getattr(self.measure_cost, "measured", None)
+        values = evaluate_cost_batch(self.measure_cost, survivors)
+        history = list(zip(survivors, values))
         best_plan: Plan | None = None
         best_cost = float("inf")
-        for plan in survivors:
-            value = float(self.measure_cost(plan))
-            history.append((plan, value))
+        for plan, value in history:
+            # Explicit fold (not argmin) so a NaN cost can never be selected.
             if value < best_cost:
                 best_cost = value
                 best_plan = plan
         assert best_plan is not None
+
+        # With a caching measured cost (e.g. the runtime's CostEngine) some
+        # survivors are served from the cost cache; report the measurements
+        # that actually happened rather than the survivor count.
+        if measured_before is not None:
+            measured = int(self.measure_cost.measured) - int(measured_before)
+        else:
+            measured = len(survivors)
 
         result = SearchResult(
             n=n,
@@ -156,7 +170,7 @@ class ModelPrunedSearch:
         return PrunedSearchReport(
             result=result,
             model_evaluations=len(plans),
-            measured_evaluations=len(survivors),
+            measured_evaluations=measured,
             threshold=threshold,
             pruned_fraction=float(1.0 - survivor_mask.mean()),
         )

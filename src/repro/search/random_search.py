@@ -5,9 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.search.costs import evaluate_cost_batch
 from repro.search.result import SearchResult
 from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_positive_int
+from repro.wht.encoding import plan_key
 from repro.wht.plan import MAX_UNROLLED, Plan
 from repro.wht.random_plans import RSUSampler
 
@@ -35,21 +37,33 @@ class RandomSearch:
             raise TypeError("cost must be callable")
 
     def search(self, n: int, rng: RandomState = None) -> SearchResult:
-        """Run the search for exponent ``n``."""
+        """Run the search for exponent ``n``.
+
+        Sampling and evaluation are two phases: the full sample is drawn and
+        deduplicated by plan key first, then the surviving candidates are
+        evaluated as one batch (vectorised models, backend fan-out, cost
+        caches).  The draw sequence, the evaluation order and — for costs
+        without a batch method — every individual cost call are identical to
+        the historical interleaved loop.
+        """
         check_positive_int(n, "n")
         generator = as_generator(rng)
         sampler = RSUSampler(max_leaf=self.max_leaf, max_children=self.max_children)
-        seen: set[Plan] = set()
-        history: list[tuple[Plan, float]] = []
-        best_plan: Plan | None = None
-        best_cost = float("inf")
+        seen: set[str] = set()
+        plans: list[Plan] = []
         for _ in range(self.samples):
             plan = sampler.sample(n, generator)
-            if self.dedupe and plan in seen:
-                continue
-            seen.add(plan)
-            value = float(self.cost(plan))
-            history.append((plan, value))
+            if self.dedupe:
+                key = plan_key(plan)
+                if key in seen:
+                    continue
+                seen.add(key)
+            plans.append(plan)
+        values = evaluate_cost_batch(self.cost, plans)
+        history = list(zip(plans, values))
+        best_plan: Plan | None = None
+        best_cost = float("inf")
+        for plan, value in history:
             if value < best_cost:
                 best_cost = value
                 best_plan = plan

@@ -1,0 +1,32 @@
+"""Batched evaluation of cost functions over plan lists.
+
+The single dispatch point of the search layer's batched-evaluation protocol:
+a *cost* is any callable mapping a plan to a float, and a cost that also
+exposes ``batch(plans)`` gets whole candidate lists at once (vectorised
+analytic models, the runtime's backend-parallel cost engine).  Plain
+callables are evaluated in a loop in list order, so the two paths request
+evaluations in the same order and remain interchangeable — costs drawing
+noise from a shared generator produce identical sequences either way.
+
+Lives in ``repro.util`` because both the ``wht`` layer (the DP search) and
+the ``search`` strategies dispatch through it, and ``wht`` must stay
+importable without the search/machine layers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["evaluate_cost_batch"]
+
+_Plan = TypeVar("_Plan")
+
+
+def evaluate_cost_batch(
+    cost: Callable[[_Plan], float], plans: Sequence[_Plan]
+) -> list[float]:
+    """Evaluate ``cost`` on every plan, using ``cost.batch`` when available."""
+    batch = getattr(cost, "batch", None)
+    if callable(batch):
+        return [float(value) for value in batch(plans)]
+    return [float(cost(plan)) for plan in plans]

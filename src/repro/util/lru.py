@@ -1,0 +1,56 @@
+"""A minimal bounded least-recently-used mapping.
+
+Shared by the caching layers of the batched evaluation engine (the machine's
+prepared-plan cache, the interpreter's sub-plan template cache) so the
+recency/eviction mechanics live in one place.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping evicting the least recently used entry.
+
+    ``get`` refreshes recency; ``put`` inserts (or refreshes) and evicts the
+    oldest entries beyond ``capacity``.  Not thread-safe, like the rest of
+    the simulator.
+    """
+
+    def __init__(self, capacity: int):
+        check_positive_int(capacity, "capacity")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+
+    def get(self, key: K) -> V | None:
+        """The value for ``key`` (refreshing its recency), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: K, value: V) -> None:
+        """Insert ``value`` under ``key``, evicting the oldest beyond capacity."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries

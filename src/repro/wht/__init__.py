@@ -11,6 +11,7 @@ dynamic-programming search.
 
 from repro.wht.plan import MAX_UNROLLED, Plan, Small, Split, plan_from_compositions
 from repro.wht.grammar import parse_plan, plan_to_string
+from repro.wht.encoding import EncodedPlans, encode_plans, plan_key
 from repro.wht.canonical import (
     balanced_plan,
     canonical_plans,
@@ -38,6 +39,9 @@ __all__ = [
     "plan_from_compositions",
     "parse_plan",
     "plan_to_string",
+    "plan_key",
+    "encode_plans",
+    "EncodedPlans",
     "iterative_plan",
     "right_recursive_plan",
     "left_recursive_plan",

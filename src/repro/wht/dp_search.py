@@ -18,8 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.util.batching import evaluate_cost_batch
 from repro.util.compositions import compositions
 from repro.util.validation import check_positive_int
+from repro.wht.encoding import plan_key
 from repro.wht.plan import MAX_UNROLLED, Plan, Small, Split
 
 __all__ = ["DPSearch", "DPSearchResult", "CandidateRecord"]
@@ -59,27 +61,54 @@ class CandidateRecord:
 
 @dataclass
 class DPSearchResult:
-    """Outcome of a DP search up to some maximum exponent."""
+    """Outcome of a DP search up to some maximum exponent.
+
+    Candidate records are indexed by exponent (``candidates_for`` is a
+    dictionary lookup, not a scan) and recording can be disabled entirely
+    with ``record_candidates=False`` so large searches stay memory-bounded:
+    the evaluation counter and the best plans/costs are tracked either way.
+    """
 
     #: Best plan found for every exponent, keyed by exponent.
     best_plans: dict[int, Plan] = field(default_factory=dict)
     #: Cost of the best plan for every exponent.
     best_costs: dict[int, float] = field(default_factory=dict)
-    #: Every candidate evaluated, in evaluation order.
-    candidates: list[CandidateRecord] = field(default_factory=list)
+    #: Evaluated candidates, grouped by exponent in evaluation order.
+    candidates_by_exponent: dict[int, list[CandidateRecord]] = field(default_factory=dict)
+    #: Whether candidate records are retained (the counter always is).
+    record_candidates: bool = True
+    #: Total number of cost evaluations performed.
+    evaluations: int = 0
 
     @property
-    def evaluations(self) -> int:
-        """Total number of cost evaluations performed."""
-        return len(self.candidates)
+    def candidates(self) -> tuple[CandidateRecord, ...]:
+        """Every recorded candidate, in evaluation order (read-only view).
+
+        Exponents are searched in ascending order and records are grouped
+        per exponent as they are evaluated, so flattening the groups in
+        insertion order reproduces the global evaluation order.  A tuple is
+        returned so code that used to mutate the historical list field fails
+        loudly instead of silently losing records.
+        """
+        return tuple(
+            record
+            for records in self.candidates_by_exponent.values()
+            for record in records
+        )
+
+    def record(self, record: CandidateRecord) -> None:
+        """Count (and, if enabled, retain) one evaluated candidate."""
+        self.evaluations += 1
+        if self.record_candidates:
+            self.candidates_by_exponent.setdefault(record.exponent, []).append(record)
 
     def best(self, n: int) -> Plan:
         """Best plan for exponent ``n`` (raises ``KeyError`` if not searched)."""
         return self.best_plans[n]
 
     def candidates_for(self, n: int) -> list[CandidateRecord]:
-        """All candidates evaluated for exponent ``n``."""
-        return [c for c in self.candidates if c.exponent == n]
+        """All candidates evaluated for exponent ``n`` (indexed lookup)."""
+        return list(self.candidates_by_exponent.get(n, ()))
 
 
 class DPSearch:
@@ -104,6 +133,10 @@ class DPSearch:
     include_iterative:
         Always evaluate the radix-1 iterative composition (``m`` parts of 1)
         in addition to the restricted compositions.
+    record_candidates:
+        Retain per-candidate records on the result (default).  ``False``
+        keeps only best plans/costs and the evaluation counter, bounding the
+        result's memory independently of the search size.
     """
 
     def __init__(
@@ -112,6 +145,7 @@ class DPSearch:
         max_leaf: int = MAX_UNROLLED,
         max_children: int | None = 2,
         include_iterative: bool = True,
+        record_candidates: bool = True,
     ):
         if not callable(cost):
             raise TypeError("cost must be callable")
@@ -126,6 +160,7 @@ class DPSearch:
         self.max_leaf = max_leaf
         self.max_children = max_children
         self.include_iterative = include_iterative
+        self.record_candidates = record_candidates
 
     # -- candidate generation ---------------------------------------------------
 
@@ -154,7 +189,7 @@ class DPSearch:
     def search(self, n: int) -> DPSearchResult:
         """Run the DP for every exponent from 1 to ``n``."""
         check_positive_int(n, "n")
-        result = DPSearchResult()
+        result = DPSearchResult(record_candidates=self.record_candidates)
         for m in range(1, n + 1):
             self._search_exponent(m, result)
         return result
@@ -168,19 +203,20 @@ class DPSearch:
         return result
 
     def _search_exponent(self, m: int, result: DPSearchResult) -> None:
-        best_plan: Plan | None = None
-        best_cost = float("inf")
+        # Generate the round's candidates (deduplicated by plan key), then
+        # evaluate them as one batch so the cost can amortise work across the
+        # round — vectorised model scoring, backend fan-out, cache lookups.
+        plans: list[Plan] = []
+        seen: set[str] = set()
 
-        def consider(plan: Plan) -> None:
-            nonlocal best_plan, best_cost
-            value = float(self.cost(plan))
-            result.candidates.append(CandidateRecord(exponent=m, plan=plan, cost=value))
-            if value < best_cost:
-                best_cost = value
-                best_plan = plan
+        def add(plan: Plan) -> None:
+            key = plan_key(plan)
+            if key not in seen:
+                seen.add(key)
+                plans.append(plan)
 
         if m <= self.max_leaf:
-            consider(Small(m))
+            add(Small(m))
         for comp in self.candidate_compositions(m):
             children = []
             feasible = True
@@ -192,11 +228,27 @@ class DPSearch:
                 children.append(child)
             if not feasible:  # pragma: no cover - parts are always smaller than m
                 continue
-            consider(Split(tuple(children)))
-        if best_plan is None:
+            add(Split(tuple(children)))
+        if not plans:
             raise RuntimeError(
                 f"no candidate plan found for exponent {m} "
                 f"(max_leaf={self.max_leaf}, max_children={self.max_children})"
+            )
+
+        best_plan: Plan | None = None
+        best_cost = float("inf")
+        for plan, value in zip(plans, evaluate_cost_batch(self.cost, plans)):
+            result.record(CandidateRecord(exponent=m, plan=plan, cost=value))
+            if value < best_cost:
+                best_cost = value
+                best_plan = plan
+        if best_plan is None:
+            # Every candidate evaluated to NaN (or nothing beat +inf): fail
+            # here, at the exponent that produced it, rather than handing a
+            # None best plan to later rounds.
+            raise RuntimeError(
+                f"no candidate plan of exponent {m} received a comparable "
+                f"cost (all {len(plans)} evaluations were NaN or +inf)"
             )
         result.best_plans[m] = best_plan
         result.best_costs[m] = best_cost

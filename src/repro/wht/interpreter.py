@@ -46,7 +46,9 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.util.lru import LRUCache
 from repro.wht.codelets import apply_codelet, codelet_costs
+from repro.wht.encoding import plan_key
 from repro.wht.plan import Plan, Small, Split
 
 __all__ = ["LeafNest", "NestBlock", "ExecutionStats", "PlanInterpreter"]
@@ -257,7 +259,41 @@ class ExecutionStats:
 
 
 class PlanInterpreter:
-    """Executes or profiles WHT plans using the paper's loop schedule."""
+    """Executes or profiles WHT plans using the paper's loop schedule.
+
+    ``template_cache_size`` bounds an LRU cache of walked sub-plan templates
+    keyed by ``(plan key, stride)``: a repeated sub-plan (the dynamic
+    programming search builds every candidate at exponent ``m`` from the same
+    best sub-plans) is walked into its :class:`NestBlock` template once and
+    replayed from the cache afterwards.  Cached templates are read-only —
+    replaying composes fresh offset/start arrays — so cache hits are
+    bit-identical to re-walking.  ``0`` disables the cache.
+    """
+
+    def __init__(self, template_cache_size: int = 64):
+        if template_cache_size < 0:
+            raise ValueError("template_cache_size must be >= 0")
+        self._template_cache: (
+            LRUCache[tuple[str, int], tuple[list[NestBlock], ExecutionStats, int]] | None
+        ) = LRUCache(template_cache_size) if template_cache_size else None
+
+    def _sub_plan_template(
+        self, child: Plan, child_stride: int
+    ) -> tuple[list["NestBlock"], "ExecutionStats", int]:
+        """The child's block template at ``child_stride`` (cached, immutable)."""
+        cache = self._template_cache
+        key = (plan_key(child), child_stride)
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        sub = ExecutionStats()
+        sub_cursor = [0]
+        template = list(self._walk_blocks(child, 0, child_stride, sub, sub_cursor))
+        entry = (template, sub, sub_cursor[0])
+        if cache is not None:
+            cache.put(key, entry)
+        return entry
 
     def execute(
         self,
@@ -396,14 +432,11 @@ class PlanInterpreter:
                 if invocations == 1:
                     yield from self._walk_blocks(child, base, child_stride, stats, cursor)
                 else:
-                    sub = ExecutionStats() if stats is not None else None
-                    sub_cursor = [0]
-                    template = list(
-                        self._walk_blocks(child, 0, child_stride, sub, sub_cursor)
+                    template, sub, template_accesses = self._sub_plan_template(
+                        child, child_stride
                     )
-                    if stats is not None and sub is not None:
+                    if stats is not None:
                         stats.merge(sub.scaled(invocations))
-                    template_accesses = sub_cursor[0]
                     j = np.arange(remaining, dtype=np.int64) * (child_size * inner * stride)
                     k = np.arange(inner, dtype=np.int64) * stride
                     offsets = (base + (j[:, None] + k[None, :])).reshape(-1)

@@ -1,0 +1,91 @@
+"""Tests for the prepared-plan cache and the interpreter template cache."""
+
+import numpy as np
+
+from repro.machine.configs import tiny_machine, tiny_machine_config
+from repro.machine.machine import PreparedPlanCache, SimulatedMachine
+from repro.wht.canonical import iterative_plan, right_recursive_plan
+from repro.wht.interpreter import PlanInterpreter
+from repro.wht.random_plans import random_plan
+
+
+class TestPreparedPlanCache:
+    def test_hit_returns_same_object(self):
+        machine = tiny_machine(noise_sigma=0.0)
+        machine.prepared_cache = PreparedPlanCache(capacity=8)
+        plan = iterative_plan(6)
+        first = machine.prepare(plan)
+        second = machine.prepare(plan)
+        assert second is first
+        assert machine.prepared_cache.hits == 1
+
+    def test_structurally_equal_plans_share_entries(self):
+        machine = tiny_machine(noise_sigma=0.0)
+        machine.prepared_cache = PreparedPlanCache(capacity=8)
+        machine.prepare(right_recursive_plan(6))
+        assert machine.prepare(right_recursive_plan(6)) is not None
+        assert machine.prepared_cache.hits == 1
+
+    def test_results_identical_with_and_without_cache(self):
+        config = tiny_machine_config(noise_sigma=0.0)
+        cached = SimulatedMachine(config, prepared_cache=PreparedPlanCache(16))
+        plain = SimulatedMachine(config)
+        for seed in range(5):
+            plan = random_plan(8, rng=seed)
+            a = cached.prepare(plan)
+            b = plain.prepare(plan)
+            assert a.hierarchy_stats == b.hierarchy_stats
+            assert a.stats == b.stats
+
+    def test_lru_eviction_is_bounded(self):
+        cache = PreparedPlanCache(capacity=2)
+        machine = tiny_machine(noise_sigma=0.0)
+        machine.prepared_cache = cache
+        for n in (4, 5, 6, 7):
+            machine.prepare(iterative_plan(n))
+        assert len(cache) == 2
+        # The oldest entry was evicted: preparing it again is a miss.
+        misses_before = cache.misses
+        machine.prepare(iterative_plan(4))
+        assert cache.misses == misses_before + 1
+
+    def test_measurements_from_cache_are_identical(self):
+        config = tiny_machine_config(noise_sigma=0.05)
+        machine = SimulatedMachine(config, prepared_cache=PreparedPlanCache(8))
+        plain = SimulatedMachine(config)
+        plan = right_recursive_plan(7)
+        machine.prepare(plan)  # warm the cache
+        assert (
+            machine.measure(plan, rng=42).cycles == plain.measure(plan, rng=42).cycles
+        )
+
+
+class TestTemplateCache:
+    def test_blocks_identical_with_and_without_cache(self):
+        cached = PlanInterpreter()  # default template cache
+        uncached = PlanInterpreter(template_cache_size=0)
+        for seed in range(5):
+            plan = random_plan(9, rng=seed)
+            # Walk twice with the caching interpreter so the second pass
+            # replays cached templates.
+            list(cached.iter_nest_blocks(plan))
+            a = list(cached.iter_nest_blocks(plan))
+            b = list(uncached.iter_nest_blocks(plan))
+            assert len(a) == len(b)
+            for block_a, block_b in zip(a, b):
+                assert block_a.nest == block_b.nest
+                assert np.array_equal(block_a.offsets, block_b.offsets)
+                assert np.array_equal(block_a.starts, block_b.starts)
+
+    def test_stats_identical_on_cache_replay(self):
+        interpreter = PlanInterpreter()
+        plan = right_recursive_plan(9)
+        first, _ = interpreter.profile(plan)
+        second, _ = interpreter.profile(plan)
+        assert first == second
+
+    def test_cache_is_bounded(self):
+        interpreter = PlanInterpreter(template_cache_size=4)
+        for seed in range(20):
+            list(interpreter.iter_nest_blocks(random_plan(8, rng=seed)))
+        assert len(interpreter._template_cache) <= 4

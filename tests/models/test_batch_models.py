@@ -1,0 +1,124 @@
+"""Batch-vs-scalar parity for the vectorised analytic models.
+
+The batched engine's contract is *bit-identical* model values: the vectorised
+paths must agree exactly with the scalar recursions on every plan.  This file
+checks that exhaustively over the full enumerated algorithm space for n <= 8
+and property-tests random plans, strides and cache geometries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.configs import opteron_like_config, tiny_machine_config
+from repro.machine.cpu import InstructionCostModel
+from repro.models.cache_misses import CacheMissModel
+from repro.models.instruction_count import InstructionCountModel
+from repro.wht.encoding import encode_plans
+from repro.wht.enumeration import enumerate_plans
+from repro.wht.random_plans import random_plan
+
+plan_strategy = st.builds(
+    random_plan,
+    n=st.integers(min_value=1, max_value=12),
+    rng=st.integers(0, 10**6),
+)
+
+MISS_MODELS = [
+    CacheMissModel(capacity_elements=2048, line_elements=8, associativity=1),
+    CacheMissModel(capacity_elements=64, line_elements=8, associativity=2),
+    CacheMissModel(capacity_elements=100, line_elements=4, associativity=2),
+    CacheMissModel.from_machine_config(opteron_like_config(), level="l1"),
+    CacheMissModel.from_machine_config(tiny_machine_config(), level="l1"),
+]
+
+
+class TestExhaustiveParity:
+    """Every enumerated plan for n <= 8, both models, one shared encoding."""
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_instruction_count_batch_matches_scalar(self, n):
+        plans = list(enumerate_plans(n))
+        encoded = encode_plans(plans)
+        model = InstructionCountModel()
+        batch = model.count_batch(encoded)
+        scalar = np.array([model.count(plan) for plan in plans], dtype=np.int64)
+        assert np.array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_miss_batch_matches_scalar(self, n):
+        plans = list(enumerate_plans(n))
+        encoded = encode_plans(plans)
+        for model in MISS_MODELS:
+            batch = model.misses_batch(encoded)
+            scalar = np.array([model.misses(plan) for plan in plans], dtype=np.int64)
+            assert np.array_equal(batch, scalar), repr(model)
+
+
+class TestPropertyParity:
+    @settings(max_examples=60, deadline=None)
+    @given(plan=plan_strategy)
+    def test_instruction_count_random_plans(self, plan):
+        model = InstructionCountModel(
+            InstructionCostModel(codelet_call_base=5, block_loop_cost=3)
+        )
+        assert int(model.count_batch([plan])[0]) == model.count(plan)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        plan=plan_strategy,
+        stride=st.sampled_from([1, 2, 4, 8, 64, 3]),
+        capacity=st.sampled_from([64, 256, 2048, 8192]),
+        line=st.sampled_from([4, 8]),
+        assoc=st.sampled_from([1, 2, 4]),
+    )
+    def test_misses_random_plans_and_strides(self, plan, stride, capacity, line, assoc):
+        model = CacheMissModel(
+            capacity_elements=capacity, line_elements=line, associativity=assoc
+        )
+        batch = int(model.misses_batch([plan], stride=stride)[0])
+        assert batch == model.misses(plan, stride)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds=st.lists(st.integers(0, 10**6), min_size=1, max_size=8))
+    def test_mixed_size_batches(self, seeds):
+        plans = [random_plan(1 + (seed % 12), rng=seed) for seed in seeds]
+        encoded = encode_plans(plans)
+        instruction_model = InstructionCountModel()
+        miss_model = MISS_MODELS[1]
+        instr = instruction_model.count_batch(encoded)
+        misses = miss_model.misses_batch(encoded)
+        for index, plan in enumerate(plans):
+            assert int(instr[index]) == instruction_model.count(plan)
+            assert int(misses[index]) == miss_model.misses(plan)
+
+
+class TestBatchSurface:
+    def test_empty_batches(self):
+        assert InstructionCountModel().count_batch([]).shape == (0,)
+        assert MISS_MODELS[0].misses_batch([]).shape == (0,)
+
+    def test_accepts_plan_sequences_directly(self):
+        plans = [random_plan(9, rng=3), random_plan(9, rng=4)]
+        model = InstructionCountModel()
+        direct = model.count_batch(plans)
+        encoded = model.count_batch(encode_plans(plans))
+        assert np.array_equal(direct, encoded)
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError):
+            MISS_MODELS[0].misses_batch([random_plan(5, rng=0)], stride=0)
+
+    def test_oversized_stride_raises_instead_of_wrapping(self):
+        # int64 would silently wrap; the batch path must refuse and point at
+        # the (arbitrary-precision) scalar model instead.
+        plan = random_plan(10, rng=1)
+        with pytest.raises(ValueError):
+            MISS_MODELS[0].misses_batch([plan], stride=2**60)
+        # A large-but-safe stride still matches the scalar model exactly.
+        model = MISS_MODELS[0]
+        stride = 2**40
+        assert int(model.misses_batch([plan], stride=stride)[0]) == model.misses(
+            plan, stride
+        )

@@ -1,0 +1,192 @@
+"""Tests for the batched cost engine and the store-backed cost cache."""
+
+import pytest
+
+from repro.machine.configs import tiny_machine, tiny_machine_config
+from repro.machine.machine import PreparedPlanCache, SimulatedMachine
+from repro.runtime.backends import MultiprocessBackend, SerialBackend
+from repro.runtime.cost_engine import CostEngine
+from repro.runtime.store import CostTableKey, DiskStore, MemoryStore, NullStore
+from repro.search.costs import MeasuredCyclesCost
+from repro.search.dp import dp_search
+from repro.wht.canonical import iterative_plan, right_recursive_plan
+from repro.wht.encoding import plan_key
+from repro.wht.random_plans import random_plan
+
+
+class TestCostEngine:
+    def test_matches_measured_cost_on_noise_free_machine(self):
+        engine = CostEngine(tiny_machine(noise_sigma=0.0))
+        cost = MeasuredCyclesCost(tiny_machine(noise_sigma=0.0))
+        for seed in range(4):
+            plan = random_plan(7, rng=seed)
+            assert engine(plan) == cost(plan)
+
+    def test_batch_order_and_duplicates(self):
+        engine = CostEngine(tiny_machine(noise_sigma=0.0))
+        a, b = iterative_plan(6), right_recursive_plan(6)
+        values = engine.batch([a, b, a, a])
+        assert values[0] == values[2] == values[3]
+        assert engine.evaluations == 4
+        assert engine.measured == 2  # one prepare per distinct plan
+
+    def test_cache_hits_skip_measurement(self):
+        engine = CostEngine(tiny_machine(noise_sigma=0.0))
+        plan = iterative_plan(6)
+        first = engine(plan)
+        assert engine.measured == 1
+        assert engine(plan) == first
+        assert engine.measured == 1
+        assert engine.evaluations == 2
+
+    def test_noisy_costs_are_order_independent(self):
+        config = tiny_machine_config(noise_sigma=0.05)
+        plans = [random_plan(6, rng=seed) for seed in range(5)]
+        forward = CostEngine(SimulatedMachine(config), seed=11).batch(plans)
+        backward = CostEngine(SimulatedMachine(config), seed=11).batch(plans[::-1])
+        assert forward == backward[::-1]
+        # A different engine seed draws different noise.
+        other = CostEngine(SimulatedMachine(config), seed=12).batch(plans)
+        assert other != forward
+
+    def test_dp_search_parity_scalar_vs_engine_vs_multiprocess(self):
+        config = tiny_machine_config(noise_sigma=0.0)
+        scalar = dp_search(8, MeasuredCyclesCost(SimulatedMachine(config)))
+        serial = dp_search(8, CostEngine(SimulatedMachine(config)))
+        multi = dp_search(
+            8,
+            CostEngine(
+                SimulatedMachine(config),
+                backend=MultiprocessBackend(max_workers=2),
+            ),
+        )
+        assert serial.best_plans == scalar.best_plans
+        assert serial.best_costs == scalar.best_costs
+        assert multi.best_plans == scalar.best_plans
+        assert multi.best_costs == scalar.best_costs
+
+    def test_warm_store_resumes_with_zero_measurements(self):
+        config = tiny_machine_config(noise_sigma=0.0)
+        store = MemoryStore()
+        cold_engine = CostEngine(SimulatedMachine(config), store=store)
+        cold = dp_search(8, cold_engine)
+        assert cold_engine.measured == cold_engine.evaluations
+
+        warm_engine = CostEngine(SimulatedMachine(config), store=store)
+        warm = dp_search(8, warm_engine)
+        assert warm_engine.measured == 0
+        assert warm_engine.evaluations > 0
+        assert warm.best_plans == cold.best_plans
+        assert warm.best_costs == cold.best_costs
+
+    def test_disk_store_persists_across_engines(self, tmp_path):
+        config = tiny_machine_config(noise_sigma=0.0)
+        store = DiskStore(tmp_path / "costs")
+        plan = right_recursive_plan(7)
+        value = CostEngine(SimulatedMachine(config), store=store)(plan)
+
+        resumed = CostEngine(SimulatedMachine(config), store=store)
+        assert resumed.cached_costs >= 1
+        assert resumed(plan) == value
+        assert resumed.measured == 0
+
+    def test_different_machines_do_not_share_costs(self):
+        store = MemoryStore()
+        plan = iterative_plan(6)
+        CostEngine(tiny_machine(noise_sigma=0.0), store=store)(plan)
+        other_config = tiny_machine_config(noise_sigma=0.25)
+        other = CostEngine(SimulatedMachine(other_config), store=store)
+        assert other.cached_costs == 0
+
+    def test_flush_merges_with_concurrent_writer(self):
+        config = tiny_machine_config(noise_sigma=0.0)
+        store = MemoryStore()
+        first = CostEngine(SimulatedMachine(config), store=store)
+        second = CostEngine(SimulatedMachine(config), store=store)
+        plan_a, plan_b = iterative_plan(6), right_recursive_plan(6)
+        first(plan_a)
+        second(plan_b)  # second flushed after first: both entries must survive
+        merged = store.get_cost_table(first.key)
+        assert set(merged) >= {plan_key(plan_a), plan_key(plan_b)}
+
+    def test_attaches_prepared_cache(self):
+        machine = tiny_machine(noise_sigma=0.0)
+        assert machine.prepared_cache is None
+        CostEngine(machine)
+        assert isinstance(machine.prepared_cache, PreparedPlanCache)
+
+    def test_null_store_keeps_engine_local_cache(self):
+        engine = CostEngine(tiny_machine(noise_sigma=0.0), store=NullStore())
+        plan = iterative_plan(5)
+        engine(plan)
+        engine(plan)
+        assert engine.measured == 1
+
+
+class TestCostTableStores:
+    def test_memory_store_roundtrip_and_isolation(self):
+        store = MemoryStore()
+        key = CostTableKey(machine_hash="abc", seed=3)
+        store.put_cost_table(key, {"small[1]": 2.5})
+        table = store.get_cost_table(key)
+        assert table == {"small[1]": 2.5}
+        table["small[1]"] = 99.0  # mutating the copy must not affect the store
+        assert store.get_cost_table(key) == {"small[1]": 2.5}
+        store.clear()
+        assert store.get_cost_table(key) is None
+
+    def test_disk_store_roundtrip_and_clear(self, tmp_path):
+        store = DiskStore(tmp_path)
+        key = CostTableKey(machine_hash="abc")
+        assert store.get_cost_table(key) is None
+        store.put_cost_table(key, {"small[2]": 10.0, "small[3]": 20.0})
+        assert store.get_cost_table(key) == {"small[2]": 10.0, "small[3]": 20.0}
+        store.clear()
+        assert store.get_cost_table(key) is None
+
+    def test_disk_store_ignores_corrupt_cost_file(self, tmp_path):
+        store = DiskStore(tmp_path)
+        key = CostTableKey(machine_hash="abc")
+        (tmp_path / f"{key.token()}.json").write_text("{not json")
+        assert store.get_cost_table(key) is None
+
+    def test_null_store_never_retains(self):
+        store = NullStore()
+        key = CostTableKey(machine_hash="abc")
+        store.put_cost_table(key, {"small[1]": 1.0})
+        assert store.get_cost_table(key) is None
+
+    def test_keys_distinguish_metric_and_seed(self):
+        a = CostTableKey(machine_hash="abc", metric="cycles", seed=0)
+        b = CostTableKey(machine_hash="abc", metric="cycles", seed=1)
+        assert a.token() != b.token()
+        assert a != b
+
+    def test_campaign_files_are_not_cost_tables(self, tmp_path):
+        # A cost table must never be readable as a campaign table and vice
+        # versa: the token namespaces are disjoint.
+        key = CostTableKey(machine_hash="abc")
+        assert key.token().startswith("costs-")
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+class TestSessionEngine:
+    def test_session_search_use_engine_matches_plain(self, scale):
+        from repro.runtime.session import Session
+
+        config = tiny_machine_config(noise_sigma=0.0)
+        session = Session(
+            machine=SimulatedMachine(config),
+            scale=scale,
+            backend=SerialBackend(),
+            store=MemoryStore(),
+        )
+        plain = session.search(7)
+        engine_result = session.search(7, use_engine=True)
+        assert engine_result.best_plan == plain.best_plan
+        assert engine_result.best_cost == plain.best_cost
+        # The session memoises its engine, so a repeated engine search is
+        # served from the cost cache.
+        again = session.search(7, use_engine=True)
+        assert again.best_cost == engine_result.best_cost
+        assert session.cost_engine().measured < session.cost_engine().evaluations
