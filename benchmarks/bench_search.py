@@ -17,6 +17,12 @@ Opteron-like geometry (noise-free, so every path is bit-comparable):
 * ``model_score_10k_scalar`` / ``model_score_10k_batch`` — both analytic
   models over 10,000 RSU samples of size 2^18: the per-plan recursion vs
   one shared encoding driving the vectorised batch models.
+* ``sample_10k_scalar`` / ``sample_10k_buffered`` — 10,000 RSU draws of
+  size 2^18: one ``Generator.random`` call per node vs the buffered
+  bit-stream parse (bit-identical plans; gated under 0.15 s).
+* ``append_log_10k_records`` — 10,000 cost records appended to a
+  DiskStore log in 100 batches plus one full read-back and a compaction:
+  the O(batch) append path that replaced the whole-table-per-batch write.
 
 Every run re-verifies exactness before timing anything: batched DP results
 must equal the scalar search's, and the batch models must match the scalar
@@ -178,6 +184,44 @@ def run_benchmarks() -> dict[str, float]:
     assert np.array_equal(batch_values[0], np.asarray(scalar_values[0]))
     assert np.array_equal(batch_values[1], np.asarray(scalar_values[1]))
 
+    def scalar_samples():
+        generator = np.random.default_rng(11)
+        one_at_a_time = RSUSampler()
+        return [one_at_a_time.sample(MODEL_SIZE, generator) for _ in range(MODEL_SAMPLES)]
+
+    scalar_drawn = bench("sample_10k_scalar", scalar_samples)
+    buffered_drawn = bench(
+        "sample_10k_buffered",
+        lambda: RSUSampler().sample_many(MODEL_SIZE, MODEL_SAMPLES, rng=11),
+    )
+    assert buffered_drawn == scalar_drawn  # bit-identical draws
+
+    import tempfile
+
+    from repro.runtime.store import CostLogKey, DiskStore
+
+    def append_log():
+        with tempfile.TemporaryDirectory() as tmp:
+            store = DiskStore(tmp)
+            key = CostLogKey(machine_hash="bench", seed=0)
+            for batch_index in range(100):
+                store.append_cost_records(
+                    key,
+                    {
+                        f"plan-{batch_index}-{i}": {
+                            "cycles": float(i),
+                            "instructions": float(i * 3),
+                        }
+                        for i in range(100)
+                    },
+                )
+            records = store.get_cost_records(key)
+            assert len(records) == 10_000
+            store.compact_cost_records(key)
+            assert store.get_cost_records(key) == records
+
+    bench("append_log_10k_records", append_log)
+
     speedup = recorded["dp_n16_scalar"] / max(recorded["dp_n16_engine_resume"], 1e-9)
     recorded["dp_n16_resume_speedup"] = speedup
     print(f"dp_n16_resume_speedup: {speedup:.0f}x")
@@ -223,6 +267,11 @@ def main() -> int:
         failures.append(
             f"batched 10k-sample model scoring took "
             f"{recorded['model_score_10k_batch']:.2f} s (>= 1 s)"
+        )
+    if recorded["sample_10k_buffered"] >= 0.15:
+        failures.append(
+            f"buffered 10k-sample RSU draw took "
+            f"{recorded['sample_10k_buffered']:.2f} s (>= 0.15 s)"
         )
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())["recorded"]

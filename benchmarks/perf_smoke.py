@@ -15,8 +15,12 @@ engine-backed DP search must be bit-identical to the scalar per-candidate
 search, must measure each distinct candidate exactly once on a cold store,
 must resume from a warm store with zero measurements, and the vectorised
 analytic models must match the scalar models on every enumerated plan for
-n <= 6.  (Timing gates for the search layer live in ``bench_search.py``
-against ``BENCH_search.json``.)
+n <= 6.  The metric-first cost API is gated by ``check_multi_metric``: one
+measurement populates every hardware counter metric, objective-based DP is
+bit-identical to the plain cycles path, and the composite model objective
+reproduces the combined model over the full enumerated n <= 8 space with
+zero hardware measurements.  (Timing gates for the search layer live in
+``bench_search.py`` against ``BENCH_search.json``.)
 
 Usage::
 
@@ -174,6 +178,90 @@ def check_search_budget() -> None:
                 raise SystemExit(f"batch miss model mismatch on {plan}")
 
 
+def check_multi_metric() -> None:
+    """The metric-first cost API must be exact and measurement-frugal.
+
+    Three gates:
+
+    * one ``measure`` call populates **every** hardware counter metric: after
+      a single measurement, any subset of counter metrics is served with zero
+      further measurements, and each value equals the direct measurement;
+    * the objective-based DP search (``engine.cost("cycles")``) is
+      bit-identical to the engine's plain cycles path (and hence to the
+      scalar search, which ``check_search_budget`` already pins);
+    * the composite model objective ``1.00 * model_instructions +
+      0.05 * model_l1_misses`` reproduces the combined-model values (and
+      therefore the ranking) of ``repro.models.combined`` over the entire
+      enumerated space for n <= 8 — with zero hardware measurements.
+    """
+    from repro.machine.configs import opteron_like
+    from repro.machine.machine import SimulatedMachine
+    from repro.models.cache_misses import CacheMissModel
+    from repro.models.combined import CombinedModel
+    from repro.models.instruction_count import InstructionCountModel
+    from repro.runtime.cost_engine import CostEngine
+    from repro.runtime.metrics import counter_metric_names
+    from repro.runtime.objectives import WeightedObjective
+    from repro.runtime.store import MemoryStore
+    from repro.search.dp import dp_search
+    from repro.wht.enumeration import enumerate_plans
+    from repro.wht.random_plans import random_plan
+
+    config = opteron_like(noise_sigma=0.0).config
+
+    engine = CostEngine(SimulatedMachine(config))
+    plan = random_plan(10, rng=3)
+    records = engine.records([plan], counter_metric_names())
+    if engine.measured != 1:
+        raise SystemExit(
+            f"multi-metric regression: {engine.measured} measurements to "
+            "populate the counter metrics (expected 1)"
+        )
+    reference = SimulatedMachine(config).measure(plan)
+    for name in counter_metric_names():
+        if records[0][name] != float(getattr(reference, name)):
+            raise SystemExit(f"multi-metric regression: {name} mismatch")
+    engine.records([plan], ("instructions", "l2_misses"))
+    if engine.measured != 1:
+        raise SystemExit("multi-metric regression: metric subset re-measured")
+
+    store = MemoryStore()
+    plain = dp_search(10, CostEngine(SimulatedMachine(config), store=store))
+    objective_engine = CostEngine(SimulatedMachine(config), store=MemoryStore())
+    objective = dp_search(10, objective_engine.cost("cycles"))
+    if (
+        objective.best_plans != plain.best_plans
+        or objective.best_costs != plain.best_costs
+    ):
+        raise SystemExit(
+            "objective regression: objective-based DP differs from the "
+            "engine cycles path"
+        )
+
+    model_engine = CostEngine(SimulatedMachine(config))
+    composite = model_engine.cost(WeightedObjective.model_combined(alpha=1.0, beta=0.05))
+    instruction_model = InstructionCountModel(config.instruction_model)
+    miss_model = CacheMissModel.from_machine_config(config, level="l1")
+    combined = CombinedModel(alpha=1.0, beta=0.05)
+    for n in range(1, 9):
+        plans = list(enumerate_plans(n))
+        values = composite.batch(plans)
+        for plan, value in zip(plans, values):
+            expected = combined.value(
+                instruction_model.count(plan), miss_model.misses(plan)
+            )
+            if value != expected:
+                raise SystemExit(
+                    f"objective regression: composite objective {value} != "
+                    f"combined model {expected} on {plan}"
+                )
+    if model_engine.measured != 0:
+        raise SystemExit(
+            "objective regression: model objective performed "
+            f"{model_engine.measured} hardware measurements"
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -189,6 +277,12 @@ def main() -> int:
     print(
         "search budget: engine DP bit-identical to scalar, cold run measures "
         "each candidate once, resume measures nothing, batch models exact"
+    )
+    check_multi_metric()
+    print(
+        "multi-metric: one measurement populates every counter metric, "
+        "objective DP bit-identical to the cycles path, composite objective "
+        "matches the combined model over the full n <= 8 space"
     )
 
     seconds, peak, stats = run_smoke()

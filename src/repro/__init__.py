@@ -22,11 +22,26 @@ execution backend and a campaign store:
 >>> results = sess.run_all()            # all eleven paper figures
 >>> best = sess.search(10)              # DP-best plan on this machine
 
-Campaigns fan out across worker processes with ``backend="multiprocess"`` and
-deduplicate repeated plans with ``backend="batched"`` — every backend
-produces bit-identical tables.  Passing ``store="./campaigns"`` persists
-completed campaigns as JSON so later processes (figure reruns, CI) complete
-the same campaigns via cache hits instead of re-measuring.
+Campaigns fan out across worker processes with ``backend="multiprocess"``
+(one persistent pool for the whole session) and deduplicate repeated plans
+with ``backend="batched"`` — every backend produces bit-identical tables.
+Passing ``store="./campaigns"`` persists completed campaigns as JSON — and
+every per-plan cost record as an append-log — so later processes (figure
+reruns, CI) complete the same campaigns via cache hits instead of
+re-measuring.
+
+Searches are parameterised by an *objective* over named cost metrics — the
+paper's whole point is that different cost functions rank plans differently:
+
+>>> sess.search(10, objective="cycles")                 # classic search
+>>> sess.search(10, objective="l1_misses")              # optimise misses
+>>> sess.search(10, objective=repro.WeightedObjective.combined(1.0, 0.05))
+>>> sess.search(10, objective="model_instructions")     # analytic: no measuring
+
+One simulated run populates every hardware counter metric at once
+(``cycles``, ``instructions``, ``l1_misses``, ``l2_misses``,
+``l1_accesses``), model metrics never touch the machine, and all records
+share one persistent cache — switching objectives re-measures nothing.
 
 Lower-level objects remain available for direct use:
 
@@ -50,13 +65,19 @@ from repro.models import (
 from repro.runtime import (
     BatchedBackend,
     CampaignStore,
+    CostEngine,
+    CostRecord,
+    CustomObjective,
     DiskStore,
     ExecutionBackend,
     MeasurementTable,
     MemoryStore,
+    MetricObjective,
     MultiprocessBackend,
+    Objective,
     SerialBackend,
     Session,
+    WeightedObjective,
     session,
 )
 from repro.wht import (
@@ -70,7 +91,7 @@ from repro.wht import (
     right_recursive_plan,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -104,6 +125,12 @@ __all__ = [
     "MemoryStore",
     "DiskStore",
     "MeasurementTable",
+    "CostEngine",
+    "CostRecord",
+    "Objective",
+    "MetricObjective",
+    "WeightedObjective",
+    "CustomObjective",
     "Plan",
     "Small",
     "Split",

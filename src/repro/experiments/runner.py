@@ -35,6 +35,7 @@ from repro.experiments.histograms import (
     HistogramFigure,
     histogram_figure,
 )
+from repro.experiments.model_scores import with_model_columns
 from repro.experiments.pruning import PruningFigure, pruning_figure
 from repro.experiments.report import (
     render_correlation_table,
@@ -54,8 +55,11 @@ from repro.runtime.backends import SerialBackend
 from repro.runtime.session import Session
 from repro.runtime.store import default_memory_store
 from repro.models.combined import CombinedModel, CorrelationSurface
+from repro.models.instruction_count import InstructionCountModel
+from repro.runtime.metrics import metric_spec
 from repro.analysis.scatter import ScatterData
 from repro.wht.canonical import canonical_plans
+from repro.wht.plan import Plan
 
 __all__ = ["ExperimentSuite"]
 
@@ -106,6 +110,7 @@ class ExperimentSuite:
             self.dp_max_children = self.session.dp_max_children
         self._legacy_campaign: SampleCampaign | None = None
         self._references: dict[int, dict[str, Measurement]] = {}
+        self._model_tables: dict[str, MeasurementTable] = {}
 
     @classmethod
     def from_session(cls, session: Session) -> "ExperimentSuite":
@@ -130,6 +135,73 @@ class ExperimentSuite:
     def large_table(self) -> MeasurementTable:
         """The out-of-cache random-sample campaign (paper size 2^18)."""
         return self.session.large_table()
+
+    def model_table(self, which: str = "large") -> MeasurementTable:
+        """A campaign table with the analytic model columns grafted on.
+
+        ``which`` is ``"small"`` or ``"large"``.  The returned table carries
+        ``model_instructions``, ``model_l1_misses`` and ``model_combined``
+        (this machine's instruction weights, L1 geometry and the paper's
+        default combined model) alongside the measured columns, so every
+        figure can plot a model metric exactly like a measured one.  Scored
+        once per session (memoised) with the vectorised batch models.
+        """
+        if which not in ("small", "large"):
+            raise ValueError(f"which must be 'small' or 'large', got {which!r}")
+        table = self._model_tables.get(which)
+        if table is None:
+            base = self.small_table() if which == "small" else self.large_table()
+            table = with_model_columns(
+                base,
+                instruction_model=InstructionCountModel(
+                    self.machine.config.instruction_model
+                ),
+                miss_model=self.machine.config,
+                combined=CombinedModel(),
+            )
+            self._model_tables[which] = table
+        return table
+
+    def _figure_table(self, which: str, metrics: "tuple[str, ...]") -> MeasurementTable:
+        """The campaign table able to serve ``metrics`` (model-scored iff needed)."""
+        if any(metric.startswith("model_") for metric in metrics):
+            return self.model_table(which)
+        return self.small_table() if which == "small" else self.large_table()
+
+    def _model_reference_value(self, plan: Plan, metric: str) -> float:
+        """Scalar analytic model value of one reference plan for ``metric``.
+
+        Delegates to the runtime metric registry, so reference points are
+        computed by the same scorers (same instruction weights, L1 geometry
+        and default combined model) as :meth:`model_table`'s columns.
+        """
+        spec = metric_spec(metric)
+        if spec.kind != "model":
+            raise ValueError(f"{metric!r} is not a model metric")
+        return float(spec.scorer_factory(self.machine.config)([plan])[0])
+
+    def _scatter(self, which: str, x_metric: str, y_metric: str = "cycles") -> ScatterData:
+        """One scatter figure; model metrics get model-valued reference points."""
+        n = self.scale.small_size if which == "small" else self.scale.large_size
+        metrics = (x_metric, y_metric)
+        table = self._figure_table(which, metrics)
+        references = self.references(n)
+        if not any(metric.startswith("model_") for metric in metrics):
+            return scatter_figure(
+                table, x_metric=x_metric, y_metric=y_metric, references=references
+            )
+        points = {}
+        for name, measurement in references.items():
+            point = []
+            for metric in metrics:
+                if metric.startswith("model_"):
+                    point.append(self._model_reference_value(measurement.plan, metric))
+                else:
+                    point.append(float(getattr(measurement, metric)))
+            points[name] = (point[0], point[1])
+        return scatter_figure(
+            table, x_metric=x_metric, y_metric=y_metric, reference_points=points
+        )
 
     def sweep(self) -> CanonicalSweep:
         """Canonical + DP-best measurements across the Figure 1–3 sizes."""
@@ -161,51 +233,63 @@ class ExperimentSuite:
         """Figure 3: cache-miss ratios of canonical algorithms to the best."""
         return self.sweep()
 
-    def figure4(self) -> HistogramFigure:
-        """Figure 4: cycle and instruction histograms at the small size."""
-        return histogram_figure(self.small_table(), metrics=SMALL_SIZE_METRICS)
+    def figure4(self, metrics: "tuple[str, ...]" = SMALL_SIZE_METRICS) -> HistogramFigure:
+        """Figure 4: cycle and instruction histograms at the small size.
 
-    def figure5(self) -> HistogramFigure:
-        """Figure 5: cycle, instruction and miss histograms at the large size."""
-        return histogram_figure(self.large_table(), metrics=LARGE_SIZE_METRICS)
+        ``metrics`` may include the analytic ``model_*`` columns (e.g.
+        ``("instructions", "model_instructions")`` to histogram the model
+        next to the measurement).
+        """
+        return histogram_figure(self._figure_table("small", metrics), metrics=metrics)
 
-    def figure6(self) -> ScatterData:
-        """Figure 6: instructions vs cycles at the small size."""
-        return scatter_figure(
-            self.small_table(),
-            x_metric="instructions",
-            y_metric="cycles",
-            references=self.references(self.scale.small_size),
-        )
+    def figure5(self, metrics: "tuple[str, ...]" = LARGE_SIZE_METRICS) -> HistogramFigure:
+        """Figure 5: cycle, instruction and miss histograms at the large size.
 
-    def figure7(self) -> ScatterData:
-        """Figure 7: instructions vs cycles at the large size."""
-        return scatter_figure(
-            self.large_table(),
-            x_metric="instructions",
-            y_metric="cycles",
-            references=self.references(self.scale.large_size),
-        )
+        ``metrics`` may include the analytic ``model_*`` columns.
+        """
+        return histogram_figure(self._figure_table("large", metrics), metrics=metrics)
 
-    def figure8(self) -> ScatterData:
-        """Figure 8: cache misses vs cycles at the large size."""
-        return scatter_figure(
-            self.large_table(),
-            x_metric="l1_misses",
-            y_metric="cycles",
-            references=self.references(self.scale.large_size),
-        )
+    def figure6(self, x_metric: str = "instructions") -> ScatterData:
+        """Figure 6: instructions (or a model metric) vs cycles, small size."""
+        return self._scatter("small", x_metric)
+
+    def figure7(self, x_metric: str = "instructions") -> ScatterData:
+        """Figure 7: instructions (or a model metric) vs cycles, large size."""
+        return self._scatter("large", x_metric)
+
+    def figure8(self, x_metric: str = "l1_misses") -> ScatterData:
+        """Figure 8: cache misses (or a model metric) vs cycles, large size."""
+        return self._scatter("large", x_metric)
 
     def figure9(self) -> CorrelationSurface:
         """Figure 9: correlation of cycles with alpha*I + beta*M over the grid."""
         return alphabeta_surface(self.large_table())
 
-    def figure10(self) -> PruningFigure:
-        """Figure 10: pruning curves vs instruction count at the small size."""
-        return pruning_figure(self.small_table(), model_label="instructions")
+    def figure10(self, model_metric: str = "instructions") -> PruningFigure:
+        """Figure 10: pruning curves vs instruction count at the small size.
 
-    def figure11(self) -> PruningFigure:
-        """Figure 11: pruning curves vs the optimal combined model at the large size."""
+        ``model_metric`` selects the x-axis quantity; the paper prunes on the
+        measured instruction count, and ``"model_instructions"`` uses the
+        analytic model column instead (the quantity a real pruned search has
+        before measuring anything).
+        """
+        table = self._figure_table("small", (model_metric,))
+        return pruning_figure(
+            table, model_values=table.column(model_metric), model_label=model_metric
+        )
+
+    def figure11(self, model_metric: str | None = None) -> PruningFigure:
+        """Figure 11: pruning curves vs the optimal combined model, large size.
+
+        By default the x axis is the measured combined model at the
+        Figure 9 optimum ``(alpha, beta)``; pass ``model_metric`` (e.g.
+        ``"model_combined"``) to prune on an analytic model column instead.
+        """
+        if model_metric is not None:
+            table = self._figure_table("large", (model_metric,))
+            return pruning_figure(
+                table, model_values=table.column(model_metric), model_label=model_metric
+            )
         alpha, beta, _ = self.figure9().best
         return pruning_figure(
             self.large_table(), combined=CombinedModel(alpha=alpha, beta=beta)

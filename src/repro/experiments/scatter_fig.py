@@ -23,12 +23,18 @@ def scatter_figure(
     x_metric: str = "instructions",
     y_metric: str = "cycles",
     references: Mapping[str, Measurement] | None = None,
+    reference_points: Mapping[str, tuple[float, float]] | None = None,
 ) -> ScatterData:
     """Scatter data of two campaign columns with optional reference algorithms.
 
     ``references`` maps algorithm names (``"iterative"``, ``"left"``,
     ``"right"``, ``"best"``) to their measurements at the same size; they are
-    drawn as labelled points in the paper's figures.
+    drawn as labelled points in the paper's figures.  For metrics that are
+    not :class:`Measurement` attributes (e.g. the analytic ``model_*``
+    columns grafted on by
+    :func:`repro.experiments.model_scores.with_model_columns`) pass
+    precomputed ``reference_points`` instead; both may be combined, with
+    explicit points taking precedence.
     """
     ref_points: dict[str, tuple[float, float]] = {}
     for name, measurement in (references or {}).items():
@@ -41,6 +47,10 @@ def scatter_figure(
             float(getattr(measurement, x_metric)),
             float(getattr(measurement, y_metric)),
         )
+    ref_points.update(
+        (name, (float(x), float(y)))
+        for name, (x, y) in (reference_points or {}).items()
+    )
     return scatter_data(
         table.column(x_metric),
         table.column(y_metric),

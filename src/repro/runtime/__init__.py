@@ -12,13 +12,22 @@ live*:
   the same work units;
 * :mod:`repro.runtime.store` — the :class:`CampaignStore` protocol with
   in-memory and on-disk implementations, keyed by a content hash of the full
-  machine configuration;
+  machine configuration; per-plan costs persist in an append-log record
+  store (O(batch) appends, compaction, transparent migration of old-format
+  single-metric tables);
+* :mod:`repro.runtime.metrics` — the :class:`MetricSpec` registry of named
+  cost metrics (hardware counters, wall time, analytic batch models) and the
+  multi-metric :class:`CostRecord`;
+* :mod:`repro.runtime.objectives` — composable :class:`Objective`\\ s mapping
+  metric records to the scalar a search optimises (single metric, the
+  paper's weighted ``alpha*I + beta*M`` composite, custom reducers);
 * :mod:`repro.runtime.campaigns` — the deterministic campaign driver that
   samples plans, derives per-sample noise seeds and routes work units through
   a backend and a store;
-* :mod:`repro.runtime.cost_engine` — :class:`CostEngine`, batched search-cost
-  evaluation with a persistent per-plan cost cache keyed by
-  ``(machine content hash, plan key)``;
+* :mod:`repro.runtime.cost_engine` — :class:`CostEngine`, batched
+  multi-metric plan evaluation: one measurement populates every hardware
+  counter metric at once, model metrics never touch the machine, and every
+  record lands in the persistent per-plan record log;
 * :mod:`repro.runtime.session` — :class:`Session` / :func:`session`, the
   fluent top-level entry point owning machine, scale, backend and store.
 """
@@ -38,11 +47,29 @@ from repro.runtime.campaigns import (
     run_campaign,
     sample_units,
 )
-from repro.runtime.cost_engine import CostEngine
+from repro.runtime.cost_engine import CostEngine, ObjectiveCost
+from repro.runtime.metrics import (
+    CostRecord,
+    MetricSpec,
+    available_metrics,
+    counter_metric_names,
+    hardware_metric_names,
+    metric_spec,
+    model_metric_names,
+    register_metric,
+)
+from repro.runtime.objectives import (
+    CustomObjective,
+    MetricObjective,
+    Objective,
+    WeightedObjective,
+    resolve_objective,
+)
 from repro.runtime.session import SCALE_PRESETS, Session, session
 from repro.runtime.store import (
     CampaignKey,
     CampaignStore,
+    CostLogKey,
     CostTableKey,
     DiskStore,
     MemoryStore,
@@ -70,8 +97,23 @@ __all__ = [
     "SCALE_PRESETS",
     "CampaignKey",
     "CampaignStore",
+    "CostLogKey",
     "CostTableKey",
     "CostEngine",
+    "ObjectiveCost",
+    "CostRecord",
+    "MetricSpec",
+    "register_metric",
+    "metric_spec",
+    "available_metrics",
+    "hardware_metric_names",
+    "counter_metric_names",
+    "model_metric_names",
+    "Objective",
+    "MetricObjective",
+    "WeightedObjective",
+    "CustomObjective",
+    "resolve_objective",
     "MemoryStore",
     "DiskStore",
     "NullStore",

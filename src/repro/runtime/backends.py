@@ -8,9 +8,12 @@ so all backends are guaranteed to produce bit-identical results:
 
 * :class:`SerialBackend` — the reference: one Python loop over the units on
   the caller's machine instance.
-* :class:`MultiprocessBackend` — fans the units out across worker processes
-  with :mod:`concurrent.futures`; each worker rebuilds the machine from its
-  :class:`~repro.machine.machine.MachineConfig` once and measures its share.
+* :class:`MultiprocessBackend` — fans the units out across a *persistent*
+  pool of worker processes (:mod:`concurrent.futures`); each worker rebuilds
+  the machine from its :class:`~repro.machine.machine.MachineConfig` once,
+  and the pool survives across ``measure_units`` calls so a search's many
+  small candidate rounds don't pay a pool spawn each (``close()`` or the
+  context-manager protocol releases the workers).
 * :class:`BatchedBackend` — amortises the deterministic half of a measurement
   (plan interpretation, trace expansion, cache simulation) across units that
   share a plan.  RSU samples at small sizes re-draw common shapes frequently,
@@ -27,6 +30,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
@@ -138,13 +142,24 @@ def _worker_measure(payload: tuple[Plan, int | None]) -> Measurement:
 
 
 class MultiprocessBackend:
-    """Fan units out across worker processes via ``concurrent.futures``.
+    """Fan units out across a persistent pool of worker processes.
 
     Workers are handed ``(plan, noise_seed)`` payloads and rebuild the machine
     from the configuration once per process, so per-unit IPC is one plan and
     one integer in, one measurement out.  Result order follows unit order
     regardless of scheduling, and the per-unit seeds make the measurements
     identical to serial execution.
+
+    The :class:`ProcessPoolExecutor` is created lazily on the first batch and
+    **kept alive across ``measure_units`` calls**: a search evaluates many
+    small candidate rounds (a DP round has at most ~17 candidates), and
+    re-spawning a pool per round used to cost more than the round itself.
+    The pool is keyed by the machine configuration — measuring against a
+    different machine tears the old pool down and starts a fresh one, so
+    workers can never hold a stale config.  Call :meth:`close` (or use the
+    backend as a context manager, or close the owning
+    :class:`~repro.runtime.session.Session`) to release the workers; the
+    next batch transparently starts a new pool.
     """
 
     def __init__(self, max_workers: int | None = None, chunksize: int | None = None):
@@ -154,35 +169,77 @@ class MultiprocessBackend:
             check_positive_int(chunksize, "chunksize")
         self.max_workers = max_workers
         self.chunksize = chunksize
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_config: MachineConfig | None = None
 
     name = "multiprocess"
 
     def _effective_workers(self) -> int:
         return self.max_workers or os.cpu_count() or 1
 
+    def _pool_for(self, config: MachineConfig) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_config == config:
+            return self._pool
+        self.close()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._effective_workers(),
+            initializer=_worker_init,
+            initargs=(config,),
+        )
+        self._pool_config = config
+        return self._pool
+
     def measure_units(
         self, machine: SimulatedMachine, units: Sequence[WorkUnit]
     ) -> list[Measurement]:
         if not units:
             return []
-        workers = min(self._effective_workers(), len(units))
-        if workers == 1:
-            # A single worker cannot parallelise anything; skip the pool and
-            # its process-spawn overhead entirely (bit-identical by design).
+        workers = self._effective_workers()
+        if workers == 1 or len(units) == 1:
+            # Nothing to parallelise; skip the pool round-trip entirely
+            # (bit-identical by design, thanks to the per-unit seeds).
             return SerialBackend().measure_units(machine, units)
         chunksize = self.chunksize or max(1, len(units) // (workers * 4))
         payloads = [(unit.plan, unit.noise_seed) for unit in units]
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(machine.config,),
-        ) as pool:
+        pool = self._pool_for(machine.config)
+        try:
             return list(pool.map(_worker_measure, payloads, chunksize=chunksize))
+        except BrokenProcessPool:
+            # A killed worker poisons the whole executor; drop it and run the
+            # batch once more on a fresh pool before giving up.
+            self.close()
+            pool = self._pool_for(machine.config)
+            return list(pool.map(_worker_measure, payloads, chunksize=chunksize))
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent).
+
+        The backend remains usable: the next ``measure_units`` call starts a
+        fresh pool.
+        """
+        pool, self._pool, self._pool_config = self._pool, None, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "MultiprocessBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent timing
+        try:
+            pool = self._pool
+            if pool is not None:
+                pool.shutdown(wait=False)
+        except Exception:
+            pass
 
     def __repr__(self) -> str:
         return (
             f"MultiprocessBackend(max_workers={self.max_workers}, "
-            f"chunksize={self.chunksize})"
+            f"chunksize={self.chunksize}, "
+            f"pool={'live' if self._pool is not None else 'idle'})"
         )
 
 

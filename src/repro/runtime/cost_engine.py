@@ -1,31 +1,46 @@
-"""The batched plan-evaluation engine for measured search costs.
+"""The batched, metric-first plan-evaluation engine for search costs.
 
 The paper's search economics are "spend expensive work only where it pays":
 analytic models prune the space and only the survivors are measured.  This
-module applies the same economics to the *measurement* side of a search:
+module applies the same economics to the *measurement* side of a search, and
+— since the paper's whole point is that different cost functions rank plans
+differently — does it per **metric**:
 
 * candidates are evaluated in **batches** — a search round hands the whole
-  candidate list to :meth:`CostEngine.batch`, which deduplicates by
+  candidate list to :meth:`CostEngine.records`, which deduplicates by
   :func:`repro.wht.encoding.plan_key` and routes the remaining work through a
   pluggable :class:`~repro.runtime.backends.ExecutionBackend` (serial or
   multiprocess fan-out);
-* every measured cost lands in a **persistent per-plan cost cache** in the
+* one simulated execution populates **every hardware counter metric at
+  once** (``cycles``, ``instructions``, ``l1_misses``, ``l2_misses``,
+  ``l1_accesses`` all come from the same
+  :class:`~repro.machine.measurement.Measurement`), so requesting a subset
+  of already-measured metrics — or a new counter metric on a measured plan —
+  re-measures nothing;
+* analytic **model metrics** (``model_instructions``, ``model_l1_misses``,
+  ``model_combined``) are computed from the plan structure with the
+  vectorised batch models and never touch the machine, so adding a model
+  metric to an existing campaign performs zero hardware measurements;
+* every record lands in a **persistent append-log record store** in the
   session's :class:`~repro.runtime.store.CampaignStore`, keyed by
-  ``(machine content hash, plan key)`` — re-running a figure or resuming a
-  search in a later process skips every already-measured candidate;
+  ``(machine content hash, seed)`` — re-running a figure or resuming a
+  search in a later process skips every already-measured candidate, and
+  appends stay O(batch) no matter how large the table has grown;
 * the noise draw of each measurement is seeded per plan
   (``derive_seed(seed, "plan-cost", plan_key)``), so the cost of a plan is
-  one well-defined number independent of evaluation order, batch shape or
+  one well-defined record independent of evaluation order, batch shape or
   backend — which is what makes serial, multiprocess and cached evaluation
   bit-identical.  (On a noise-free machine the engine matches the plain
-  :class:`~repro.search.costs.MeasuredCyclesCost` exactly as well; with noise
-  the engine's per-plan seeding replaces that cost's order-dependent shared
-  generator.)
+  :class:`~repro.search.costs.MeasuredCyclesCost` exactly as well.)
 
-The engine is a drop-in cost function: it is callable on a single plan and
-exposes ``batch`` for the search strategies' batched evaluation protocol,
-plus the ``evaluations`` / ``measured`` counter pair so pruning reports can
-distinguish cache hits from real simulation work.
+Search strategies consume the engine through an
+:class:`~repro.runtime.objectives.Objective`: the engine itself is a drop-in
+cost function for its default objective (callable on a single plan, ``batch``
+for the strategies' batched protocol), and :meth:`CostEngine.cost` binds any
+other objective — a different metric, the paper's ``alpha*I + beta*M``
+composite, or a custom reducer — to the same shared record cache.  The
+``evaluations`` / ``measured`` counter pair distinguishes cache hits from
+real simulation work for honest pruning reports.
 """
 
 from __future__ import annotations
@@ -34,16 +49,64 @@ from typing import Sequence
 
 from repro.machine.machine import PreparedPlanCache, SimulatedMachine
 from repro.runtime.backends import ExecutionBackend, SerialBackend, WorkUnit
-from repro.runtime.store import CampaignStore, CostTableKey, NullStore, machine_config_hash
+from repro.runtime.metrics import (
+    COUNTER_CHANNEL,
+    MODEL_CHANNEL,
+    WALL_CHANNEL,
+    CostRecord,
+    counter_metric_names,
+    metric_spec,
+    nondeterministic_metric_names,
+)
+from repro.runtime.objectives import Objective, resolve_objective
+from repro.runtime.store import CampaignStore, CostLogKey, NullStore, machine_config_hash
 from repro.util.rng import derive_seed
-from repro.wht.encoding import plan_key
+from repro.wht.encoding import MAX_ENCODABLE_EXPONENT, EncodedPlans, encode_plans, plan_key
 from repro.wht.plan import Plan
 
-__all__ = ["CostEngine"]
+__all__ = ["CostEngine", "ObjectiveCost"]
+
+
+class ObjectiveCost:
+    """One objective bound to a cost engine: a drop-in search cost function.
+
+    Callable on a single plan, exposes ``batch`` for the strategies' batched
+    evaluation protocol, and proxies the engine's ``evaluations``/``measured``
+    counters so pruning reports stay honest.  All objective costs bound to
+    the same engine share its per-plan record cache — evaluating a second
+    objective over already-measured metrics costs nothing.
+    """
+
+    def __init__(self, engine: "CostEngine", objective: Objective):
+        self.engine = engine
+        self.objective = objective
+
+    def batch(self, plans: Sequence[Plan]) -> list[float]:
+        """Objective values of ``plans`` in order."""
+        records = self.engine.records(plans, self.objective.metrics)
+        value = self.objective.value
+        return [value(record.values) for record in records]
+
+    def __call__(self, plan: Plan) -> float:
+        """Scalar cost-function interface (a batch of one)."""
+        return self.batch([plan])[0]
+
+    @property
+    def evaluations(self) -> int:
+        """Plan-cost requests served by the underlying engine."""
+        return self.engine.evaluations
+
+    @property
+    def measured(self) -> int:
+        """Plans actually measured by the underlying engine."""
+        return self.engine.measured
+
+    def __repr__(self) -> str:
+        return f"ObjectiveCost({self.objective.describe()!r}, engine={self.engine!r})"
 
 
 class CostEngine:
-    """Batched, cached measured-cycles evaluation of candidate plans.
+    """Batched, cached multi-metric evaluation of candidate plans.
 
     Parameters
     ----------
@@ -51,26 +114,32 @@ class CostEngine:
         The simulated machine to measure on.  Unless it already has one, a
         :class:`~repro.machine.machine.PreparedPlanCache` is attached so
         repeated preparations within the engine's lifetime are also reused.
+    objective:
+        The engine's default objective — what ``engine(plan)`` and
+        ``engine.batch(plans)`` evaluate.  A metric name string, an
+        :class:`~repro.runtime.objectives.Objective`, or a
+        :class:`~repro.models.combined.CombinedModel` (default:
+        ``"cycles"``, the WHT package's classic search cost).
     backend:
         How candidate batches execute (default:
         :class:`~repro.runtime.backends.SerialBackend`).
     store:
-        Where the per-plan cost table persists (default:
+        Where the per-plan record log persists (default:
         :class:`~repro.runtime.store.NullStore`, i.e. in-memory for the
         engine's lifetime only).  With a
         :class:`~repro.runtime.store.DiskStore` the cache survives across
         processes.
     seed:
         Seed of the per-plan noise derivation.  Engines sharing (machine
-        configuration, metric, seed) share cached costs.
+        configuration, seed) share cached records — across *all* metrics
+        and objectives.
     """
-
-    metric = "cycles"
 
     def __init__(
         self,
         machine: SimulatedMachine,
         *,
+        objective: "str | Objective" = "cycles",
         backend: ExecutionBackend | None = None,
         store: CampaignStore | None = None,
         seed: int = 0,
@@ -79,65 +148,165 @@ class CostEngine:
         self.machine = machine
         if machine.prepared_cache is None and prepared_cache_size > 0:
             machine.prepared_cache = PreparedPlanCache(prepared_cache_size)
+        self.objective = resolve_objective(objective)
         self.backend = backend if backend is not None else SerialBackend()
         self.store = store if store is not None else NullStore()
         self.seed = int(seed)
-        self.key = CostTableKey(
-            machine_hash=machine_config_hash(machine.config),
-            metric=self.metric,
-            seed=self.seed,
+        self.key = CostLogKey(
+            machine_hash=machine_config_hash(machine.config), seed=self.seed
         )
-        self._costs: dict[str, float] = self.store.get_cost_table(self.key) or {}
-        self._flushes = 0
+        #: Per-plan record cache: plan key -> metric name -> value.  Seeded
+        #: from the store's record log (including transparently migrated
+        #: old-format single-metric tables).  Non-deterministic metrics
+        #: (wall time) are scrubbed on load — a timing recorded by another
+        #: host or session must never be served as this engine's cache hit.
+        self._records: dict[str, dict[str, float]] = self.store.get_cost_records(self.key)
+        volatile = nondeterministic_metric_names()
+        if volatile:
+            for record in self._records.values():
+                for name in volatile:
+                    record.pop(name, None)
+        self._scorers: dict[str, object] = {}
         #: Plan-cost requests served (cache hits included).
         self.evaluations = 0
-        #: Plans actually prepared and measured (cache misses).
+        #: Plans actually executed or simulated (hardware cache misses).
         self.measured = 0
 
-    #: Merge-read amortisation.  The store holds one table per engine key and
-    #: every write serialises the whole table, so each measuring batch pays
-    #: one table write — that is the durability contract (``batch`` returns
-    #: only after its new costs are persisted; nothing is lost on a clean or
-    #: dirty exit).  The *read*-and-merge half exists only to pick up
-    #: concurrent writers and is amortised to every ``REMERGE_EVERY``-th
-    #: flush (always the first, so sequential engine handoffs stay
-    #: lossless); a concurrent writer's entries clobbered between re-merges
-    #: are simply re-measured on demand — identical keys carry identical
-    #: values, so nothing can be corrupted, only re-done.  Per-plan scalar
-    #: loops over a large persistent table pay one table write per
-    #: measurement; prefer ``batch`` for bulk evaluation.
-    REMERGE_EVERY = 16
+    # -- objective binding -------------------------------------------------------
+
+    def cost(self, objective: "str | Objective") -> ObjectiveCost:
+        """Bind ``objective`` to this engine as a drop-in cost function.
+
+        Every bound cost shares the engine's record cache, store and
+        counters, so switching objectives mid-campaign re-measures nothing
+        that is already known.
+        """
+        return ObjectiveCost(self, resolve_objective(objective))
 
     # -- evaluation --------------------------------------------------------------
 
     def _noise_seed(self, key: str) -> int:
         return derive_seed(self.seed, "plan-cost", key)
 
-    def batch(self, plans: Sequence[Plan]) -> list[float]:
-        """Costs of ``plans`` in order (one measurement per *distinct* plan).
+    def records(
+        self, plans: Sequence[Plan], metrics: Sequence[str] | None = None
+    ) -> list[CostRecord]:
+        """Cost records of ``plans`` in order, restricted to ``metrics``.
 
-        Duplicates within the batch and plans already in the cost cache are
-        served without touching the machine; the remaining distinct plans go
-        through the execution backend as one unit list and their costs are
-        persisted to the store before returning.
+        ``metrics`` defaults to the engine's objective's metrics.  Per
+        metric, only the work that is actually missing happens: hardware
+        counter metrics trigger one measurement per distinct unmeasured plan
+        (populating *all* counter metrics of that plan at once), wall-time
+        metrics execute the plan, and model metrics are computed with the
+        vectorised batch models without touching the machine.  Everything
+        newly acquired is appended to the store's record log before the call
+        returns — the durability contract: no returned value can be lost.
         """
+        names = tuple(metrics) if metrics is not None else self.objective.metrics
+        specs = [metric_spec(name) for name in names]
         keys = [plan_key(plan) for plan in plans]
         self.evaluations += len(keys)
-        missing: dict[str, Plan] = {}
+
+        need_counters: dict[str, Plan] = {}
+        need_wall: dict[tuple[str, str], tuple[Plan, object]] = {}
+        need_model: dict[str, dict[str, Plan]] = {}
         for key, plan in zip(keys, plans):
-            if key not in self._costs and key not in missing:
-                missing[key] = plan
-        if missing:
+            record = self._records.get(key)
+            for spec in specs:
+                if record is not None and spec.name in record:
+                    continue
+                if spec.channel == COUNTER_CHANNEL:
+                    need_counters.setdefault(key, plan)
+                elif spec.channel == WALL_CHANNEL:
+                    need_wall.setdefault((key, spec.name), (plan, spec))
+                elif spec.channel == MODEL_CHANNEL:
+                    need_model.setdefault(spec.name, {}).setdefault(key, plan)
+
+        pending: dict[str, dict[str, float]] = {}
+
+        def stage(key: str, values: dict[str, float], persist: bool = True) -> None:
+            self._records.setdefault(key, {}).update(values)
+            if persist:
+                pending.setdefault(key, {}).update(values)
+
+        if need_counters:
+            counter_specs = [metric_spec(name) for name in counter_metric_names()]
             units = [
                 WorkUnit(plan=plan, noise_seed=self._noise_seed(key))
-                for key, plan in missing.items()
+                for key, plan in need_counters.items()
             ]
             measurements = self.backend.measure_units(self.machine, units)
             self.measured += len(units)
-            for key, measurement in zip(missing, measurements):
-                self._costs[key] = float(measurement.cycles)
-            self.flush()
-        return [self._costs[key] for key in keys]
+            for key, measurement in zip(need_counters, measurements):
+                stage(
+                    key,
+                    {
+                        spec.name: float(spec.from_measurement(measurement))
+                        for spec in counter_specs
+                    },
+                )
+        for (key, _name), (plan, spec) in need_wall.items():
+            self.measured += 1
+            # Non-deterministic acquisitions are memoised for this engine's
+            # lifetime but never persisted: wall time measured here is
+            # meaningless on the host that reads the store next.
+            stage(
+                key,
+                {spec.name: float(spec.measure(self.machine, plan))},
+                persist=spec.deterministic,
+            )
+        if need_model:
+            # One shared encoding feeds every model metric of the batch
+            # (a composite objective asks for two or three at once); each
+            # metric stages only the plans that were missing *it*.
+            union: dict[str, Plan] = {}
+            for missing in need_model.values():
+                union.update(missing)
+            shared: EncodedPlans | None = None
+            if len(need_model) > 1:
+                union_plans = list(union.values())
+                if all(plan.n <= MAX_ENCODABLE_EXPONENT for plan in union_plans):
+                    shared = encode_plans(union_plans)
+            if shared is not None:
+                index_of = {key: index for index, key in enumerate(union)}
+                for name, missing in need_model.items():
+                    values = self._scorer(name)(shared)
+                    for key in missing:
+                        stage(key, {name: float(values[index_of[key]])})
+            else:
+                for name, missing in need_model.items():
+                    values = self._scorer(name)(list(missing.values()))
+                    for key, value in zip(missing, values):
+                        stage(key, {name: float(value)})
+
+        if pending:
+            self.store.append_cost_records(self.key, pending)
+        return [
+            CostRecord(
+                plan_key=key,
+                values={name: self._records[key][name] for name in names},
+            )
+            for key in keys
+        ]
+
+    def _scorer(self, metric: str):
+        scorer = self._scorers.get(metric)
+        if scorer is None:
+            scorer = metric_spec(metric).scorer_factory(self.machine.config)
+            self._scorers[metric] = scorer
+        return scorer
+
+    def batch(self, plans: Sequence[Plan]) -> list[float]:
+        """Default-objective costs of ``plans`` in order.
+
+        Duplicates within the batch and metrics already in the record cache
+        are served without touching the machine; the remaining distinct
+        plans go through the execution backend as one unit list and their
+        records are appended to the store before returning.
+        """
+        records = self.records(plans)
+        value = self.objective.value
+        return [value(record.values) for record in records]
 
     def __call__(self, plan: Plan) -> float:
         """Scalar cost-function interface (a batch of one)."""
@@ -146,35 +315,36 @@ class CostEngine:
     # -- persistence -------------------------------------------------------------
 
     def flush(self) -> None:
-        """Merge this engine's costs into the store's table and write it back.
+        """Compat no-op: records are appended durably as they are acquired.
 
-        ``batch`` calls this after every round that measured something, so
-        every cost ever returned is already persisted; the method is public
-        for symmetry and tests.  The read-merge step keeps sequential engine
-        handoffs lossless — an engine created after another's flush starts
-        from the merged table, and each engine's first flush always merges —
-        and is amortised per :data:`REMERGE_EVERY`.
+        The append-log store made the old merge-read/rewrite cycle obsolete —
+        every record ever returned is already persisted by the time the
+        returning call completes.  The method survives so callers written
+        against the whole-table engine keep working.
         """
-        if self._flushes % self.REMERGE_EVERY == 0:
-            stored = self.store.get_cost_table(self.key)
-            if stored:
-                stored.update(self._costs)
-                self._costs = stored
-        self._flushes += 1
-        self.store.put_cost_table(self.key, self._costs)
+        return None
+
+    def compact(self) -> None:
+        """Compact the store's record log for this engine's key."""
+        self.store.compact_cost_records(self.key)
 
     # -- introspection -----------------------------------------------------------
 
     @property
     def cached_costs(self) -> int:
-        """Number of plan costs currently known to the engine."""
-        return len(self._costs)
+        """Number of plans with at least one cached metric value."""
+        return len(self._records)
+
+    def known_metrics(self, plan: Plan) -> tuple[str, ...]:
+        """The metrics already cached for ``plan`` (empty if unknown)."""
+        return tuple(self._records.get(plan_key(plan), ()))
 
     def __repr__(self) -> str:
         return (
             f"CostEngine(machine={self.machine.config.name!r}, "
+            f"objective={self.objective.describe()!r}, "
             f"backend={getattr(self.backend, 'name', type(self.backend).__name__)}, "
             f"store={self.store!r}, seed={self.seed}, "
-            f"{self.cached_costs} cached costs, "
+            f"{self.cached_costs} cached records, "
             f"{self.measured}/{self.evaluations} measured)"
         )

@@ -1,0 +1,191 @@
+"""Composable search objectives over named cost metrics.
+
+A search strategy needs one scalar per candidate plan (lower is better).  An
+:class:`Objective` says how that scalar is derived from a plan's
+:class:`~repro.runtime.metrics.CostRecord`: which metrics it needs
+(``metrics``) and how they reduce to one number (``value``).  The engine uses
+``metrics`` to fetch exactly the required values — measuring, model-scoring
+or cache-hitting per metric — and then applies the reduction.
+
+Three shapes cover the paper's whole evaluation:
+
+* :class:`MetricObjective` — optimise one metric (``"cycles"`` is the WHT
+  package's classic search; ``"model_instructions"`` is the cheap stage of
+  the pruned search).
+* :class:`WeightedObjective` — a linear combination of metrics; the paper's
+  combined model ``alpha * instructions + beta * l1_misses`` is
+  :meth:`WeightedObjective.combined` (measured counters) or
+  :meth:`WeightedObjective.model_combined` (analytic models).
+* :class:`CustomObjective` — an arbitrary reduction of named metrics for
+  anything the algebra above does not express (ratios, maxima, penalties).
+
+:func:`resolve_objective` normalises what users pass around: a metric name
+string becomes a :class:`MetricObjective`, a
+:class:`~repro.models.combined.CombinedModel` becomes the corresponding
+weighted objective, and objective instances pass through unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.models.combined import CombinedModel
+from repro.runtime.metrics import metric_spec
+
+__all__ = [
+    "Objective",
+    "MetricObjective",
+    "WeightedObjective",
+    "CustomObjective",
+    "resolve_objective",
+]
+
+
+class Objective:
+    """How a multi-metric cost record reduces to one scalar cost.
+
+    Subclasses define ``metrics`` (the metric names they consume, validated
+    against the registry) and :meth:`value`.  Objectives are small immutable
+    value objects; they carry no machine or store — binding to an engine
+    happens via :meth:`repro.runtime.cost_engine.CostEngine.cost`.
+    """
+
+    #: Metric names this objective needs, in reduction order.
+    metrics: tuple[str, ...] = ()
+
+    def value(self, values: Mapping[str, float]) -> float:
+        """The scalar cost of one record (``values`` maps metric -> value)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable form for reports and ``repr``."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class MetricObjective(Objective):
+    """Optimise a single named metric."""
+
+    metric: str
+
+    def __post_init__(self) -> None:
+        metric_spec(self.metric)  # raises KeyError for unknown names
+        object.__setattr__(self, "metrics", (self.metric,))
+
+    def value(self, values: Mapping[str, float]) -> float:
+        return float(values[self.metric])
+
+    def describe(self) -> str:
+        return self.metric
+
+
+@dataclass(frozen=True, repr=False, init=False)
+class WeightedObjective(Objective):
+    """A linear combination ``sum_i w_i * metric_i`` of named metrics.
+
+    The term order follows the mapping passed to the constructor, so the
+    floating-point summation order — and therefore the exact value — is
+    well defined and reproducible.
+    """
+
+    weights: tuple[tuple[str, float], ...]
+
+    def __init__(self, weights: Mapping[str, float]):
+        if not weights:
+            raise ValueError("a weighted objective needs at least one metric")
+        pairs = tuple((str(name), float(weight)) for name, weight in weights.items())
+        for name, _ in pairs:
+            metric_spec(name)
+        object.__setattr__(self, "weights", pairs)
+        object.__setattr__(self, "metrics", tuple(name for name, _ in pairs))
+
+    @classmethod
+    def combined(
+        cls,
+        alpha: float = 1.0,
+        beta: float = 0.05,
+        instructions: str = "instructions",
+        misses: str = "l1_misses",
+    ) -> "WeightedObjective":
+        """The paper's combined model over *measured* counters."""
+        return cls({instructions: alpha, misses: beta})
+
+    @classmethod
+    def model_combined(cls, alpha: float = 1.0, beta: float = 0.05) -> "WeightedObjective":
+        """The paper's combined model over the *analytic* batch models."""
+        return cls.combined(
+            alpha, beta, instructions="model_instructions", misses="model_l1_misses"
+        )
+
+    @classmethod
+    def from_model(
+        cls,
+        model: CombinedModel,
+        instructions: str = "instructions",
+        misses: str = "l1_misses",
+    ) -> "WeightedObjective":
+        """The weighted objective matching a fitted :class:`CombinedModel`."""
+        return cls.combined(model.alpha, model.beta, instructions, misses)
+
+    def value(self, values: Mapping[str, float]) -> float:
+        total = 0.0
+        for name, weight in self.weights:
+            total += weight * float(values[name])
+        return total
+
+    def describe(self) -> str:
+        return " + ".join(f"{weight:g}*{name}" for name, weight in self.weights)
+
+
+@dataclass(frozen=True, repr=False)
+class CustomObjective(Objective):
+    """An arbitrary reduction of named metric values.
+
+    ``reducer`` receives the metric -> value mapping of one record and
+    returns the scalar cost.  Use this for objectives outside the linear
+    algebra, e.g. cycles-per-instruction or thresholded penalties.
+    """
+
+    metric_names: tuple[str, ...]
+    reducer: Callable[[Mapping[str, float]], float]
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        names = tuple(self.metric_names)
+        if not names:
+            raise ValueError("a custom objective needs at least one metric")
+        for metric in names:
+            metric_spec(metric)
+        if not callable(self.reducer):
+            raise TypeError("reducer must be callable")
+        object.__setattr__(self, "metric_names", names)
+        object.__setattr__(self, "metrics", names)
+
+    def value(self, values: Mapping[str, float]) -> float:
+        return float(self.reducer(values))
+
+    def describe(self) -> str:
+        return f"{self.name}({', '.join(self.metrics)})"
+
+
+def resolve_objective(spec: "str | Objective | CombinedModel") -> Objective:
+    """Normalise an objective spec into an :class:`Objective`.
+
+    A string names a single metric, a :class:`CombinedModel` becomes the
+    corresponding measured-counter weighted objective, and objective
+    instances pass through unchanged.
+    """
+    if isinstance(spec, Objective):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return MetricObjective(spec)
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0])) from None
+    if isinstance(spec, CombinedModel):
+        return WeightedObjective.from_model(spec)
+    raise TypeError(f"cannot interpret {spec!r} as an objective")

@@ -28,6 +28,7 @@ from repro.machine.machine import MachineConfig, SimulatedMachine
 from repro.runtime.backends import ExecutionBackend, resolve_backend
 from repro.runtime.campaigns import measure_plan_list, run_campaign
 from repro.runtime.cost_engine import CostEngine
+from repro.runtime.objectives import Objective
 from repro.runtime.store import CampaignStore, resolve_store
 from repro.runtime.table import MeasurementTable
 from repro.search import (
@@ -171,15 +172,16 @@ class Session:
         return self._sweep
 
     def cost_engine(self) -> CostEngine:
-        """The session's batched measured-cycles cost engine (memoised).
+        """The session's batched multi-metric cost engine (memoised).
 
         The engine evaluates candidate batches through the session's backend
-        and persists every measured plan cost in the session's store keyed by
-        ``(machine content hash, plan key)``, so a later session over the
-        same store resumes a search with zero re-measurement.  Note the
-        engine seeds measurement noise per plan (order-independent) rather
-        than from the machine's shared generator; on a noise-free machine
-        both schemes coincide exactly.
+        and persists every acquired metric value in the session's store as
+        append-log records keyed by ``(machine content hash, plan key)``, so
+        a later session over the same store resumes a search with zero
+        re-measurement — for *any* objective over already-known metrics.
+        Note the engine seeds measurement noise per plan (order-independent)
+        rather than from the machine's shared generator; on a noise-free
+        machine both schemes coincide exactly.
         """
         if self._cost_engine is None:
             self._cost_engine = CostEngine(
@@ -191,7 +193,12 @@ class Session:
         return self._cost_engine
 
     def search(
-        self, n: int, strategy: str = "dp", use_engine: bool = False, **kwargs: Any
+        self,
+        n: int,
+        strategy: str = "dp",
+        use_engine: bool = False,
+        objective: "str | Objective | None" = None,
+        **kwargs: Any,
     ) -> SearchResult:
         """Search the algorithm space of exponent ``n`` on this machine.
 
@@ -199,12 +206,26 @@ class Session:
         dynamic programming, the default), ``"random"`` (RSU sampling) or
         ``"exhaustive"``; extra keyword arguments go to the strategy.
 
-        ``use_engine=True`` evaluates candidates through
-        :meth:`cost_engine` — batched through the session's backend, with the
-        persistent per-plan cost cache — instead of a fresh per-call
-        :class:`~repro.search.costs.MeasuredCyclesCost`.
+        ``objective`` selects *what* the search optimises: a metric name
+        (``"cycles"``, ``"l1_misses"``, ``"model_instructions"``, ...) or an
+        :class:`~repro.runtime.objectives.Objective` such as the paper's
+        composite ``WeightedObjective.combined(alpha, beta)``.  Objectives
+        always evaluate through :meth:`cost_engine` — batched through the
+        session's backend, with the persistent per-plan record cache —
+        and every objective bound to this session shares that cache, so
+        switching objectives re-measures nothing already known.
+
+        ``use_engine=True`` (without an objective) evaluates the default
+        measured-cycles objective through the engine instead of a fresh
+        per-call :class:`~repro.search.costs.MeasuredCyclesCost`;
+        ``session.search(n, use_engine=True, objective="cycles")`` is
+        bit-identical to that path.
         """
-        if use_engine:
+        if objective is not None:
+            if "cost" in kwargs:
+                raise ValueError("pass either cost= or objective=, not both")
+            kwargs["cost"] = self.cost_engine().cost(objective)
+        elif use_engine:
             kwargs.setdefault("cost", self.cost_engine())
         if strategy == "dp":
             kwargs.setdefault("max_children", self.dp_max_children)
@@ -240,6 +261,26 @@ class Session:
     def write_experiments_report(self, path: str) -> str:
         """Write the full report to ``path`` and return the text."""
         return self.suite().write_experiments_report(path)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release resources held by the session's backend (idempotent).
+
+        A :class:`~repro.runtime.backends.MultiprocessBackend` keeps its
+        worker pool alive across measurement batches; closing the session
+        shuts the pool down.  The session remains usable afterwards — the
+        next batch simply starts a fresh pool.
+        """
+        close = getattr(self.backend, "close", None)
+        if callable(close):
+            close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- introspection -----------------------------------------------------------
 

@@ -21,6 +21,7 @@ from repro.search.costs import (
     InstructionModelCost,
     MeasuredCyclesCost,
     WallClockCost,
+    bind_cost,
     evaluate_cost_batch,
 )
 from repro.search.result import SearchResult
@@ -35,6 +36,7 @@ __all__ = [
     "CombinedModelCost",
     "WallClockCost",
     "evaluate_cost_batch",
+    "bind_cost",
     "SearchResult",
     "dp_search",
     "dp_best_plan",

@@ -52,7 +52,38 @@ __all__ = [
     "CombinedModelCost",
     "WallClockCost",
     "evaluate_cost_batch",
+    "bind_cost",
 ]
+
+
+def bind_cost(cost, engine=None):
+    """Resolve a cost spec into the callable the strategies evaluate.
+
+    The metric-first way to parameterise a search is an
+    :class:`~repro.runtime.objectives.Objective` (or a bare metric name such
+    as ``"cycles"`` or ``"model_instructions"``) plus the
+    :class:`~repro.runtime.cost_engine.CostEngine` that supplies its metric
+    values; this helper binds the two.  Plain callables — the historical
+    ad-hoc cost functions, including everything in this module — pass
+    through unchanged, so existing code keeps working.
+    """
+    from repro.runtime.objectives import Objective, resolve_objective
+
+    if isinstance(cost, (str, Objective)):
+        objective = resolve_objective(cost)  # validates metric names early
+        if engine is None:
+            raise ValueError(
+                f"objective cost {objective.describe()!r} needs a CostEngine to "
+                "supply its metric values; pass engine=... "
+                "(e.g. session.cost_engine())"
+            )
+        return engine.cost(objective)
+    if callable(cost):
+        return cost  # already bound; a provided engine is simply not needed
+    raise TypeError(
+        f"cannot interpret {cost!r} as a search cost; pass a callable, an "
+        "Objective, or a metric name with engine=..."
+    )
 
 
 @dataclass

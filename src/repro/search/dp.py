@@ -4,6 +4,13 @@ The underlying machinery lives in :mod:`repro.wht.dp_search`; the helpers here
 wire it to a simulated machine (or any other cost) and adapt the outcome to
 the common :class:`repro.search.result.SearchResult` shape.  The DP-best plan
 is the baseline the paper's Figures 1–3 normalise against.
+
+Both helpers speak the metric-first cost API: ``cost`` may be a plain
+callable (the historical ad-hoc cost functions), or an
+:class:`~repro.runtime.objectives.Objective` / metric name bound through a
+:class:`~repro.runtime.cost_engine.CostEngine` — pass the engine via
+``engine=`` (or let :func:`dp_best_plan` build a private one from its
+machine).
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.machine.machine import SimulatedMachine
-from repro.search.costs import MeasuredCyclesCost
+from repro.search.costs import MeasuredCyclesCost, bind_cost
 from repro.search.result import SearchResult
 from repro.util.validation import check_positive_int
 from repro.wht.dp_search import DPSearch, DPSearchResult
@@ -22,16 +29,21 @@ __all__ = ["dp_search", "dp_best_plan"]
 
 def dp_search(
     n: int,
-    cost: Callable[[Plan], float],
+    cost: "Callable[[Plan], float] | object",
     max_leaf: int = MAX_UNROLLED,
     max_children: int | None = 2,
     include_iterative: bool = True,
     record_candidates: bool = True,
+    engine=None,
 ) -> DPSearchResult:
-    """Run the package's DP search up to exponent ``n`` with an arbitrary cost."""
+    """Run the package's DP search up to exponent ``n`` with an arbitrary cost.
+
+    ``cost`` may be a callable, or an Objective/metric name together with
+    ``engine=`` (a :class:`~repro.runtime.cost_engine.CostEngine`).
+    """
     check_positive_int(n, "n")
     searcher = DPSearch(
-        cost,
+        bind_cost(cost, engine),
         max_leaf=max_leaf,
         max_children=max_children,
         include_iterative=include_iterative,
@@ -46,8 +58,10 @@ def dp_best_plan(
     max_leaf: int = MAX_UNROLLED,
     max_children: int | None = 2,
     include_iterative: bool = True,
-    cost: Callable[[Plan], float] | None = None,
+    cost: "Callable[[Plan], float] | object | None" = None,
     record_candidates: bool = True,
+    objective: "str | object | None" = None,
+    engine=None,
 ) -> SearchResult:
     """The DP-best plan for ``n`` under simulated cycle counts.
 
@@ -55,12 +69,25 @@ def dp_best_plan(
     the dynamic programming search performed by the WHT package".  ``cost``
     overrides the default per-call :class:`MeasuredCyclesCost` — pass a
     :class:`~repro.runtime.cost_engine.CostEngine` for batched, cached
-    evaluation; any cost exposing the ``evaluations``/``measured`` counters
-    is reported faithfully.
+    evaluation, or select *what* to optimise with ``objective=`` (a metric
+    name or :class:`~repro.runtime.objectives.Objective`), which evaluates
+    through ``engine`` (one is built over ``machine`` when omitted).  Any
+    cost exposing the ``evaluations``/``measured`` counters is reported
+    faithfully.
     """
     check_positive_int(n, "n")
-    if cost is None:
+    if objective is not None:
+        if cost is not None:
+            raise ValueError("pass either cost= or objective=, not both")
+        if engine is None:
+            from repro.runtime.cost_engine import CostEngine
+
+            engine = CostEngine(machine)
+        cost = engine.cost(objective)
+    elif cost is None:
         cost = MeasuredCyclesCost(machine)
+    else:
+        cost = bind_cost(cost, engine)
     evaluations_before = int(getattr(cost, "evaluations", 0))
     result = dp_search(
         n,

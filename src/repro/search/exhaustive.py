@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.search.costs import evaluate_cost_batch
+from repro.search.costs import bind_cost, evaluate_cost_batch
 from repro.search.result import SearchResult
 from repro.util.validation import check_positive_int
 from repro.wht.enumeration import count_plans, enumerate_plans
@@ -27,18 +27,22 @@ class ExhaustiveSearch:
     the enumeration stream (which is duplicate-free by construction), so
     batch-capable costs amortise work per round while only one round of plans
     is in flight beyond the recorded history.
+
+    ``cost`` may be a plain callable, or an
+    :class:`~repro.runtime.objectives.Objective` / metric name evaluated
+    through ``engine`` (a :class:`~repro.runtime.cost_engine.CostEngine`).
     """
 
-    cost: Callable[[Plan], float]
+    cost: "Callable[[Plan], float] | object"
     max_leaf: int = MAX_UNROLLED
     limit: int = 200_000
     batch_size: int = 2048
+    engine: object | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.limit, "limit")
         check_positive_int(self.batch_size, "batch_size")
-        if not callable(self.cost):
-            raise TypeError("cost must be callable")
+        self.cost = bind_cost(self.cost, self.engine)
 
     def space_size(self, n: int) -> int:
         """Number of plans that would be evaluated for exponent ``n``."""

@@ -26,7 +26,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.search.costs import evaluate_cost_batch
+from repro.search.costs import bind_cost, evaluate_cost_batch
 from repro.search.result import SearchResult
 from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_positive_int, check_probability
@@ -68,23 +68,31 @@ class ModelPrunedSearch:
     Exactly one of ``keep_fraction`` and ``threshold`` is used: when
     ``threshold`` is ``None`` the survivors are the best ``keep_fraction`` of
     the candidates by model value.
+
+    Both costs may be plain callables, or
+    :class:`~repro.runtime.objectives.Objective`\\ s / metric names evaluated
+    through ``engine`` (a :class:`~repro.runtime.cost_engine.CostEngine`) —
+    the paper's strategy is ``model_cost="model_instructions"`` (or the
+    composite model objective) with ``measure_cost="cycles"``, sharing one
+    engine so the measuring stage reuses every cached record.
     """
 
-    model_cost: Callable[[Plan], float]
-    measure_cost: Callable[[Plan], float]
+    model_cost: "Callable[[Plan], float] | object"
+    measure_cost: "Callable[[Plan], float] | object"
     samples: int = 200
     keep_fraction: float = 0.25
     threshold: float | None = None
     max_leaf: int = MAX_UNROLLED
     max_children: int | None = None
+    engine: object | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.samples, "samples")
         check_probability(self.keep_fraction, "keep_fraction")
         if self.keep_fraction == 0.0 and self.threshold is None:
             raise ValueError("keep_fraction must be positive when no threshold is given")
-        if not callable(self.model_cost) or not callable(self.measure_cost):
-            raise TypeError("model_cost and measure_cost must be callable")
+        self.model_cost = bind_cost(self.model_cost, self.engine)
+        self.measure_cost = bind_cost(self.measure_cost, self.engine)
 
     # -- candidate generation ---------------------------------------------------
 

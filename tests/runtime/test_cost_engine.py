@@ -6,6 +6,7 @@ from repro.machine.configs import tiny_machine, tiny_machine_config
 from repro.machine.machine import PreparedPlanCache, SimulatedMachine
 from repro.runtime.backends import MultiprocessBackend, SerialBackend
 from repro.runtime.cost_engine import CostEngine
+from repro.runtime.objectives import WeightedObjective
 from repro.runtime.store import CostTableKey, DiskStore, MemoryStore, NullStore
 from repro.search.costs import MeasuredCyclesCost
 from repro.search.dp import dp_search
@@ -98,15 +99,17 @@ class TestCostEngine:
         other = CostEngine(SimulatedMachine(other_config), store=store)
         assert other.cached_costs == 0
 
-    def test_flush_merges_with_concurrent_writer(self):
+    def test_concurrent_writers_both_survive_in_the_log(self):
+        # The append log makes concurrent engines additive by construction:
+        # neither writer can clobber the other's records.
         config = tiny_machine_config(noise_sigma=0.0)
         store = MemoryStore()
         first = CostEngine(SimulatedMachine(config), store=store)
         second = CostEngine(SimulatedMachine(config), store=store)
         plan_a, plan_b = iterative_plan(6), right_recursive_plan(6)
         first(plan_a)
-        second(plan_b)  # second flushed after first: both entries must survive
-        merged = store.get_cost_table(first.key)
+        second(plan_b)
+        merged = store.get_cost_records(first.key)
         assert set(merged) >= {plan_key(plan_a), plan_key(plan_b)}
 
     def test_attaches_prepared_cache(self):
@@ -171,16 +174,18 @@ class TestCostTableStores:
 
 @pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestSessionEngine:
-    def test_session_search_use_engine_matches_plain(self, scale):
+    def _session(self, scale, store=None):
         from repro.runtime.session import Session
 
-        config = tiny_machine_config(noise_sigma=0.0)
-        session = Session(
-            machine=SimulatedMachine(config),
+        return Session(
+            machine=SimulatedMachine(tiny_machine_config(noise_sigma=0.0)),
             scale=scale,
             backend=SerialBackend(),
-            store=MemoryStore(),
+            store=store if store is not None else MemoryStore(),
         )
+
+    def test_session_search_use_engine_matches_plain(self, scale):
+        session = self._session(scale)
         plain = session.search(7)
         engine_result = session.search(7, use_engine=True)
         assert engine_result.best_plan == plain.best_plan
@@ -190,3 +195,73 @@ class TestSessionEngine:
         again = session.search(7, use_engine=True)
         assert again.best_cost == engine_result.best_cost
         assert session.cost_engine().measured < session.cost_engine().evaluations
+
+    def test_objective_cycles_bit_identical_to_engine_path(self, scale):
+        """Acceptance: session.search(use_engine=True, objective="cycles")
+        must be bit-identical to the plain engine path."""
+        store = MemoryStore()
+        engine_path = self._session(scale, store=MemoryStore()).search(7, use_engine=True)
+        objective_path = self._session(scale, store=store).search(
+            7, use_engine=True, objective="cycles"
+        )
+        assert objective_path.best_plan == engine_path.best_plan
+        assert objective_path.best_cost == engine_path.best_cost
+        assert objective_path.evaluated == engine_path.evaluated
+        assert [h for h in objective_path.history] == [h for h in engine_path.history]
+
+    def test_objective_search_without_use_engine_flag(self, scale):
+        session = self._session(scale)
+        result = session.search(6, objective="l1_misses")
+        # The best plan under the miss objective minimises measured misses.
+        costs = dict(result.history)
+        assert result.best_cost == min(costs.values())
+
+    def test_objective_conflicting_with_explicit_cost_raises(self, scale):
+        session = self._session(scale)
+        with pytest.raises(ValueError, match="not both"):
+            session.search(6, objective="l1_misses", cost=lambda plan: 0.0)
+
+    def test_composite_model_objective_encodes_each_batch_once(self, scale, monkeypatch):
+        import repro.runtime.cost_engine as cost_engine_module
+
+        session = self._session(scale)
+        encodings = 0
+        original = cost_engine_module.encode_plans
+
+        def counting(plans):
+            nonlocal encodings
+            encodings += 1
+            return original(plans)
+
+        monkeypatch.setattr(cost_engine_module, "encode_plans", counting)
+        session.cost_engine().cost(WeightedObjective.model_combined()).batch(
+            [random_plan(6, rng=seed) for seed in range(6)]
+        )
+        assert encodings == 1  # one shared encoding feeds both model metrics
+
+    def test_objectives_share_the_session_record_cache(self, scale):
+        session = self._session(scale)
+        session.search(6, use_engine=True, objective="cycles")
+        measured = session.cost_engine().measured
+        # The combined objective over counter metrics re-measures nothing.
+        session.search(6, use_engine=True, objective=WeightedObjective.combined())
+        assert session.cost_engine().measured == measured
+        # A model-metric objective stays measurement-free as well.
+        session.search(6, use_engine=True, objective="model_instructions")
+        assert session.cost_engine().measured == measured
+
+    def test_random_and_exhaustive_accept_objectives(self, scale):
+        session = self._session(scale)
+        random_result = session.search(
+            5, strategy="random", objective="model_instructions", samples=20
+        )
+        exhaustive_result = session.search(
+            5, strategy="exhaustive", objective="model_instructions"
+        )
+        assert random_result.best_cost >= exhaustive_result.best_cost
+
+    def test_session_close_is_idempotent(self, scale):
+        session = self._session(scale)
+        with session:
+            session.search(5)
+        session.close()

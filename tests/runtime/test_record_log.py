@@ -1,0 +1,362 @@
+"""Durability tests for the append-log cost record store.
+
+Covers the three contracts the log format makes: a truncated trailing record
+(crash mid-append) loses only itself on reopen, compaction is read-equivalent
+to the original log, and pre-append-log single-metric JSON cost tables are
+migrated transparently — an engine over a store holding only the old format
+resumes with zero re-measurements.
+"""
+
+import json
+
+import pytest
+
+from repro.machine.configs import tiny_machine_config
+from repro.machine.machine import SimulatedMachine
+from repro.runtime.cost_engine import CostEngine
+from repro.runtime.store import (
+    LOG_FORMAT_VERSION,
+    CostLogKey,
+    CostTableKey,
+    DiskStore,
+    MemoryStore,
+    NullStore,
+    machine_config_hash,
+)
+from repro.search.costs import MeasuredCyclesCost
+from repro.search.dp import dp_search
+from repro.wht.encoding import plan_key
+from repro.wht.random_plans import random_plan, random_plans
+
+KEY = CostLogKey(machine_hash="abc", seed=3)
+
+
+def _log_file(store: DiskStore, key: CostLogKey = KEY):
+    return store.path / f"{key.token()}.jsonl"
+
+
+class TestAppendLogBasics:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.append_cost_records(KEY, {"small[1]": {"cycles": 2.5}})
+        store.append_cost_records(
+            KEY, {"small[1]": {"instructions": 7.0}, "small[2]": {"cycles": 9.0}}
+        )
+        records = store.get_cost_records(KEY)
+        assert records == {
+            "small[1]": {"cycles": 2.5, "instructions": 7.0},
+            "small[2]": {"cycles": 9.0},
+        }
+
+    def test_appends_are_appends_not_rewrites(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.append_cost_records(KEY, {f"small[{i}]": {"cycles": float(i)} for i in range(1, 5)})
+        size_before = _log_file(store).stat().st_size
+        store.append_cost_records(KEY, {"small[5]": {"cycles": 5.0}})
+        grown = _log_file(store).stat().st_size - size_before
+        # One record appended: the file grows by one line, not by a rewrite.
+        assert 0 < grown < size_before
+
+    def test_empty_append_is_a_noop(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.append_cost_records(KEY, {})
+        assert not _log_file(store).exists()
+        assert store.get_cost_records(KEY) == {}
+
+    def test_keys_partition_logs(self, tmp_path):
+        store = DiskStore(tmp_path)
+        other = CostLogKey(machine_hash="abc", seed=4)
+        store.append_cost_records(KEY, {"small[1]": {"cycles": 1.0}})
+        assert store.get_cost_records(other) == {}
+        assert KEY.token() != other.token()
+
+    def test_later_record_wins_per_metric(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.append_cost_records(KEY, {"small[1]": {"cycles": 1.0, "instructions": 3.0}})
+        store.append_cost_records(KEY, {"small[1]": {"cycles": 2.0}})
+        record = store.get_cost_records(KEY)["small[1]"]
+        assert record == {"cycles": 2.0, "instructions": 3.0}
+
+    def test_memory_store_parity(self):
+        store = MemoryStore()
+        store.append_cost_records(KEY, {"small[1]": {"cycles": 2.5}})
+        store.append_cost_records(KEY, {"small[1]": {"instructions": 7.0}})
+        assert store.get_cost_records(KEY) == {
+            "small[1]": {"cycles": 2.5, "instructions": 7.0}
+        }
+        returned = store.get_cost_records(KEY)
+        returned["small[1]"]["cycles"] = 99.0  # mutating the copy is safe
+        assert store.get_cost_records(KEY)["small[1]"]["cycles"] == 2.5
+
+    def test_null_store_never_retains(self):
+        store = NullStore()
+        store.append_cost_records(KEY, {"small[1]": {"cycles": 1.0}})
+        assert store.get_cost_records(KEY) == {}
+        store.compact_cost_records(KEY)
+
+
+class TestTruncatedTail:
+    def test_truncated_trailing_record_keeps_durable_prefix(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.append_cost_records(KEY, {"small[1]": {"cycles": 1.0}})
+        store.append_cost_records(KEY, {"small[2]": {"cycles": 2.0}})
+        file = _log_file(store)
+        raw = file.read_text()
+        # Simulate a crash mid-append: cut the last record in half.
+        file.write_text(raw[: len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
+        records = DiskStore(tmp_path).get_cost_records(KEY)
+        assert records == {"small[1]": {"cycles": 1.0}}
+
+    def test_appends_after_a_crash_are_recovered(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.append_cost_records(KEY, {"small[1]": {"cycles": 1.0}})
+        file = _log_file(store)
+        with open(file, "a", encoding="utf-8") as handle:
+            handle.write('{"p": "small[2]", "v": {"cyc')  # partial line, no newline
+        # The partial tail is ignored on read...
+        assert DiskStore(tmp_path).get_cost_records(KEY) == {"small[1]": {"cycles": 1.0}}
+        # ...and a later append must NOT glue onto it: the appender
+        # terminates the partial line, so only the crashed record is lost.
+        fresh = DiskStore(tmp_path)
+        fresh.append_cost_records(KEY, {"small[3]": {"cycles": 3.0}})
+        assert fresh.get_cost_records(KEY) == {
+            "small[1]": {"cycles": 1.0},
+            "small[3]": {"cycles": 3.0},
+        }
+        # Compaction drops the dead partial line for good.
+        fresh.compact_cost_records(KEY)
+        assert fresh.get_cost_records(KEY) == {
+            "small[1]": {"cycles": 1.0},
+            "small[3]": {"cycles": 3.0},
+        }
+
+    def test_corrupt_line_mid_file_loses_only_itself(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.append_cost_records(KEY, {"small[1]": {"cycles": 1.0}})
+        with open(_log_file(store), "a", encoding="utf-8") as handle:
+            handle.write("###damaged###\n")
+        store.append_cost_records(KEY, {"small[2]": {"cycles": 2.0}})
+        assert store.get_cost_records(KEY) == {
+            "small[1]": {"cycles": 1.0},
+            "small[2]": {"cycles": 2.0},
+        }
+
+    def test_batches_are_written_as_single_appends(self, tmp_path):
+        # Each batch must land whole (one os.write), so two batches can
+        # never interleave mid-line; observable contract: every line of the
+        # log is independently parseable JSON.
+        store = DiskStore(tmp_path)
+        big_batch = {f"plan-{i}": {"cycles": float(i)} for i in range(5000)}
+        store.append_cost_records(KEY, big_batch)
+        store.append_cost_records(KEY, {"tail": {"cycles": -1.0}})
+        for line in _log_file(store).read_text().splitlines():
+            json.loads(line)
+        assert len(store.get_cost_records(KEY)) == 5001
+
+    def test_incompatible_log_version_is_a_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        file = _log_file(store)
+        file.write_text(
+            json.dumps({"version": LOG_FORMAT_VERSION + 1, "key": KEY.as_dict()})
+            + "\n"
+            + json.dumps({"p": "small[1]", "v": {"cycles": 1.0}})
+            + "\n"
+        )
+        assert store.get_cost_records(KEY) == {}
+
+    def test_garbage_log_file_is_a_miss_not_a_crash(self, tmp_path):
+        store = DiskStore(tmp_path)
+        _log_file(store).write_text("not json at all\n")
+        assert store.get_cost_records(KEY) == {}
+
+
+class TestCompaction:
+    def test_compaction_is_read_equivalent_and_smaller(self, tmp_path):
+        store = DiskStore(tmp_path)
+        # Many overlapping appends: per-metric updates to the same plans.
+        for round_index in range(10):
+            store.append_cost_records(
+                KEY,
+                {
+                    f"small[{i}]": {"cycles": float(i), "round": float(round_index)}
+                    for i in range(1, 8)
+                },
+            )
+        before = store.get_cost_records(KEY)
+        size_before = _log_file(store).stat().st_size
+        store.compact_cost_records(KEY)
+        assert store.get_cost_records(KEY) == before
+        assert _log_file(store).stat().st_size < size_before
+        # Compaction is idempotent.
+        store.compact_cost_records(KEY)
+        assert store.get_cost_records(KEY) == before
+
+    def test_compacting_a_missing_log_is_a_noop(self, tmp_path):
+        DiskStore(tmp_path).compact_cost_records(KEY)
+        assert not _log_file(DiskStore(tmp_path)).exists()
+
+
+class TestLegacyMigration:
+    """Pre-append-log stores held one JSON table per (machine, metric, seed)."""
+
+    def _write_v1_table(self, path, table_key: CostTableKey, costs: dict) -> None:
+        payload = {"version": 1, "key": table_key.as_dict(), "costs": costs}
+        (path / f"{table_key.token()}.json").write_text(json.dumps(payload))
+
+    def test_old_format_tables_load_transparently(self, tmp_path):
+        machine_hash = "m" * 8
+        table_key = CostTableKey(machine_hash=machine_hash, metric="cycles", seed=5)
+        self._write_v1_table(tmp_path, table_key, {"small[1]": 10.0, "small[2]": 20.0})
+        store = DiskStore(tmp_path)
+        records = store.get_cost_records(CostLogKey(machine_hash=machine_hash, seed=5))
+        assert records == {
+            "small[1]": {"cycles": 10.0},
+            "small[2]": {"cycles": 20.0},
+        }
+        # The other seed's log is unaffected.
+        assert store.get_cost_records(CostLogKey(machine_hash=machine_hash, seed=6)) == {}
+
+    def test_log_records_override_migrated_values(self, tmp_path):
+        machine_hash = "m" * 8
+        key = CostLogKey(machine_hash=machine_hash, seed=0)
+        self._write_v1_table(
+            tmp_path, CostTableKey(machine_hash=machine_hash), {"small[1]": 10.0}
+        )
+        store = DiskStore(tmp_path)
+        store.append_cost_records(key, {"small[1]": {"cycles": 11.0}})
+        assert store.get_cost_records(key)["small[1]"]["cycles"] == 11.0
+
+    def test_corrupt_legacy_file_is_skipped(self, tmp_path):
+        table_key = CostTableKey(machine_hash="abc")
+        (tmp_path / f"{table_key.token()}.json").write_text("{not json")
+        assert DiskStore(tmp_path).get_cost_records(table_key.log_key()) == {}
+
+    def test_engine_resumes_from_v1_table_with_zero_measurements(self, tmp_path):
+        """Acceptance: automatic migration of a pre-PR-4 JSON cost table with
+        zero re-measurements."""
+        config = tiny_machine_config(noise_sigma=0.0)
+        # Produce ground-truth costs the old engine would have persisted.
+        reference_engine = CostEngine(SimulatedMachine(config), store=MemoryStore())
+        plans = random_plans(6, 6, rng=9)
+        values = reference_engine.batch(plans)
+        machine_hash = machine_config_hash(config)
+        self._write_v1_table(
+            tmp_path,
+            CostTableKey(machine_hash=machine_hash, metric="cycles", seed=0),
+            {plan_key(plan): value for plan, value in zip(plans, values)},
+        )
+        migrated = CostEngine(SimulatedMachine(config), store=DiskStore(tmp_path))
+        assert migrated.batch(plans) == values
+        assert migrated.measured == 0
+        # Adding a *model* metric to the migrated campaign still measures
+        # nothing on the hardware side.
+        migrated.records(plans, ("model_instructions", "model_combined"))
+        assert migrated.measured == 0
+        # But the DP search over the same space resumes from the cache too.
+        scalar = dp_search(6, MeasuredCyclesCost(SimulatedMachine(config)))
+        resumed = dp_search(6, CostEngine(SimulatedMachine(config), store=DiskStore(tmp_path)))
+        assert resumed.best_costs[6] == scalar.best_costs[6]
+
+    def test_compaction_folds_migrated_values_and_retires_legacy_files(self, tmp_path):
+        machine_hash = "m" * 8
+        key = CostLogKey(machine_hash=machine_hash, seed=0)
+        legacy = CostTableKey(machine_hash=machine_hash)
+        self._write_v1_table(tmp_path, legacy, {"small[1]": 10.0})
+        # A legacy table for a *different* machine must survive compaction.
+        other = CostTableKey(machine_hash="other-machine")
+        self._write_v1_table(tmp_path, other, {"small[9]": 90.0})
+        store = DiskStore(tmp_path)
+        store.compact_cost_records(key)
+        # The matching legacy file was retired; the log alone carries its
+        # value now, and the foreign table is untouched.
+        assert not (tmp_path / f"{legacy.token()}.json").exists()
+        assert (tmp_path / f"{other.token()}.json").exists()
+        assert store.get_cost_records(key) == {"small[1]": {"cycles": 10.0}}
+        assert store.get_cost_records(other.log_key()) == {"small[9]": {"cycles": 90.0}}
+
+
+class TestLegacyTableView:
+    def test_put_get_roundtrip_through_the_log(self, tmp_path):
+        for store in (DiskStore(tmp_path), MemoryStore()):
+            table_key = CostTableKey(machine_hash="abc", metric="cycles", seed=1)
+            assert store.get_cost_table(table_key) is None
+            store.put_cost_table(table_key, {"small[2]": 10.0})
+            assert store.get_cost_table(table_key) == {"small[2]": 10.0}
+            # The view projects one metric out of the shared log.
+            other_metric = CostTableKey(machine_hash="abc", metric="instructions", seed=1)
+            assert store.get_cost_table(other_metric) is None
+            store.put_cost_table(other_metric, {"small[2]": 4.0})
+            merged = store.get_cost_records(table_key.log_key())
+            assert merged["small[2]"] == {"cycles": 10.0, "instructions": 4.0}
+
+
+class TestNondeterministicMetrics:
+    def test_wall_time_is_memoised_but_never_persisted(self, tmp_path):
+        config = tiny_machine_config(noise_sigma=0.0)
+        store = DiskStore(tmp_path)
+        engine = CostEngine(SimulatedMachine(config), store=store)
+        plan = random_plan(5, rng=20)
+        first = engine.records([plan], ("wall_time",))[0]["wall_time"]
+        # Memoised within the engine's lifetime...
+        assert engine.records([plan], ("wall_time",))[0]["wall_time"] == first
+        assert engine.measured == 1
+        # ...but absent from the store: another host's timing must never be
+        # served as a cache hit.
+        for values in store.get_cost_records(engine.key).values():
+            assert "wall_time" not in values
+        resumed = CostEngine(SimulatedMachine(config), store=store)
+        resumed.records([plan], ("wall_time",))
+        assert resumed.measured == 1  # re-measured, not served stale
+
+    def test_foreign_wall_time_records_are_scrubbed_on_load(self, tmp_path):
+        config = tiny_machine_config(noise_sigma=0.0)
+        store = DiskStore(tmp_path)
+        seeded = CostEngine(SimulatedMachine(config), store=store)
+        plan = random_plan(5, rng=21)
+        cycles = seeded(plan)
+        # A foreign writer (or an older build) persisted a wall_time value.
+        store.append_cost_records(
+            seeded.key, {plan_key(plan): {"wall_time": 123.456}}
+        )
+        engine = CostEngine(SimulatedMachine(config), store=store)
+        assert engine(plan) == cycles and engine.measured == 0  # cycles cached
+        record = engine.records([plan], ("wall_time",))[0]
+        assert record["wall_time"] != 123.456  # freshly measured, not foreign
+        assert engine.measured == 1
+
+
+class TestEngineDurability:
+    def test_costs_survive_mid_search_abandonment(self, tmp_path):
+        """Every value an engine ever returned is on disk, even without any
+        explicit flush/close — the append happens before records() returns."""
+        config = tiny_machine_config(noise_sigma=0.0)
+        engine = CostEngine(SimulatedMachine(config), store=DiskStore(tmp_path))
+        plan = random_plan(6, rng=11)
+        value = engine(plan)
+        del engine  # no shutdown hook involved
+        resumed = CostEngine(SimulatedMachine(config), store=DiskStore(tmp_path))
+        assert resumed(plan) == value
+        assert resumed.measured == 0
+
+    def test_engine_compact_shrinks_disk_log(self, tmp_path):
+        config = tiny_machine_config(noise_sigma=0.0)
+        store = DiskStore(tmp_path)
+        engine = CostEngine(SimulatedMachine(config), store=store)
+        plans = random_plans(6, 5, rng=12)
+        engine.batch(plans)
+        engine.records(plans, ("model_instructions",))
+        engine.records(plans, ("wall_time",))
+        log = store.path / f"{engine.key.token()}.jsonl"
+        size_before = log.stat().st_size
+        before = store.get_cost_records(engine.key)
+        engine.compact()
+        assert store.get_cost_records(engine.key) == before
+        assert log.stat().st_size <= size_before
+
+
+@pytest.mark.parametrize("store_factory", [MemoryStore, NullStore])
+def test_protocol_members_exist(store_factory):
+    store = store_factory()
+    assert callable(store.get_cost_records)
+    assert callable(store.append_cost_records)
+    assert callable(store.compact_cost_records)

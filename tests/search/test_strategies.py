@@ -63,8 +63,12 @@ class TestRandomSearch:
     def test_invalid_configuration(self):
         with pytest.raises(ValueError):
             RandomSearch(InstructionModelCost(), samples=0)
+        with pytest.raises(ValueError, match="unknown metric"):
+            RandomSearch("nope", samples=5)  # not a registered metric name
+        with pytest.raises(ValueError, match="CostEngine"):
+            RandomSearch("cycles", samples=5)  # metric objective without engine
         with pytest.raises(TypeError):
-            RandomSearch("nope", samples=5)
+            RandomSearch(42, samples=5)
 
 
 class TestExhaustiveSearch:
@@ -197,3 +201,94 @@ class TestModelPrunedSearch:
                 measure_cost=MeasuredCyclesCost(machine),
                 keep_fraction=0.0,
             )
+
+
+class TestObjectiveDrivenStrategies:
+    """Every strategy accepts an Objective (or metric name) bound through a
+    CostEngine in place of an ad-hoc cost callable."""
+
+    def _engine(self, machine, store=None):
+        from repro.runtime.cost_engine import CostEngine
+        from repro.runtime.store import MemoryStore
+
+        return CostEngine(machine, store=store if store is not None else MemoryStore())
+
+    def test_random_search_with_metric_objective(self, machine):
+        from repro.search.costs import MeasuredCyclesCost
+
+        engine = self._engine(machine)
+        objective_result = RandomSearch(cost="cycles", engine=engine, samples=25).search(
+            6, rng=3
+        )
+        callable_result = RandomSearch(
+            cost=MeasuredCyclesCost(machine), samples=25
+        ).search(6, rng=3)
+        assert objective_result.best_plan == callable_result.best_plan
+        assert objective_result.best_cost == callable_result.best_cost
+
+    def test_exhaustive_search_with_model_objective_matches_model_cost(self, machine):
+        engine = self._engine(machine)
+        objective_result = ExhaustiveSearch(
+            cost="model_instructions", engine=engine
+        ).search(5)
+        model = InstructionModelCost(
+            model=__import__(
+                "repro.models.instruction_count", fromlist=["InstructionCountModel"]
+            ).InstructionCountModel(machine.config.instruction_model)
+        )
+        callable_result = ExhaustiveSearch(cost=model).search(5)
+        assert objective_result.best_cost == callable_result.best_cost
+        assert engine.measured == 0  # model objectives never touch the machine
+
+    def test_dp_best_plan_with_objective(self, machine):
+        from repro.search.dp import dp_best_plan
+
+        engine = self._engine(machine)
+        by_objective = dp_best_plan(machine, 7, objective="cycles", engine=engine)
+        plain = dp_best_plan(machine, 7)
+        assert by_objective.best_plan == plain.best_plan
+        assert by_objective.best_cost == plain.best_cost
+        with pytest.raises(ValueError, match="not both"):
+            dp_best_plan(machine, 5, cost=lambda plan: 0.0, objective="cycles")
+
+    def test_dp_search_class_binds_objective_via_engine(self, machine):
+        from repro.wht.dp_search import DPSearch
+
+        engine = self._engine(machine)
+        result = DPSearch("l1_misses", engine=engine).search(6)
+        plain = DPSearch(lambda plan: float(machine.measure(plan).l1_misses)).search(6)
+        assert result.best_costs == plain.best_costs
+        with pytest.raises(TypeError, match="engine"):
+            DPSearch("l1_misses")
+
+    def test_pruned_search_shares_one_engine_across_stages(self, machine):
+        from repro.runtime.objectives import WeightedObjective
+
+        engine = self._engine(machine)
+        report = ModelPrunedSearch(
+            model_cost=WeightedObjective.model_combined(),
+            measure_cost="cycles",
+            samples=60,
+            keep_fraction=0.25,
+            engine=engine,
+        ).search(6, rng=1)
+        assert report.model_evaluations > 0
+        # Stage 1 is analytic: only the survivors were measured.
+        assert report.measured_evaluations == engine.measured
+        assert engine.measured < report.model_evaluations
+
+    def test_objective_strategies_resume_from_shared_store(self, machine):
+        from repro.machine.machine import SimulatedMachine
+        from repro.runtime.store import MemoryStore
+
+        store = MemoryStore()
+        engine = self._engine(machine, store=store)
+        first = RandomSearch(cost="cycles", engine=engine, samples=30).search(6, rng=9)
+        resumed_engine = self._engine(
+            SimulatedMachine(machine.config), store=store
+        )
+        resumed = RandomSearch(cost="cycles", engine=resumed_engine, samples=30).search(
+            6, rng=9
+        )
+        assert resumed_engine.measured == 0
+        assert resumed.best_cost == first.best_cost

@@ -122,3 +122,67 @@ class TestConvenienceWrappers:
         plan = random_plan(n, rng=seed)
         validate_plan(plan)
         assert plan.n == n
+
+
+class TestBufferedSampleMany:
+    """The batched fast path must be draw-for-draw identical to the scalar
+    recursion: ``sample_many(n, count, seed)`` returns exactly the plans a
+    loop of ``sample(n, generator)`` over the same seeded generator would."""
+
+    def _scalar_reference(self, sampler_kwargs, n, count, seed):
+        sampler = RSUSampler(**sampler_kwargs)
+        generator = np.random.default_rng(seed)
+        return [sampler.sample(n, generator) for _ in range(count)]
+
+    @pytest.mark.parametrize(
+        "sampler_kwargs, n",
+        [
+            ({}, 1),
+            ({}, 2),
+            ({}, 3),
+            ({}, 9),
+            ({}, 14),
+            ({"max_leaf": 3}, 10),  # forces the redraw (rejection) path
+            ({"max_leaf": 1}, 6),
+            ({"allow_trivial_leaf": False}, 8),  # no trivial leaves at all
+            ({"max_leaf": 2, "allow_trivial_leaf": False}, 7),
+        ],
+    )
+    def test_bit_identical_to_scalar_loop(self, sampler_kwargs, n):
+        sampler = RSUSampler(**sampler_kwargs)
+        fast = sampler.sample_many(n, 60, rng=202)
+        assert fast == self._scalar_reference(sampler_kwargs, n, 60, 202)
+
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        max_leaf=st.integers(min_value=1, max_value=MAX_UNROLLED),
+        trivial=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identical_property(self, n, max_leaf, trivial, seed):
+        kwargs = {"max_leaf": max_leaf, "allow_trivial_leaf": trivial}
+        fast = RSUSampler(**kwargs).sample_many(n, 10, rng=seed)
+        assert fast == self._scalar_reference(kwargs, n, 10, seed)
+
+    def test_restricted_distribution_uses_scalar_path(self):
+        kwargs = {"max_children": 2}
+        fast = RSUSampler(**kwargs).sample_many(8, 30, rng=5)
+        assert fast == self._scalar_reference(kwargs, 8, 30, 5)
+
+    def test_samples_are_valid_plans(self):
+        for plan in RSUSampler().sample_many(11, 50, rng=1):
+            validate_plan(plan)
+            assert plan.n == 11
+
+    def test_buffer_refill_across_chunks(self):
+        # A count large enough to exhaust the initial chunk several times.
+        sampler = RSUSampler()
+        fast = sampler.sample_many(6, 3000, rng=77)
+        assert fast == self._scalar_reference({}, 6, 3000, 77)
+
+    def test_rejects_invalid_counts(self):
+        with pytest.raises(ValueError):
+            RSUSampler().sample_many(5, 0)
+        with pytest.raises(ValueError):
+            RSUSampler().sample_many(0, 5)
