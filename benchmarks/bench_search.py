@@ -13,7 +13,13 @@ Opteron-like geometry (noise-free, so every path is bit-comparable):
   acceptance gate requires this to be >= 10x faster than the scalar
   baseline and bit-identical to it.
 * ``pruned_n14`` — the paper's two-stage search, 1000 RSU candidates:
-  vectorised stage-1 model scoring plus engine-measured survivors.
+  vectorised stage-1 model scoring plus engine-measured survivors, gated by
+  an absolute budget (the cross-plan fused pipeline keeps it in the low
+  seconds where the per-plan pipeline took ~7 s).
+* ``measure_batch_1k`` — 1000 distinct RSU plans of size 2^12 measured as
+  one cold ``CostEngine.records`` batch: the cross-plan batched measurement
+  plumbing (dedupe, fused prepare with its analytic full-coverage arm,
+  record staging, one durable append), gated by an absolute budget.
 * ``model_score_10k_scalar`` / ``model_score_10k_batch`` — both analytic
   models over 10,000 RSU samples of size 2^18: the per-plan recursion vs
   one shared encoding driving the vectorised batch models.
@@ -56,23 +62,46 @@ BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_search.json"
 TIME_SLACK = 15.0
 #: The acceptance gate: engine resume vs scalar DP at n=16.
 RESUME_SPEEDUP_FLOOR = 10.0
+#: Absolute budgets for the batched-measurement workloads (the fused
+#: pipeline runs both in roughly two seconds on one laptop core; the old
+#: per-plan pipeline took ~7 s for the pruned search, so these catch a
+#: fall-back to per-plan simulation while tolerating slow CI machines).
+PRUNED_N14_BUDGET = 5.0
+MEASURE_BATCH_1K_BUDGET = 2.0
+#: Engine-cold DP must stay in the scalar search's ballpark: both ride the
+#: fused pipeline (the engine adds record-keeping but fuses candidate
+#: rounds), so a cold run drifting far past the scalar time means the batch
+#: path itself regressed.  The margin absorbs run-to-run noise on loaded
+#: machines.
+COLD_VS_SCALAR_CEILING = 1.5
 
 MODEL_SAMPLES = 10_000
 MODEL_SIZE = 18
 
 
 def check_exactness() -> None:
-    """Batched paths must be bit-identical to the scalar paths."""
+    """Batched paths must be bit-identical to the scalar paths.
+
+    Includes the acceptance parity of the cross-plan fused pipeline: for a
+    sample of the engine DP n=16 candidates and of the pruned n=14 survivor
+    population, ``prepare_batch`` must reproduce the HierarchyStatistics of
+    the per-plan streamed pipeline (no elision, no analytic shortcuts)
+    exactly.
+    """
     from repro.machine.configs import opteron_like
+    from repro.machine.hierarchy import MemoryHierarchy
     from repro.machine.machine import SimulatedMachine
+    from repro.machine.trace import stream_line_chunks
     from repro.models.cache_misses import CacheMissModel
     from repro.models.instruction_count import InstructionCountModel
     from repro.runtime.cost_engine import CostEngine
     from repro.runtime.store import MemoryStore
-    from repro.search.costs import MeasuredCyclesCost
+    from repro.search.costs import InstructionModelCost, MeasuredCyclesCost
     from repro.search.dp import dp_search
     from repro.wht.encoding import encode_plans
     from repro.wht.enumeration import enumerate_plans
+    from repro.wht.interpreter import PlanInterpreter
+    from repro.wht.random_plans import random_plans
 
     config = opteron_like(noise_sigma=0.0).config
     scalar = dp_search(12, MeasuredCyclesCost(SimulatedMachine(config)))
@@ -87,6 +116,38 @@ def check_exactness() -> None:
         raise SystemExit(
             f"cost-cache regression: resume re-measured {resumed_engine.measured} plans"
         )
+
+    # Cross-plan batch parity on the two gated campaign shapes: a DP n=16
+    # candidate population (compositions of a DP's best sub-plans) and
+    # pruned-style n=14 RSU survivors.
+    def reference_stats(plan):
+        hierarchy = MemoryHierarchy(config.l1, config.l2, vectorized=config.vectorized_caches)
+        return hierarchy.process_line_chunks(
+            stream_line_chunks(
+                PlanInterpreter().iter_nest_blocks(plan),
+                line_size=config.l1.line_size,
+                element_size=config.element_size,
+            )
+        )
+
+    model_dp = dp_search(16, InstructionModelCost())
+    seen: set[str] = set()
+    dp_candidates = []
+    for record in model_dp.candidates:
+        key = str(record.plan)
+        if key not in seen:
+            seen.add(key)
+            dp_candidates.append(record.plan)
+    samples = dp_candidates[:: max(len(dp_candidates) // 24, 1)] + random_plans(
+        14, 12, rng=19
+    )
+    machine = SimulatedMachine(config)
+    for plan, prepared in zip(samples, machine.prepare_batch(samples)):
+        if prepared.hierarchy_stats != reference_stats(plan):
+            raise SystemExit(
+                f"batch parity regression: prepare_batch HierarchyStatistics "
+                f"differ from the per-plan pipeline on {plan}"
+            )
 
     instruction_model = InstructionCountModel()
     miss_model = CacheMissModel.from_machine_config(config, level="l1")
@@ -158,6 +219,22 @@ def run_benchmarks() -> dict[str, float]:
             keep_fraction=0.25,
         ).search(14, rng=0),
     )
+
+    batch_plans = []
+    batch_seen = set()
+    for plan in RSUSampler().sample_many(12, 2000, rng=23):
+        key = str(plan)
+        if key not in batch_seen:
+            batch_seen.add(key)
+            batch_plans.append(plan)
+        if len(batch_plans) == 1000:
+            break
+    batch_engine = CostEngine(SimulatedMachine(config), store=MemoryStore())
+    bench(
+        "measure_batch_1k",
+        lambda: batch_engine.records(batch_plans, ("cycles",)),
+    )
+    assert batch_engine.measured == len(batch_plans)
 
     sampler = RSUSampler()
     rng = np.random.default_rng(0)
@@ -262,6 +339,22 @@ def main() -> int:
         failures.append(
             f"engine resume speedup {recorded['dp_n16_resume_speedup']:.1f}x "
             f"< required {RESUME_SPEEDUP_FLOOR}x"
+        )
+    if recorded["pruned_n14"] >= PRUNED_N14_BUDGET:
+        failures.append(
+            f"pruned_n14 took {recorded['pruned_n14']:.2f} s "
+            f"(>= {PRUNED_N14_BUDGET} s budget)"
+        )
+    if recorded["measure_batch_1k"] >= MEASURE_BATCH_1K_BUDGET:
+        failures.append(
+            f"measure_batch_1k took {recorded['measure_batch_1k']:.2f} s "
+            f"(>= {MEASURE_BATCH_1K_BUDGET} s budget)"
+        )
+    if recorded["dp_n16_engine_cold"] > COLD_VS_SCALAR_CEILING * recorded["dp_n16_scalar"]:
+        failures.append(
+            f"engine-cold DP n=16 took {recorded['dp_n16_engine_cold']:.2f} s > "
+            f"{COLD_VS_SCALAR_CEILING}x the scalar search's "
+            f"{recorded['dp_n16_scalar']:.2f} s"
         )
     if recorded["model_score_10k_batch"] >= 1.0:
         failures.append(

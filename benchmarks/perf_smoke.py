@@ -1,7 +1,9 @@
 """CI perf smoke test for the measurement substrate and the search engine.
 
 Runs a small but representative workload — `SimulatedMachine.prepare` of an
-n=12 RSU plan on the Opteron-like geometry — and checks it against
+n=14 RSU plan on the Opteron-like geometry (big enough not to fit L1, so the
+L1 simulation pipeline actually runs; n <= 13 footprints are resolved
+analytically since the fused-pipeline rework) — and checks it against
 
 * a generous absolute wall-time budget (to catch order-of-magnitude
   regressions such as an accidental fall-back to a per-access Python loop),
@@ -52,12 +54,12 @@ TIME_BUDGET_SECONDS = 60.0
 TIME_SLACK = 15.0
 MEMORY_SLACK = 10.0
 
-SMOKE_SIZE = 12
+SMOKE_SIZE = 14
 SMOKE_SEED = 7
 
 
 def run_smoke():
-    """Time and trace the n=12 prepare; returns (seconds, peak_bytes, stats).
+    """Time and trace the n=14 prepare; returns (seconds, peak_bytes, stats).
 
     One untimed warmup absorbs first-touch effects (imports, allocator,
     NumPy lazy setup) and the reported time is the best of three runs, so a
@@ -178,6 +180,45 @@ def check_search_budget() -> None:
                 raise SystemExit(f"batch miss model mismatch on {plan}")
 
 
+def check_batch_identity() -> None:
+    """The cross-plan fused batch pipeline must be exact.
+
+    ``prepare_batch`` — write-pass elision, analytic full-coverage
+    statistics, spliced super-stream simulation with per-plan segmentation —
+    must reproduce the eager reference pipeline's HierarchyStatistics for
+    every enumerated plan (n <= 6, one mixed batch) and for random larger
+    plans, on both the tiny and the Opteron-like geometry.
+    """
+    from repro.machine.configs import opteron_like, tiny_machine
+    from repro.machine.hierarchy import MemoryHierarchy
+    from repro.machine.machine import SimulatedMachine
+    from repro.machine.trace import trace_from_nests
+    from repro.wht.enumeration import enumerate_plans
+    from repro.wht.interpreter import PlanInterpreter
+    from repro.wht.random_plans import random_plan
+
+    interpreter = PlanInterpreter()
+    for machine, sizes in (
+        (tiny_machine(), (7, 8)),
+        (opteron_like(noise_sigma=0.0), (9, 10)),
+    ):
+        config = machine.config
+        plans = [plan for n in range(1, 7) for plan in enumerate_plans(n)]
+        plans += [random_plan(size, rng=seed) for size in sizes for seed in range(2)]
+        batch = SimulatedMachine(config).prepare_batch(plans)
+        for plan, prepared in zip(plans, batch):
+            _, nests = interpreter.profile(plan, record_trace=True)
+            trace = trace_from_nests(nests, element_size=config.element_size)
+            hierarchy = MemoryHierarchy(config.l1, config.l2, vectorized=False)
+            eager = hierarchy.process_trace(trace)
+            if prepared.hierarchy_stats != eager:
+                raise SystemExit(
+                    f"batch identity regression: prepare_batch "
+                    f"{prepared.hierarchy_stats} != eager {eager} "
+                    f"({config.name}, {plan})"
+                )
+
+
 def check_multi_metric() -> None:
     """The metric-first cost API must be exact and measurement-frugal.
 
@@ -273,6 +314,11 @@ def main() -> int:
 
     check_exactness()
     print("exactness: streaming pipeline matches eager reference")
+    check_batch_identity()
+    print(
+        "batch identity: cross-plan fused prepare_batch matches the eager "
+        "reference on the enumerated space and random plans"
+    )
     check_search_budget()
     print(
         "search budget: engine DP bit-identical to scalar, cold run measures "

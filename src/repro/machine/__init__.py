@@ -30,11 +30,23 @@ from repro.machine.cache import (
     simulate_trace,
 )
 from repro.machine.hierarchy import HierarchyStatistics, MemoryHierarchy
-from repro.machine.trace import LineChunk, MemoryTrace, stream_line_chunks, trace_from_nests
+from repro.machine.trace import (
+    LineChunk,
+    MemoryTrace,
+    SplicedLineChunk,
+    splice_line_chunks,
+    stream_line_chunks,
+    trace_from_nests,
+)
 from repro.machine.cpu import CycleModel, InstructionCostModel
 from repro.machine.measurement import Measurement
 from repro.machine.counters import PAPI_EVENTS, CounterSet, counters_from_measurement
-from repro.machine.machine import MachineConfig, PreparedPlan, SimulatedMachine
+from repro.machine.machine import (
+    MachineConfig,
+    PreparedPlan,
+    PreparedPlanCache,
+    SimulatedMachine,
+)
 from repro.machine.configs import (
     default_machine,
     default_machine_config,
@@ -57,6 +69,8 @@ __all__ = [
     "MemoryHierarchy",
     "LineChunk",
     "MemoryTrace",
+    "SplicedLineChunk",
+    "splice_line_chunks",
     "stream_line_chunks",
     "trace_from_nests",
     "CycleModel",
@@ -67,6 +81,7 @@ __all__ = [
     "counters_from_measurement",
     "MachineConfig",
     "PreparedPlan",
+    "PreparedPlanCache",
     "SimulatedMachine",
     "default_machine",
     "default_machine_config",

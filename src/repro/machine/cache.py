@@ -178,6 +178,21 @@ def _as_address_array(addresses: np.ndarray, check: bool = True) -> np.ndarray:
     return arr.astype(np.int64, copy=False)
 
 
+def _set_sort_key(sets: np.ndarray, num_sets: int) -> np.ndarray:
+    """Narrowest integer view of a set-index array for the grouping argsort.
+
+    NumPy's stable sort is a radix sort for 8/16-bit integers but a
+    comparison sort for wider types; set indices are bounded by the geometry,
+    so narrowing the *sort key* (the data arrays stay int64) turns the
+    dominant grouping pass into O(n) for every realistic configuration.
+    """
+    if num_sets <= (1 << 15):
+        return sets.astype(np.int16)
+    if num_sets <= (1 << 31):
+        return sets.astype(np.int32)
+    return sets
+
+
 class SetAssociativeLRUCache:
     """Reference simulator: arbitrary associativity, true LRU replacement."""
 
@@ -241,7 +256,11 @@ class DirectMappedCache:
     For a direct-mapped cache an access misses exactly when the most recent
     access to the same set carried a different tag (or the set was never
     accessed).  Grouping the trace by set with a stable sort turns the whole
-    simulation into a handful of NumPy comparisons.
+    simulation into a handful of NumPy comparisons.  All vectorised
+    simulators work on whole *line numbers* instead of split (set, tag)
+    pairs: within one set group, line equality is tag equality, so the tag
+    extraction pass and one large gather disappear; the narrow
+    :func:`_set_sort_key` is the only per-set quantity ever materialised.
     """
 
     def __init__(self, config: CacheConfig):
@@ -251,20 +270,19 @@ class DirectMappedCache:
             )
         self.config = config
         self.stats = CacheStatistics()
-        # Resident tag per set, -1 meaning invalid.
-        self._tags = np.full(config.num_sets, -1, dtype=np.int64)
+        # Resident line per set, -1 meaning invalid.
+        self._lines = np.full(config.num_sets, -1, dtype=np.int64)
 
     def reset(self) -> None:
         self.stats = CacheStatistics()
-        self._tags.fill(-1)
+        self._lines.fill(-1)
 
     def access(self, address: int) -> bool:
         config = self.config
         line = int(address) >> config.offset_bits
         index = line & (config.num_sets - 1)
-        tag = line >> config.index_bits
-        miss = self._tags[index] != tag
-        self._tags[index] = tag
+        miss = self._lines[index] != line
+        self._lines[index] = line
         self.stats.record(1, int(miss))
         return bool(miss)
 
@@ -274,32 +292,31 @@ class DirectMappedCache:
             return np.zeros(0, dtype=bool)
         config = self.config
         lines = arr >> config.offset_bits
-        sets = lines & (config.num_sets - 1)
-        tags = lines >> config.index_bits
+        key = _set_sort_key(lines & (config.num_sets - 1), config.num_sets)
 
-        order = np.argsort(sets, kind="stable")
-        sorted_sets = sets[order]
-        sorted_tags = tags[order]
+        order = np.argsort(key, kind="stable")
+        sorted_keys = key[order]
+        sorted_lines = lines[order]
 
         first_in_group = np.empty(arr.shape[0], dtype=bool)
         first_in_group[0] = True
-        first_in_group[1:] = sorted_sets[1:] != sorted_sets[:-1]
+        first_in_group[1:] = sorted_keys[1:] != sorted_keys[:-1]
 
-        prev_tags = np.empty_like(sorted_tags)
-        prev_tags[1:] = sorted_tags[:-1]
-        # For the first access of each group the "previous" tag is whatever is
-        # currently resident in that set (possibly -1 = invalid).
-        prev_tags[first_in_group] = self._tags[sorted_sets[first_in_group]]
+        prev_lines = np.empty_like(sorted_lines)
+        prev_lines[1:] = sorted_lines[:-1]
+        # For the first access of each group the "previous" line is whatever
+        # is currently resident in that set (possibly -1 = invalid).
+        prev_lines[first_in_group] = self._lines[sorted_keys[first_in_group]]
 
-        miss_sorted = sorted_tags != prev_tags
+        miss_sorted = sorted_lines != prev_lines
         misses = np.empty(arr.shape[0], dtype=bool)
         misses[order] = miss_sorted
 
-        # Update resident tags: the last access of each group wins.
+        # Update resident lines: the last access of each group wins.
         last_in_group = np.empty(arr.shape[0], dtype=bool)
         last_in_group[-1] = True
-        last_in_group[:-1] = sorted_sets[1:] != sorted_sets[:-1]
-        self._tags[sorted_sets[last_in_group]] = sorted_tags[last_in_group]
+        last_in_group[:-1] = sorted_keys[1:] != sorted_keys[:-1]
+        self._lines[sorted_keys[last_in_group]] = sorted_lines[last_in_group]
 
         self.stats.record(arr.shape[0], int(misses.sum()))
         return misses
@@ -323,7 +340,8 @@ class TwoWayLRUCache:
             )
         self.config = config
         self.stats = CacheStatistics()
-        # Most recently used and second most recently used tag per set (-1 invalid).
+        # Most recently used and second most recently used line per set
+        # (-1/-2 invalid; whole lines, not tags — see DirectMappedCache).
         self._mru = np.full(config.num_sets, -1, dtype=np.int64)
         self._lru = np.full(config.num_sets, -2, dtype=np.int64)
 
@@ -336,19 +354,18 @@ class TwoWayLRUCache:
         config = self.config
         line = int(address) >> config.offset_bits
         index = line & (config.num_sets - 1)
-        tag = line >> config.index_bits
         mru = self._mru[index]
         lru = self._lru[index]
-        if tag == mru:
+        if line == mru:
             miss = False
-        elif tag == lru:
+        elif line == lru:
             miss = False
             self._lru[index] = mru
-            self._mru[index] = tag
+            self._mru[index] = line
         else:
             miss = True
             self._lru[index] = mru
-            self._mru[index] = tag
+            self._mru[index] = line
         self.stats.record(1, int(miss))
         return bool(miss)
 
@@ -357,76 +374,62 @@ class TwoWayLRUCache:
         if arr.size == 0:
             return np.zeros(0, dtype=bool)
         config = self.config
+        num_sets = config.num_sets
         lines = arr >> config.offset_bits
-        sets = (lines & (config.num_sets - 1)).astype(np.int64)
-        tags = (lines >> config.index_bits).astype(np.int64)
 
         # Prepend two virtual accesses per set currently holding valid state so
         # that warm-start behaviour matches the per-access simulator: first the
-        # LRU way, then the MRU way (so the MRU ends up most recent).
+        # LRU way, then the MRU way (so the MRU ends up most recent).  A cold
+        # simulator skips the concatenation entirely and sorts views.
         valid = self._mru >= 0
-        virtual_sets_list = []
-        virtual_tags_list = []
         if np.any(valid):
             valid_sets = np.nonzero(valid)[0].astype(np.int64)
-            lru_tags = self._lru[valid_sets]
-            mru_tags = self._mru[valid_sets]
-            has_lru = lru_tags >= 0
-            virtual_sets_list = [valid_sets[has_lru], valid_sets]
-            virtual_tags_list = [lru_tags[has_lru], mru_tags]
-        if virtual_sets_list:
-            virtual_sets = np.concatenate(virtual_sets_list)
-            virtual_tags = np.concatenate(virtual_tags_list)
+            lru_lines = self._lru[valid_sets]
+            mru_lines = self._mru[valid_sets]
+            has_lru = lru_lines >= 0
+            virtual_lines = np.concatenate([lru_lines[has_lru], mru_lines])
+            n_virtual = virtual_lines.shape[0]
+            all_lines = np.concatenate([virtual_lines, lines])
         else:
-            virtual_sets = np.zeros(0, dtype=np.int64)
-            virtual_tags = np.zeros(0, dtype=np.int64)
-        n_virtual = virtual_sets.shape[0]
+            n_virtual = 0
+            all_lines = lines
+        key = _set_sort_key(all_lines & (num_sets - 1), num_sets)
 
-        all_sets = np.concatenate([virtual_sets, sets])
-        all_tags = np.concatenate([virtual_tags, tags])
-        is_real = np.concatenate(
-            [np.zeros(n_virtual, dtype=bool), np.ones(arr.shape[0], dtype=bool)]
-        )
-
-        order = np.argsort(all_sets, kind="stable")
-        g_sets = all_sets[order]
-        g_tags = all_tags[order]
-        g_real = is_real[order]
-        total = g_sets.shape[0]
+        order = np.argsort(key, kind="stable")
+        g_keys = key[order]
+        g_lines = all_lines[order]
+        total = g_lines.shape[0]
 
         new_group = np.empty(total, dtype=bool)
         new_group[0] = True
-        new_group[1:] = g_sets[1:] != g_sets[:-1]
+        new_group[1:] = g_keys[1:] != g_keys[:-1]
 
         # Collapse consecutive duplicates within a group: they are hits and do
         # not change LRU state.
-        prev_tag = np.empty_like(g_tags)
-        prev_tag[1:] = g_tags[:-1]
-        prev_tag[0] = g_tags[0] + 1  # force "different"
-        duplicate = (~new_group) & (g_tags == prev_tag)
+        duplicate = np.zeros(total, dtype=bool)
+        duplicate[1:] = (~new_group[1:]) & (g_lines[1:] == g_lines[:-1])
 
         # Positions of the collapsed (distinct) subsequence.
         distinct_idx = np.nonzero(~duplicate)[0]
-        d_sets = g_sets[distinct_idx]
-        d_tags = g_tags[distinct_idx]
-        d_real = g_real[distinct_idx]
+        d_keys = g_keys[distinct_idx]
+        d_lines = g_lines[distinct_idx]
         m = distinct_idx.shape[0]
 
         d_new_group = np.empty(m, dtype=bool)
         d_new_group[0] = True
-        d_new_group[1:] = d_sets[1:] != d_sets[:-1]
+        d_new_group[1:] = d_keys[1:] != d_keys[:-1]
         # Second element of each group.
         d_second = np.zeros(m, dtype=bool)
         d_second[1:] = d_new_group[:-1] & ~d_new_group[1:]
 
-        prev2 = np.empty_like(d_tags)
-        prev2[2:] = d_tags[:-2]
+        prev2 = np.empty_like(d_lines)
+        prev2[2:] = d_lines[:-2]
         prev2[:2] = -10  # no valid "two back" for the first two entries overall
-        # An entry hits iff it matches the distinct tag two back *within the
+        # An entry hits iff it matches the distinct line two back *within the
         # same group*; entries that are first or second in their group have no
         # such predecessor (their state is covered by the virtual accesses).
         has_prev2 = ~(d_new_group | d_second)
-        d_hits = has_prev2 & (d_tags == prev2)
+        d_hits = has_prev2 & (d_lines == prev2)
         d_miss = ~d_hits
 
         # Scatter distinct-position misses back; duplicates are hits.
@@ -437,16 +440,16 @@ class TwoWayLRUCache:
         misses_all[order] = miss_grouped
         misses = misses_all[n_virtual:]
 
-        # Update per-set state: the last two distinct tags of each group.
+        # Update per-set state: the last two distinct lines of each group.
         if m:
             group_last = np.empty(m, dtype=bool)
             group_last[-1] = True
-            group_last[:-1] = d_sets[1:] != d_sets[:-1]
+            group_last[:-1] = d_keys[1:] != d_keys[:-1]
             last_idx = np.nonzero(group_last)[0]
-            last_sets = d_sets[last_idx]
-            self._mru[last_sets] = d_tags[last_idx]
+            last_sets = d_keys[last_idx]
+            self._mru[last_sets] = d_lines[last_idx]
             usable = last_idx[~d_new_group[last_idx]]
-            self._lru[d_sets[usable]] = d_tags[usable - 1]
+            self._lru[d_keys[usable]] = d_lines[usable - 1]
 
         self.stats.record(arr.shape[0], int(misses.sum()))
         return misses
@@ -477,7 +480,8 @@ class NWayLRUCache:
     def __init__(self, config: CacheConfig):
         self.config = config
         self.stats = CacheStatistics()
-        # Per-set LRU stack of tags, most recently used first, -1 invalid.
+        # Per-set LRU stack of lines, most recently used first, -1 invalid
+        # (whole lines, not tags — see DirectMappedCache).
         self._stack = np.full(
             (config.num_sets, config.associativity), -1, dtype=np.int64
         )
@@ -490,13 +494,12 @@ class NWayLRUCache:
         config = self.config
         line = int(address) >> config.offset_bits
         index = line & (config.num_sets - 1)
-        tag = line >> config.index_bits
         row = self._stack[index]
-        hits = np.nonzero(row == tag)[0]
+        hits = np.nonzero(row == line)[0]
         miss = hits.size == 0
         depth = row.shape[0] - 1 if miss else int(hits[0])
         row[1 : depth + 1] = row[:depth].copy()
-        row[0] = tag
+        row[0] = line
         self.stats.record(1, int(miss))
         return miss
 
@@ -505,44 +508,49 @@ class NWayLRUCache:
         if arr.size == 0:
             return np.zeros(0, dtype=bool)
         config = self.config
+        num_sets = config.num_sets
         associativity = config.associativity
         lines = arr >> config.offset_bits
-        sets = (lines & (config.num_sets - 1)).astype(np.int64)
-        tags = (lines >> config.index_bits).astype(np.int64)
 
         # Replay warm state as virtual leading accesses for the sets touched
         # by this chunk: LRU way first, so the MRU way ends up most recent.
-        present = np.unique(sets)
-        reversed_stacks = self._stack[present, ::-1]
-        valid = reversed_stacks >= 0
-        virtual_sets = np.repeat(present, valid.sum(axis=1))
-        virtual_tags = reversed_stacks[valid]
-        n_virtual = virtual_sets.shape[0]
+        # A cold simulator (nothing resident anywhere) skips the whole replay.
+        if np.any(self._stack[:, 0] >= 0):
+            present = np.unique(
+                _set_sort_key(lines & (num_sets - 1), num_sets)
+            ).astype(np.int64)
+            reversed_stacks = self._stack[present, ::-1]
+            valid = reversed_stacks >= 0
+            virtual_lines = reversed_stacks[valid]
+            n_virtual = virtual_lines.shape[0]
+            all_lines = np.concatenate([virtual_lines, lines])
+        else:
+            present = None
+            n_virtual = 0
+            all_lines = lines
+        total = all_lines.shape[0]
+        key = _set_sort_key(all_lines & (num_sets - 1), num_sets)
 
-        all_sets = np.concatenate([virtual_sets, sets])
-        all_tags = np.concatenate([virtual_tags, tags])
-        total = all_sets.shape[0]
-
-        order = np.argsort(all_sets, kind="stable")
-        g_sets = all_sets[order]
-        g_tags = all_tags[order]
+        order = np.argsort(key, kind="stable")
+        g_keys = key[order]
+        g_lines = all_lines[order]
 
         new_group = np.empty(total, dtype=bool)
         new_group[0] = True
-        new_group[1:] = g_sets[1:] != g_sets[:-1]
+        new_group[1:] = g_keys[1:] != g_keys[:-1]
 
         # Depth-1 hits: consecutive duplicates within a set group.  They do
         # not change the LRU stack and are removed before depth resolution.
         duplicate = np.zeros(total, dtype=bool)
-        duplicate[1:] = (~new_group[1:]) & (g_tags[1:] == g_tags[:-1])
+        duplicate[1:] = (~new_group[1:]) & (g_lines[1:] == g_lines[:-1])
         distinct_idx = np.nonzero(~duplicate)[0]
-        d_sets = g_sets[distinct_idx]
-        d_tags = g_tags[distinct_idx]
+        d_keys = g_keys[distinct_idx]
+        d_lines = g_lines[distinct_idx]
         m = distinct_idx.shape[0]
 
         d_new_group = np.empty(m, dtype=bool)
         d_new_group[0] = True
-        d_new_group[1:] = d_sets[1:] != d_sets[:-1]
+        d_new_group[1:] = d_keys[1:] != d_keys[:-1]
         positions = np.arange(m, dtype=np.int64)
         group_start = np.maximum.accumulate(np.where(d_new_group, positions, 0))
 
@@ -552,12 +560,19 @@ class NWayLRUCache:
         current = np.full(m, -1, dtype=np.int64)
         if m > 2:
             current[2:] = np.where(
-                positions[2:] >= group_start[2:] + 2, d_tags[:-2], -1
+                positions[2:] >= group_start[2:] + 2, d_lines[:-2], -1
             )
         hit = np.zeros(m, dtype=bool)
         for depth in range(2, associativity + 1):
-            hit |= (current >= 0) & (d_tags == current)
+            # Lines are nonnegative, so the -1 "invalid" sentinel can never
+            # equal a line and no separate validity mask is needed.
+            hit |= d_lines == current
             if depth == associativity:
+                break
+            if not np.any(current >= 0):
+                # No set has a line at this stack depth (fewer distinct lines
+                # than the associativity everywhere): every deeper position
+                # is empty too, so the remaining unhit accesses are misses.
                 break
             # Stack position depth+1 receives the old position-depth content
             # exactly at steps that did not hit at depth <= depth; its content
@@ -578,29 +593,28 @@ class NWayLRUCache:
         misses = misses_all[n_virtual:]
 
         # Re-extract per-set warm state: the last occurrence of every
-        # (set, tag) pair, ranked by recency, gives the final LRU stacks.
-        last_order = np.lexsort((positions, d_tags, d_sets))
-        s_sorted = d_sets[last_order]
-        t_sorted = d_tags[last_order]
-        last_of_pair = np.empty(m, dtype=bool)
-        last_of_pair[-1] = True
-        last_of_pair[:-1] = (s_sorted[1:] != s_sorted[:-1]) | (
-            t_sorted[1:] != t_sorted[:-1]
-        )
-        pair_sets = s_sorted[last_of_pair]
-        pair_tags = t_sorted[last_of_pair]
-        pair_pos = last_order[last_of_pair]
-        recency = np.lexsort((-pair_pos, pair_sets))
-        r_sets = pair_sets[recency]
-        r_tags = pair_tags[recency]
-        r_positions = np.arange(r_sets.shape[0], dtype=np.int64)
-        r_new = np.empty(r_sets.shape[0], dtype=bool)
+        # distinct line (a line names its set), ranked by recency, gives the
+        # final LRU stacks.
+        last_order = np.lexsort((positions, d_lines))
+        l_sorted = d_lines[last_order]
+        last_of_line = np.empty(m, dtype=bool)
+        last_of_line[-1] = True
+        last_of_line[:-1] = l_sorted[1:] != l_sorted[:-1]
+        pair_lines = l_sorted[last_of_line]
+        pair_keys = d_keys[last_order][last_of_line]
+        pair_pos = last_order[last_of_line]
+        recency = np.lexsort((-pair_pos, pair_keys))
+        r_keys = pair_keys[recency]
+        r_lines = pair_lines[recency]
+        r_positions = np.arange(r_keys.shape[0], dtype=np.int64)
+        r_new = np.empty(r_keys.shape[0], dtype=bool)
         r_new[0] = True
-        r_new[1:] = r_sets[1:] != r_sets[:-1]
+        r_new[1:] = r_keys[1:] != r_keys[:-1]
         rank = r_positions - np.maximum.accumulate(np.where(r_new, r_positions, 0))
         keep = rank < associativity
-        self._stack[present] = -1
-        self._stack[r_sets[keep], rank[keep]] = r_tags[keep]
+        if present is not None:
+            self._stack[present] = -1
+        self._stack[r_keys[keep], rank[keep]] = r_lines[keep]
 
         self.stats.record(arr.shape[0], int(misses.sum()))
         return misses

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -19,7 +20,11 @@ from repro.machine.cache import CacheConfig
 from repro.machine.cpu import CycleModel, InstructionCostModel
 from repro.machine.hierarchy import HierarchyStatistics, MemoryHierarchy
 from repro.machine.measurement import Measurement
-from repro.machine.trace import DEFAULT_ELEMENT_SIZE, stream_line_chunks
+from repro.machine.trace import (
+    DEFAULT_ELEMENT_SIZE,
+    splice_line_chunks,
+    stream_line_chunks,
+)
 from repro.util.lru import LRUCache
 from repro.util.rng import RandomState, as_generator
 from repro.util.validation import check_positive_int
@@ -174,7 +179,10 @@ class SimulatedMachine:
         walker feeds the batched line-granular trace expander, whose bounded
         chunks feed warm-started hierarchy simulators.  Neither the nest list
         nor the address trace is ever materialised, and the statistics are
-        bit-identical to the eager profile → trace → simulate pipeline.
+        bit-identical to the eager profile → trace → simulate pipeline —
+        including the two exact shortcuts of the fused pipeline (analytic
+        full-coverage statistics for footprints that fit a cache level, and
+        write-pass elision; see DESIGN.md §10).
 
         With a :class:`PreparedPlanCache` attached, repeated preparations of
         structurally equal plans return the cached (identical) result.
@@ -184,18 +192,115 @@ class SimulatedMachine:
             cached = cache.get(plan)
             if cached is not None:
                 return cached
-        stats = ExecutionStats(n=plan.n)
-        blocks = self._interpreter.iter_nest_blocks(plan, stats=stats)
-        chunks = stream_line_chunks(
-            blocks,
-            line_size=self.config.l1.line_size,
-            element_size=self.config.element_size,
-        )
-        hierarchy_stats = self.hierarchy.process_line_chunks(chunks)
-        prepared = PreparedPlan(plan=plan, stats=stats, hierarchy_stats=hierarchy_stats)
+        prepared = self._prepare_fused([plan])[0]
         if cache is not None:
             cache.put(prepared)
         return prepared
+
+    def prepare_batch(self, plans: Sequence[Plan]) -> list[PreparedPlan]:
+        """Prepare many plans as one fused workload, preserving order.
+
+        The batch is deduplicated by :func:`repro.wht.encoding.plan_key`
+        (and served from the :class:`PreparedPlanCache` where possible); the
+        remaining distinct plans are walked once each and their line streams
+        spliced into a single cross-plan super-stream that the memory
+        hierarchy simulates in one vectorised pass per level
+        (:meth:`~repro.machine.hierarchy.MemoryHierarchy.process_line_chunks_batch`).
+        Every returned :class:`PreparedPlan` is bit-identical to what
+        :meth:`prepare` produces for the same plan.
+        """
+        cache = self.prepared_cache
+        resolved: dict[str, PreparedPlan] = {}
+        missing: dict[str, Plan] = {}
+        order: list[str] = []
+        for plan in plans:
+            key = plan_key(plan)
+            order.append(key)
+            if key in resolved or key in missing:
+                continue
+            if cache is not None:
+                cached = cache.get(plan)
+                if cached is not None:
+                    resolved[key] = cached
+                    continue
+            missing[key] = plan
+        if missing:
+            for key, prepared in zip(
+                missing, self._prepare_fused(list(missing.values()))
+            ):
+                resolved[key] = prepared
+                if cache is not None:
+                    cache.put(prepared)
+        return [resolved[key] for key in order]
+
+    def _prepare_fused(self, plans: list[Plan]) -> list[PreparedPlan]:
+        """Prepare distinct plans through the fused measurement pipeline.
+
+        Plans whose full vector provably fits L1 get exact analytic
+        hierarchy statistics (no trace is ever expanded); the rest are walked
+        into per-plan chunk streams, spliced into one super-stream at
+        disjoint line offsets and simulated batch-wise, with the L2 level
+        resolved analytically for every plan whose footprint fits it.
+        """
+        config = self.config
+        hierarchy = self.hierarchy
+        element_size = config.element_size
+        line_size = config.l1.line_size
+        stats_list = [ExecutionStats(n=plan.n) for plan in plans]
+        footprints = [plan.size * element_size for plan in plans]
+        hierarchy_stats: list[HierarchyStatistics | None] = [None] * len(plans)
+        streamed: list[int] = []
+        # The full-coverage shortcuts need every L1 line of the footprint to
+        # actually be touched: consecutive element addresses must be at most
+        # one line apart AND the footprint's last line must contain an
+        # element address, both guaranteed exactly when the element size
+        # divides the line size (always true for the 8-byte doubles on
+        # power-of-two lines; anything else falls back to simulation).
+        dense = (
+            element_size <= line_size and line_size % element_size == 0
+        )
+        for index, plan in enumerate(plans):
+            if dense and hierarchy.covers_analytically(footprints[index]):
+                # Consume the walk for the event counts only; the cache
+                # statistics are exact without expanding a single address.
+                for _ in self._interpreter.iter_nest_blocks(
+                    plan, stats=stats_list[index]
+                ):
+                    pass
+                hierarchy_stats[index] = hierarchy.analytic_coverage_stats(
+                    footprints[index], stats_list[index].memory_ops
+                )
+            else:
+                streamed.append(index)
+        if streamed:
+            offsets = hierarchy.batch_line_offsets(
+                [-(-footprints[index] // line_size) for index in streamed]
+            )
+            streams = [
+                stream_line_chunks(
+                    self._interpreter.iter_nest_blocks(
+                        plans[index], stats=stats_list[index]
+                    ),
+                    line_size=line_size,
+                    element_size=element_size,
+                    hit_elision_sets=config.l1.num_sets,
+                    hit_elision_ways=config.l1.associativity,
+                )
+                for index in streamed
+            ]
+            batch_stats = hierarchy.process_line_chunks_batch(
+                splice_line_chunks(streams, offsets),
+                len(streamed),
+                footprint_bytes=(
+                    [footprints[index] for index in streamed] if dense else None
+                ),
+            )
+            for index, stats in zip(streamed, batch_stats):
+                hierarchy_stats[index] = stats
+        return [
+            PreparedPlan(plan=plan, stats=stats, hierarchy_stats=hier_stats)
+            for plan, stats, hier_stats in zip(plans, stats_list, hierarchy_stats)
+        ]
 
     def measure_prepared(self, prepared: PreparedPlan, rng: RandomState = None) -> Measurement:
         """Turn a :class:`PreparedPlan` into a measurement (noise draw included).
@@ -219,8 +324,23 @@ class SimulatedMachine:
         stats, _ = self._interpreter.profile(plan, record_trace=False)
         return self.config.instruction_model.instructions(stats)
 
-    def measure_wall_time(self, plan: Plan, repetitions: int = 1) -> float:
-        """Median wall-clock seconds of actually executing the plan in Python.
+    def measure_wall_time(
+        self,
+        plan: Plan,
+        repetitions: int = 1,
+        trim_fraction: float | None = None,
+    ) -> float:
+        """Wall-clock seconds of actually executing the plan in Python.
+
+        With the default ``trim_fraction=None`` the median of ``repetitions``
+        runs is returned (the historical behaviour).  A fraction in
+        ``[0, 0.5)`` instead drops that share of the sorted timings from
+        *each* end and returns the mean of the rest — the trimmed-mean
+        policy the ``wall_time`` metric stores (see
+        :class:`repro.runtime.metrics.WallTimePolicy` and DESIGN.md §9),
+        which damps scheduler outliers and makes records from different
+        hosts comparable in spirit even though wall time is inherently
+        non-deterministic.
 
         Included for completeness; as discussed in DESIGN.md, interpreted
         wall-clock time is dominated by Python overhead rather than the cache
@@ -228,6 +348,10 @@ class SimulatedMachine:
         primary performance metric of this reproduction.
         """
         check_positive_int(repetitions, "repetitions")
+        if trim_fraction is not None and not 0.0 <= trim_fraction < 0.5:
+            raise ValueError(
+                f"trim_fraction must lie in [0, 0.5), got {trim_fraction}"
+            )
         x = np.zeros(plan.size, dtype=np.float64)
         times: list[float] = []
         for _ in range(repetitions):
@@ -236,7 +360,11 @@ class SimulatedMachine:
             self._interpreter.execute(plan, x)
             times.append(time.perf_counter() - start)
         times.sort()
-        return times[len(times) // 2]
+        if trim_fraction is None:
+            return times[len(times) // 2]
+        drop = int(len(times) * trim_fraction)
+        kept = times[drop : len(times) - drop]
+        return sum(kept) / len(kept)
 
     # -- internals --------------------------------------------------------------
 

@@ -25,6 +25,7 @@ Two expansion paths are provided (see DESIGN.md):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Sequence
 
@@ -36,10 +37,12 @@ from repro.wht.interpreter import _SINGLE_OFFSET, LeafNest, NestBlock
 __all__ = [
     "MemoryTrace",
     "LineChunk",
+    "SplicedLineChunk",
     "trace_from_nests",
     "nest_addresses",
     "collapse_consecutive",
     "stream_line_chunks",
+    "splice_line_chunks",
 ]
 
 #: Size of a double-precision vector element in bytes (the WHT package
@@ -172,6 +175,100 @@ class LineChunk:
             )
 
 
+@dataclass(frozen=True)
+class SplicedLineChunk:
+    """One batch of a cross-plan spliced super-stream.
+
+    ``lines`` concatenates segments of several plans' collapsed line streams
+    (each already shifted into its plan's disjoint slice of the line space —
+    see :meth:`repro.machine.hierarchy.MemoryHierarchy.batch_line_offsets`).
+    ``seg_bounds`` delimits the segments within ``lines`` (length = number of
+    segments + 1), ``seg_plan`` names the plan each segment belongs to, and
+    ``seg_accesses`` records the raw (pre-collapse) accesses each segment
+    represents.  Several segments of one chunk may belong to the same plan
+    (a long stream spans chunks) and a chunk may carry many plans (short
+    streams fuse).
+    """
+
+    lines: np.ndarray
+    seg_bounds: np.ndarray
+    seg_plan: np.ndarray
+    seg_accesses: np.ndarray
+
+    @property
+    def segments(self) -> int:
+        """Number of per-plan segments in the chunk."""
+        return int(self.seg_plan.shape[0])
+
+
+def splice_line_chunks(
+    streams: "Sequence[Iterable[LineChunk]]",
+    line_offsets: "Sequence[int] | np.ndarray",
+    chunk_lines: int = DEFAULT_CHUNK_ACCESSES,
+) -> Iterator[SplicedLineChunk]:
+    """Fuse per-plan :class:`LineChunk` streams into one spliced super-stream.
+
+    Streams are consumed in order (plan 0 exhausted before plan 1 starts), so
+    within the super-stream each plan occupies one contiguous run of
+    segments.  Every incoming chunk becomes one segment with its plan's line
+    offset added; segments accumulate until roughly ``chunk_lines`` lines are
+    buffered, then flush as one :class:`SplicedLineChunk`.  Incoming chunks
+    are never split, so a chunk bounded by ``chunk_accesses`` upstream keeps
+    the spliced chunks bounded as well.
+
+    The caller provides ``line_offsets`` that give each plan a disjoint,
+    set-mapping-preserving slice of the line space; with such offsets a
+    single warm-started simulator pass over the spliced stream is equivalent
+    to one cold pass per plan (no two plans ever share a cache line, so
+    cross-plan accesses can neither hit each other nor change each other's
+    stack distances).
+    """
+    check_positive_int(chunk_lines, "chunk_lines")
+    if len(line_offsets) != len(streams):
+        raise ValueError(
+            f"got {len(streams)} streams but {len(line_offsets)} line offsets"
+        )
+    buf_lines: list[np.ndarray] = []
+    buf_plan: list[int] = []
+    buf_accesses: list[int] = []
+    buffered = 0
+
+    def flush() -> SplicedLineChunk:
+        nonlocal buffered
+        lengths = np.array([lines.shape[0] for lines in buf_lines], dtype=np.int64)
+        bounds = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+        np.cumsum(lengths, out=bounds[1:])
+        chunk = SplicedLineChunk(
+            lines=(
+                np.concatenate(buf_lines)
+                if buf_lines
+                else np.zeros(0, dtype=np.int64)
+            ),
+            seg_bounds=bounds,
+            seg_plan=np.array(buf_plan, dtype=np.int64),
+            seg_accesses=np.array(buf_accesses, dtype=np.int64),
+        )
+        buf_lines.clear()
+        buf_plan.clear()
+        buf_accesses.clear()
+        buffered = 0
+        return chunk
+
+    for plan_index, stream in enumerate(streams):
+        offset = int(line_offsets[plan_index])
+        if offset < 0:
+            raise ValueError(f"line offsets must be nonnegative, got {offset}")
+        for chunk in stream:
+            buf_lines.append(chunk.lines + offset if offset else chunk.lines)
+            buf_plan.append(plan_index)
+            buf_accesses.append(chunk.accesses)
+            buffered += int(chunk.lines.shape[0])
+            if buffered >= chunk_lines:
+                yield flush()
+    if buf_plan:
+        yield flush()
+
+
 def _nest_min_element(nest: LeafNest, min_offset: int) -> int:
     """Smallest element index any instance of the nest can touch."""
     low = nest.base + min_offset
@@ -219,11 +316,73 @@ def _analytic_lines_per_call(
     return epc // epl
 
 
+def _write_pass_elidable(
+    nest: LeafNest,
+    element_size: int,
+    line_size: int,
+    num_sets: int,
+    ways: int,
+) -> bool:
+    """Whether the write pass of every call of ``nest`` may be elided.
+
+    A codelet call touches its element block twice: a read pass immediately
+    followed by a write pass over the same addresses.  When no cache set
+    receives more than ``ways`` of the call's distinct lines (the per-set
+    *cohort* bound), every write-pass access finds its line within the
+    ``ways`` most recently used distinct lines of its set — a guaranteed hit
+    whose re-reference leaves the set's final recency order exactly as the
+    read pass left it (re-applying an access sequence to the state it
+    produced reproduces that state), and which, being a hit, never reaches
+    the next cache level.  Such write passes can be dropped from the emitted
+    stream without changing any hierarchy statistic at any level; the raw
+    ``accesses`` bookkeeping is unaffected.
+
+    The cohort test is conservative: it is evaluated exactly when the
+    element stride is a whole number of lines (an arithmetic line
+    progression distributes over ``num_sets / gcd`` sets) or a divisor of
+    the line size (the call spans a short consecutive line run), and
+    anything else keeps the doubled emission.
+    """
+    elements = nest.elements_per_call
+    if elements == 1:
+        return True  # read and write hit the same single line back to back
+    stride_bytes = nest.elem_stride * element_size
+    if stride_bytes <= 0:
+        return False
+    if stride_bytes % line_size == 0:
+        sets_hit = max(num_sets // math.gcd(stride_bytes // line_size, num_sets), 1)
+        return -(-elements // sets_hit) <= ways
+    if line_size % stride_bytes == 0:
+        span = (elements * stride_bytes + line_size - 1) // line_size + 1
+        return span <= num_sets * ways
+    return False
+
+
+def _lines_of_elements(
+    grid: np.ndarray, base_address: int, element_size: int, line_size: int
+) -> np.ndarray:
+    """Cache-line numbers of nonnegative element indices.
+
+    Equivalent to ``(base_address + grid * element_size) // line_size`` but
+    expressed as a right shift when the geometry allows it (power-of-two
+    elements per line, element-aligned base) — integer division is by far
+    the slowest ALU pass of the expansion pipeline.
+    """
+    if line_size % element_size == 0 and base_address % element_size == 0:
+        ratio = line_size // element_size
+        if ratio & (ratio - 1) == 0:
+            shift = ratio.bit_length() - 1
+            base = base_address // element_size
+            return (base + grid) >> shift if base else grid >> shift
+    return (base_address + grid * element_size) // line_size
+
+
 def _expand_group_analytic(
     k: int,
     outer_count: int,
     inner_count: int,
     lines_per_call: int,
+    passes: int,
     bases: np.ndarray,
     outer_stride: int,
     inner_stride: int,
@@ -235,8 +394,9 @@ def _expand_group_analytic(
 
     Returns shape ``(instances, emitted_per_instance)``: per call, one line
     when the call fits a single line (the read and the write pass collapse
-    together), otherwise the ``lines_per_call`` run twice (read pass then
-    write pass, each already collapsed to one entry per line).
+    together), otherwise the ``lines_per_call`` run once (``passes == 1``,
+    the write pass elided) or twice (read pass then write pass, each already
+    collapsed to one entry per line).
     """
     base_lines = (base_address + bases * element_size) // line_size
     outer_lines = outer_stride * element_size // line_size
@@ -245,7 +405,7 @@ def _expand_group_analytic(
     kk = np.arange(inner_count, dtype=np.int64) * inner_lines
     grid = base_lines[:, None, None] + j[None, :, None] + kk[None, None, :]
     runs = grid[..., None] + np.arange(lines_per_call, dtype=np.int64)
-    if lines_per_call == 1:
+    if lines_per_call == 1 or passes == 1:
         return runs.reshape(bases.shape[0], -1)
     doubled = np.broadcast_to(
         runs[:, :, :, None, :],
@@ -258,6 +418,7 @@ def _expand_group_raw(
     k: int,
     outer_count: int,
     inner_count: int,
+    passes: int,
     bases: np.ndarray,
     outer_stride: int,
     inner_stride: int,
@@ -266,7 +427,12 @@ def _expand_group_raw(
     element_size: int,
     base_address: int,
 ) -> np.ndarray:
-    """Per-access line numbers of a group of same-shape nests (read + write)."""
+    """Per-access line numbers of a group of same-shape nests.
+
+    ``passes == 2`` emits the read and the write pass per call; ``passes ==
+    1`` emits only the read pass (the write pass was proven an elidable
+    guaranteed hit).
+    """
     elements = 1 << k
     j = np.arange(outer_count, dtype=np.int64) * outer_stride
     kk = np.arange(inner_count, dtype=np.int64) * inner_stride
@@ -277,7 +443,9 @@ def _expand_group_raw(
         + kk[None, None, :, None]
         + e[None, None, None, :]
     )
-    lines = (base_address + grid * element_size) // line_size
+    lines = _lines_of_elements(grid, base_address, element_size, line_size)
+    if passes == 1:
+        return lines.reshape(bases.shape[0], -1)
     doubled = np.broadcast_to(
         lines[:, :, :, None, :],
         (bases.shape[0], outer_count, inner_count, 2, elements),
@@ -302,11 +470,15 @@ class _BlockTable:
         element_size: int,
         base_address: int,
         chunk_accesses: int,
+        hit_elision_sets: int | None = None,
+        hit_elision_ways: int = 1,
     ):
         self.line_size = line_size
         self.element_size = element_size
         self.base_address = base_address
         self.chunk_accesses = chunk_accesses
+        self.hit_elision_sets = hit_elision_sets
+        self.hit_elision_ways = hit_elision_ways
         self.nests: list[LeafNest] = []
         self.bases: list[np.ndarray] = []
         self.starts: list[np.ndarray] = []
@@ -361,14 +533,31 @@ class _BlockTable:
         lines_per_call = _analytic_lines_per_call(
             nest, bases, self.line_size, self.element_size, self.base_address
         )
+        passes = 2
+        elision_sets = self.hit_elision_sets
+        if elision_sets is not None:
+            if lines_per_call:
+                # Line-aligned unit-stride calls touch ``lines_per_call``
+                # consecutive lines; their per-set cohort is bounded by
+                # ceil(lines_per_call / sets).
+                if lines_per_call <= elision_sets * self.hit_elision_ways:
+                    passes = 1
+            elif _write_pass_elidable(
+                nest,
+                self.element_size,
+                self.line_size,
+                elision_sets,
+                self.hit_elision_ways,
+            ):
+                passes = 1
         if lines_per_call == 1:
             # The read and the write pass over a one-line call collapse to a
             # single emitted entry.
             emitted = nest.calls
         elif lines_per_call:
-            emitted = nest.calls * 2 * lines_per_call
+            emitted = nest.calls * passes * lines_per_call
         else:
-            emitted = 2 * nest.total_elements
+            emitted = passes * nest.total_elements
         key = (
             nest.k,
             nest.outer_count,
@@ -377,6 +566,7 @@ class _BlockTable:
             nest.inner_stride,
             nest.elem_stride,
             lines_per_call,
+            passes,
         )
         group_id = self._groups.get(key)
         if group_id is None:
@@ -402,20 +592,28 @@ def _expand_chunk(
     total_emitted = int(scatter_starts[-1] + emitted[-1])
     out = np.empty(total_emitted, dtype=np.int64)
     for group_id in np.unique(group_ids):
-        k, outer_count, inner_count, ostride, istride, estride, lines_per_call, per = (
-            table.group_info[group_id]
-        )
+        (
+            k,
+            outer_count,
+            inner_count,
+            ostride,
+            istride,
+            estride,
+            lines_per_call,
+            passes,
+            per,
+        ) = table.group_info[group_id]
         mask = group_ids == group_id
         group_bases = bases[mask]
         if lines_per_call:
             block = _expand_group_analytic(
-                k, outer_count, inner_count, lines_per_call, group_bases,
+                k, outer_count, inner_count, lines_per_call, passes, group_bases,
                 ostride, istride,
                 table.line_size, table.element_size, table.base_address,
             )
         else:
             block = _expand_group_raw(
-                k, outer_count, inner_count, group_bases,
+                k, outer_count, inner_count, passes, group_bases,
                 ostride, istride, estride,
                 table.line_size, table.element_size, table.base_address,
             )
@@ -430,6 +628,8 @@ def stream_line_chunks(
     element_size: int = DEFAULT_ELEMENT_SIZE,
     base_address: int = 0,
     chunk_accesses: int = DEFAULT_CHUNK_ACCESSES,
+    hit_elision_sets: int | None = None,
+    hit_elision_ways: int = 1,
 ) -> Iterator[LineChunk]:
     """Stream a nest sequence as bounded, duplicate-collapsed line chunks.
 
@@ -445,6 +645,15 @@ def stream_line_chunks(
     the full trace is never materialised — only per-nest descriptors and one
     bounded chunk of expanded lines exist at any time.
 
+    ``hit_elision_sets``/``hit_elision_ways`` (the first cache level's set
+    count and associativity) additionally drop each codelet call's *write
+    pass* whenever no set provably receives more than ``hit_elision_ways``
+    of the call's lines (see :func:`_write_pass_elidable`): those accesses
+    are guaranteed hits that leave every simulator's final state unchanged
+    at every level, so the shortened stream produces bit-identical hierarchy
+    statistics while the chunks' raw ``accesses`` counts still include them.
+    With the default ``None`` the exact collapsed line sequence is emitted.
+
     Addresses are validated non-negative here, once, at the pipeline
     boundary — per block, from the nest geometry — so the downstream
     simulators can skip their per-call validation scans.
@@ -452,10 +661,20 @@ def stream_line_chunks(
     check_positive_int(line_size, "line_size")
     check_positive_int(element_size, "element_size")
     check_positive_int(chunk_accesses, "chunk_accesses")
+    if hit_elision_sets is not None:
+        check_positive_int(hit_elision_sets, "hit_elision_sets")
+        check_positive_int(hit_elision_ways, "hit_elision_ways")
     if base_address < 0:
         raise ValueError(f"base_address must be nonnegative, got {base_address}")
 
-    table = _BlockTable(line_size, element_size, base_address, chunk_accesses)
+    table = _BlockTable(
+        line_size,
+        element_size,
+        base_address,
+        chunk_accesses,
+        hit_elision_sets,
+        hit_elision_ways,
+    )
     cursor = 0
     for item in nests:
         if isinstance(item, NestBlock):

@@ -10,15 +10,18 @@ so all backends are guaranteed to produce bit-identical results:
   the caller's machine instance.
 * :class:`MultiprocessBackend` — fans the units out across a *persistent*
   pool of worker processes (:mod:`concurrent.futures`); each worker rebuilds
-  the machine from its :class:`~repro.machine.machine.MachineConfig` once,
-  and the pool survives across ``measure_units`` calls so a search's many
-  small candidate rounds don't pay a pool spawn each (``close()`` or the
-  context-manager protocol releases the workers).
-* :class:`BatchedBackend` — amortises the deterministic half of a measurement
-  (plan interpretation, trace expansion, cache simulation) across units that
-  share a plan.  RSU samples at small sizes re-draw common shapes frequently,
-  so deduplicating the prepare step is a large win there; only the per-unit
-  cycle-noise draw is recomputed.
+  the machine from its :class:`~repro.machine.machine.MachineConfig` once
+  (with a prepared-plan cache that survives across rounds), receives
+  *contiguous sub-batches* of units and measures each shard through the
+  fused batch-prepare pipeline.  The pool survives across ``measure_units``
+  calls so a search's many small candidate rounds don't pay a pool spawn
+  each (``close()`` or the context-manager protocol releases the workers).
+* :class:`BatchedBackend` — routes the unit list's distinct plans through
+  ``machine.prepare_batch``: one fused cross-plan preparation (shared trace
+  splicing, one vectorised cache pass per level) instead of one
+  prepare/measure round-trip per unit; only the per-unit cycle-noise draw is
+  recomputed.  This is the :class:`~repro.runtime.cost_engine.CostEngine`'s
+  default execution backend.
 
 Backends receive the *caller's* :class:`SimulatedMachine` so that serial and
 batched execution reuse its interpreter and hierarchy (and respect
@@ -91,13 +94,16 @@ class SerialBackend:
 
 
 class BatchedBackend:
-    """Amortise plan preparation across units that share a plan.
+    """Fuse the whole unit list's preparation into one batched workload.
 
-    ``machine.prepare`` (interpret + trace + cache simulation) runs once per
-    *distinct* plan in the batch; every unit then gets its own noise draw via
-    ``measure_prepared``.  Since preparation is deterministic and the noise
-    seed fully determines the stochastic part, results are bit-identical to
-    :class:`SerialBackend`.
+    The batch's *distinct* plans go through ``machine.prepare_batch`` — the
+    cross-plan fused pipeline that walks each plan once, splices the line
+    streams into one super-stream and simulates the caches in one vectorised
+    pass per level — and every unit then gets its own noise draw via
+    ``measure_prepared``.  A batch with a single distinct plan degrades to
+    one plain ``machine.prepare`` call.  Since preparation is deterministic
+    and the noise seed fully determines the stochastic part, results are
+    bit-identical to :class:`SerialBackend`.
     """
 
     name = "batched"
@@ -105,15 +111,19 @@ class BatchedBackend:
     def measure_units(
         self, machine: SimulatedMachine, units: Sequence[WorkUnit]
     ) -> list[Measurement]:
-        prepared: dict[Plan, PreparedPlan] = {}
-        out: list[Measurement] = []
+        distinct: dict[Plan, PreparedPlan | None] = {}
         for unit in units:
-            prep = prepared.get(unit.plan)
-            if prep is None:
-                prep = machine.prepare(unit.plan)
-                prepared[unit.plan] = prep
-            out.append(machine.measure_prepared(prep, rng=unit.noise_seed))
-        return out
+            distinct.setdefault(unit.plan, None)
+        plans = list(distinct)
+        if len(plans) == 1:
+            distinct[plans[0]] = machine.prepare(plans[0])
+        elif plans:
+            for plan, prepared in zip(plans, machine.prepare_batch(plans)):
+                distinct[plan] = prepared
+        return [
+            machine.measure_prepared(distinct[unit.plan], rng=unit.noise_seed)
+            for unit in units
+        ]
 
     def __repr__(self) -> str:
         return "BatchedBackend()"
@@ -127,28 +137,51 @@ class BatchedBackend:
 
 _WORKER_MACHINE: SimulatedMachine | None = None
 
+#: Capacity of each worker's prepared-plan cache: repeated plans across a
+#: search's many rounds (or a campaign's duplicate draws) skip re-preparation
+#: for the lifetime of the persistent pool.
+_WORKER_PREPARED_CAPACITY = 512
+
 
 def _worker_init(config: MachineConfig) -> None:
     global _WORKER_MACHINE
-    _WORKER_MACHINE = SimulatedMachine(config)
+    from repro.machine.machine import PreparedPlanCache
+
+    _WORKER_MACHINE = SimulatedMachine(
+        config, prepared_cache=PreparedPlanCache(_WORKER_PREPARED_CAPACITY)
+    )
 
 
-def _worker_measure(payload: tuple[Plan, int | None]) -> Measurement:
-    plan, noise_seed = payload
+def _worker_measure_shard(
+    payloads: Sequence[tuple[Plan, int | None]],
+) -> list[Measurement]:
+    """Measure one contiguous sub-batch of units on the worker's machine.
+
+    The shard's plans are prepared through the worker machine's fused batch
+    pipeline (sharing its prepared-plan and template caches across rounds,
+    since the machine lives as long as the pool), then each unit draws its
+    own noise.
+    """
     machine = _WORKER_MACHINE
     if machine is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker process was not initialised with a machine config")
-    return machine.measure(plan, rng=noise_seed)
+    prepared = machine.prepare_batch([plan for plan, _seed in payloads])
+    return [
+        machine.measure_prepared(prep, rng=seed)
+        for prep, (_plan, seed) in zip(prepared, payloads)
+    ]
 
 
 class MultiprocessBackend:
     """Fan units out across a persistent pool of worker processes.
 
-    Workers are handed ``(plan, noise_seed)`` payloads and rebuild the machine
-    from the configuration once per process, so per-unit IPC is one plan and
-    one integer in, one measurement out.  Result order follows unit order
-    regardless of scheduling, and the per-unit seeds make the measurements
-    identical to serial execution.
+    Workers are handed *contiguous shards* of ``(plan, noise_seed)`` payloads
+    and rebuild the machine from the configuration once per process, so one
+    round of IPC carries a whole sub-batch in and its measurements out, and
+    each shard is prepared through the worker's fused batch pipeline
+    (``chunksize`` overrides the shard length).  Result order follows unit
+    order regardless of scheduling, and the per-unit seeds make the
+    measurements identical to serial execution.
 
     The :class:`ProcessPoolExecutor` is created lazily on the first batch and
     **kept alive across ``measure_units`` calls**: a search evaluates many
@@ -199,17 +232,27 @@ class MultiprocessBackend:
             # Nothing to parallelise; skip the pool round-trip entirely
             # (bit-identical by design, thanks to the per-unit seeds).
             return SerialBackend().measure_units(machine, units)
-        chunksize = self.chunksize or max(1, len(units) // (workers * 4))
+        # Chunk-granular sharding: each worker task is one *contiguous*
+        # sub-batch of units, measured through the worker machine's fused
+        # batch-prepare pipeline, so cross-plan vectorisation happens inside
+        # every shard instead of once per unit.  Four shards per worker keep
+        # the load balanced when shard costs vary.
+        shard_size = self.chunksize or max(1, -(-len(units) // (workers * 4)))
         payloads = [(unit.plan, unit.noise_seed) for unit in units]
+        shards = [
+            payloads[low : low + shard_size]
+            for low in range(0, len(payloads), shard_size)
+        ]
         pool = self._pool_for(machine.config)
         try:
-            return list(pool.map(_worker_measure, payloads, chunksize=chunksize))
+            results = list(pool.map(_worker_measure_shard, shards))
         except BrokenProcessPool:
             # A killed worker poisons the whole executor; drop it and run the
             # batch once more on a fresh pool before giving up.
             self.close()
             pool = self._pool_for(machine.config)
-            return list(pool.map(_worker_measure, payloads, chunksize=chunksize))
+            results = list(pool.map(_worker_measure_shard, shards))
+        return [measurement for shard in results for measurement in shard]
 
     def close(self) -> None:
         """Shut the persistent worker pool down (idempotent).

@@ -48,7 +48,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.machine.machine import PreparedPlanCache, SimulatedMachine
-from repro.runtime.backends import ExecutionBackend, SerialBackend, WorkUnit
+from repro.runtime.backends import BatchedBackend, ExecutionBackend, WorkUnit
 from repro.runtime.metrics import (
     COUNTER_CHANNEL,
     MODEL_CHANNEL,
@@ -122,7 +122,8 @@ class CostEngine:
         ``"cycles"``, the WHT package's classic search cost).
     backend:
         How candidate batches execute (default:
-        :class:`~repro.runtime.backends.SerialBackend`).
+        :class:`~repro.runtime.backends.BatchedBackend`, which fuses every
+        batch's distinct plans into one cross-plan prepared workload).
     store:
         Where the per-plan record log persists (default:
         :class:`~repro.runtime.store.NullStore`, i.e. in-memory for the
@@ -149,7 +150,7 @@ class CostEngine:
         if machine.prepared_cache is None and prepared_cache_size > 0:
             machine.prepared_cache = PreparedPlanCache(prepared_cache_size)
         self.objective = resolve_objective(objective)
-        self.backend = backend if backend is not None else SerialBackend()
+        self.backend = backend if backend is not None else BatchedBackend()
         self.store = store if store is not None else NullStore()
         self.seed = int(seed)
         self.key = CostLogKey(

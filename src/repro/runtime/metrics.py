@@ -52,6 +52,9 @@ __all__ = [
     "MODEL_CHANNEL",
     "MetricSpec",
     "CostRecord",
+    "WallTimePolicy",
+    "DEFAULT_WALL_TIME_POLICY",
+    "set_wall_time_policy",
     "register_metric",
     "metric_spec",
     "available_metrics",
@@ -98,6 +101,10 @@ class MetricSpec:
     #: Whether repeated acquisition yields identical values (wall time does
     #: not; everything else is deterministic given the engine's noise seed).
     deterministic: bool = True
+    #: Optional acquisition policy carried alongside the metric (e.g. the
+    #: ``wall_time`` metric's :class:`WallTimePolicy`), recorded so consumers
+    #: can see *how* stored values were obtained.
+    policy: object | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("hardware", "model"):
@@ -254,16 +261,74 @@ register_metric(
         from_measurement=lambda m: float(m.l1_accesses),
     )
 )
-register_metric(
-    MetricSpec(
+@dataclass(frozen=True)
+class WallTimePolicy:
+    """Acquisition policy of the ``wall_time`` metric (see DESIGN.md §9).
+
+    Wall time is inherently non-deterministic, so a single run is whatever
+    the scheduler made of it.  The policy runs the plan ``repetitions``
+    times, drops ``trim_fraction`` of the sorted timings from *each* end and
+    stores the mean of the rest — a trimmed mean that damps one-sided
+    scheduler outliers, which is what makes wall-time records collected on
+    different hosts comparable in shape (never in absolute value; the engine
+    still refuses to serve another host's wall time from the store).
+    """
+
+    repetitions: int = 5
+    trim_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {self.repetitions}")
+        if not 0.0 <= self.trim_fraction < 0.5:
+            raise ValueError(
+                f"trim_fraction must lie in [0, 0.5), got {self.trim_fraction}"
+            )
+
+    def measure(self, machine: SimulatedMachine, plan: Plan) -> float:
+        """Trimmed-mean wall time of ``plan`` on ``machine`` under the policy."""
+        return float(
+            machine.measure_wall_time(
+                plan,
+                repetitions=self.repetitions,
+                trim_fraction=self.trim_fraction,
+            )
+        )
+
+
+#: The default policy the registered ``wall_time`` metric acquires under.
+DEFAULT_WALL_TIME_POLICY = WallTimePolicy()
+
+
+def set_wall_time_policy(policy: WallTimePolicy) -> MetricSpec:
+    """Re-register the ``wall_time`` metric under a different policy.
+
+    Engines pick the new policy up on their next wall-channel acquisition
+    (already-cached values in an engine's memory are kept for its lifetime;
+    wall time is never persisted, so no stale policy can leak from a store).
+    """
+    if not isinstance(policy, WallTimePolicy):
+        raise TypeError(f"expected a WallTimePolicy, got {policy!r}")
+    return register_metric(_wall_time_spec(policy), replace=True)
+
+
+def _wall_time_spec(policy: WallTimePolicy) -> MetricSpec:
+    return MetricSpec(
         name="wall_time",
         kind="hardware",
         channel=WALL_CHANNEL,
-        description="Median wall-clock seconds of actually executing the plan",
-        measure=lambda machine, plan: float(machine.measure_wall_time(plan)),
+        description=(
+            f"Trimmed-mean wall-clock seconds of executing the plan "
+            f"({policy.repetitions} repetitions, {policy.trim_fraction:.0%} "
+            f"trimmed from each end)"
+        ),
+        measure=policy.measure,
         deterministic=False,
+        policy=policy,
     )
-)
+
+
+register_metric(_wall_time_spec(DEFAULT_WALL_TIME_POLICY))
 
 
 # -- built-in model metrics ------------------------------------------------------

@@ -25,7 +25,12 @@ from typing import TYPE_CHECKING, Any, Iterable
 from repro.config import ExperimentScale, ci_scale, default_scale, paper_scale
 from repro.machine.configs import MACHINE_PRESETS
 from repro.machine.machine import MachineConfig, SimulatedMachine
-from repro.runtime.backends import ExecutionBackend, resolve_backend
+from repro.runtime.backends import (
+    BatchedBackend,
+    ExecutionBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.runtime.campaigns import measure_plan_list, run_campaign
 from repro.runtime.cost_engine import CostEngine
 from repro.runtime.objectives import Objective
@@ -182,11 +187,21 @@ class Session:
         Note the engine seeds measurement noise per plan (order-independent)
         rather than from the machine's shared generator; on a noise-free
         machine both schemes coincide exactly.
+
+        A session on the plain serial backend hands the engine the fused
+        :class:`~repro.runtime.backends.BatchedBackend` instead (bit-identical
+        results, one cross-plan prepared workload per candidate round);
+        multiprocess and custom backends pass through unchanged.
         """
         if self._cost_engine is None:
+            backend = self.backend
+            if type(backend) is SerialBackend:
+                # Exact-type check: a SerialBackend *subclass* is a custom
+                # backend and passes through unchanged.
+                backend = BatchedBackend()
             self._cost_engine = CostEngine(
                 self.machine,
-                backend=self.backend,
+                backend=backend,
                 store=self.store,
                 seed=derive_seed(self.scale.seed, "cost-engine"),
             )

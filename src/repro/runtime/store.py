@@ -315,13 +315,35 @@ class DiskStore(_CostTableCompat):
     measuring batch pays one O(batch) append (plus an fsync) rather than a
     whole-table rewrite, and a crash mid-append loses at most the trailing
     partial line — which the reader detects and skips.  There is deliberately
-    no in-memory memoisation: every read re-reads the file, which is what
-    makes a second process's cache hit equivalent to a same-process one.
+    no in-memory memoisation of record *values*: every read re-reads the
+    file, which is what makes a second process's cache hit equivalent to a
+    same-process one.
+
+    ``auto_compact`` (off by default) bounds reopen cost for long-lived
+    campaigns: after each append, when a log holds more than ``auto_compact``
+    times as many record lines as distinct plans (duplicate lines accumulate
+    when later batches extend earlier plans' metrics), the log is compacted
+    to one merged line per plan.  The trigger state is tracked per process
+    (seeded by one read of the existing log on the first append) and
+    compaction is read-equivalent, so concurrent writers at worst compact a
+    little early or late — never incorrectly.
     """
 
-    def __init__(self, path: "str | os.PathLike[str]"):
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        auto_compact: float | None = None,
+    ):
+        if auto_compact is not None and auto_compact < 1.0:
+            raise ValueError(
+                f"auto_compact must be at least 1 (a line-to-plan ratio), "
+                f"got {auto_compact}"
+            )
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
+        self.auto_compact = auto_compact
+        #: Per-log trigger state: (record line count, distinct plan keys).
+        self._log_state: dict[CostLogKey, tuple[int, set[str]]] = {}
 
     def _file_for(self, key: CampaignKey) -> Path:
         return self.path / f"{key.token()}.json"
@@ -374,6 +396,17 @@ class DiskStore(_CostTableCompat):
     def append_cost_records(self, key: CostLogKey, records: Mapping[str, Mapping[str, float]]) -> None:
         if not records:
             return
+        if self.auto_compact is not None and key not in self._log_state:
+            # Seed the trigger counters from the log as it exists before this
+            # process's first append (one read; O(batch) updates afterwards).
+            seeded = 0
+            plans: set[str] = set()
+            for entry in self._read_log(self._log_for(key)):
+                plan = entry.get("p")
+                if isinstance(plan, str):
+                    seeded += 1
+                    plans.add(plan)
+            self._log_state[key] = (seeded, plans)
         lines = []
         for plan_key, values in records.items():
             payload = {
@@ -405,6 +438,18 @@ class DiskStore(_CostTableCompat):
             os.fsync(fd)
         finally:
             os.close(fd)
+        if self.auto_compact is not None:
+            self._maybe_auto_compact(key, records)
+
+    def _maybe_auto_compact(self, key: CostLogKey, appended: Mapping[str, Mapping[str, float]]) -> None:
+        lines, plans = self._log_state[key]
+        lines += len(appended)
+        plans.update(appended)
+        self._log_state[key] = (lines, plans)
+        if lines > self.auto_compact * max(len(plans), 1):
+            # compact_cost_records refreshes the trigger state from the full
+            # merged log, which also folds in any concurrent writer's plans.
+            self.compact_cost_records(key)
 
     def compact_cost_records(self, key: CostLogKey) -> None:
         """Atomically rewrite the log as one merged record line per plan.
@@ -443,6 +488,9 @@ class DiskStore(_CostTableCompat):
                 legacy.unlink()
             except OSError:
                 pass
+        if key in self._log_state:
+            # The log now holds exactly one line per plan.
+            self._log_state[key] = (len(records), set(records))
 
     def _read_log(self, file: Path) -> Iterator[dict]:
         """Parse a record log, tolerating truncated or corrupt lines.
@@ -522,6 +570,7 @@ class DiskStore(_CostTableCompat):
             raise
 
     def clear(self) -> None:
+        self._log_state.clear()
         for file in list(self.path.glob("*.json")) + list(self.path.glob("*.jsonl")):
             try:
                 file.unlink()

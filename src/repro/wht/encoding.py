@@ -30,6 +30,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.util.lru import LRUCache
 from repro.wht.grammar import plan_to_string
 from repro.wht.plan import Plan
 
@@ -160,21 +161,46 @@ def _segment_sum(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
     return prefix[starts[1:]] - prefix[starts[:-1]]
 
 
-def encode_plans(plans: "Sequence[Plan] | Iterable[Plan]") -> EncodedPlans:
-    """Flatten a batch of plans into an :class:`EncodedPlans`.
+@dataclass(frozen=True)
+class _PlanSegment:
+    """One plan's encoded arrays with plan-local node indices (immutable).
 
-    The walk is a single post-order pass per plan appending to flat Python
-    lists (the only per-node Python work in the batched model pipeline); all
-    downstream model maths is NumPy over the resulting arrays.
+    Segments are what the per-plan memoisation caches: batch encoding then
+    reduces to concatenating segments and offsetting the slot index arrays
+    by each plan's node base — a handful of NumPy operations regardless of
+    how deep the plans are, instead of one Python recursion per plan.
     """
+
+    node_exponent: np.ndarray
+    node_is_leaf: np.ndarray
+    node_depth: np.ndarray
+    slot_owner: np.ndarray
+    slot_child: np.ndarray
+    slot_suffix: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_exponent.shape[0])
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.slot_owner.shape[0])
+
+
+#: Per-plan segment cache keyed by :func:`plan_key`.  A segment is a few
+#: hundred bytes, so even a six-figure entry count stays modest; the LRU
+#: bound keeps adversarial workloads from growing without limit.
+_SEGMENT_CACHE: LRUCache[str, _PlanSegment] = LRUCache(1 << 16)
+
+
+def _encode_segment(plan: Plan) -> _PlanSegment:
+    """Walk one plan into its local-index segment (the only per-node pass)."""
     node_exp: list[int] = []
     node_leaf: list[bool] = []
     node_depth: list[int] = []
     slot_owner: list[int] = []
     slot_child: list[int] = []
     slot_suffix: list[int] = []
-    plan_node_start: list[int] = [0]
-    plan_slot_start: list[int] = [0]
 
     def walk(node: Plan, depth: int) -> int:
         children = node.children
@@ -202,6 +228,29 @@ def encode_plans(plans: "Sequence[Plan] | Iterable[Plan]") -> EncodedPlans:
             slot_suffix.append(child_suffix)
         return index
 
+    walk(plan, 0)
+    return _PlanSegment(
+        node_exponent=np.asarray(node_exp, dtype=np.int64),
+        node_is_leaf=np.asarray(node_leaf, dtype=bool),
+        node_depth=np.asarray(node_depth, dtype=np.int64),
+        slot_owner=np.asarray(slot_owner, dtype=np.int64),
+        slot_child=np.asarray(slot_child, dtype=np.int64),
+        slot_suffix=np.asarray(slot_suffix, dtype=np.int64),
+    )
+
+
+def encode_plans(plans: "Sequence[Plan] | Iterable[Plan]") -> EncodedPlans:
+    """Flatten a batch of plans into an :class:`EncodedPlans`.
+
+    Encoding is a memoised *segment splice*: each distinct plan is walked
+    once into a plan-local :class:`_PlanSegment` (cached by
+    :func:`plan_key`, so re-scoring the same campaign — or re-encoding a
+    candidate the search saw last round — never repeats the per-node Python
+    pass) and the batch result is assembled by concatenating segments and
+    offsetting the slot index arrays, bit-identical to a direct whole-batch
+    walk.
+    """
+    segments: list[_PlanSegment] = []
     for plan in plans:
         if not isinstance(plan, Plan):
             raise TypeError(f"not a Plan: {plan!r}")
@@ -210,17 +259,41 @@ def encode_plans(plans: "Sequence[Plan] | Iterable[Plan]") -> EncodedPlans:
                 f"plan exponent {plan.n} exceeds the batch encoder's exact-int64 "
                 f"range (max {MAX_ENCODABLE_EXPONENT}); use the scalar models"
             )
-        walk(plan, 0)
-        plan_node_start.append(len(node_exp))
-        plan_slot_start.append(len(slot_owner))
+        key = plan_key(plan)
+        segment = _SEGMENT_CACHE.get(key)
+        if segment is None:
+            segment = _encode_segment(plan)
+            _SEGMENT_CACHE.put(key, segment)
+        segments.append(segment)
+
+    node_counts = np.array([segment.num_nodes for segment in segments], dtype=np.int64)
+    slot_counts = np.array([segment.num_slots for segment in segments], dtype=np.int64)
+    plan_node_start = np.zeros(len(segments) + 1, dtype=np.int64)
+    np.cumsum(node_counts, out=plan_node_start[1:])
+    plan_slot_start = np.zeros(len(segments) + 1, dtype=np.int64)
+    np.cumsum(slot_counts, out=plan_slot_start[1:])
+
+    def spliced(arrays: list[np.ndarray], dtype) -> np.ndarray:
+        if not arrays:
+            return np.zeros(0, dtype=dtype)
+        return np.concatenate(arrays)
+
+    # Slot indices are plan-local; shifting them by each plan's node base
+    # reproduces the global post-order indices of a whole-batch walk.
+    slot_bases = np.repeat(plan_node_start[:-1], slot_counts)
+    slot_owner = spliced([segment.slot_owner for segment in segments], np.int64)
+    slot_child = spliced([segment.slot_child for segment in segments], np.int64)
+    if slot_bases.shape[0]:
+        slot_owner = slot_owner + slot_bases
+        slot_child = slot_child + slot_bases
 
     return EncodedPlans(
-        node_exponent=np.asarray(node_exp, dtype=np.int64),
-        node_is_leaf=np.asarray(node_leaf, dtype=bool),
-        node_depth=np.asarray(node_depth, dtype=np.int64),
-        plan_node_start=np.asarray(plan_node_start, dtype=np.int64),
-        slot_owner=np.asarray(slot_owner, dtype=np.int64),
-        slot_child=np.asarray(slot_child, dtype=np.int64),
-        slot_suffix_exponent=np.asarray(slot_suffix, dtype=np.int64),
-        plan_slot_start=np.asarray(plan_slot_start, dtype=np.int64),
+        node_exponent=spliced([segment.node_exponent for segment in segments], np.int64),
+        node_is_leaf=spliced([segment.node_is_leaf for segment in segments], bool),
+        node_depth=spliced([segment.node_depth for segment in segments], np.int64),
+        plan_node_start=plan_node_start,
+        slot_owner=slot_owner,
+        slot_child=slot_child,
+        slot_suffix_exponent=spliced([segment.slot_suffix for segment in segments], np.int64),
+        plan_slot_start=plan_slot_start,
     )

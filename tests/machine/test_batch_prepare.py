@@ -1,0 +1,416 @@
+"""Cross-plan bit-identity of the fused batch measurement pipeline.
+
+The batch path — per-plan streams spliced at disjoint line offsets, one
+warm-started simulator pass per level, analytic full-coverage shortcuts,
+write-pass elision — must be *bit-identical* to preparing every plan
+individually through the eager reference pipeline, for any batch
+composition, any chunking of the super-stream, and any cache geometry.
+These tests pin that contract over the enumerated plan space, random RSU
+batches and Hypothesis-driven geometries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import CacheConfig
+from repro.machine.configs import opteron_like, tiny_machine
+from repro.machine.hierarchy import MemoryHierarchy
+from repro.machine.machine import PreparedPlanCache, SimulatedMachine
+from repro.machine.trace import (
+    LineChunk,
+    splice_line_chunks,
+    stream_line_chunks,
+    trace_from_nests,
+)
+from repro.wht.enumeration import enumerate_plans
+from repro.wht.interpreter import ExecutionStats, PlanInterpreter
+from repro.wht.random_plans import random_plan, random_plans
+
+INTERPRETER = PlanInterpreter()
+
+
+def reference_prepare(config, plan):
+    """The eager seed pipeline: full trace, oracle simulators, no shortcuts."""
+    stats, nests = PlanInterpreter().profile(plan, record_trace=True)
+    trace = trace_from_nests(nests, element_size=config.element_size)
+    hierarchy = MemoryHierarchy(config.l1, config.l2, vectorized=False)
+    return stats, hierarchy.process_trace(trace)
+
+
+def streamed_prepare(config, plan):
+    """The streamed per-plan pipeline without elision or analytic paths."""
+    stats = ExecutionStats(n=plan.n)
+    chunks = stream_line_chunks(
+        PlanInterpreter().iter_nest_blocks(plan, stats=stats),
+        line_size=config.l1.line_size,
+        element_size=config.element_size,
+    )
+    hierarchy = MemoryHierarchy(config.l1, config.l2, vectorized=config.vectorized_caches)
+    return stats, hierarchy.process_line_chunks(chunks)
+
+
+def assert_batch_matches_reference(machine, plans, reference=streamed_prepare):
+    prepared = machine.prepare_batch(plans)
+    assert len(prepared) == len(plans)
+    for plan, prep in zip(plans, prepared):
+        ref_stats, ref_hier = reference(machine.config, plan)
+        assert prep.hierarchy_stats == ref_hier, plan
+        assert prep.stats.as_dict() == ref_stats.as_dict(), plan
+
+
+class TestPrepareBatchParity:
+    def test_enumerated_space_tiny_machine(self):
+        machine = tiny_machine(noise_sigma=0.0)
+        plans = [plan for n in range(1, 7) for plan in enumerate_plans(n)]
+        assert_batch_matches_reference(machine, plans, reference=reference_prepare)
+
+    def test_mixed_sizes_cross_all_cache_regimes(self):
+        # The tiny machine's L1 boundary is at a few dozen elements, so this
+        # batch mixes fully-analytic, L2-analytic and fully-simulated plans.
+        machine = tiny_machine(noise_sigma=0.0)
+        plans = [random_plan(n, rng=seed) for seed in range(3) for n in (3, 5, 7, 9)]
+        assert_batch_matches_reference(machine, plans, reference=reference_prepare)
+
+    def test_opteron_rsu_batch(self):
+        machine = opteron_like(noise_sigma=0.0)
+        plans = random_plans(9, 6, rng=11) + random_plans(12, 3, rng=12)
+        assert_batch_matches_reference(machine, plans, reference=reference_prepare)
+
+    def test_batch_equals_singular_prepare(self):
+        machine = tiny_machine(noise_sigma=0.0)
+        plans = [random_plan(8, rng=seed) for seed in range(8)]
+        singular = [SimulatedMachine(machine.config).prepare(p) for p in plans]
+        batched = machine.prepare_batch(plans)
+        for one, many in zip(singular, batched):
+            assert one.hierarchy_stats == many.hierarchy_stats
+            assert one.stats == many.stats
+
+    def test_duplicates_prepared_once_and_identical(self):
+        machine = tiny_machine(noise_sigma=0.0)
+        machine.prepared_cache = PreparedPlanCache(16)
+        plan = random_plan(8, rng=3)
+        other = random_plan(8, rng=4)
+        prepared = machine.prepare_batch([plan, other, plan, plan])
+        assert prepared[0] is prepared[2] is prepared[3]
+        assert prepared[1] is not prepared[0]
+
+    def test_batch_populates_and_reuses_the_prepared_cache(self):
+        machine = tiny_machine(noise_sigma=0.0)
+        machine.prepared_cache = PreparedPlanCache(16)
+        plans = [random_plan(8, rng=seed) for seed in range(4)]
+        first = machine.prepare_batch(plans)
+        hits_before = machine.prepared_cache.hits
+        second = machine.prepare_batch(plans)
+        assert machine.prepared_cache.hits == hits_before + len(plans)
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_measurements_identical_through_batch(self):
+        config = tiny_machine(noise_sigma=0.05).config
+        plans = [random_plan(7, rng=seed) for seed in range(5)]
+        serial = [SimulatedMachine(config).measure(p, rng=42).cycles for p in plans]
+        machine = SimulatedMachine(config)
+        batched = [
+            machine.measure_prepared(prep, rng=42).cycles
+            for prep in machine.prepare_batch(plans)
+        ]
+        assert batched == serial
+
+    def test_sparse_elements_disable_the_analytic_shortcuts(self):
+        # Elements wider than an L1 line leave untouched lines inside the
+        # footprint, so the full-coverage shortcuts must not claim exactness;
+        # the batch path falls back to full simulation and stays bit-exact.
+        from repro.machine.machine import MachineConfig
+
+        config = MachineConfig(
+            name="sparse-elements",
+            l1=CacheConfig(256, 8, 2, name="L1"),
+            l2=CacheConfig(2048, 16, 4, name="L2"),
+            element_size=16,
+        )
+        machine = SimulatedMachine(config)
+        plans = [random_plan(n, rng=seed) for seed in range(2) for n in (3, 4, 6)]
+        assert_batch_matches_reference(machine, plans, reference=reference_prepare)
+
+    def test_non_dividing_element_size_disables_the_analytic_shortcuts(self):
+        # An element size that does not divide the line size can leave the
+        # footprint's trailing line untouched, so the shortcut must not fire.
+        from repro.machine.machine import MachineConfig
+
+        config = MachineConfig(
+            name="odd-elements",
+            l1=CacheConfig(256, 8, 2, name="L1"),
+            l2=CacheConfig(2048, 16, 4, name="L2"),
+            element_size=3,
+        )
+        machine = SimulatedMachine(config)
+        plans = [random_plan(n, rng=seed) for seed in range(2) for n in (3, 5, 6)]
+        assert_batch_matches_reference(machine, plans, reference=reference_prepare)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_batches(self, seed):
+        rng = np.random.default_rng(seed)
+        machine = tiny_machine(noise_sigma=0.0)
+        sizes = rng.integers(2, 10, size=int(rng.integers(2, 6)))
+        plans = [random_plan(int(n), rng=rng) for n in sizes]
+        assert_batch_matches_reference(machine, plans)
+
+
+GEOMETRIES = st.tuples(
+    st.sampled_from([128, 256, 512, 1024]),  # l1 size
+    st.sampled_from([16, 32, 64]),  # l1 line
+    st.sampled_from([1, 2, 4]),  # l1 assoc
+    st.sampled_from([2048, 8192]),  # l2 size
+    st.sampled_from([32, 64]),  # l2 line
+    st.sampled_from([1, 2, 4, 16]),  # l2 assoc
+)
+
+
+class TestProcessLineChunksBatch:
+    """The batch processor equals looping process_line_chunks per plan."""
+
+    def _streams(self, hierarchy, plans, element_size=8):
+        streams = []
+        for plan in plans:
+            stats = ExecutionStats(n=plan.n)
+            streams.append(
+                list(
+                    stream_line_chunks(
+                        PlanInterpreter().iter_nest_blocks(plan, stats=stats),
+                        line_size=hierarchy.l1_config.line_size,
+                        element_size=element_size,
+                    )
+                )
+            )
+        return streams
+
+    @pytest.mark.parametrize("chunk_lines", [64, 1 << 20])
+    def test_matches_per_plan_loop(self, chunk_lines):
+        hierarchy = MemoryHierarchy(
+            CacheConfig(256, 32, 2), CacheConfig(2048, 32, 4)
+        )
+        plans = [random_plan(n, rng=seed) for seed in range(3) for n in (5, 7, 8)]
+        streams = self._streams(hierarchy, plans)
+        expected = [hierarchy.process_line_chunks(iter(chunks)) for chunks in streams]
+        offsets = hierarchy.batch_line_offsets(
+            [int(max(c.lines.max() for c in chunks if c.lines.size) + 1) for chunks in streams]
+        )
+        spliced = splice_line_chunks(streams, offsets, chunk_lines=chunk_lines)
+        got = hierarchy.process_line_chunks_batch(spliced, len(plans))
+        assert got == expected
+
+    @given(geometry=GEOMETRIES, seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_geometries(self, geometry, seed):
+        l1_size, l1_line, l1_assoc, l2_size, l2_line, l2_assoc = geometry
+        assume(l1_assoc <= l1_size // l1_line)
+        assume(l2_assoc <= l2_size // l2_line)
+        hierarchy = MemoryHierarchy(
+            CacheConfig(l1_size, l1_line, l1_assoc, name="L1"),
+            CacheConfig(l2_size, l2_line, l2_assoc, name="L2"),
+        )
+        rng = np.random.default_rng(seed)
+        plans = [
+            random_plan(int(n), rng=rng)
+            for n in rng.integers(2, 9, size=int(rng.integers(1, 5)))
+        ]
+        streams = self._streams(hierarchy, plans)
+        expected = [hierarchy.process_line_chunks(iter(chunks)) for chunks in streams]
+        spans = [
+            int(max((c.lines.max() for c in chunks if c.lines.size), default=0)) + 1
+            for chunks in streams
+        ]
+        chunk_lines = int(rng.integers(32, 4096))
+        spliced = splice_line_chunks(streams, hierarchy.batch_line_offsets(spans), chunk_lines=chunk_lines)
+        footprints = [plan.size * 8 for plan in plans]
+        got = hierarchy.process_line_chunks_batch(
+            spliced, len(plans), footprint_bytes=footprints
+        )
+        assert got == expected
+
+    def test_no_l2_hierarchy(self):
+        hierarchy = MemoryHierarchy(CacheConfig(256, 32, 2), None)
+        plans = [random_plan(7, rng=seed) for seed in range(4)]
+        streams = self._streams(hierarchy, plans)
+        expected = [hierarchy.process_line_chunks(iter(chunks)) for chunks in streams]
+        spans = [int(max(c.lines.max() for c in chunks if c.lines.size)) + 1 for chunks in streams]
+        spliced = splice_line_chunks(streams, hierarchy.batch_line_offsets(spans))
+        assert hierarchy.process_line_chunks_batch(spliced, len(plans)) == expected
+
+    def test_empty_batch(self):
+        hierarchy = MemoryHierarchy(CacheConfig(256, 32, 2), CacheConfig(2048, 32, 4))
+        assert hierarchy.process_line_chunks_batch(iter(()), 0) == []
+
+
+class TestSpliceLineChunks:
+    def test_segments_preserve_streams_and_offsets(self):
+        streams = [
+            [LineChunk(lines=np.array([1, 2, 3]), accesses=6)],
+            [
+                LineChunk(lines=np.array([0, 1]), accesses=4),
+                LineChunk(lines=np.array([5]), accesses=2),
+            ],
+        ]
+        chunks = list(splice_line_chunks(streams, [0, 100], chunk_lines=1 << 20))
+        assert len(chunks) == 1
+        chunk = chunks[0]
+        assert np.array_equal(chunk.lines, [1, 2, 3, 100, 101, 105])
+        assert np.array_equal(chunk.seg_plan, [0, 1, 1])
+        assert np.array_equal(chunk.seg_bounds, [0, 3, 5, 6])
+        assert np.array_equal(chunk.seg_accesses, [6, 4, 2])
+
+    def test_flushes_at_the_line_budget(self):
+        streams = [
+            [LineChunk(lines=np.arange(10), accesses=10)],
+            [LineChunk(lines=np.arange(10), accesses=10)],
+        ]
+        chunks = list(splice_line_chunks(streams, [0, 1024], chunk_lines=8))
+        assert len(chunks) == 2
+        assert all(chunk.segments == 1 for chunk in chunks)
+
+    def test_rejects_mismatched_offsets(self):
+        with pytest.raises(ValueError):
+            list(splice_line_chunks([[]], [0, 1]))
+
+
+class TestBatchLineOffsets:
+    def test_offsets_are_disjoint_and_aligned(self):
+        hierarchy = MemoryHierarchy(
+            CacheConfig(256, 32, 2), CacheConfig(4096, 64, 4)
+        )
+        spans = [100, 1, 5000, 17]
+        offsets = hierarchy.batch_line_offsets(spans)
+        align_bytes = max(
+            hierarchy.l1_config.num_sets * hierarchy.l1_config.line_size,
+            hierarchy.l2_config.num_sets * hierarchy.l2_config.line_size,
+        )
+        unit = align_bytes // hierarchy.l1_config.line_size
+        for index, (offset, span) in enumerate(zip(offsets, spans)):
+            assert offset % unit == 0
+            if index:
+                assert offset >= offsets[index - 1] + spans[index - 1]
+
+    def test_overflow_is_rejected(self):
+        hierarchy = MemoryHierarchy(CacheConfig(256, 32, 2), None)
+        with pytest.raises(ValueError):
+            hierarchy.batch_line_offsets([1 << 61, 1 << 61])
+
+
+class TestAnalyticCoverage:
+    """The full-coverage shortcuts equal simulation wherever they apply."""
+
+    @pytest.mark.parametrize(
+        "l1,l2",
+        [
+            (CacheConfig(256, 32, 2), CacheConfig(2048, 32, 4)),
+            (CacheConfig(512, 32, 2), CacheConfig(4096, 64, 4)),
+            (CacheConfig(512, 64, 1), CacheConfig(4096, 32, 16)),
+            (CacheConfig(1024, 32, 4), None),
+        ],
+    )
+    def test_fitting_footprints_match_simulation(self, l1, l2):
+        hierarchy = MemoryHierarchy(l1, l2)
+        for seed in range(3):
+            for n in range(2, 9):
+                plan = random_plan(n, rng=seed)
+                footprint = plan.size * 8
+                stats = ExecutionStats(n=plan.n)
+                chunks = stream_line_chunks(
+                    PlanInterpreter().iter_nest_blocks(plan, stats=stats),
+                    line_size=l1.line_size,
+                    element_size=8,
+                )
+                simulated = hierarchy.process_line_chunks(chunks)
+                analytic = hierarchy.analytic_coverage_stats(
+                    footprint, stats.memory_ops
+                )
+                if analytic is not None:
+                    assert analytic == simulated, (plan, l1, l2)
+                l2_misses = hierarchy.analytic_l2_misses(footprint)
+                if l2_misses is not None:
+                    assert l2_misses == simulated.l2_misses, (plan, l1, l2)
+
+    def test_oversized_footprint_is_not_claimed(self):
+        hierarchy = MemoryHierarchy(CacheConfig(256, 32, 2), CacheConfig(2048, 32, 4))
+        assert hierarchy.analytic_coverage_stats(4096, 100) is None
+        assert hierarchy.analytic_l2_misses(4096) is None
+        assert not hierarchy.covers_analytically(4096)
+
+
+class TestWritePassElision:
+    """Elided streams produce bit-identical statistics (never bit-identical
+    line sequences — that is the point)."""
+
+    @pytest.mark.parametrize(
+        "l1,l2",
+        [
+            (CacheConfig(256, 32, 1), CacheConfig(2048, 32, 4)),
+            (CacheConfig(256, 32, 2), CacheConfig(2048, 32, 4)),
+            (CacheConfig(1024, 32, 16), CacheConfig(8192, 64, 4)),
+        ],
+    )
+    def test_stats_match_unelided_stream(self, l1, l2):
+        hierarchy = MemoryHierarchy(l1, l2)
+        for seed in range(4):
+            for n in (5, 7, 9, 10):
+                plan = random_plan(n, rng=seed)
+                plain = hierarchy.process_line_chunks(
+                    stream_line_chunks(
+                        PlanInterpreter().iter_nest_blocks(plan),
+                        line_size=l1.line_size,
+                        element_size=8,
+                    )
+                )
+                elided = hierarchy.process_line_chunks(
+                    stream_line_chunks(
+                        PlanInterpreter().iter_nest_blocks(plan),
+                        line_size=l1.line_size,
+                        element_size=8,
+                        hit_elision_sets=l1.num_sets,
+                        hit_elision_ways=l1.associativity,
+                    )
+                )
+                assert elided == plain, (plan, l1, l2)
+
+    def test_elision_shrinks_the_stream(self):
+        plan = random_plan(10, rng=0)
+        plain = sum(
+            c.lines.shape[0]
+            for c in stream_line_chunks(
+                PlanInterpreter().iter_nest_blocks(plan), line_size=64, element_size=8
+            )
+        )
+        elided = sum(
+            c.lines.shape[0]
+            for c in stream_line_chunks(
+                PlanInterpreter().iter_nest_blocks(plan),
+                line_size=64,
+                element_size=8,
+                hit_elision_sets=512,
+                hit_elision_ways=2,
+            )
+        )
+        assert elided < plain
+
+    def test_raw_accesses_still_counted(self):
+        plan = random_plan(8, rng=1)
+        plain = sum(
+            c.accesses
+            for c in stream_line_chunks(
+                PlanInterpreter().iter_nest_blocks(plan), line_size=32, element_size=8
+            )
+        )
+        elided = sum(
+            c.accesses
+            for c in stream_line_chunks(
+                PlanInterpreter().iter_nest_blocks(plan),
+                line_size=32,
+                element_size=8,
+                hit_elision_sets=8,
+                hit_elision_ways=2,
+            )
+        )
+        assert elided == plain

@@ -247,7 +247,12 @@ class TestNWayLRU:
         reference.simulate(addresses)
         vectorised.simulate(addresses)
         for index in range(config.num_sets):
-            tags = [int(t) for t in vectorised._stack[index] if t >= 0]
+            # The vectorised stack stores whole lines; the oracle stores tags.
+            tags = [
+                int(line) >> config.index_bits
+                for line in vectorised._stack[index]
+                if line >= 0
+            ]
             assert tags == reference._sets[index]
 
     def test_strided_power_of_two_traces(self):

@@ -11,13 +11,16 @@ from repro.models.instruction_count import InstructionCountModel
 from repro.runtime.cost_engine import CostEngine
 from repro.runtime.metrics import (
     COUNTER_CHANNEL,
+    DEFAULT_WALL_TIME_POLICY,
     CostRecord,
     MetricSpec,
+    WallTimePolicy,
     available_metrics,
     counter_metric_names,
     hardware_metric_names,
     metric_spec,
     model_metric_names,
+    set_wall_time_policy,
 )
 from repro.runtime.objectives import (
     CustomObjective,
@@ -245,3 +248,67 @@ class TestCompositeObjectiveRanking:
                 np.argsort(reference, kind="stable")
             )
         assert engine.measured == 0  # ranking needed zero hardware measurements
+
+
+class TestWallTimePolicy:
+    def test_default_policy_registered_on_the_spec(self):
+        spec = metric_spec("wall_time")
+        assert spec.policy == DEFAULT_WALL_TIME_POLICY
+        assert spec.policy.repetitions == 5
+        assert spec.policy.trim_fraction == 0.2
+        assert not spec.deterministic
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            WallTimePolicy(repetitions=0)
+        with pytest.raises(ValueError):
+            WallTimePolicy(trim_fraction=0.5)
+        with pytest.raises(ValueError):
+            WallTimePolicy(trim_fraction=-0.1)
+
+    def test_set_wall_time_policy_replaces_the_spec(self):
+        original = metric_spec("wall_time")
+        try:
+            spec = set_wall_time_policy(WallTimePolicy(repetitions=1, trim_fraction=0.0))
+            assert metric_spec("wall_time") is spec
+            assert spec.policy.repetitions == 1
+        finally:
+            set_wall_time_policy(original.policy)
+        assert metric_spec("wall_time").policy == DEFAULT_WALL_TIME_POLICY
+
+    def test_set_wall_time_policy_rejects_non_policy(self):
+        with pytest.raises(TypeError):
+            set_wall_time_policy("median")
+
+    def test_policy_measure_runs_the_plan(self, machine):
+        value = WallTimePolicy(repetitions=3, trim_fraction=0.0).measure(
+            machine, random_plan(5, rng=0)
+        )
+        assert value > 0.0
+
+    def test_trimmed_mean_drops_outliers(self, machine, monkeypatch):
+        """Five repetitions at 20% trim drop exactly the min and the max."""
+        times = iter([0.0, 1.0, 2.0, 99.0, 100.0, 104.0, 105.0, 109.0, 110.0, 112.0])
+        monkeypatch.setattr(
+            "repro.machine.machine.time.perf_counter", lambda: next(times)
+        )
+        value = machine.measure_wall_time(
+            random_plan(4, rng=1), repetitions=5, trim_fraction=0.2
+        )
+        # Deltas are 1, 97, 4, 4, 2 -> trimmed mean of (2, 4, 4) = 10/3.
+        assert value == pytest.approx(10.0 / 3.0)
+
+    def test_trim_none_keeps_the_median(self, machine, monkeypatch):
+        times = iter([0.0, 1.0, 2.0, 99.0, 100.0, 105.0])
+        monkeypatch.setattr(
+            "repro.machine.machine.time.perf_counter", lambda: next(times)
+        )
+        value = machine.measure_wall_time(random_plan(4, rng=1), repetitions=3)
+        # Deltas are 1, 97, 5 -> median 5.
+        assert value == 5.0
+
+    def test_wall_records_never_persist(self, machine):
+        engine = CostEngine(machine, store=MemoryStore())
+        plan = random_plan(5, rng=2)
+        engine.records([plan], ("wall_time",))
+        assert engine.store.get_cost_records(engine.key) == {}

@@ -196,6 +196,73 @@ class TestCompaction:
         assert not _log_file(DiskStore(tmp_path)).exists()
 
 
+def _log_lines(store: DiskStore, key: CostLogKey = KEY) -> int:
+    """Record lines in the log (excluding the version header)."""
+    raw = _log_file(store, key).read_text().strip().splitlines()
+    return sum(1 for line in raw if "version" not in json.loads(line))
+
+
+class TestAutoCompaction:
+    def test_off_by_default(self, tmp_path):
+        store = DiskStore(tmp_path)
+        for _ in range(20):
+            store.append_cost_records(KEY, {"small[1]": {"cycles": 1.0}})
+        assert _log_lines(store) == 20
+
+    def test_rejects_ratio_below_one(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskStore(tmp_path, auto_compact=0.5)
+
+    def test_triggers_when_lines_exceed_the_ratio(self, tmp_path):
+        store = DiskStore(tmp_path, auto_compact=3.0)
+        # Re-append the same two plans: distinct stays at 2, lines grow.
+        records = {"small[1]": {"cycles": 1.0}, "small[2]": {"cycles": 2.0}}
+        for _ in range(3):
+            store.append_cost_records(KEY, records)
+        assert _log_lines(store) == 6  # 6 lines, 2 plans: 6 <= 3.0 * 2 keeps it
+        store.append_cost_records(KEY, records)
+        # 8 > 3.0 * 2 triggered a compaction down to one line per plan.
+        assert _log_lines(store) == 2
+        assert store.get_cost_records(KEY) == {
+            "small[1]": {"cycles": 1.0},
+            "small[2]": {"cycles": 2.0},
+        }
+
+    def test_reads_stay_equivalent_across_many_rounds(self, tmp_path):
+        store = DiskStore(tmp_path, auto_compact=2.0)
+        mirror = DiskStore(tmp_path / "mirror")  # no auto-compaction
+        for round_index in range(12):
+            batch = {
+                f"small[{i}]": {"cycles": float(i * round_index)}
+                for i in range(1, 5)
+            }
+            store.append_cost_records(KEY, batch)
+            mirror.append_cost_records(KEY, batch)
+        assert store.get_cost_records(KEY) == mirror.get_cost_records(KEY)
+        assert _log_lines(store) < _log_lines(mirror)
+
+    def test_counters_seed_from_an_existing_log(self, tmp_path):
+        plain = DiskStore(tmp_path)
+        records = {"small[1]": {"cycles": 1.0}}
+        for _ in range(9):
+            plain.append_cost_records(KEY, records)
+        # A fresh store over the same directory sees the 9 existing lines and
+        # compacts on its very first over-ratio append.
+        compacting = DiskStore(tmp_path, auto_compact=4.0)
+        compacting.append_cost_records(KEY, records)
+        assert _log_lines(compacting) == 1
+        assert compacting.get_cost_records(KEY) == records
+
+    def test_distinct_plan_growth_does_not_trigger(self, tmp_path):
+        store = DiskStore(tmp_path, auto_compact=2.0)
+        for index in range(30):
+            store.append_cost_records(
+                KEY, {f"small[{index}]": {"cycles": float(index)}}
+            )
+        # Every line is a distinct plan: ratio stays 1, nothing compacts.
+        assert _log_lines(store) == 30
+
+
 class TestLegacyMigration:
     """Pre-append-log stores held one JSON table per (machine, metric, seed)."""
 

@@ -100,3 +100,55 @@ class TestEncodePlans:
             deep = Split((Small(1), deep))
         with pytest.raises(ValueError):
             encode_plans([deep])
+
+
+class TestMemoisedSegmentSplice:
+    """encode_plans caches per-plan segments; splicing is bit-identical."""
+
+    FIELDS = (
+        "node_exponent",
+        "node_is_leaf",
+        "node_depth",
+        "plan_node_start",
+        "slot_owner",
+        "slot_child",
+        "slot_suffix_exponent",
+        "plan_slot_start",
+    )
+
+    def assert_encodings_equal(self, a, b):
+        for field in self.FIELDS:
+            assert np.array_equal(getattr(a, field), getattr(b, field)), field
+
+    def test_re_encoding_is_identical(self):
+        plans = [random_plan(9, rng=seed) for seed in range(6)]
+        self.assert_encodings_equal(encode_plans(plans), encode_plans(plans))
+
+    def test_cached_segments_match_fresh_walks(self):
+        from repro.wht.encoding import _SEGMENT_CACHE
+
+        plans = [random_plan(8, rng=seed) for seed in range(4)]
+        _SEGMENT_CACHE.clear()
+        cold = encode_plans(plans)
+        assert len(_SEGMENT_CACHE) == len({str(p) for p in plans})
+        warm = encode_plans(plans)
+        self.assert_encodings_equal(cold, warm)
+
+    def test_order_and_duplicates_respected(self):
+        a, b = random_plan(7, rng=0), random_plan(7, rng=1)
+        encode_plans([a])  # prime the cache with a different batch shape
+        enc = encode_plans([b, a, b, b])
+        assert enc.num_plans == 4
+        direct = encode_plans([b])
+        ranges = list(zip(enc.plan_node_start[:-1], enc.plan_node_start[1:]))
+        for plan_index in (0, 2, 3):
+            low, high = ranges[plan_index]
+            assert np.array_equal(
+                enc.node_exponent[low:high], direct.node_exponent
+            )
+
+    def test_empty_batch(self):
+        enc = encode_plans([])
+        assert enc.num_plans == 0
+        assert enc.num_nodes == 0
+        assert enc.num_slots == 0

@@ -186,3 +186,63 @@ class TestBufferedSampleMany:
             RSUSampler().sample_many(5, 0)
         with pytest.raises(ValueError):
             RSUSampler().sample_many(0, 5)
+
+
+class TestRestrictedBufferedSampling:
+    """The restricted distribution's batched path replays the scalar draws."""
+
+    @pytest.mark.parametrize("max_children", [2, 3, 5])
+    def test_bit_identical_to_scalar(self, max_children):
+        sampler = RSUSampler(max_children=max_children)
+        generator = np.random.default_rng(2024)
+        scalar = [sampler.sample(10, generator) for _ in range(500)]
+        assert sampler.sample_many(10, 500, rng=2024) == scalar
+
+    def test_bit_identical_with_restricted_leaf(self):
+        sampler = RSUSampler(max_leaf=3, max_children=2)
+        generator = np.random.default_rng(7)
+        scalar = [sampler.sample(9, generator) for _ in range(300)]
+        assert sampler.sample_many(9, 300, rng=7) == scalar
+
+    def test_bit_identical_without_trivial_leaf(self):
+        sampler = RSUSampler(max_children=3, allow_trivial_leaf=False)
+        generator = np.random.default_rng(5)
+        scalar = [sampler.sample(8, generator) for _ in range(300)]
+        assert sampler.sample_many(8, 300, rng=5) == scalar
+
+    @given(
+        seed=st.integers(0, 10**6),
+        n=st.integers(1, 11),
+        max_children=st.integers(2, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_bit_identical(self, seed, n, max_children):
+        sampler = RSUSampler(max_children=max_children)
+        generator = np.random.default_rng(seed)
+        scalar = [sampler.sample(n, generator) for _ in range(40)]
+        assert sampler.sample_many(n, 40, rng=seed) == scalar
+
+    def test_plans_validate_and_respect_the_restriction(self):
+        sampler = RSUSampler(max_children=2)
+        for plan in sampler.sample_many(9, 100, rng=1):
+            validate_plan(plan)
+            stack = [plan]
+            while stack:
+                node = stack.pop()
+                assert len(node.children) <= 2
+                stack.extend(node.children)
+
+    def test_scalar_fallback_when_replay_unsupported(self, monkeypatch):
+        import sys
+
+        module = sys.modules["repro.wht.random_plans"]
+        monkeypatch.setattr(module, "_REPLAY_SUPPORTED", False)
+        sampler = RSUSampler(max_children=2)
+        generator = np.random.default_rng(3)
+        scalar = [sampler.sample(8, generator) for _ in range(50)]
+        assert sampler.sample_many(8, 50, rng=3) == scalar
+
+    def test_replay_probe_accepts_this_numpy(self):
+        from repro.wht.random_plans import _integer_replay_supported
+
+        assert _integer_replay_supported()
