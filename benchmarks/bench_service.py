@@ -1,0 +1,296 @@
+"""Campaign-service benchmark: service-mediated search vs the direct engine.
+
+Measures what the multi-tenant service layer costs and what it buys, on the
+Opteron-like geometry (noise-free, so every path is bit-comparable):
+
+* ``dp_n14_direct_cold`` — the reference: measured-cycles DP search at n=14
+  through a private :class:`CostEngine` over an empty store.
+* ``dp_n14_service_cold`` — the same search through a
+  :class:`CampaignService` client (job queue, worker fleet, in-flight dedup,
+  sharded persistence) starting from an empty store.  The gate requires the
+  service path to stay within ``SERVICE_OVERHEAD_CEILING`` of the direct
+  engine: the queue/dispatch layer must be thin relative to measurement.
+* ``dp_n14_service_warm`` — the same search through a *second* client of the
+  same service: everything is served from the shared record cache, zero
+  measurements, gated at >= ``WARM_SPEEDUP_FLOOR`` over the direct cold run.
+* ``dp_n14_direct_warm`` — a second direct engine over the now-populated
+  store, for comparison with the service warm path.
+* ``fanout_8_sessions_n12`` — eight concurrent connected sessions all
+  running DP n=12: total real measurements must equal what ONE serial
+  engine-backed session performs (the dedup guarantee, verified by a
+  counting backend), and the wall-clock is recorded as the contention cost.
+* ``sharded_append_10k`` — 10,000 records appended across four
+  ``(machine_hash, seed)`` shards of a :class:`ShardedRecordStore` in 100
+  batches, plus a full read-back and a drained compaction.
+
+Every run re-verifies exactness before timing: service-mediated DP results
+must be bit-identical to the direct engine's, and the fan-out sessions must
+all agree with the serial reference — a "fast but wrong" service cannot
+produce a benchmark number.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                  # check
+    PYTHONPATH=src python benchmarks/bench_service.py --write-baseline
+
+The committed ``BENCH_service.json`` records indicative numbers from the
+machine that wrote it; the check mode applies wide slack so only gross
+regressions fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Multiplier applied to recorded baseline times before failing.
+TIME_SLACK = 15.0
+#: The tentpole overhead gate: a cold service-mediated DP must stay within
+#: this multiple of the direct cold engine (plus a small absolute grace for
+#: thread scheduling jitter on loaded CI machines).
+SERVICE_OVERHEAD_CEILING = 1.2
+SERVICE_OVERHEAD_GRACE_SECONDS = 0.5
+#: A warm service client resolves everything from the shared record cache.
+WARM_SPEEDUP_FLOOR = 5.0
+#: Absolute budget for the sharded append workload (O(batch) appends; a
+#: whole-log-rewrite regression lands far beyond this).
+SHARDED_APPEND_BUDGET = 2.0
+
+
+class _CountingBackend:
+    """Counts executed units so dedup is verified, not inferred."""
+
+    name = "counting"
+
+    def __init__(self):
+        from repro.runtime.backends import BatchedBackend
+
+        self.inner = BatchedBackend()
+        self.lock = threading.Lock()
+        self.executed = []
+
+    def measure_units(self, machine, units):
+        from repro.runtime.store import machine_config_hash
+        from repro.wht.encoding import plan_key
+
+        with self.lock:
+            digest = machine_config_hash(machine.config)
+            self.executed.extend(
+                (digest, plan_key(unit.plan), unit.noise_seed) for unit in units
+            )
+        return self.inner.measure_units(machine, units)
+
+
+def run_benchmarks() -> dict[str, float]:
+    from repro.machine.configs import opteron_like
+    from repro.machine.machine import SimulatedMachine
+    from repro.runtime.cost_engine import CostEngine
+    from repro.runtime.service import CampaignService
+    from repro.runtime.session import Session, session
+    from repro.runtime.sharded_store import ShardedRecordStore
+    from repro.runtime.store import CostLogKey, MemoryStore
+    from repro.search.dp import dp_search
+
+    config = opteron_like(noise_sigma=0.0).config
+    recorded: dict[str, float] = {}
+
+    def bench(name: str, fn) -> object:
+        start = time.perf_counter()
+        out = fn()
+        recorded[name] = time.perf_counter() - start
+        print(f"{name}: {recorded[name]:.3f} s")
+        return out
+
+    store = MemoryStore()
+    direct_cold = bench(
+        "dp_n14_direct_cold",
+        lambda: dp_search(14, CostEngine(SimulatedMachine(config), store=store)),
+    )
+    direct_warm_engine = CostEngine(SimulatedMachine(config), store=store)
+    direct_warm = bench(
+        "dp_n14_direct_warm", lambda: dp_search(14, direct_warm_engine)
+    )
+    assert direct_warm_engine.measured == 0
+    assert direct_warm.best_plans == direct_cold.best_plans
+
+    with CampaignService(workers=2) as service:
+        cold_client = service.client(config)
+        service_cold = bench(
+            "dp_n14_service_cold", lambda: dp_search(14, cold_client)
+        )
+        warm_client = service.client(config)
+        service_warm = bench(
+            "dp_n14_service_warm", lambda: dp_search(14, warm_client)
+        )
+        assert warm_client.measured == 0  # everything shared, nothing re-run
+        for result, label in ((service_cold, "cold"), (service_warm, "warm")):
+            if (
+                result.best_plans != direct_cold.best_plans
+                or result.best_costs != direct_cold.best_costs
+            ):
+                raise SystemExit(
+                    f"service exactness regression: {label} service DP "
+                    "differs from the direct engine"
+                )
+
+    counting = _CountingBackend()
+    with CampaignService(backend=counting, workers=4) as service:
+        sessions = [Session.connect(service, machine=config) for _ in range(8)]
+        results = [None] * len(sessions)
+
+        def fan_out():
+            def run(index):
+                results[index] = sessions[index].search(12)
+
+            threads = [
+                threading.Thread(target=run, args=(index,))
+                for index in range(len(sessions))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return results
+
+        bench("fanout_8_sessions_n12", fan_out)
+        serial = session(machine=config)
+        reference = serial.search(12, use_engine=True)
+        for result in results:
+            if (
+                str(result.best_plan) != str(reference.best_plan)
+                or result.best_cost != reference.best_cost
+            ):
+                raise SystemExit(
+                    "service exactness regression: fan-out DP differs from "
+                    "the serial session"
+                )
+        if len(counting.executed) != serial.cost_engine().measured:
+            raise SystemExit(
+                f"dedup regression: 8 sessions executed "
+                f"{len(counting.executed)} units, serial needed "
+                f"{serial.cost_engine().measured}"
+            )
+        if len(set(counting.executed)) != len(counting.executed):
+            raise SystemExit("dedup regression: duplicate unit executions")
+
+    def sharded_append():
+        with tempfile.TemporaryDirectory() as tmp:
+            with ShardedRecordStore(tmp) as sharded:
+                keys = [
+                    CostLogKey(machine_hash=f"bench-{shard}", seed=shard)
+                    for shard in range(4)
+                ]
+                for batch_index in range(100):
+                    key = keys[batch_index % len(keys)]
+                    sharded.append_cost_records(
+                        key,
+                        {
+                            f"plan-{batch_index}-{i}": {
+                                "cycles": float(i),
+                                "instructions": float(i * 3),
+                            }
+                            for i in range(100)
+                        },
+                    )
+                total = sum(
+                    len(sharded.get_cost_records(key)) for key in keys
+                )
+                assert total == 10_000
+                sharded.drain_compactions()
+
+    bench("sharded_append_10k", sharded_append)
+
+    warm_speedup = recorded["dp_n14_direct_cold"] / max(
+        recorded["dp_n14_service_warm"], 1e-9
+    )
+    recorded["service_warm_speedup"] = warm_speedup
+    print(f"service_warm_speedup: {warm_speedup:.0f}x")
+    overhead = recorded["dp_n14_service_cold"] / max(
+        recorded["dp_n14_direct_cold"], 1e-9
+    )
+    recorded["service_cold_overhead"] = overhead
+    print(f"service_cold_overhead: {overhead:.2f}x")
+    return recorded
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current machine's numbers into BENCH_service.json",
+    )
+    args = parser.parse_args()
+
+    recorded = run_benchmarks()
+
+    if args.write_baseline:
+        baseline = {
+            "note": (
+                "Campaign-service perf baseline; indicative numbers from the "
+                "machine below, checked by benchmarks/bench_service.py with "
+                "wide slack."
+            ),
+            "machine": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "recorded": {name: round(value, 4) for name, value in recorded.items()},
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    failures = []
+    ceiling = (
+        SERVICE_OVERHEAD_CEILING * recorded["dp_n14_direct_cold"]
+        + SERVICE_OVERHEAD_GRACE_SECONDS
+    )
+    if recorded["dp_n14_service_cold"] > ceiling:
+        failures.append(
+            f"cold service DP took {recorded['dp_n14_service_cold']:.2f} s > "
+            f"{SERVICE_OVERHEAD_CEILING}x the direct engine's "
+            f"{recorded['dp_n14_direct_cold']:.2f} s (+"
+            f"{SERVICE_OVERHEAD_GRACE_SECONDS} s grace)"
+        )
+    if recorded["service_warm_speedup"] < WARM_SPEEDUP_FLOOR:
+        failures.append(
+            f"warm service speedup {recorded['service_warm_speedup']:.1f}x "
+            f"< required {WARM_SPEEDUP_FLOOR}x"
+        )
+    if recorded["sharded_append_10k"] >= SHARDED_APPEND_BUDGET:
+        failures.append(
+            f"sharded_append_10k took {recorded['sharded_append_10k']:.2f} s "
+            f"(>= {SHARDED_APPEND_BUDGET} s budget)"
+        )
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())["recorded"]
+        for name, value in recorded.items():
+            if name.endswith("_speedup") or name.endswith("_overhead"):
+                continue
+            reference = baseline.get(name)
+            if reference and value > reference * TIME_SLACK:
+                failures.append(
+                    f"{name} took {value:.2f} s > {TIME_SLACK}x baseline "
+                    f"{reference} s"
+                )
+    else:
+        print("no BENCH_service.json baseline; absolute gates only")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("service bench OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,8 +21,13 @@ n <= 6.  The metric-first cost API is gated by ``check_multi_metric``: one
 measurement populates every hardware counter metric, objective-based DP is
 bit-identical to the plain cycles path, and the composite model objective
 reproduces the combined model over the full enumerated n <= 8 space with
-zero hardware measurements.  (Timing gates for the search layer live in
-``bench_search.py`` against ``BENCH_search.json``.)
+zero hardware measurements.  The multi-tenant campaign service is gated by
+``check_service``: eight concurrent sessions execute zero duplicate
+measurements (counter-verified), fan-out results are bit-identical to one
+serial session, and the cold service-mediated search stays within 20% of the
+direct engine.  (Timing gates for the search layer live in
+``bench_search.py`` against ``BENCH_search.json``; service timings in
+``bench_service.py`` against ``BENCH_service.json``.)
 
 Usage::
 
@@ -303,6 +308,119 @@ def check_multi_metric() -> None:
         )
 
 
+def check_service() -> None:
+    """The campaign service must dedupe exactly and add near-zero overhead.
+
+    Three gates on the multi-tenant measurement service (DP n=10,
+    Opteron-like, noise-free):
+
+    * eight concurrent connected sessions running the same DP search execute
+      **zero** duplicate ``(machine_hash, plan_key, noise_seed)`` units —
+      counter-verified at the backend, not inferred from stats — and exactly
+      as many real measurements as ONE serial engine-backed session;
+    * every fan-out result is bit-identical to the serial session's;
+    * a cold service-mediated DP stays within 20% of the direct
+      :class:`CostEngine` (plus a small absolute grace for thread-scheduling
+      jitter): the queue/dispatch layer must be thin.
+    """
+    import threading
+
+    from repro.machine.configs import opteron_like
+    from repro.machine.machine import SimulatedMachine
+    from repro.runtime.backends import BatchedBackend
+    from repro.runtime.cost_engine import CostEngine
+    from repro.runtime.service import CampaignService
+    from repro.runtime.session import Session, session
+    from repro.runtime.store import MemoryStore, machine_config_hash
+    from repro.search.dp import dp_search
+    from repro.wht.encoding import plan_key
+
+    config = opteron_like(noise_sigma=0.0).config
+
+    class CountingBackend:
+        name = "counting"
+
+        def __init__(self):
+            self.inner = BatchedBackend()
+            self.lock = threading.Lock()
+            self.executed = []
+
+        def measure_units(self, machine, units):
+            with self.lock:
+                digest = machine_config_hash(machine.config)
+                self.executed.extend(
+                    (digest, plan_key(unit.plan), unit.noise_seed)
+                    for unit in units
+                )
+            return self.inner.measure_units(machine, units)
+
+    counting = CountingBackend()
+    with CampaignService(backend=counting, workers=4) as service:
+        sessions = [Session.connect(service, machine=config) for _ in range(8)]
+        results = [None] * len(sessions)
+
+        def run(index):
+            results[index] = sessions[index].search(10)
+
+        threads = [
+            threading.Thread(target=run, args=(index,))
+            for index in range(len(sessions))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if service.stats().failures:
+            raise SystemExit("service regression: worker failures during fan-out")
+
+    if len(set(counting.executed)) != len(counting.executed):
+        raise SystemExit(
+            "service dedup regression: duplicate unit executions across "
+            "concurrent sessions"
+        )
+    serial = session(machine=config)
+    reference = serial.search(10, use_engine=True)
+    for result in results:
+        if (
+            str(result.best_plan) != str(reference.best_plan)
+            or result.best_cost != reference.best_cost
+        ):
+            raise SystemExit(
+                "service exactness regression: fan-out DP differs from the "
+                "serial session"
+            )
+    if len(counting.executed) != serial.cost_engine().measured:
+        raise SystemExit(
+            f"service dedup regression: 8 sessions executed "
+            f"{len(counting.executed)} units, one serial session needs "
+            f"{serial.cost_engine().measured}"
+        )
+
+    # Overhead gate: best-of-three cold runs on each path.
+    def time_direct():
+        engine = CostEngine(SimulatedMachine(config), store=MemoryStore())
+        start = time.perf_counter()
+        dp_search(10, engine)
+        return time.perf_counter() - start
+
+    def time_service():
+        with CampaignService(workers=2) as fresh:
+            client = fresh.client(config)
+            start = time.perf_counter()
+            dp_search(10, client)
+            return time.perf_counter() - start
+
+    time_direct(), time_service()  # warmup
+    direct = min(time_direct() for _ in range(3))
+    mediated = min(time_service() for _ in range(3))
+    if mediated > direct * 1.2 + 0.3:
+        raise SystemExit(
+            f"service overhead regression: service-mediated DP took "
+            f"{mediated:.3f} s > 1.2x the direct engine's {direct:.3f} s "
+            f"(+0.3 s grace)"
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -329,6 +447,12 @@ def main() -> int:
         "multi-metric: one measurement populates every counter metric, "
         "objective DP bit-identical to the cycles path, composite objective "
         "matches the combined model over the full n <= 8 space"
+    )
+    check_service()
+    print(
+        "service: 8 concurrent sessions execute zero duplicate measurements, "
+        "fan-out DP bit-identical to the serial session, cold service "
+        "overhead within 20% of the direct engine"
     )
 
     seconds, peak, stats = run_smoke()

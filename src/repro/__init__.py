@@ -43,6 +43,16 @@ One simulated run populates every hardware counter metric at once
 ``l1_accesses``), model metrics never touch the machine, and all records
 share one persistent cache — switching objectives re-measures nothing.
 
+Many sessions can share one measurement pipeline through the campaign
+service — a job queue plus worker fleet that dedupes overlapping work
+fleet-wide and persists records in per-machine shards:
+
+>>> service = repro.serve(store="./campaigns", workers=4)
+>>> a = repro.Session.connect(service)
+>>> b = repro.Session.connect(service)     # shares a's measurements
+>>> best = a.search(14)                    # each plan measured once, total
+>>> service.stats().dedup_savings          # duplicates that never ran
+
 Lower-level objects remain available for direct use:
 
 >>> from repro import wht, machine, models
@@ -64,6 +74,7 @@ from repro.models import (
 )
 from repro.runtime import (
     BatchedBackend,
+    CampaignService,
     CampaignStore,
     CostEngine,
     CostRecord,
@@ -76,8 +87,11 @@ from repro.runtime import (
     MultiprocessBackend,
     Objective,
     SerialBackend,
+    ServiceClient,
     Session,
+    ShardedRecordStore,
     WeightedObjective,
+    serve,
     session,
 )
 from repro.wht import (
@@ -91,7 +105,7 @@ from repro.wht import (
     right_recursive_plan,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analysis",
@@ -124,6 +138,10 @@ __all__ = [
     "CampaignStore",
     "MemoryStore",
     "DiskStore",
+    "ShardedRecordStore",
+    "CampaignService",
+    "ServiceClient",
+    "serve",
     "MeasurementTable",
     "CostEngine",
     "CostRecord",

@@ -29,7 +29,16 @@ live*:
   counter metric at once, model metrics never touch the machine, and every
   record lands in the persistent per-plan record log;
 * :mod:`repro.runtime.session` — :class:`Session` / :func:`session`, the
-  fluent top-level entry point owning machine, scale, backend and store.
+  fluent top-level entry point owning machine, scale, backend and store;
+* :mod:`repro.runtime.sharded_store` — :class:`ShardedRecordStore`, the
+  record log sharded per ``(machine_hash, seed)`` with one locked writer per
+  shard, lock-free readers and background compaction;
+* :mod:`repro.runtime.service` — :class:`CampaignService` / :func:`serve`,
+  the multi-tenant measurement service: a job queue deduping work by
+  ``(machine_hash, plan_key, seed, channel)``, a worker fleet draining it
+  through an :class:`ExecutionBackend`, and cost-engine-compatible
+  :class:`ServiceClient`\\ s for any number of concurrent sessions
+  (``Session.connect``).
 """
 
 from repro.runtime.backends import (
@@ -65,7 +74,19 @@ from repro.runtime.objectives import (
     WeightedObjective,
     resolve_objective,
 )
+from repro.runtime.service import (
+    CampaignJob,
+    CampaignService,
+    JobTicket,
+    ServiceBackend,
+    ServiceClient,
+    ServiceError,
+    ServiceStats,
+    ServiceStoreView,
+    serve,
+)
 from repro.runtime.session import SCALE_PRESETS, Session, session
+from repro.runtime.sharded_store import ShardedRecordStore, ShardStats
 from repro.runtime.store import (
     CampaignKey,
     CampaignStore,
@@ -120,6 +141,17 @@ __all__ = [
     "default_memory_store",
     "machine_config_hash",
     "resolve_store",
+    "ShardedRecordStore",
+    "ShardStats",
+    "CampaignService",
+    "CampaignJob",
+    "JobTicket",
+    "ServiceClient",
+    "ServiceBackend",
+    "ServiceStoreView",
+    "ServiceStats",
+    "ServiceError",
+    "serve",
     "TABLE_COLUMNS",
     "MeasurementTable",
 ]

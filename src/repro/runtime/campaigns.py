@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.machine.machine import SimulatedMachine
-from repro.runtime.backends import ExecutionBackend, SerialBackend, WorkUnit
+from repro.runtime.backends import BatchedBackend, ExecutionBackend, WorkUnit
 from repro.runtime.store import CampaignKey, CampaignStore, NullStore, machine_config_hash
 from repro.runtime.table import MeasurementTable
 from repro.util.rng import as_generator, derive_seed
@@ -83,10 +83,13 @@ def run_campaign(
     """Measure an RSU campaign, consulting ``store`` before executing.
 
     On a store hit the backend is never invoked (zero ``measure`` calls); on a
-    miss the sampled work units go through ``backend`` and the resulting table
-    is stored before being returned.
+    miss the sampled work units go through ``backend`` — by default the fused
+    :class:`~repro.runtime.backends.BatchedBackend`, which prepares the whole
+    campaign as one cross-plan workload and is bit-identical to the serial
+    path (noise draws are pinned per unit, not to execution order) — and the
+    resulting table is stored before being returned.
     """
-    backend = backend if backend is not None else SerialBackend()
+    backend = backend if backend is not None else BatchedBackend()
     store = store if store is not None else NullStore()
     key = campaign_key(machine, n, count, seed, max_leaf=max_leaf, max_children=max_children)
     cached = store.get(key)
@@ -111,8 +114,10 @@ def measure_plan_list(
 
     Noise seeds are derived per index from ``(seed, tag, plan.n, index)``,
     matching the legacy ``SampleCampaign.measure_plans`` scheme exactly.
+    Defaults to the fused :class:`~repro.runtime.backends.BatchedBackend`
+    (bit-identical to serial execution, one prepared workload per batch).
     """
-    backend = backend if backend is not None else SerialBackend()
+    backend = backend if backend is not None else BatchedBackend()
     plan_list: Sequence[Plan] = list(plans)
     if not plan_list:
         raise ValueError("measure_plan_list requires at least one plan")

@@ -54,7 +54,7 @@ from repro.runtime.metrics import (
     MODEL_CHANNEL,
     WALL_CHANNEL,
     CostRecord,
-    counter_metric_names,
+    counter_values,
     metric_spec,
     nondeterministic_metric_names,
 )
@@ -231,7 +231,6 @@ class CostEngine:
                 pending.setdefault(key, {}).update(values)
 
         if need_counters:
-            counter_specs = [metric_spec(name) for name in counter_metric_names()]
             units = [
                 WorkUnit(plan=plan, noise_seed=self._noise_seed(key))
                 for key, plan in need_counters.items()
@@ -239,13 +238,7 @@ class CostEngine:
             measurements = self.backend.measure_units(self.machine, units)
             self.measured += len(units)
             for key, measurement in zip(need_counters, measurements):
-                stage(
-                    key,
-                    {
-                        spec.name: float(spec.from_measurement(measurement))
-                        for spec in counter_specs
-                    },
-                )
+                stage(key, counter_values(measurement))
         for (key, _name), (plan, spec) in need_wall.items():
             self.measured += 1
             # Non-deterministic acquisitions are memoised for this engine's

@@ -60,6 +60,7 @@ __all__ = [
     "available_metrics",
     "hardware_metric_names",
     "counter_metric_names",
+    "counter_values",
     "model_metric_names",
 ]
 
@@ -197,6 +198,20 @@ def counter_metric_names() -> tuple[str, ...]:
     return tuple(
         name for name, spec in _REGISTRY.items() if spec.channel == COUNTER_CHANNEL
     )
+
+
+def counter_values(measurement: Measurement) -> dict[str, float]:
+    """Every counter-channel metric of one measurement, by name.
+
+    This is the "one PAPI run populates every counter at once" extraction
+    shared by the cost engine and the campaign service: acquiring *any*
+    counter metric stores *all* of them.
+    """
+    values = {}
+    for name, spec in _REGISTRY.items():
+        if spec.channel == COUNTER_CHANNEL:
+            values[name] = float(spec.from_measurement(measurement))
+    return values
 
 
 def model_metric_names() -> tuple[str, ...]:

@@ -1,0 +1,1029 @@
+"""The multi-tenant campaign service: job queue, worker fleet, shared store.
+
+Everything below the session layer is already order-independent (per-plan
+noise seeds), batched (``prepare_batch``) and durable (append-log record
+stores) — but one :class:`~repro.runtime.session.Session` is still one
+process serving one caller.  Run the paper's measurement campaigns from many
+figure scripts, searches and sweeps at once and each opens its own store,
+races the others' appends and re-measures work a sibling finished seconds
+ago.  :class:`CampaignService` closes that gap: **one** process-wide owner of
+the measurement pipeline that any number of sessions submit work to.
+
+Architecture
+------------
+
+* **Job queue.**  Clients submit :class:`CampaignJob`\\ s — ``(machine
+  configuration, plan batch, metrics, seed)`` work units.  ``submit``
+  partitions a job by acquisition channel, serves whatever the shared record
+  cache already knows, attaches to any identical work already in flight, and
+  enqueues only the remainder.  The returned :class:`JobTicket` blocks until
+  every record the job needs exists.
+* **Dedup.**  Work is identified by ``(machine_hash, plan_key, seed,
+  channel)``.  However many sessions ask for a plan's cost concurrently,
+  exactly one real measurement happens: the first submitter enqueues it,
+  everyone else waits on the same in-flight entry.  (Raw measurement batches
+  — campaign tables — dedupe the same way on ``(machine_hash, plan_key,
+  noise_seed)`` through :meth:`CampaignService.measure_units`.)
+* **Worker fleet.**  Daemon threads drain the queue through the service's
+  :class:`~repro.runtime.backends.ExecutionBackend` — the fused
+  :class:`~repro.runtime.backends.BatchedBackend` by default, a
+  :class:`~repro.runtime.backends.MultiprocessBackend` for process fan-out;
+  the protocol leaves room for a socket/multi-host backend later.  All real
+  work routes through ``prepare_batch``; per-machine execution is serialised
+  so simulator state is never shared across threads.  A failing task is
+  retried (fresh machine state) and only marked failed — never silently
+  dropped — after ``max_attempts``.
+* **Sharded record log.**  Results persist in the service's store —
+  :class:`~repro.runtime.sharded_store.ShardedRecordStore` for a directory
+  spec: one append-log writer per ``(machine_hash, seed)`` shard, lock-free
+  readers, background compaction.  Records are appended *before* waiters are
+  released, so no value a client observed can be lost by a crash.
+* **Clients.**  :meth:`CampaignService.client` returns a
+  :class:`ServiceClient` — a drop-in for
+  :class:`~repro.runtime.cost_engine.CostEngine` (``records`` / ``cost`` /
+  ``batch`` / the ``evaluations``/``measured`` counters) whose acquisitions
+  all route through the service.  ``Session.connect(service=...)`` builds a
+  whole session on top; :func:`repro.serve` is the one-line constructor.
+* **Observability.**  :meth:`CampaignService.stats` reports queue depth,
+  in-flight units, dedup savings, store hits vs real measurements, retries,
+  failures and per-shard sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.machine.machine import MachineConfig, PreparedPlanCache, SimulatedMachine
+from repro.machine.measurement import Measurement
+from repro.runtime.backends import BatchedBackend, ExecutionBackend, WorkUnit
+from repro.runtime.cost_engine import ObjectiveCost
+from repro.runtime.metrics import (
+    COUNTER_CHANNEL,
+    MODEL_CHANNEL,
+    WALL_CHANNEL,
+    CostRecord,
+    counter_values,
+    metric_spec,
+    nondeterministic_metric_names,
+)
+from repro.runtime.objectives import Objective, resolve_objective
+from repro.runtime.sharded_store import ShardedRecordStore, ShardStats
+from repro.runtime.store import (
+    CampaignKey,
+    CampaignStore,
+    CostLogKey,
+    CostRecords,
+    MemoryStore,
+    machine_config_hash,
+    resolve_store,
+)
+from repro.runtime.table import MeasurementTable
+from repro.util.lru import LRUCache
+from repro.util.rng import derive_seed
+from repro.util.validation import check_positive_int
+from repro.wht.encoding import plan_key
+from repro.wht.plan import Plan
+
+__all__ = [
+    "CampaignJob",
+    "JobTicket",
+    "ServiceError",
+    "ServiceStats",
+    "CampaignService",
+    "ServiceClient",
+    "ServiceBackend",
+    "ServiceStoreView",
+    "serve",
+]
+
+
+class ServiceError(RuntimeError):
+    """A campaign service request failed (worker failure after retries,
+    shutdown while waiting, or a timeout)."""
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One unit of service work: a plan batch to evaluate on one machine.
+
+    ``metrics`` name what must be known for every plan of ``plan_batch``;
+    ``seed`` is the noise-derivation seed (the same meaning as
+    :class:`~repro.runtime.cost_engine.CostEngine`'s ``seed`` — it selects
+    the record shard and pins each plan's noise draw).  ``scale`` is a free
+    informational tag (e.g. the submitting session's scale name) carried
+    into reports.
+    """
+
+    machine_config: MachineConfig
+    plan_batch: "tuple[Plan, ...]"
+    metrics: "tuple[str, ...]" = ("cycles",)
+    seed: int = 0
+    scale: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.plan_batch:
+            raise ValueError("a CampaignJob needs at least one plan")
+        if not self.metrics:
+            raise ValueError("a CampaignJob needs at least one metric")
+
+
+class _Inflight:
+    """One pending acquisition every interested waiter blocks on."""
+
+    __slots__ = ("event", "error", "value")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.error: BaseException | None = None
+        self.value: object | None = None
+
+
+@dataclass
+class _Task:
+    """One queued batch of real work for the worker fleet."""
+
+    channel: str  # COUNTER_CHANNEL | WALL_CHANNEL | MODEL_CHANNEL | "measure"
+    config: MachineConfig
+    log_key: CostLogKey
+    #: plan key -> plan for record channels; unused for "measure".
+    plan_by_key: "dict[str, Plan]" = field(default_factory=dict)
+    #: wall/model channels: the one metric this task acquires.
+    metric: str | None = None
+    #: "measure" channel: (dedup key, unit) payloads.
+    payloads: "list[tuple[tuple, WorkUnit]]" = field(default_factory=list)
+    attempts: int = 0
+
+
+class JobTicket:
+    """Handle on one submitted :class:`CampaignJob`.
+
+    ``result()`` blocks until every record the job needs exists and returns
+    one :class:`~repro.runtime.metrics.CostRecord` per plan, in job order.
+    ``owned_units`` counts the acquisitions *this* submission enqueued (as
+    opposed to records served from the store or attached to another
+    submitter's in-flight work) — the client-side measurement counter.
+    """
+
+    def __init__(
+        self,
+        service: "CampaignService",
+        job: CampaignJob,
+        log_key: CostLogKey,
+        plan_keys: "list[str]",
+        metric_names: "tuple[str, ...]",
+        waits: "list[_Inflight]",
+        owned_units: int,
+    ):
+        self._service = service
+        self.job = job
+        self._log_key = log_key
+        self._plan_keys = plan_keys
+        self._metric_names = metric_names
+        self._waits = waits
+        self.owned_units = owned_units
+
+    def done(self) -> bool:
+        """Whether every acquisition this job depends on has finished."""
+        return all(entry.event.is_set() for entry in self._waits)
+
+    def result(self, timeout: float | None = None) -> "list[CostRecord]":
+        """Block until the job's records exist, then return them in order."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for entry in self._waits:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                remaining = 0.0
+            if not entry.event.wait(remaining):
+                raise ServiceError(
+                    f"timed out after {timeout} s waiting for campaign work"
+                )
+            if entry.error is not None:
+                raise ServiceError(
+                    "campaign work failed after retries"
+                ) from entry.error
+        return self._service._assemble(self._log_key, self._plan_keys, self._metric_names)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else f"waiting on {len(self._waits)}"
+        return f"JobTicket({len(self._plan_keys)} plans, {state})"
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One consistent snapshot of a service's counters and store occupancy."""
+
+    #: Jobs accepted by ``submit`` (not counting raw ``measure_units`` batches).
+    jobs: int
+    #: Tasks waiting in the queue right now.
+    queue_depth: int
+    #: Acquisitions currently in flight (enqueued or executing).
+    in_flight: int
+    #: Per-(plan, metric) requests served straight from the record cache
+    #: (which is read-through from the store).
+    store_hits: int
+    #: Requests that attached to work another submitter already had in
+    #: flight — each one a duplicate measurement that never happened.
+    dedup_savings: int
+    #: Real measurements executed (one per distinct plan per shard).
+    measured: int
+    #: Plans evaluated through the analytic model scorers (no machine).
+    model_evaluations: int
+    #: Wall-channel executions.
+    wall_evaluations: int
+    #: Tasks re-enqueued after a worker failure.
+    retries: int
+    #: Tasks abandoned after exhausting their attempts.
+    failures: int
+    #: Size of the worker fleet.
+    workers: int
+    #: Per-shard occupancy, when the store exposes it (sharded stores do).
+    shards: "tuple[ShardStats, ...]" = ()
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"jobs={self.jobs} queue={self.queue_depth} inflight={self.in_flight} "
+            f"store_hits={self.store_hits} dedup={self.dedup_savings} "
+            f"measured={self.measured} retries={self.retries} "
+            f"failures={self.failures} shards={len(self.shards)}"
+        )
+
+
+def _resolve_service_store(spec: "str | os.PathLike[str] | CampaignStore | None") -> CampaignStore:
+    """Service store resolution: directory specs become *sharded* stores.
+
+    ``None`` gives the service a private in-memory store (the read-through
+    cache still works; nothing survives the process).  A path spec becomes a
+    :class:`ShardedRecordStore` — the service is long-lived and multi-tenant,
+    exactly what sharding is for — while explicit store instances and the
+    ``"memory"``/``"none"`` presets resolve exactly as
+    :func:`~repro.runtime.store.resolve_store` resolves them (including the
+    bare-string rejection: a typo cannot silently change semantics).
+    """
+    if spec is None:
+        return MemoryStore()
+    if isinstance(spec, str):
+        if spec in ("memory", "none"):
+            return resolve_store(spec)
+        if os.sep in spec or (os.altsep is not None and os.altsep in spec):
+            return ShardedRecordStore(spec)
+        return resolve_store(spec)  # raises the canonical bare-string error
+    if isinstance(spec, os.PathLike):
+        return ShardedRecordStore(spec)
+    return resolve_store(spec)
+
+
+class CampaignService:
+    """One process-wide owner of measurement work for many client sessions.
+
+    Parameters
+    ----------
+    store:
+        Where records and campaign tables persist.  ``None`` — a private
+        in-memory store; a directory path — a :class:`ShardedRecordStore`
+        rooted there; any :class:`~repro.runtime.store.CampaignStore`
+        instance passes through.  The service treats itself as the store's
+        **single writer** for record logs; client sessions read through it.
+    backend:
+        How queued work executes (default: the fused
+        :class:`~repro.runtime.backends.BatchedBackend`).
+    workers:
+        Worker-fleet size.  Execution on one machine configuration is
+        serialised (simulator state is not shared across threads), so extra
+        workers buy overlap across *different* machines/shards and keep the
+        queue moving while one batch simulates.
+    max_attempts:
+        Total tries per task before its waiters receive the failure.
+    """
+
+    def __init__(
+        self,
+        store: "str | CampaignStore | None" = None,
+        backend: ExecutionBackend | None = None,
+        workers: int = 2,
+        max_attempts: int = 3,
+        measurement_memo: int = 8192,
+        name: str = "campaign-service",
+    ):
+        check_positive_int(workers, "workers")
+        check_positive_int(max_attempts, "max_attempts")
+        self.name = name
+        self._owns_store = not isinstance(store, CampaignStore)
+        self.store = _resolve_service_store(store)
+        self.backend = backend if backend is not None else BatchedBackend()
+        self.max_attempts = int(max_attempts)
+        self._lock = threading.RLock()
+        self._queue: "queue.Queue[_Task | None]" = queue.Queue()
+        #: Authoritative record cache per shard, read-through from the store.
+        #: Coherent because this service is the store's single record writer.
+        self._records: "dict[CostLogKey, CostRecords]" = {}
+        #: Wall-channel values: volatile, never persisted (host-specific).
+        self._wall: "dict[tuple[CostLogKey, str, str], float]" = {}
+        #: (machine_hash, plan_key, seed, channel[, metric]) -> pending work.
+        self._inflight: "dict[tuple, _Inflight]" = {}
+        #: Raw-measurement dedup: (machine_hash, plan_key, noise_seed).
+        self._measure_inflight: "dict[tuple, _Inflight]" = {}
+        self._measure_memo: "LRUCache[tuple, Measurement]" = LRUCache(measurement_memo)
+        self._machines: "dict[str, SimulatedMachine]" = {}
+        self._machine_locks: "dict[str, threading.Lock]" = {}
+        self._hashes: "dict[MachineConfig, str]" = {}
+        self._scorers: "dict[tuple[str, str], object]" = {}
+        self._counters = {
+            "jobs": 0,
+            "store_hits": 0,
+            "dedup_savings": 0,
+            "measured": 0,
+            "model_evaluations": 0,
+            "wall_evaluations": 0,
+            "retries": 0,
+            "failures": 0,
+        }
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"{name}-worker-{index}", daemon=True
+            )
+            for index in range(int(workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- resolution helpers ------------------------------------------------------
+
+    def _hash_for(self, config: MachineConfig) -> str:
+        digest = self._hashes.get(config)
+        if digest is None:
+            digest = machine_config_hash(config)
+            self._hashes[config] = digest
+        return digest
+
+    def _machine_for(self, config: MachineConfig) -> SimulatedMachine:
+        digest = self._hash_for(config)
+        with self._lock:
+            machine = self._machines.get(digest)
+            if machine is None:
+                machine = SimulatedMachine(
+                    config, prepared_cache=PreparedPlanCache(512)
+                )
+                self._machines[digest] = machine
+                self._machine_locks[digest] = threading.Lock()
+            return machine
+
+    def _machine_lock(self, digest: str) -> threading.Lock:
+        with self._lock:
+            return self._machine_locks.setdefault(digest, threading.Lock())
+
+    def _cache_for(self, log_key: CostLogKey) -> CostRecords:
+        """The shard's record cache, seeded from the store on first touch."""
+        cache = self._records.get(log_key)
+        if cache is None:
+            cache = self.store.get_cost_records(log_key)
+            volatile = nondeterministic_metric_names()
+            if volatile:
+                for record in cache.values():
+                    for metric in volatile:
+                        record.pop(metric, None)
+            self._records[log_key] = cache
+        return cache
+
+    def _scorer(self, digest: str, metric: str, config: MachineConfig):
+        scorer = self._scorers.get((digest, metric))
+        if scorer is None:
+            scorer = metric_spec(metric).scorer_factory(config)
+            self._scorers[(digest, metric)] = scorer
+        return scorer
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, job: CampaignJob) -> JobTicket:
+        """Accept ``job``, enqueue only its genuinely missing work.
+
+        Partitioning happens under the service lock: every requested
+        ``(plan, metric)`` is classified as a record-cache hit, an
+        attachment to in-flight work, or new work this submission owns —
+        which is what makes "exactly one real measurement per distinct
+        ``(machine_hash, plan_key, seed, channel)``" hold under any number
+        of concurrent submitters.
+        """
+        specs = [metric_spec(name) for name in job.metrics]
+        plans = list(job.plan_batch)
+        keys = [plan_key(plan) for plan in plans]
+        digest = self._hash_for(job.machine_config)
+        log_key = CostLogKey(machine_hash=digest, seed=int(job.seed))
+
+        waits: "list[_Inflight]" = []
+        seen_inflight: "set[tuple]" = set()
+        owned = 0
+        counter_missing: "dict[str, Plan]" = {}
+        wall_missing: "dict[str, dict[str, Plan]]" = {}
+        model_missing: "dict[str, dict[str, Plan]]" = {}
+
+        def classify(inflight_key: tuple, missing: "dict[str, Plan]", key: str, plan: Plan) -> None:
+            nonlocal owned
+            if inflight_key in seen_inflight:
+                return
+            seen_inflight.add(inflight_key)
+            entry = self._inflight.get(inflight_key)
+            if entry is not None:
+                self._counters["dedup_savings"] += 1
+                waits.append(entry)
+                return
+            entry = _Inflight()
+            self._inflight[inflight_key] = entry
+            waits.append(entry)
+            owned += 1
+            missing[key] = plan
+
+        with self._lock:
+            if self._closed:
+                raise ServiceError(f"{self.name} is shut down")
+            self._counters["jobs"] += 1
+            records = self._cache_for(log_key)
+            for key, plan in zip(keys, plans):
+                record = records.get(key)
+                for spec in specs:
+                    if spec.channel == WALL_CHANNEL:
+                        if (log_key, key, spec.name) in self._wall:
+                            self._counters["store_hits"] += 1
+                            continue
+                        classify(
+                            (digest, key, log_key.seed, WALL_CHANNEL, spec.name),
+                            wall_missing.setdefault(spec.name, {}),
+                            key,
+                            plan,
+                        )
+                        continue
+                    if record is not None and spec.name in record:
+                        self._counters["store_hits"] += 1
+                        continue
+                    if spec.channel == COUNTER_CHANNEL:
+                        classify(
+                            (digest, key, log_key.seed, COUNTER_CHANNEL),
+                            counter_missing,
+                            key,
+                            plan,
+                        )
+                    else:
+                        classify(
+                            (digest, key, log_key.seed, MODEL_CHANNEL, spec.name),
+                            model_missing.setdefault(spec.name, {}),
+                            key,
+                            plan,
+                        )
+
+        if counter_missing:
+            self._queue.put(
+                _Task(COUNTER_CHANNEL, job.machine_config, log_key, counter_missing)
+            )
+        for metric, missing in model_missing.items():
+            self._queue.put(
+                _Task(MODEL_CHANNEL, job.machine_config, log_key, missing, metric=metric)
+            )
+        for metric, missing in wall_missing.items():
+            self._queue.put(
+                _Task(WALL_CHANNEL, job.machine_config, log_key, missing, metric=metric)
+            )
+        return JobTicket(self, job, log_key, keys, job.metrics, waits, owned)
+
+    def lookup(
+        self,
+        machine_config: MachineConfig,
+        plans: Sequence[Plan],
+        metrics: Sequence[str] = ("cycles",),
+        seed: int = 0,
+        timeout: float | None = None,
+    ) -> "list[CostRecord]":
+        """Submit-and-wait convenience: records of ``plans`` in order."""
+        ticket = self.submit(
+            CampaignJob(machine_config, tuple(plans), tuple(metrics), int(seed))
+        )
+        return ticket.result(timeout=timeout)
+
+    def _assemble(
+        self,
+        log_key: CostLogKey,
+        plan_keys: "list[str]",
+        metric_names: "tuple[str, ...]",
+    ) -> "list[CostRecord]":
+        specs = [metric_spec(name) for name in metric_names]
+        with self._lock:
+            records = self._cache_for(log_key)
+            out = []
+            for key in plan_keys:
+                values = {}
+                for spec in specs:
+                    if spec.channel == WALL_CHANNEL:
+                        values[spec.name] = self._wall[(log_key, key, spec.name)]
+                    else:
+                        values[spec.name] = records[key][spec.name]
+                out.append(CostRecord(plan_key=key, values=values))
+            return out
+
+    # -- raw measurement batches (campaign tables) -------------------------------
+
+    def measure_units(
+        self, machine_config: MachineConfig, units: Sequence[WorkUnit]
+    ) -> "list[Measurement]":
+        """Measure ``units`` with cross-client dedup, preserving unit order.
+
+        Seeded units dedupe on ``(machine_hash, plan_key, noise_seed)`` — two
+        sessions running the same campaign concurrently share one execution
+        per unit — and recent measurements are memoised so a third session
+        arriving later is served without touching the machine.  Units with
+        ``noise_seed=None`` are not reproducible and execute directly.
+        """
+        digest = self._hash_for(machine_config)
+        slots: "list[tuple[str, object]]" = []
+        new_payloads: "list[tuple[tuple, WorkUnit]]" = []
+        direct: "list[tuple[int, WorkUnit]]" = []
+        with self._lock:
+            if self._closed:
+                raise ServiceError(f"{self.name} is shut down")
+            for index, unit in enumerate(units):
+                if unit.noise_seed is None:
+                    direct.append((index, unit))
+                    slots.append(("direct", index))
+                    continue
+                memo_key = (digest, plan_key(unit.plan), int(unit.noise_seed))
+                hit = self._measure_memo.get(memo_key)
+                if hit is not None:
+                    self._counters["store_hits"] += 1
+                    slots.append(("value", hit))
+                    continue
+                entry = self._measure_inflight.get(memo_key)
+                if entry is not None:
+                    self._counters["dedup_savings"] += 1
+                    slots.append(("wait", entry))
+                    continue
+                entry = _Inflight()
+                self._measure_inflight[memo_key] = entry
+                new_payloads.append((memo_key, unit))
+                slots.append(("wait", entry))
+        if new_payloads:
+            self._queue.put(
+                _Task(
+                    "measure",
+                    machine_config,
+                    CostLogKey(machine_hash=digest, seed=0),
+                    payloads=new_payloads,
+                )
+            )
+        direct_results: "dict[int, Measurement]" = {}
+        if direct:
+            machine = self._machine_for(machine_config)
+            with self._machine_lock(digest):
+                measured = self.backend.measure_units(
+                    machine, [unit for _, unit in direct]
+                )
+            with self._lock:
+                self._counters["measured"] += len(direct)
+            direct_results = {
+                index: measurement
+                for (index, _), measurement in zip(direct, measured)
+            }
+        results: "list[Measurement]" = []
+        for kind, payload in slots:
+            if kind == "value":
+                results.append(payload)  # type: ignore[arg-type]
+            elif kind == "direct":
+                results.append(direct_results[payload])  # type: ignore[index]
+            else:
+                entry: _Inflight = payload  # type: ignore[assignment]
+                entry.event.wait()
+                if entry.error is not None:
+                    raise ServiceError(
+                        "campaign measurement failed after retries"
+                    ) from entry.error
+                results.append(entry.value)  # type: ignore[arg-type]
+        return results
+
+    # -- worker fleet ------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._queue.get()
+            try:
+                if task is None:
+                    return
+                try:
+                    self._execute(task)
+                except Exception as exc:
+                    self._handle_failure(task, exc)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, task: _Task) -> None:
+        if task.channel == COUNTER_CHANNEL:
+            self._execute_counters(task)
+        elif task.channel == MODEL_CHANNEL:
+            self._execute_model(task)
+        elif task.channel == WALL_CHANNEL:
+            self._execute_wall(task)
+        elif task.channel == "measure":
+            self._execute_measure(task)
+        else:  # pragma: no cover - tasks are built by submit alone
+            raise ValueError(f"unknown task channel {task.channel!r}")
+
+    def _execute_counters(self, task: _Task) -> None:
+        machine = self._machine_for(task.config)
+        digest = task.log_key.machine_hash
+        units = [
+            WorkUnit(
+                plan=plan,
+                noise_seed=derive_seed(task.log_key.seed, "plan-cost", key),
+            )
+            for key, plan in task.plan_by_key.items()
+        ]
+        with self._machine_lock(digest):
+            measurements = self.backend.measure_units(machine, units)
+        staged = {
+            key: counter_values(measurement)
+            for key, measurement in zip(task.plan_by_key, measurements)
+        }
+        # Durability before visibility: records land in the store before any
+        # waiter can observe them, so no returned value can be lost.
+        self.store.append_cost_records(task.log_key, staged)
+        with self._lock:
+            records = self._cache_for(task.log_key)
+            for key, values in staged.items():
+                records.setdefault(key, {}).update(values)
+            self._counters["measured"] += len(units)
+        self._resolve(
+            (digest, key, task.log_key.seed, COUNTER_CHANNEL)
+            for key in task.plan_by_key
+        )
+
+    def _execute_model(self, task: _Task) -> None:
+        digest = task.log_key.machine_hash
+        scorer = self._scorer(digest, task.metric, task.config)
+        values = scorer(list(task.plan_by_key.values()))
+        staged = {
+            key: {task.metric: float(value)}
+            for key, value in zip(task.plan_by_key, values)
+        }
+        self.store.append_cost_records(task.log_key, staged)
+        with self._lock:
+            records = self._cache_for(task.log_key)
+            for key, value_map in staged.items():
+                records.setdefault(key, {}).update(value_map)
+            self._counters["model_evaluations"] += len(staged)
+        self._resolve(
+            (digest, key, task.log_key.seed, MODEL_CHANNEL, task.metric)
+            for key in task.plan_by_key
+        )
+
+    def _execute_wall(self, task: _Task) -> None:
+        machine = self._machine_for(task.config)
+        digest = task.log_key.machine_hash
+        spec = metric_spec(task.metric)
+        acquired = {}
+        with self._machine_lock(digest):
+            for key, plan in task.plan_by_key.items():
+                acquired[key] = float(spec.measure(machine, plan))
+        with self._lock:
+            for key, value in acquired.items():
+                # Volatile: memoised for the service's lifetime, never stored.
+                self._wall[(task.log_key, key, task.metric)] = value
+            self._counters["wall_evaluations"] += len(acquired)
+        self._resolve(
+            (digest, key, task.log_key.seed, WALL_CHANNEL, task.metric)
+            for key in task.plan_by_key
+        )
+
+    def _execute_measure(self, task: _Task) -> None:
+        machine = self._machine_for(task.config)
+        digest = task.log_key.machine_hash
+        units = [unit for _, unit in task.payloads]
+        with self._machine_lock(digest):
+            measurements = self.backend.measure_units(machine, units)
+        finished: "list[_Inflight]" = []
+        with self._lock:
+            # Every waiter captured the entry object itself, so popping the
+            # in-flight map before setting the events cannot orphan anyone.
+            for (memo_key, _), measurement in zip(task.payloads, measurements):
+                self._measure_memo.put(memo_key, measurement)
+                entry = self._measure_inflight.pop(memo_key, None)
+                if entry is not None:
+                    entry.value = measurement
+                    finished.append(entry)
+            self._counters["measured"] += len(units)
+        for entry in finished:
+            entry.event.set()
+
+    def _resolve(self, inflight_keys) -> None:
+        """Pop finished in-flight entries and release their waiters."""
+        finished = []
+        with self._lock:
+            for key in inflight_keys:
+                entry = self._inflight.pop(key, None)
+                if entry is not None:
+                    finished.append(entry)
+        for entry in finished:
+            entry.event.set()
+
+    def _handle_failure(self, task: _Task, exc: Exception) -> None:
+        task.attempts += 1
+        with self._lock:
+            # Evict the machine so the retry starts from fresh simulator
+            # state — whatever broke mid-batch cannot leak into the rerun.
+            self._machines.pop(task.log_key.machine_hash, None)
+            retry = task.attempts < self.max_attempts and not self._closed
+            if retry:
+                self._counters["retries"] += 1
+        if retry:
+            self._queue.put(task)
+            return
+        with self._lock:
+            self._counters["failures"] += 1
+            entries = []
+            if task.channel == "measure":
+                for memo_key, _ in task.payloads:
+                    entry = self._measure_inflight.pop(memo_key, None)
+                    if entry is not None:
+                        entries.append(entry)
+            else:
+                suffix = () if task.channel == COUNTER_CHANNEL else (task.metric,)
+                for key in task.plan_by_key:
+                    inflight_key = (
+                        task.log_key.machine_hash,
+                        key,
+                        task.log_key.seed,
+                        task.channel,
+                        *suffix,
+                    )
+                    entry = self._inflight.pop(inflight_key, None)
+                    if entry is not None:
+                        entries.append(entry)
+        for entry in entries:
+            entry.error = exc
+            entry.event.set()
+
+    # -- clients -----------------------------------------------------------------
+
+    def client(
+        self,
+        machine: "MachineConfig | SimulatedMachine",
+        seed: int = 0,
+        objective: "str | Objective" = "cycles",
+    ) -> "ServiceClient":
+        """A cost-engine-compatible client bound to one machine and seed."""
+        return ServiceClient(self, machine, seed=seed, objective=objective)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every queued task has been fully processed."""
+        self._queue.join()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker fleet (idempotent).
+
+        ``wait=True`` (the default, the graceful path) drains the queue
+        first, so every accepted job completes; ``wait=False`` only refuses
+        new work and stops workers after their current task.  Waiters of
+        tasks still queued at a non-graceful shutdown receive a
+        :class:`ServiceError`.
+        """
+        with self._lock:
+            if self._closed and not self._threads:
+                return
+            already_closing = self._closed
+            self._closed = True
+        if wait and not already_closing:
+            self.drain()
+        threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(None)
+        for thread in threads:
+            thread.join()
+        # Fail anything still pending (non-graceful shutdown only).
+        with self._lock:
+            leftovers = list(self._inflight.values()) + list(
+                self._measure_inflight.values()
+            )
+            self._inflight.clear()
+            self._measure_inflight.clear()
+        for entry in leftovers:
+            if not entry.event.is_set():
+                entry.error = ServiceError(f"{self.name} shut down")
+                entry.event.set()
+        close_backend = getattr(self.backend, "close", None)
+        if callable(close_backend):
+            close_backend()
+        if self._owns_store:
+            close_store = getattr(self.store, "close", None)
+            if callable(close_store):
+                close_store()
+
+    def __enter__(self) -> "CampaignService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of queue, dedup, measurement and shard state."""
+        with self._lock:
+            counters = dict(self._counters)
+            in_flight = len(self._inflight) + len(self._measure_inflight)
+        shard_stats = getattr(self.store, "shard_stats", None)
+        shards = tuple(shard_stats()) if callable(shard_stats) else ()
+        return ServiceStats(
+            jobs=counters["jobs"],
+            queue_depth=self._queue.qsize(),
+            in_flight=in_flight,
+            store_hits=counters["store_hits"],
+            dedup_savings=counters["dedup_savings"],
+            measured=counters["measured"],
+            model_evaluations=counters["model_evaluations"],
+            wall_evaluations=counters["wall_evaluations"],
+            retries=counters["retries"],
+            failures=counters["failures"],
+            workers=len(self._threads),
+            shards=shards,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignService({self.name!r}, workers={len(self._threads)}, "
+            f"backend={getattr(self.backend, 'name', type(self.backend).__name__)}, "
+            f"store={self.store!r}, {self.stats().describe()})"
+        )
+
+
+class ServiceClient:
+    """A drop-in :class:`~repro.runtime.cost_engine.CostEngine` over a service.
+
+    Implements the engine surface the search strategies and sessions consume
+    — ``records`` / ``batch`` / ``__call__`` / ``cost(objective)`` and the
+    ``evaluations``/``measured`` counter pair — but every acquisition routes
+    through the shared :class:`CampaignService`, so any number of clients
+    (across threads and sessions) trigger exactly one real measurement per
+    distinct ``(machine_hash, plan_key, seed)``.  ``measured`` counts the
+    acquisitions *this* client's submissions enqueued; work served from the
+    shared store or deduped against another client is free here, exactly as
+    cache hits are free on a private engine.
+    """
+
+    def __init__(
+        self,
+        service: CampaignService,
+        machine: "MachineConfig | SimulatedMachine",
+        seed: int = 0,
+        objective: "str | Objective" = "cycles",
+    ):
+        self.service = service
+        self.config = machine.config if isinstance(machine, SimulatedMachine) else machine
+        if not isinstance(self.config, MachineConfig):
+            raise TypeError(f"cannot interpret {machine!r} as a machine")
+        self.seed = int(seed)
+        self.objective = resolve_objective(objective)
+        self.key = CostLogKey(
+            machine_hash=service._hash_for(self.config), seed=self.seed
+        )
+        #: Plan-cost requests served (cache hits included).
+        self.evaluations = 0
+        #: Acquisitions this client's submissions put on the service queue.
+        self.measured = 0
+
+    def records(
+        self, plans: Sequence[Plan], metrics: Sequence[str] | None = None
+    ) -> "list[CostRecord]":
+        """Cost records of ``plans`` in order, via the service."""
+        names = tuple(metrics) if metrics is not None else self.objective.metrics
+        self.evaluations += len(plans)
+        ticket = self.service.submit(
+            CampaignJob(self.config, tuple(plans), names, self.seed)
+        )
+        result = ticket.result()
+        self.measured += ticket.owned_units
+        return result
+
+    def cost(self, objective: "str | Objective") -> ObjectiveCost:
+        """Bind ``objective`` to this client as a drop-in cost function."""
+        return ObjectiveCost(self, resolve_objective(objective))
+
+    def batch(self, plans: Sequence[Plan]) -> "list[float]":
+        """Default-objective costs of ``plans`` in order."""
+        records = self.records(plans)
+        value = self.objective.value
+        return [value(record.values) for record in records]
+
+    def __call__(self, plan: Plan) -> float:
+        """Scalar cost-function interface (a batch of one)."""
+        return self.batch([plan])[0]
+
+    def flush(self) -> None:
+        """Compat no-op: the service persists records as they are acquired."""
+        return None
+
+    def compact(self) -> None:
+        """Compact this client's shard in the service's store."""
+        self.service.store.compact_cost_records(self.key)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceClient(machine={self.config.name!r}, seed={self.seed}, "
+            f"objective={self.objective.describe()!r}, "
+            f"{self.measured}/{self.evaluations} measured, "
+            f"service={self.service.name!r})"
+        )
+
+
+class ServiceBackend:
+    """An :class:`~repro.runtime.backends.ExecutionBackend` over a service.
+
+    Lets the existing campaign driver (``run_campaign``, ``measure_plans``)
+    execute through a shared :class:`CampaignService`: every unit batch gains
+    the service's cross-client dedup, so two sessions measuring the same
+    campaign concurrently perform each unit's work once.
+    """
+
+    name = "service"
+
+    def __init__(self, service: CampaignService):
+        self.service = service
+
+    def measure_units(
+        self, machine: SimulatedMachine, units: Sequence[WorkUnit]
+    ) -> "list[Measurement]":
+        return self.service.measure_units(machine.config, units)
+
+    def close(self) -> None:
+        """No-op: the shared service's lifecycle belongs to its owner."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"ServiceBackend({self.service.name!r})"
+
+
+class ServiceStoreView:
+    """A client session's view of the service's store: read-through, no record writes.
+
+    The service is its store's single record-log writer; a client session
+    holding this view reads campaign tables and cost records as usual, while
+    record appends become no-ops (whatever a client acquired *through the
+    service* is already persisted by the service itself).  Campaign-table
+    ``put`` passes through — tables are atomic whole-file writes with no
+    writer discipline to protect.
+    """
+
+    def __init__(self, store: CampaignStore):
+        self._store = store
+
+    def get(self, key: CampaignKey) -> MeasurementTable | None:
+        return self._store.get(key)
+
+    def put(self, key: CampaignKey, table: MeasurementTable) -> None:
+        self._store.put(key, table)
+
+    def get_cost_records(self, key: CostLogKey) -> CostRecords:
+        return self._store.get_cost_records(key)
+
+    def append_cost_records(
+        self, key: CostLogKey, records: Mapping[str, Mapping[str, float]]
+    ) -> None:
+        return None  # the service already persisted everything it acquired
+
+    def compact_cost_records(self, key: CostLogKey) -> None:
+        return None  # shard maintenance belongs to the service
+
+    def get_cost_table(self, key) -> "dict[str, float] | None":
+        return self._store.get_cost_table(key)
+
+    def put_cost_table(self, key, costs: "dict[str, float]") -> None:
+        return None
+
+    def clear(self) -> None:
+        return None  # a tenant must not clear the shared store
+
+    def __repr__(self) -> str:
+        return f"ServiceStoreView({self._store!r})"
+
+
+def serve(
+    store: "str | CampaignStore | None" = None,
+    backend: "str | ExecutionBackend" = "batched",
+    workers: int = 2,
+    **kwargs: object,
+) -> CampaignService:
+    """Start a :class:`CampaignService` (the ``repro.serve(...)`` entry point).
+
+    >>> service = repro.serve(store="./campaigns", workers=4)
+    >>> a = repro.Session.connect(service)
+    >>> b = repro.Session.connect(service)          # shares a's measurements
+    >>> best = a.search(14)                          # measured once, total
+    >>> service.stats().measured                     # real work, fleet-wide
+    """
+    from repro.runtime.backends import resolve_backend
+
+    return CampaignService(
+        store=store, backend=resolve_backend(backend), workers=workers, **kwargs
+    )

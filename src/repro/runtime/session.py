@@ -49,6 +49,7 @@ from repro.wht.plan import MAX_UNROLLED, Plan
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.canonical import CanonicalSweep
     from repro.experiments.runner import ExperimentSuite
+    from repro.runtime.service import CampaignService, ServiceClient
 
 __all__ = ["Session", "session", "SCALE_PRESETS"]
 
@@ -105,16 +106,58 @@ class Session:
         backend: ExecutionBackend,
         store: CampaignStore,
         dp_max_children: int | None = 2,
+        service: "CampaignService | None" = None,
     ):
         self.machine = machine
         self.scale = scale
+        self.service = service
+        if service is not None:
+            # A tenant session: every measurement routes through the shared
+            # service (cross-session dedup), reads come through the service's
+            # store, and record writes stay with the service — the store's
+            # single writer.  Explicit backend/store arguments are ignored in
+            # favour of the service's; use a plain session to opt out.
+            from repro.runtime.service import ServiceBackend, ServiceStoreView
+
+            backend = ServiceBackend(service)
+            store = ServiceStoreView(service.store)
         self.backend = backend
         self.store = store
         self.dp_max_children = dp_max_children
         self._tables: dict[tuple[int, int, int, int | None], MeasurementTable] = {}
         self._sweep: "CanonicalSweep | None" = None
         self._suite: "ExperimentSuite | None" = None
-        self._cost_engine: CostEngine | None = None
+        self._cost_engine: "CostEngine | ServiceClient | None" = None
+
+    @classmethod
+    def connect(
+        cls,
+        service: "CampaignService",
+        machine: "str | MachineConfig | SimulatedMachine" = "default",
+        scale: "str | ExperimentScale" = "default",
+        *,
+        dp_max_children: int | None = 2,
+    ) -> "Session":
+        """A session whose measurement work all flows through ``service``.
+
+        Any number of connected sessions — across threads, with a shared
+        disk-backed service even across processes — share the service's job
+        queue, in-flight dedup and record shards, so overlapping work is
+        measured exactly once fleet-wide::
+
+            service = repro.serve(store="./campaigns", workers=4)
+            a = repro.Session.connect(service)
+            b = repro.Session.connect(service)   # b reuses a's measurements
+        """
+        resolved = _resolve_machine(machine)
+        return cls(
+            machine=resolved,
+            scale=_resolve_scale(scale),
+            backend=service.backend,  # replaced by __init__; kept for clarity
+            store=service.store,
+            dp_max_children=dp_max_children,
+            service=service,
+        )
 
     # -- campaigns ---------------------------------------------------------------
 
@@ -176,7 +219,7 @@ class Session:
             )
         return self._sweep
 
-    def cost_engine(self) -> CostEngine:
+    def cost_engine(self) -> "CostEngine | ServiceClient":
         """The session's batched multi-metric cost engine (memoised).
 
         The engine evaluates candidate batches through the session's backend
@@ -192,19 +235,32 @@ class Session:
         :class:`~repro.runtime.backends.BatchedBackend` instead (bit-identical
         results, one cross-plan prepared workload per candidate round);
         multiprocess and custom backends pass through unchanged.
+
+        A *connected* session (:meth:`connect`) returns a
+        :class:`~repro.runtime.service.ServiceClient` instead — the same
+        engine surface, but every acquisition routes through the shared
+        :class:`~repro.runtime.service.CampaignService`, deduped against
+        every other tenant.  The noise-seed derivation is identical, so a
+        connected search is bit-identical to a private engine's.
         """
         if self._cost_engine is None:
-            backend = self.backend
-            if type(backend) is SerialBackend:
-                # Exact-type check: a SerialBackend *subclass* is a custom
-                # backend and passes through unchanged.
-                backend = BatchedBackend()
-            self._cost_engine = CostEngine(
-                self.machine,
-                backend=backend,
-                store=self.store,
-                seed=derive_seed(self.scale.seed, "cost-engine"),
-            )
+            seed = derive_seed(self.scale.seed, "cost-engine")
+            if self.service is not None:
+                self._cost_engine = self.service.client(
+                    self.machine.config, seed=seed
+                )
+            else:
+                backend = self.backend
+                if type(backend) is SerialBackend:
+                    # Exact-type check: a SerialBackend *subclass* is a custom
+                    # backend and passes through unchanged.
+                    backend = BatchedBackend()
+                self._cost_engine = CostEngine(
+                    self.machine,
+                    backend=backend,
+                    store=self.store,
+                    seed=seed,
+                )
         return self._cost_engine
 
     def search(
@@ -240,7 +296,9 @@ class Session:
             if "cost" in kwargs:
                 raise ValueError("pass either cost= or objective=, not both")
             kwargs["cost"] = self.cost_engine().cost(objective)
-        elif use_engine:
+        elif use_engine or self.service is not None:
+            # Connected sessions always evaluate through the service-backed
+            # engine — that is where cross-session dedup lives.
             kwargs.setdefault("cost", self.cost_engine())
         if strategy == "dp":
             kwargs.setdefault("max_children", self.dp_max_children)
@@ -319,6 +377,7 @@ def session(
     store: "str | CampaignStore | None" = "memory",
     *,
     dp_max_children: int | None = 2,
+    service: "CampaignService | None" = None,
 ) -> Session:
     """Create a :class:`Session` from presets or concrete objects.
 
@@ -336,6 +395,10 @@ def session(
         ``"memory"`` (shared in-process store), ``"none"``/``None`` (no
         caching), a directory path for a persistent
         :class:`~repro.runtime.store.DiskStore`, or a store instance.
+    service:
+        A :class:`~repro.runtime.service.CampaignService` to connect to.
+        When given, the service's backend and store replace the ``backend``
+        and ``store`` arguments (see :meth:`Session.connect`).
     """
     return Session(
         machine=_resolve_machine(machine),
@@ -343,4 +406,5 @@ def session(
         backend=resolve_backend(backend),
         store=resolve_store(store),
         dp_max_children=dp_max_children,
+        service=service,
     )

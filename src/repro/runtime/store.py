@@ -41,9 +41,15 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Mapping, Protocol, runtime_checkable
+
+try:  # POSIX advisory locks; absent on platforms without fcntl (Windows)
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None  # type: ignore[assignment]
 
 from repro.machine.machine import MachineConfig
 from repro.runtime.table import MeasurementTable
@@ -314,10 +320,14 @@ class DiskStore(_CostTableCompat):
     :class:`CostLogKey` whose lines are independently parseable records, so a
     measuring batch pays one O(batch) append (plus an fsync) rather than a
     whole-table rewrite, and a crash mid-append loses at most the trailing
-    partial line — which the reader detects and skips.  There is deliberately
-    no in-memory memoisation of record *values*: every read re-reads the
-    file, which is what makes a second process's cache hit equivalent to a
-    same-process one.
+    partial line — which the reader detects and skips.  Writers (appends and
+    compactions) of one log serialise on an advisory ``flock`` held via a
+    sidecar ``.lock`` file, so two processes sharing a store directory can
+    never interleave a shard's log or lose appends to a concurrent
+    compaction; readers stay lock-free.  There is deliberately no in-memory
+    memoisation of record *values*: every read re-reads the file, which is
+    what makes a second process's cache hit equivalent to a same-process
+    one.
 
     ``auto_compact`` (off by default) bounds reopen cost for long-lived
     campaigns: after each append, when a log holds more than ``auto_compact``
@@ -377,6 +387,32 @@ class DiskStore(_CostTableCompat):
 
     # -- cost record log ---------------------------------------------------------
 
+    @contextmanager
+    def _log_write_lock(self, key: CostLogKey) -> Iterator[None]:
+        """Advisory exclusive lock serialising writers of one record log.
+
+        The lock lives on a *sidecar* ``.lock`` file rather than the log
+        itself: compaction replaces the log's inode (``os.replace``), and a
+        writer blocked on the old inode's lock would otherwise wake up and
+        append to an orphaned file.  The sidecar is never replaced, so every
+        process (and every thread — each acquisition opens its own
+        descriptor, and ``flock`` serialises distinct open descriptions)
+        agrees on one lock per shard.  Readers never take it: the append-log
+        format already tolerates concurrent appends mid-read.
+        """
+        lock_file = self.path / f"{key.token()}.lock"
+        fd = os.open(lock_file, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
     def get_cost_records(self, key: CostLogKey) -> CostRecords:
         records: CostRecords = {}
         self._migrate_legacy_tables(key, records)
@@ -414,30 +450,33 @@ class DiskStore(_CostTableCompat):
                 "v": {str(m): float(v) for m, v in values.items()},
             }
             lines.append(json.dumps(payload))
-        # The whole batch goes out as ONE os.write on an O_APPEND descriptor:
-        # concurrent appenders (two sessions sharing a store) cannot
-        # interleave mid-line the way several buffered write() syscalls
-        # could, so simultaneous batches land whole, in some order.
+        # The whole batch goes out as ONE os.write on an O_APPEND descriptor
+        # under the shard's advisory writer lock: two processes sharing a
+        # store directory are serialised whole-batch (the O_APPEND write
+        # additionally guarantees that even a foreign unlocked writer cannot
+        # interleave mid-line), so simultaneous batches land whole, in some
+        # order.
         data = ("\n".join(lines) + "\n").encode("utf-8")
-        fd = os.open(self._log_for(key), os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644)
-        try:
-            size = os.fstat(fd).st_size
-            if size == 0:
-                header = json.dumps(
-                    {"version": LOG_FORMAT_VERSION, "key": key.as_dict()}
-                )
-                data = (header + "\n").encode("utf-8") + data
-            else:
-                # A crash can leave a partial trailing line; never glue new
-                # records onto it — terminate it so the reader skips exactly
-                # the partial line and nothing after it.
-                os.lseek(fd, -1, os.SEEK_END)
-                if os.read(fd, 1) != b"\n":
-                    data = b"\n" + data
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        with self._log_write_lock(key):
+            fd = os.open(self._log_for(key), os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644)
+            try:
+                size = os.fstat(fd).st_size
+                if size == 0:
+                    header = json.dumps(
+                        {"version": LOG_FORMAT_VERSION, "key": key.as_dict()}
+                    )
+                    data = (header + "\n").encode("utf-8") + data
+                else:
+                    # A crash can leave a partial trailing line; never glue new
+                    # records onto it — terminate it so the reader skips exactly
+                    # the partial line and nothing after it.
+                    os.lseek(fd, -1, os.SEEK_END)
+                    if os.read(fd, 1) != b"\n":
+                        data = b"\n" + data
+                os.write(fd, data)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
         if self.auto_compact is not None:
             self._maybe_auto_compact(key, records)
 
@@ -458,30 +497,33 @@ class DiskStore(_CostTableCompat):
         *retires* those legacy files, so after a compaction the log alone
         carries every known value and reads stop paying the migration scan.
         Reading a compacted log yields exactly what reading the original
-        would.
+        would.  The shard's writer lock is held across the read-merge-replace
+        cycle, so a concurrent appender can never land records between the
+        read and the replace (which would silently drop them).
         """
-        records: CostRecords = {}
-        legacy_files = self._migrate_legacy_tables(key, records)
-        self._merge_log_entries(records, self._log_for(key))
-        if not records:
-            return
-        file = self._log_for(key)
-        lines = [json.dumps({"version": LOG_FORMAT_VERSION, "key": key.as_dict()})]
-        for plan_key in sorted(records):
-            lines.append(json.dumps({"p": plan_key, "v": records[plan_key]}))
-        fd, tmp_name = tempfile.mkstemp(prefix=f".{file.stem}.", suffix=".tmp", dir=self.path)
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write("\n".join(lines) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, file)
-        except BaseException:
+        with self._log_write_lock(key):
+            records: CostRecords = {}
+            legacy_files = self._migrate_legacy_tables(key, records)
+            self._merge_log_entries(records, self._log_for(key))
+            if not records:
+                return
+            file = self._log_for(key)
+            lines = [json.dumps({"version": LOG_FORMAT_VERSION, "key": key.as_dict()})]
+            for plan_key in sorted(records):
+                lines.append(json.dumps({"p": plan_key, "v": records[plan_key]}))
+            fd, tmp_name = tempfile.mkstemp(prefix=f".{file.stem}.", suffix=".tmp", dir=self.path)
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write("\n".join(lines) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, file)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
         for legacy in legacy_files:
             # The compacted log now carries these values durably.
             try:
@@ -571,7 +613,8 @@ class DiskStore(_CostTableCompat):
 
     def clear(self) -> None:
         self._log_state.clear()
-        for file in list(self.path.glob("*.json")) + list(self.path.glob("*.jsonl")):
+        patterns = ("*.json", "*.jsonl", "*.lock")
+        for file in [f for pattern in patterns for f in self.path.glob(pattern)]:
             try:
                 file.unlink()
             except OSError:

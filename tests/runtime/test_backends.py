@@ -150,3 +150,31 @@ class TestResolveBackend:
     def test_protocol_check(self):
         assert isinstance(SerialBackend(), ExecutionBackend)
         assert not isinstance(object(), ExecutionBackend)
+
+
+class TestBatchedDefault:
+    """Campaigns route through the fused batched backend by default."""
+
+    def test_default_campaign_is_bit_identical_to_serial(self):
+        machine = tiny_machine(noise_sigma=0.03)
+        default = run_campaign(machine, 5, 20, seed=77)  # no backend argument
+        serial = _campaign(SerialBackend())
+        assert default.plans == serial.plans
+        for name in serial.columns:
+            assert np.array_equal(default.columns[name], serial.columns[name])
+
+    def test_default_plan_list_is_bit_identical_to_serial(self):
+        from repro.runtime.campaigns import measure_plan_list
+
+        from repro.wht.canonical import left_recursive_plan, right_recursive_plan
+
+        plans = [
+            iterative_plan(5),
+            right_recursive_plan(5),
+            left_recursive_plan(5),
+        ]
+        default = measure_plan_list(tiny_machine(noise_sigma=0.03), plans, seed=5)
+        serial = measure_plan_list(
+            tiny_machine(noise_sigma=0.03), plans, seed=5, backend=SerialBackend()
+        )
+        assert default.equals(serial)
