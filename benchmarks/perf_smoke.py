@@ -25,7 +25,12 @@ zero hardware measurements.  The multi-tenant campaign service is gated by
 ``check_service``: eight concurrent sessions execute zero duplicate
 measurements (counter-verified), fan-out results are bit-identical to one
 serial session, and the cold service-mediated search stays within 20% of the
-direct engine.  (Timing gates for the search layer live in
+direct engine.  The robustness layer is gated by ``check_faults``: a clean
+run fires none of the retry machinery, a chaotic run (injected backend
+failures, torn store tails, a poisoned best plan) through a fallback-armed
+session stays bit-identical to the fault-free search with the poison
+dead-lettered, and zero-rate fault-injection hooks add < 5% to a cold DP.
+(Timing gates for the search layer live in
 ``bench_search.py`` against ``BENCH_search.json``; service timings in
 ``bench_service.py`` against ``BENCH_service.json``.)
 
@@ -421,6 +426,105 @@ def check_service() -> None:
         )
 
 
+def check_faults() -> None:
+    """Fault injection must be free when idle and harmless when active.
+
+    Three gates on the robustness layer (DESIGN.md §12):
+
+    * a **zero-rate** :class:`FaultyBackend` adds < 5% overhead (plus a
+      small absolute grace) to a cold engine-backed DP — the injection
+      hooks must cost nothing on the clean path;
+    * a clean service run schedules zero retries and quarantines nothing —
+      the failure discipline must not fire without failures;
+    * a chaotic run (~20% backend failures, torn store tails, the
+      fault-free best plan poisoned) through a fallback-armed session is
+      **bit-identical** to the fault-free serial search, with the poison
+      batch dead-lettered.
+    """
+    from repro.machine.configs import opteron_like, tiny_machine_config
+    from repro.machine.machine import SimulatedMachine
+    from repro.runtime.backends import BatchedBackend
+    from repro.runtime.cost_engine import CostEngine
+    from repro.runtime.faults import FaultPlan, FaultSpec, FaultyBackend, FaultyStore
+    from repro.runtime.service import CampaignService
+    from repro.runtime.session import Session, session
+    from repro.runtime.store import MemoryStore
+    from repro.search.dp import dp_search
+    from repro.wht.encoding import plan_key
+
+    # Clean-service discipline gate: no failures -> no retry machinery.
+    config = tiny_machine_config()
+    with CampaignService(workers=2) as service:
+        Session.connect(service, machine=config).search(10, use_engine=True)
+        stats = service.stats()
+        if stats.retries or stats.failures or stats.quarantined:
+            raise SystemExit(
+                f"fault discipline regression: clean run scheduled "
+                f"retries={stats.retries} failures={stats.failures} "
+                f"quarantined={stats.quarantined}"
+            )
+
+    # Chaos correctness gate: injected faults never change an answer.
+    reference = session(machine=config).search(12, use_engine=True)
+    fplan = FaultPlan(
+        seed=0,
+        backend=FaultSpec(error_rate=0.15, crash_rate=0.08),
+        store=FaultSpec(error_rate=0.04, torn_tail_rate=0.15),
+        poison_plans=[plan_key(reference.best_plan)],
+    )
+    with CampaignService(
+        store=FaultyStore(MemoryStore(), fplan),
+        backend=FaultyBackend(BatchedBackend(), fplan),
+        workers=3,
+        max_attempts=6,
+        backoff_base=0.002,
+        backoff_cap=0.05,
+    ) as chaotic_service:
+        chaotic = Session.connect(chaotic_service, machine=config, fallback=True)
+        result = chaotic.search(12, use_engine=True)
+        if (
+            str(result.best_plan) != str(reference.best_plan)
+            or result.best_cost != reference.best_cost
+        ):
+            raise SystemExit(
+                "chaos exactness regression: faulty search differs from the "
+                "fault-free serial search"
+            )
+        if not any(
+            plan_key(reference.best_plan) in entry.plan_keys
+            for entry in chaotic_service.quarantined()
+        ):
+            raise SystemExit(
+                "chaos quarantine regression: poison batch was not dead-lettered"
+            )
+        if fplan.injected() == 0:
+            raise SystemExit("chaos vacuity regression: no faults were injected")
+
+    # Clean-path overhead gate: a zero-rate wrapper must be free.
+    perf_config = opteron_like(noise_sigma=0.0).config
+
+    def time_engine(make_backend):
+        engine = CostEngine(
+            SimulatedMachine(perf_config), backend=make_backend(), store=MemoryStore()
+        )
+        start = time.perf_counter()
+        dp_search(10, engine)
+        return time.perf_counter() - start
+
+    def wrapped():
+        return FaultyBackend(BatchedBackend(), FaultPlan(seed=0))
+
+    time_engine(BatchedBackend), time_engine(wrapped)  # warmup
+    clean = min(time_engine(BatchedBackend) for _ in range(3))
+    faulty = min(time_engine(wrapped) for _ in range(3))
+    if faulty > clean * 1.05 + 0.05:
+        raise SystemExit(
+            f"fault overhead regression: zero-rate FaultyBackend DP took "
+            f"{faulty:.3f} s > 1.05x the clean backend's {clean:.3f} s "
+            f"(+0.05 s grace)"
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -453,6 +557,12 @@ def main() -> int:
         "service: 8 concurrent sessions execute zero duplicate measurements, "
         "fan-out DP bit-identical to the serial session, cold service "
         "overhead within 20% of the direct engine"
+    )
+    check_faults()
+    print(
+        "faults: clean run fires no retry machinery, chaotic fallback search "
+        "bit-identical with poison quarantined, zero-rate injection hooks "
+        "within 5% of the clean backend"
     )
 
     seconds, peak, stats = run_smoke()

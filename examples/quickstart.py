@@ -156,6 +156,36 @@ def main() -> None:
             f"served without touching the machine"
         )
 
+    # 11. Chaos run: the service survives injected failures without changing
+    #     a single answer.  A FaultPlan schedules faults deterministically
+    #     from a seed; here ~25% of backend batches fail and the plan that
+    #     won step 8's cycles search is poisoned outright (its batch always
+    #     fails, ending in the dead-letter quarantine).  A fallback-armed
+    #     session degrades gracefully — batches the service cannot answer
+    #     run through a private engine, bit-identically — so the search
+    #     still completes and still agrees with the fault-free result.
+    fault_plan = repro.FaultPlan(
+        seed=0,
+        backend=repro.FaultSpec(error_rate=0.2, crash_rate=0.05),
+        poison_plans=[by_cycles.best_plan],
+    )
+    chaotic_backend = repro.FaultyBackend(repro.BatchedBackend(), fault_plan)
+    with repro.CampaignService(
+        backend=chaotic_backend, workers=2, max_attempts=3, backoff_base=0.005
+    ) as service:
+        survivor = repro.Session.connect(service, fallback=True)
+        best_chaos = survivor.search(n, use_engine=True)
+        assert str(best_chaos.best_plan) == str(by_cycles.best_plan)
+        assert best_chaos.best_cost == by_cycles.best_cost
+        stats = service.stats()
+        print(
+            f"\nChaos run: {fault_plan.injected()} injected failures, "
+            f"{stats.retries} retries, {stats.quarantined} poison batch(es) "
+            f"quarantined, {survivor.cost_engine().fallbacks} batch(es) "
+            f"served by fallback — result bit-identical to the clean search "
+            f"({service.health().describe()})"
+        )
+
 
 if __name__ == "__main__":
     main()

@@ -81,6 +81,10 @@ from repro.runtime import (
     CustomObjective,
     DiskStore,
     ExecutionBackend,
+    FaultPlan,
+    FaultSpec,
+    FaultyBackend,
+    FaultyStore,
     MeasurementTable,
     MemoryStore,
     MetricObjective,
@@ -105,7 +109,7 @@ from repro.wht import (
     right_recursive_plan,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "analysis",
@@ -142,6 +146,10 @@ __all__ = [
     "CampaignService",
     "ServiceClient",
     "serve",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyBackend",
+    "FaultyStore",
     "MeasurementTable",
     "CostEngine",
     "CostRecord",

@@ -57,11 +57,21 @@ from repro.runtime.campaigns import (
     sample_units,
 )
 from repro.runtime.cost_engine import CostEngine, ObjectiveCost
+from repro.runtime.faults import (
+    FaultDecision,
+    FaultPlan,
+    FaultSpec,
+    FaultyBackend,
+    FaultyStore,
+    InjectedCrash,
+    InjectedFault,
+)
 from repro.runtime.metrics import (
     CostRecord,
     MetricSpec,
     available_metrics,
     counter_metric_names,
+    has_counter_values,
     hardware_metric_names,
     metric_spec,
     model_metric_names,
@@ -78,9 +88,11 @@ from repro.runtime.service import (
     CampaignJob,
     CampaignService,
     JobTicket,
+    QuarantineEntry,
     ServiceBackend,
     ServiceClient,
     ServiceError,
+    ServiceHealth,
     ServiceStats,
     ServiceStoreView,
     serve,
@@ -150,8 +162,18 @@ __all__ = [
     "ServiceBackend",
     "ServiceStoreView",
     "ServiceStats",
+    "ServiceHealth",
+    "QuarantineEntry",
     "ServiceError",
     "serve",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultDecision",
+    "FaultyBackend",
+    "FaultyStore",
+    "InjectedFault",
+    "InjectedCrash",
+    "has_counter_values",
     "TABLE_COLUMNS",
     "MeasurementTable",
 ]

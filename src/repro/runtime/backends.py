@@ -89,6 +89,12 @@ class SerialBackend:
     ) -> list[Measurement]:
         return [machine.measure(unit.plan, rng=unit.noise_seed) for unit in units]
 
+    def close(self) -> None:
+        """No-op: serial execution holds no external resources.
+
+        Present so wrappers and owners can close any backend uniformly."""
+        return None
+
     def __repr__(self) -> str:
         return "SerialBackend()"
 
@@ -124,6 +130,10 @@ class BatchedBackend:
             machine.measure_prepared(distinct[unit.plan], rng=unit.noise_seed)
             for unit in units
         ]
+
+    def close(self) -> None:
+        """No-op: batched execution holds no external resources."""
+        return None
 
     def __repr__(self) -> str:
         return "BatchedBackend()"

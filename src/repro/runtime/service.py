@@ -30,9 +30,22 @@ Architecture
   :class:`~repro.runtime.backends.MultiprocessBackend` for process fan-out;
   the protocol leaves room for a socket/multi-host backend later.  All real
   work routes through ``prepare_batch``; per-machine execution is serialised
-  so simulator state is never shared across threads.  A failing task is
-  retried (fresh machine state) and only marked failed — never silently
-  dropped — after ``max_attempts``.
+  so simulator state is never shared across threads.
+* **Failure discipline.**  A failing task is retried with exponential
+  backoff and deterministic jitter (fresh machine state each attempt, the
+  queue keeps moving while it waits), and after ``max_attempts`` it moves to
+  a **dead-letter quarantine** — its waiters receive the error, the rest of
+  the fleet is unaffected, and :meth:`CampaignService.requeue_quarantined`
+  can give it a fresh set of attempts later.  Retried executions re-check
+  the record cache under the machine lock first, so a retry never persists
+  a record twice.  Jobs can carry a ``deadline``; tickets whose ``result``
+  times out *detach*, so an abandoned waiter can never wedge a later
+  submit of the same key.  A supervisor thread fires due retries, detects
+  dead worker threads, recovers their in-progress tasks and respawns them;
+  :meth:`CampaignService.health` reports ``ok``/``degraded``/``closed``,
+  and an opt-in :class:`ServiceClient` fallback degrades to a private
+  serial engine (bit-identical results) when the service cannot answer.
+  Chaos-test all of it with :mod:`repro.runtime.faults` (DESIGN.md §12).
 * **Sharded record log.**  Results persist in the service's store —
   :class:`~repro.runtime.sharded_store.ShardedRecordStore` for a directory
   spec: one append-log writer per ``(machine_hash, seed)`` shard, lock-free
@@ -51,6 +64,9 @@ Architecture
 
 from __future__ import annotations
 
+import hashlib
+import heapq
+import itertools
 import os
 import queue
 import threading
@@ -61,13 +77,14 @@ from typing import Mapping, Sequence
 from repro.machine.machine import MachineConfig, PreparedPlanCache, SimulatedMachine
 from repro.machine.measurement import Measurement
 from repro.runtime.backends import BatchedBackend, ExecutionBackend, WorkUnit
-from repro.runtime.cost_engine import ObjectiveCost
+from repro.runtime.cost_engine import CostEngine, ObjectiveCost
 from repro.runtime.metrics import (
     COUNTER_CHANNEL,
     MODEL_CHANNEL,
     WALL_CHANNEL,
     CostRecord,
     counter_values,
+    has_counter_values,
     metric_spec,
     nondeterministic_metric_names,
 )
@@ -94,6 +111,8 @@ __all__ = [
     "JobTicket",
     "ServiceError",
     "ServiceStats",
+    "ServiceHealth",
+    "QuarantineEntry",
     "CampaignService",
     "ServiceClient",
     "ServiceBackend",
@@ -116,7 +135,9 @@ class CampaignJob:
     :class:`~repro.runtime.cost_engine.CostEngine`'s ``seed`` — it selects
     the record shard and pins each plan's noise draw).  ``scale`` is a free
     informational tag (e.g. the submitting session's scale name) carried
-    into reports.
+    into reports.  ``deadline`` (seconds, counted from submission) bounds
+    how long the job's :meth:`JobTicket.result` may block: past it, the
+    ticket raises and detaches, whether or not a ``timeout`` was passed.
     """
 
     machine_config: MachineConfig
@@ -124,23 +145,34 @@ class CampaignJob:
     metrics: "tuple[str, ...]" = ("cycles",)
     seed: int = 0
     scale: str | None = None
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if not self.plan_batch:
             raise ValueError("a CampaignJob needs at least one plan")
         if not self.metrics:
             raise ValueError("a CampaignJob needs at least one metric")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive seconds, got {self.deadline}")
 
 
 class _Inflight:
-    """One pending acquisition every interested waiter blocks on."""
+    """One pending acquisition every interested waiter blocks on.
 
-    __slots__ = ("event", "error", "value")
+    ``key`` is where the entry is registered (so a detaching ticket can
+    unregister it); ``waiters`` counts the tickets attached — when the last
+    one detaches, the entry is dropped and a later submit of the same key
+    owns fresh work instead of wedging on an abandoned waiter.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("event", "error", "value", "key", "waiters")
+
+    def __init__(self, key: tuple = ()) -> None:
         self.event = threading.Event()
         self.error: BaseException | None = None
         self.value: object | None = None
+        self.key = key
+        self.waiters = 0
 
 
 @dataclass
@@ -158,6 +190,19 @@ class _Task:
     payloads: "list[tuple[tuple, WorkUnit]]" = field(default_factory=list)
     attempts: int = 0
 
+    @property
+    def token(self) -> str:
+        """A stable, human-scannable identity for retry jitter and quarantine."""
+        if self.channel == "measure":
+            parts = sorted(f"{key[1]}#{key[2]}" for key, _ in self.payloads)
+        else:
+            parts = sorted(self.plan_by_key)
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:12]
+        return (
+            f"{self.channel}:{self.log_key.machine_hash[:12]}:s{self.log_key.seed}"
+            f":{self.metric or '-'}:{digest}"
+        )
+
 
 class JobTicket:
     """Handle on one submitted :class:`CampaignJob`.
@@ -167,6 +212,12 @@ class JobTicket:
     ``owned_units`` counts the acquisitions *this* submission enqueued (as
     opposed to records served from the store or attached to another
     submitter's in-flight work) — the client-side measurement counter.
+
+    A ``result`` that gives up — its ``timeout``, the job's ``deadline``,
+    or a failure — **detaches** first: the ticket withdraws its interest,
+    and in-flight entries nobody else waits on are unregistered, so a later
+    submit of the same key owns fresh work instead of waiting behind an
+    abandoned ticket.
     """
 
     def __init__(
@@ -178,6 +229,7 @@ class JobTicket:
         metric_names: "tuple[str, ...]",
         waits: "list[_Inflight]",
         owned_units: int,
+        deadline: float | None = None,
     ):
         self._service = service
         self.job = job
@@ -186,23 +238,50 @@ class JobTicket:
         self._metric_names = metric_names
         self._waits = waits
         self.owned_units = owned_units
+        #: Absolute (monotonic) expiry from the job's ``deadline``, if any.
+        self._deadline = deadline
+        self._detached = False
 
     def done(self) -> bool:
         """Whether every acquisition this job depends on has finished."""
         return all(entry.event.is_set() for entry in self._waits)
 
+    def detach(self) -> None:
+        """Withdraw this ticket's interest in its unfinished work (idempotent).
+
+        Entries with no remaining waiters are unregistered from the
+        in-flight map; work already executing completes and persists
+        normally (resolving is harmless), but nothing can block on this
+        ticket's entries again.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        self._service._detach_waits(self._waits)
+
     def result(self, timeout: float | None = None) -> "list[CostRecord]":
-        """Block until the job's records exist, then return them in order."""
+        """Block until the job's records exist, then return them in order.
+
+        Raises :class:`ServiceError` (after detaching) when ``timeout`` or
+        the job's ``deadline`` expires first, or when the work failed.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
+        if self._deadline is not None:
+            deadline = self._deadline if deadline is None else min(deadline, self._deadline)
         for entry in self._waits:
             remaining = None if deadline is None else deadline - time.monotonic()
             if remaining is not None and remaining <= 0:
                 remaining = 0.0
             if not entry.event.wait(remaining):
-                raise ServiceError(
-                    f"timed out after {timeout} s waiting for campaign work"
+                self.detach()
+                budget = (
+                    f"timed out after {timeout} s"
+                    if timeout is not None and (self._deadline is None or deadline < self._deadline)
+                    else f"exceeded the job deadline of {self.job.deadline} s"
                 )
+                raise ServiceError(f"{budget} waiting for campaign work")
             if entry.error is not None:
+                self.detach()
                 raise ServiceError(
                     "campaign work failed after retries"
                 ) from entry.error
@@ -241,6 +320,12 @@ class ServiceStats:
     failures: int
     #: Size of the worker fleet.
     workers: int
+    #: Tasks currently dead-lettered (see :meth:`CampaignService.quarantined`).
+    quarantined: int = 0
+    #: Worker threads the supervisor replaced after they died mid-task.
+    respawns: int = 0
+    #: Tasks waiting out a retry backoff (not in the queue, not executing).
+    scheduled_retries: int = 0
     #: Per-shard occupancy, when the store exposes it (sharded stores do).
     shards: "tuple[ShardStats, ...]" = ()
 
@@ -250,8 +335,60 @@ class ServiceStats:
             f"jobs={self.jobs} queue={self.queue_depth} inflight={self.in_flight} "
             f"store_hits={self.store_hits} dedup={self.dedup_savings} "
             f"measured={self.measured} retries={self.retries} "
-            f"failures={self.failures} shards={len(self.shards)}"
+            f"failures={self.failures} quarantined={self.quarantined} "
+            f"shards={len(self.shards)}"
         )
+
+
+@dataclass(frozen=True)
+class ServiceHealth:
+    """One snapshot of a service's liveness (:meth:`CampaignService.health`).
+
+    ``state`` is ``"ok"`` (full fleet alive, nothing quarantined),
+    ``"degraded"`` (dead workers awaiting respawn, or dead-lettered tasks a
+    human should look at) or ``"closed"``.  Degradation is advisory — the
+    service keeps serving — but a :class:`ServiceClient` built with
+    ``fallback=True`` uses ``"closed"`` to route around the service without
+    submitting at all.
+    """
+
+    state: str
+    alive_workers: int
+    expected_workers: int
+    queue_depth: int
+    scheduled_retries: int
+    quarantined: int
+    respawns: int
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "ok"
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.state}: workers={self.alive_workers}/{self.expected_workers} "
+            f"queue={self.queue_depth} retries_scheduled={self.scheduled_retries} "
+            f"quarantined={self.quarantined} respawns={self.respawns}"
+        )
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One dead-lettered task: what failed, how often, and why.
+
+    ``token`` is the handle :meth:`CampaignService.requeue_quarantined`
+    accepts; ``error`` is the ``repr`` of the final attempt's exception.
+    """
+
+    token: str
+    channel: str
+    machine_hash: str
+    seed: int
+    plan_keys: "tuple[str, ...]"
+    metric: str | None
+    attempts: int
+    error: str
 
 
 def _resolve_service_store(spec: "str | os.PathLike[str] | CampaignStore | None") -> CampaignStore:
@@ -298,7 +435,21 @@ class CampaignService:
         workers buy overlap across *different* machines/shards and keep the
         queue moving while one batch simulates.
     max_attempts:
-        Total tries per task before its waiters receive the failure.
+        Total tries per task before it is quarantined and its waiters
+        receive the failure.
+    backoff_base:
+        First-retry backoff in seconds; attempt ``k``'s delay is
+        ``min(backoff_base * 2**(k-1), backoff_cap)`` scaled by a
+        deterministic jitter in ``[0.5, 1.5)`` derived from ``retry_seed``
+        and the task's identity.  ``0`` disables backoff (instant retry).
+    backoff_cap:
+        Upper bound on any single backoff delay, in seconds.
+    supervision_interval:
+        How often the supervisor thread scans for dead workers (due
+        retries wake it immediately).
+    retry_seed:
+        Seed of the backoff jitter derivation — two services configured
+        identically retry on identical schedules.
     """
 
     def __init__(
@@ -309,14 +460,32 @@ class CampaignService:
         max_attempts: int = 3,
         measurement_memo: int = 8192,
         name: str = "campaign-service",
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        supervision_interval: float = 0.2,
+        retry_seed: int = 0,
     ):
         check_positive_int(workers, "workers")
         check_positive_int(max_attempts, "max_attempts")
+        if backoff_base < 0:
+            raise ValueError(f"backoff_base must be non-negative, got {backoff_base}")
+        if backoff_cap < backoff_base:
+            raise ValueError(
+                f"backoff_cap ({backoff_cap}) must be at least backoff_base ({backoff_base})"
+            )
+        if supervision_interval <= 0:
+            raise ValueError(
+                f"supervision_interval must be positive, got {supervision_interval}"
+            )
         self.name = name
         self._owns_store = not isinstance(store, CampaignStore)
         self.store = _resolve_service_store(store)
         self.backend = backend if backend is not None else BatchedBackend()
         self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.supervision_interval = float(supervision_interval)
+        self.retry_seed = int(retry_seed)
         self._lock = threading.RLock()
         self._queue: "queue.Queue[_Task | None]" = queue.Queue()
         #: Authoritative record cache per shard, read-through from the store.
@@ -342,8 +511,25 @@ class CampaignService:
             "wall_evaluations": 0,
             "retries": 0,
             "failures": 0,
+            "respawns": 0,
         }
         self._closed = False
+        #: Tasks accepted but not yet terminal (queued, executing, or
+        #: waiting out a retry backoff).  ``drain`` waits on this — the
+        #: queue's own counters cannot see a task parked in the retry heap.
+        self._outstanding = 0
+        self._work_cv = threading.Condition(self._lock)
+        #: Worker-thread name -> the task it is executing right now.  A
+        #: thread that dies leaves its entry behind; the supervisor recovers
+        #: the task from here.
+        self._executing: "dict[str, _Task]" = {}
+        #: Scheduled retries: (due monotonic time, tiebreak, task).
+        self._retries: "list[tuple[float, int, _Task]]" = []
+        self._retry_seq = itertools.count()
+        self._supervisor_cv = threading.Condition(self._lock)
+        #: Dead-letter quarantine: task token -> report (+ the parked task).
+        self._quarantine: "dict[str, QuarantineEntry]" = {}
+        self._quarantined_tasks: "dict[str, _Task]" = {}
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"{name}-worker-{index}", daemon=True
@@ -352,6 +538,10 @@ class CampaignService:
         ]
         for thread in self._threads:
             thread.start()
+        self._supervisor: "threading.Thread | None" = threading.Thread(
+            target=self._supervise, name=f"{name}-supervisor", daemon=True
+        )
+        self._supervisor.start()
 
     # -- resolution helpers ------------------------------------------------------
 
@@ -431,9 +621,11 @@ class CampaignService:
             entry = self._inflight.get(inflight_key)
             if entry is not None:
                 self._counters["dedup_savings"] += 1
+                entry.waiters += 1
                 waits.append(entry)
                 return
-            entry = _Inflight()
+            entry = _Inflight(inflight_key)
+            entry.waiters = 1
             self._inflight[inflight_key] = entry
             waits.append(entry)
             owned += 1
@@ -477,18 +669,19 @@ class CampaignService:
                         )
 
         if counter_missing:
-            self._queue.put(
+            self._enqueue(
                 _Task(COUNTER_CHANNEL, job.machine_config, log_key, counter_missing)
             )
         for metric, missing in model_missing.items():
-            self._queue.put(
+            self._enqueue(
                 _Task(MODEL_CHANNEL, job.machine_config, log_key, missing, metric=metric)
             )
         for metric, missing in wall_missing.items():
-            self._queue.put(
+            self._enqueue(
                 _Task(WALL_CHANNEL, job.machine_config, log_key, missing, metric=metric)
             )
-        return JobTicket(self, job, log_key, keys, job.metrics, waits, owned)
+        deadline = None if job.deadline is None else time.monotonic() + job.deadline
+        return JobTicket(self, job, log_key, keys, job.metrics, waits, owned, deadline)
 
     def lookup(
         self,
@@ -560,12 +753,12 @@ class CampaignService:
                     self._counters["dedup_savings"] += 1
                     slots.append(("wait", entry))
                     continue
-                entry = _Inflight()
+                entry = _Inflight(memo_key)
                 self._measure_inflight[memo_key] = entry
                 new_payloads.append((memo_key, unit))
                 slots.append(("wait", entry))
         if new_payloads:
-            self._queue.put(
+            self._enqueue(
                 _Task(
                     "measure",
                     machine_config,
@@ -604,18 +797,43 @@ class CampaignService:
 
     # -- worker fleet ------------------------------------------------------------
 
+    def _enqueue(self, task: _Task) -> None:
+        """Hand ``task`` to the worker fleet, counting it as outstanding."""
+        with self._lock:
+            self._outstanding += 1
+        self._queue.put(task)
+
+    def _finish_task(self) -> None:
+        """Mark one outstanding task terminal (completed or quarantined)."""
+        with self._work_cv:
+            self._outstanding -= 1
+            self._work_cv.notify_all()
+
     def _worker_loop(self) -> None:
+        me = threading.current_thread().name
         while True:
             task = self._queue.get()
+            if task is None:
+                return
+            with self._lock:
+                self._executing[me] = task
             try:
-                if task is None:
-                    return
-                try:
-                    self._execute(task)
-                except Exception as exc:
-                    self._handle_failure(task, exc)
-            finally:
-                self._queue.task_done()
+                self._execute(task)
+            except Exception as exc:
+                with self._lock:
+                    self._executing.pop(me, None)
+                self._handle_failure(task, exc)
+            except BaseException:
+                # The worker dies — an injected crash, or a genuine
+                # interpreter-level failure an ``except Exception`` retry
+                # must not paper over.  The task stays in ``_executing`` so
+                # the supervisor recovers it, and the thread exits so the
+                # supervisor respawns it.
+                return
+            else:
+                with self._lock:
+                    self._executing.pop(me, None)
+                self._finish_task()
 
     def _execute(self, task: _Task) -> None:
         if task.channel == COUNTER_CHANNEL:
@@ -629,30 +847,68 @@ class CampaignService:
         else:  # pragma: no cover - tasks are built by submit alone
             raise ValueError(f"unknown task channel {task.channel!r}")
 
+    def _refresh_from_store(self, log_key: CostLogKey) -> None:
+        """Fold the store's current log state into the record cache.
+
+        Used by retries: an attempt whose append raised *mid-write* (a torn
+        tail) may still have persisted its records — re-reading the log lets
+        the retry serve them instead of re-measuring, and keeps the cache
+        the store's superset even across partial failures.
+        """
+        try:
+            stored = self.store.get_cost_records(log_key)
+        except Exception:
+            return  # a failing store read must not block the retry itself
+        volatile = nondeterministic_metric_names()
+        with self._lock:
+            records = self._cache_for(log_key)
+            for key, values in stored.items():
+                clean = {
+                    name: value for name, value in values.items() if name not in volatile
+                }
+                if clean:
+                    records.setdefault(key, {}).update(clean)
+
     def _execute_counters(self, task: _Task) -> None:
         machine = self._machine_for(task.config)
         digest = task.log_key.machine_hash
-        units = [
-            WorkUnit(
-                plan=plan,
-                noise_seed=derive_seed(task.log_key.seed, "plan-cost", key),
-            )
-            for key, plan in task.plan_by_key.items()
-        ]
+        if task.attempts:
+            self._refresh_from_store(task.log_key)
         with self._machine_lock(digest):
-            measurements = self.backend.measure_units(machine, units)
-        staged = {
-            key: counter_values(measurement)
-            for key, measurement in zip(task.plan_by_key, measurements)
-        }
-        # Durability before visibility: records land in the store before any
-        # waiter can observe them, so no returned value can be lost.
-        self.store.append_cost_records(task.log_key, staged)
-        with self._lock:
-            records = self._cache_for(task.log_key)
-            for key, values in staged.items():
-                records.setdefault(key, {}).update(values)
-            self._counters["measured"] += len(units)
+            # Retry idempotence: an earlier attempt (or a concurrent fresh
+            # submit after this ticket detached) may already have measured
+            # part of this batch.  The re-check runs under the machine lock,
+            # serialising it against every other execution on this machine,
+            # so no plan's counters are ever persisted twice.
+            with self._lock:
+                records = self._cache_for(task.log_key)
+                pending = {
+                    key: plan
+                    for key, plan in task.plan_by_key.items()
+                    if not has_counter_values(records.get(key, {}))
+                }
+            if pending:
+                units = [
+                    WorkUnit(
+                        plan=plan,
+                        noise_seed=derive_seed(task.log_key.seed, "plan-cost", key),
+                    )
+                    for key, plan in pending.items()
+                ]
+                measurements = self.backend.measure_units(machine, units)
+                staged = {
+                    key: counter_values(measurement)
+                    for key, measurement in zip(pending, measurements)
+                }
+                # Durability before visibility: records land in the store
+                # before any waiter can observe them, so no value a client
+                # saw can be lost by a crash.
+                self.store.append_cost_records(task.log_key, staged)
+                with self._lock:
+                    records = self._cache_for(task.log_key)
+                    for key, values in staged.items():
+                        records.setdefault(key, {}).update(values)
+                    self._counters["measured"] += len(units)
         self._resolve(
             (digest, key, task.log_key.seed, COUNTER_CHANNEL)
             for key in task.plan_by_key
@@ -660,18 +916,28 @@ class CampaignService:
 
     def _execute_model(self, task: _Task) -> None:
         digest = task.log_key.machine_hash
-        scorer = self._scorer(digest, task.metric, task.config)
-        values = scorer(list(task.plan_by_key.values()))
-        staged = {
-            key: {task.metric: float(value)}
-            for key, value in zip(task.plan_by_key, values)
-        }
-        self.store.append_cost_records(task.log_key, staged)
+        if task.attempts:
+            self._refresh_from_store(task.log_key)
         with self._lock:
             records = self._cache_for(task.log_key)
-            for key, value_map in staged.items():
-                records.setdefault(key, {}).update(value_map)
-            self._counters["model_evaluations"] += len(staged)
+            pending = {
+                key: plan
+                for key, plan in task.plan_by_key.items()
+                if task.metric not in records.get(key, {})
+            }
+        if pending:
+            scorer = self._scorer(digest, task.metric, task.config)
+            values = scorer(list(pending.values()))
+            staged = {
+                key: {task.metric: float(value)}
+                for key, value in zip(pending, values)
+            }
+            self.store.append_cost_records(task.log_key, staged)
+            with self._lock:
+                records = self._cache_for(task.log_key)
+                for key, value_map in staged.items():
+                    records.setdefault(key, {}).update(value_map)
+                self._counters["model_evaluations"] += len(staged)
         self._resolve(
             (digest, key, task.log_key.seed, MODEL_CHANNEL, task.metric)
             for key in task.plan_by_key
@@ -683,7 +949,13 @@ class CampaignService:
         spec = metric_spec(task.metric)
         acquired = {}
         with self._machine_lock(digest):
-            for key, plan in task.plan_by_key.items():
+            with self._lock:
+                pending = [
+                    (key, plan)
+                    for key, plan in task.plan_by_key.items()
+                    if (task.log_key, key, task.metric) not in self._wall
+                ]
+            for key, plan in pending:
                 acquired[key] = float(spec.measure(machine, plan))
         with self._lock:
             for key, value in acquired.items():
@@ -698,21 +970,38 @@ class CampaignService:
     def _execute_measure(self, task: _Task) -> None:
         machine = self._machine_for(task.config)
         digest = task.log_key.machine_hash
-        units = [unit for _, unit in task.payloads]
+        served: "list[_Inflight]" = []
         with self._machine_lock(digest):
-            measurements = self.backend.measure_units(machine, units)
+            # Retry idempotence: an earlier attempt may have finished part
+            # of the batch before dying — serve those from the memo.
+            with self._lock:
+                pending: "list[tuple[tuple, WorkUnit]]" = []
+                for memo_key, unit in task.payloads:
+                    hit = self._measure_memo.get(memo_key)
+                    if hit is None:
+                        pending.append((memo_key, unit))
+                        continue
+                    entry = self._measure_inflight.pop(memo_key, None)
+                    if entry is not None:
+                        entry.value = hit
+                        served.append(entry)
+            measurements = (
+                self.backend.measure_units(machine, [unit for _, unit in pending])
+                if pending
+                else []
+            )
         finished: "list[_Inflight]" = []
         with self._lock:
             # Every waiter captured the entry object itself, so popping the
             # in-flight map before setting the events cannot orphan anyone.
-            for (memo_key, _), measurement in zip(task.payloads, measurements):
+            for (memo_key, _), measurement in zip(pending, measurements):
                 self._measure_memo.put(memo_key, measurement)
                 entry = self._measure_inflight.pop(memo_key, None)
                 if entry is not None:
                     entry.value = measurement
                     finished.append(entry)
-            self._counters["measured"] += len(units)
-        for entry in finished:
+            self._counters["measured"] += len(pending)
+        for entry in served + finished:
             entry.event.set()
 
     def _resolve(self, inflight_keys) -> None:
@@ -726,7 +1015,49 @@ class CampaignService:
         for entry in finished:
             entry.event.set()
 
-    def _handle_failure(self, task: _Task, exc: Exception) -> None:
+    def _task_inflight_keys(self, task: _Task) -> "list[tuple]":
+        """The in-flight map keys a task's waiters are registered under."""
+        if task.channel == "measure":
+            return [memo_key for memo_key, _ in task.payloads]
+        suffix = () if task.channel == COUNTER_CHANNEL else (task.metric,)
+        return [
+            (task.log_key.machine_hash, key, task.log_key.seed, task.channel, *suffix)
+            for key in task.plan_by_key
+        ]
+
+    def _detach_waits(self, waits: "list[_Inflight]") -> None:
+        """Withdraw one ticket's interest in each unfinished entry.
+
+        Entries left with no waiters are unregistered: the next submit of
+        the same key owns fresh work.  The already-queued task still
+        completes and persists normally — the idempotent re-check in the
+        executors keeps a subsequent owner from measuring the key twice.
+        """
+        with self._lock:
+            for entry in waits:
+                if entry.event.is_set():
+                    continue
+                entry.waiters = max(0, entry.waiters - 1)
+                if entry.waiters == 0 and self._inflight.get(entry.key) is entry:
+                    del self._inflight[entry.key]
+
+    def _backoff_delay(self, task: _Task) -> float:
+        """Exponential backoff with deterministic jitter for the next retry.
+
+        ``attempts`` is already incremented when this runs, so the first
+        retry (attempts=1) waits ``~backoff_base``.  The jitter is a pure
+        function of ``(retry_seed, task identity, attempt)`` in
+        ``[0.5, 1.5)`` — reproducible, but de-synchronised across tasks.
+        """
+        if self.backoff_base <= 0.0:
+            return 0.0
+        exponent = min(task.attempts - 1, 32)
+        delay = min(self.backoff_base * (2.0 ** exponent), self.backoff_cap)
+        bits = derive_seed(self.retry_seed, "retry-jitter", task.token, str(task.attempts))
+        jitter = 0.5 + (bits % (1 << 20)) / float(1 << 20)
+        return delay * jitter
+
+    def _handle_failure(self, task: _Task, exc: BaseException) -> None:
         task.attempts += 1
         with self._lock:
             # Evict the machine so the retry starts from fresh simulator
@@ -735,33 +1066,132 @@ class CampaignService:
             retry = task.attempts < self.max_attempts and not self._closed
             if retry:
                 self._counters["retries"] += 1
-        if retry:
-            self._queue.put(task)
-            return
+                due = time.monotonic() + self._backoff_delay(task)
+                heapq.heappush(self._retries, (due, next(self._retry_seq), task))
+                self._supervisor_cv.notify_all()
+                return
+        self._quarantine_task(task, exc)
+
+    def _quarantine_task(self, task: _Task, exc: BaseException) -> None:
+        """Dead-letter a task that exhausted its attempts.
+
+        Its waiters receive the failure now; the task itself is parked (not
+        dropped) so :meth:`requeue_quarantined` can revive it, and a *fresh*
+        submit of the same keys starts over with a clean attempt budget —
+        quarantine isolates poison work, it does not blacklist keys.
+        """
+        entries: "list[_Inflight]" = []
         with self._lock:
             self._counters["failures"] += 1
-            entries = []
+            source = self._measure_inflight if task.channel == "measure" else self._inflight
+            for inflight_key in self._task_inflight_keys(task):
+                entry = source.pop(inflight_key, None)
+                if entry is not None:
+                    entries.append(entry)
             if task.channel == "measure":
-                for memo_key, _ in task.payloads:
-                    entry = self._measure_inflight.pop(memo_key, None)
-                    if entry is not None:
-                        entries.append(entry)
+                plan_keys = tuple(sorted(key[1] for key, _ in task.payloads))
             else:
-                suffix = () if task.channel == COUNTER_CHANNEL else (task.metric,)
-                for key in task.plan_by_key:
-                    inflight_key = (
-                        task.log_key.machine_hash,
-                        key,
-                        task.log_key.seed,
-                        task.channel,
-                        *suffix,
-                    )
-                    entry = self._inflight.pop(inflight_key, None)
-                    if entry is not None:
-                        entries.append(entry)
+                plan_keys = tuple(sorted(task.plan_by_key))
+            token = task.token
+            self._quarantine[token] = QuarantineEntry(
+                token=token,
+                channel=task.channel,
+                machine_hash=task.log_key.machine_hash,
+                seed=task.log_key.seed,
+                plan_keys=plan_keys,
+                metric=task.metric,
+                attempts=task.attempts,
+                error=repr(exc),
+            )
+            self._quarantined_tasks[token] = task
         for entry in entries:
             entry.error = exc
             entry.event.set()
+        self._finish_task()
+
+    def quarantined(self) -> "tuple[QuarantineEntry, ...]":
+        """The dead-letter queue: one report per quarantined task."""
+        with self._lock:
+            return tuple(self._quarantine.values())
+
+    def requeue_quarantined(self, tokens: "Sequence[str] | None" = None) -> int:
+        """Give quarantined tasks a fresh attempt budget and re-enqueue them.
+
+        ``tokens`` selects which (default: all).  Returns how many tasks
+        were revived.  Waiters of the original failure are *not* revived —
+        they already received their error; new interest attaches through
+        fresh submits, which dedupe against the re-registered in-flight
+        entries as usual.
+        """
+        revived: "list[_Task]" = []
+        with self._lock:
+            if self._closed:
+                raise ServiceError(f"{self.name} is shut down")
+            selected = list(tokens) if tokens is not None else list(self._quarantine)
+            for token in selected:
+                self._quarantine.pop(token, None)
+                task = self._quarantined_tasks.pop(token, None)
+                if task is None:
+                    continue
+                task.attempts = 0
+                source = (
+                    self._measure_inflight if task.channel == "measure" else self._inflight
+                )
+                for inflight_key in self._task_inflight_keys(task):
+                    if inflight_key not in source:
+                        source[inflight_key] = _Inflight(inflight_key)
+                revived.append(task)
+        for task in revived:
+            self._enqueue(task)
+        return len(revived)
+
+    # -- supervision -------------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Fire due retries; detect, recover and respawn dead workers.
+
+        One thread doubles as the retry scheduler (tasks waiting out a
+        backoff live in a heap, not in the queue — an instantly-failing
+        task cannot starve healthy work) and the worker supervisor (a
+        thread that died mid-task leaves the task in ``_executing``; it is
+        recovered through the normal failure path, and the thread is
+        replaced).  Exits once the service is closed and the heap is empty.
+        """
+        respawn_ids = itertools.count(1)
+        while True:
+            fire: "list[_Task]" = []
+            recovered: "list[_Task]" = []
+            with self._supervisor_cv:
+                now = time.monotonic()
+                while self._retries and (self._closed or self._retries[0][0] <= now):
+                    fire.append(heapq.heappop(self._retries)[2])
+                for index, thread in enumerate(self._threads):
+                    if thread.is_alive():
+                        continue
+                    task = self._executing.pop(thread.name, None)
+                    if task is not None:
+                        recovered.append(task)
+                    if not self._closed:
+                        replacement = threading.Thread(
+                            target=self._worker_loop,
+                            name=f"{self.name}-worker-{index}-r{next(respawn_ids)}",
+                            daemon=True,
+                        )
+                        self._threads[index] = replacement
+                        self._counters["respawns"] += 1
+                        replacement.start()
+                if not fire and not recovered:
+                    if self._closed and not self._retries:
+                        return
+                    timeout = self.supervision_interval
+                    if self._retries:
+                        timeout = min(timeout, max(0.001, self._retries[0][0] - now))
+                    self._supervisor_cv.wait(timeout)
+                    continue
+            for task in fire:
+                self._queue.put(task)  # still counted outstanding since _enqueue
+            for task in recovered:
+                self._handle_failure(task, ServiceError("worker thread died mid-task"))
 
     # -- clients -----------------------------------------------------------------
 
@@ -770,32 +1200,64 @@ class CampaignService:
         machine: "MachineConfig | SimulatedMachine",
         seed: int = 0,
         objective: "str | Objective" = "cycles",
+        fallback: bool = False,
+        timeout: float | None = None,
     ) -> "ServiceClient":
-        """A cost-engine-compatible client bound to one machine and seed."""
-        return ServiceClient(self, machine, seed=seed, objective=objective)
+        """A cost-engine-compatible client bound to one machine and seed.
+
+        ``fallback=True`` arms graceful degradation: when the service
+        cannot answer (failed work, a timeout, or a closed service), the
+        client evaluates through a private serial engine instead —
+        bit-identical results, no shared dedup.  ``timeout`` bounds each
+        submission's wait.
+        """
+        return ServiceClient(
+            self, machine, seed=seed, objective=objective,
+            fallback=fallback, timeout=timeout,
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
     def drain(self) -> None:
-        """Block until every queued task has been fully processed."""
-        self._queue.join()
+        """Block until every accepted task is terminal.
+
+        Unlike a bare queue join, this also covers tasks parked in the
+        retry heap and tasks being recovered from a dead worker — a task
+        counts until it either completed or reached quarantine.
+        """
+        with self._work_cv:
+            self._work_cv.wait_for(lambda: self._outstanding == 0)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the worker fleet (idempotent).
+        """Stop the worker fleet and the supervisor (idempotent).
 
-        ``wait=True`` (the default, the graceful path) drains the queue
-        first, so every accepted job completes; ``wait=False`` only refuses
-        new work and stops workers after their current task.  Waiters of
-        tasks still queued at a non-graceful shutdown receive a
-        :class:`ServiceError`.
+        ``wait=True`` (the default, the graceful path) drains first, so
+        every accepted task reaches a terminal state — note that retries
+        stop being *scheduled* once shutdown begins (tasks already waiting
+        out a backoff fire immediately, tasks failing during the drain go
+        straight to quarantine).  ``wait=False`` refuses new work, drops
+        scheduled retries and stops workers after their current task;
+        waiters of anything unfinished receive a :class:`ServiceError`.
         """
         with self._lock:
             if self._closed and not self._threads:
                 return
             already_closing = self._closed
             self._closed = True
+            dropped = 0
+            if not wait:
+                dropped = len(self._retries)
+                self._retries.clear()
+            self._supervisor_cv.notify_all()
+        for _ in range(dropped):
+            self._finish_task()  # their waiters get the shutdown error below
         if wait and not already_closing:
             self.drain()
+        supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
+            with self._supervisor_cv:
+                self._supervisor_cv.notify_all()
+            supervisor.join()
         threads, self._threads = self._threads, []
         for _ in threads:
             self._queue.put(None)
@@ -808,6 +1270,9 @@ class CampaignService:
             )
             self._inflight.clear()
             self._measure_inflight.clear()
+            self._executing.clear()
+            self._outstanding = 0
+            self._work_cv.notify_all()
         for entry in leftovers:
             if not entry.event.is_set():
                 entry.error = ServiceError(f"{self.name} shut down")
@@ -833,6 +1298,8 @@ class CampaignService:
         with self._lock:
             counters = dict(self._counters)
             in_flight = len(self._inflight) + len(self._measure_inflight)
+            quarantined = len(self._quarantine)
+            scheduled = len(self._retries)
         shard_stats = getattr(self.store, "shard_stats", None)
         shards = tuple(shard_stats()) if callable(shard_stats) else ()
         return ServiceStats(
@@ -847,7 +1314,41 @@ class CampaignService:
             retries=counters["retries"],
             failures=counters["failures"],
             workers=len(self._threads),
+            quarantined=quarantined,
+            respawns=counters["respawns"],
+            scheduled_retries=scheduled,
             shards=shards,
+        )
+
+    def health(self) -> ServiceHealth:
+        """Liveness snapshot: worker fleet, retry backlog, quarantine.
+
+        ``degraded`` means the service is still answering but something
+        needs attention — dead workers awaiting respawn, or dead-lettered
+        tasks.  ``closed`` is terminal; clients with ``fallback=True``
+        route around it without submitting.
+        """
+        with self._lock:
+            threads = list(self._threads)
+            alive = sum(1 for thread in threads if thread.is_alive())
+            closed = self._closed
+            quarantined = len(self._quarantine)
+            scheduled = len(self._retries)
+            respawns = self._counters["respawns"]
+        if closed:
+            state = "closed"
+        elif alive < len(threads) or quarantined:
+            state = "degraded"
+        else:
+            state = "ok"
+        return ServiceHealth(
+            state=state,
+            alive_workers=alive,
+            expected_workers=len(threads),
+            queue_depth=self._queue.qsize(),
+            scheduled_retries=scheduled,
+            quarantined=quarantined,
+            respawns=respawns,
         )
 
     def __repr__(self) -> str:
@@ -870,6 +1371,16 @@ class ServiceClient:
     acquisitions *this* client's submissions enqueued; work served from the
     shared store or deduped against another client is free here, exactly as
     cache hits are free on a private engine.
+
+    ``fallback=True`` arms **graceful degradation**: when the service
+    cannot answer — the submission failed after retries (quarantined
+    work), the client's ``timeout`` expired, or the service is closed —
+    the client evaluates the batch through a lazily-built private
+    :class:`~repro.runtime.cost_engine.CostEngine` instead.  The private
+    engine derives the very same per-plan noise seeds from the same
+    ``seed``, reads (but never writes) the service's store, and therefore
+    returns **bit-identical** records; ``fallbacks`` counts how often the
+    degraded path served a batch.
     """
 
     def __init__(
@@ -878,6 +1389,8 @@ class ServiceClient:
         machine: "MachineConfig | SimulatedMachine",
         seed: int = 0,
         objective: "str | Objective" = "cycles",
+        fallback: bool = False,
+        timeout: float | None = None,
     ):
         self.service = service
         self.config = machine.config if isinstance(machine, SimulatedMachine) else machine
@@ -885,6 +1398,8 @@ class ServiceClient:
             raise TypeError(f"cannot interpret {machine!r} as a machine")
         self.seed = int(seed)
         self.objective = resolve_objective(objective)
+        self.fallback = bool(fallback)
+        self.timeout = timeout
         self.key = CostLogKey(
             machine_hash=service._hash_for(self.config), seed=self.seed
         )
@@ -892,17 +1407,61 @@ class ServiceClient:
         self.evaluations = 0
         #: Acquisitions this client's submissions put on the service queue.
         self.measured = 0
+        #: Batches the degraded (private-engine) path served.
+        self.fallbacks = 0
+        self._fallback_engine: "CostEngine | None" = None
+
+    def _degraded_engine(self) -> CostEngine:
+        """The private engine behind ``fallback=True`` (built on first use).
+
+        Same machine configuration, same seed — hence the same
+        ``derive_seed(seed, "plan-cost", plan_key)`` noise draws and
+        bit-identical records.  Its store is a read-only view of the
+        service's, so whatever the service *did* manage to persist is
+        served from cache and only the rest is measured locally; nothing
+        is written (the service stays the store's single writer).
+        """
+        if self._fallback_engine is None:
+            self._fallback_engine = CostEngine(
+                SimulatedMachine(self.config),
+                objective=self.objective,
+                backend=BatchedBackend(),
+                store=ServiceStoreView(self.service.store),
+                seed=self.seed,
+            )
+        return self._fallback_engine
+
+    def _degraded_records(
+        self, plans: Sequence[Plan], names: "tuple[str, ...]"
+    ) -> "list[CostRecord]":
+        engine = self._degraded_engine()
+        self.fallbacks += 1
+        before = engine.measured
+        records = engine.records(list(plans), names)
+        self.measured += engine.measured - before
+        return records
 
     def records(
         self, plans: Sequence[Plan], metrics: Sequence[str] | None = None
     ) -> "list[CostRecord]":
-        """Cost records of ``plans`` in order, via the service."""
+        """Cost records of ``plans`` in order, via the service.
+
+        With ``fallback`` armed, a batch the service cannot complete is
+        served by the private engine instead of raising.
+        """
         names = tuple(metrics) if metrics is not None else self.objective.metrics
         self.evaluations += len(plans)
-        ticket = self.service.submit(
-            CampaignJob(self.config, tuple(plans), names, self.seed)
-        )
-        result = ticket.result()
+        if self.fallback and self.service.health().state == "closed":
+            return self._degraded_records(plans, names)
+        try:
+            ticket = self.service.submit(
+                CampaignJob(self.config, tuple(plans), names, self.seed)
+            )
+            result = ticket.result(timeout=self.timeout)
+        except ServiceError:
+            if not self.fallback:
+                raise
+            return self._degraded_records(plans, names)
         self.measured += ticket.owned_units
         return result
 

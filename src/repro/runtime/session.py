@@ -107,10 +107,14 @@ class Session:
         store: CampaignStore,
         dp_max_children: int | None = 2,
         service: "CampaignService | None" = None,
+        service_fallback: bool = False,
     ):
         self.machine = machine
         self.scale = scale
         self.service = service
+        #: Connected sessions only: arm the client's graceful degradation
+        #: (evaluate through a private engine when the service can't answer).
+        self.service_fallback = bool(service_fallback)
         if service is not None:
             # A tenant session: every measurement routes through the shared
             # service (cross-session dedup), reads come through the service's
@@ -137,6 +141,7 @@ class Session:
         scale: "str | ExperimentScale" = "default",
         *,
         dp_max_children: int | None = 2,
+        fallback: bool = False,
     ) -> "Session":
         """A session whose measurement work all flows through ``service``.
 
@@ -148,6 +153,12 @@ class Session:
             service = repro.serve(store="./campaigns", workers=4)
             a = repro.Session.connect(service)
             b = repro.Session.connect(service)   # b reuses a's measurements
+
+        ``fallback=True`` arms graceful degradation on the session's
+        service client: batches the service cannot answer (quarantined
+        work, a closed service) are evaluated through a private engine,
+        bit-identical to the service path — the session's searches then
+        survive an unhealthy service instead of raising.
         """
         resolved = _resolve_machine(machine)
         return cls(
@@ -157,6 +168,7 @@ class Session:
             store=service.store,
             dp_max_children=dp_max_children,
             service=service,
+            service_fallback=fallback,
         )
 
     # -- campaigns ---------------------------------------------------------------
@@ -247,7 +259,7 @@ class Session:
             seed = derive_seed(self.scale.seed, "cost-engine")
             if self.service is not None:
                 self._cost_engine = self.service.client(
-                    self.machine.config, seed=seed
+                    self.machine.config, seed=seed, fallback=self.service_fallback
                 )
             else:
                 backend = self.backend
@@ -378,6 +390,7 @@ def session(
     *,
     dp_max_children: int | None = 2,
     service: "CampaignService | None" = None,
+    service_fallback: bool = False,
 ) -> Session:
     """Create a :class:`Session` from presets or concrete objects.
 
@@ -399,6 +412,9 @@ def session(
         A :class:`~repro.runtime.service.CampaignService` to connect to.
         When given, the service's backend and store replace the ``backend``
         and ``store`` arguments (see :meth:`Session.connect`).
+    service_fallback:
+        Connected sessions only: arm the client's graceful degradation
+        (see :meth:`Session.connect`'s ``fallback``).
     """
     return Session(
         machine=_resolve_machine(machine),
@@ -407,4 +423,5 @@ def session(
         store=resolve_store(store),
         dp_max_children=dp_max_children,
         service=service,
+        service_fallback=service_fallback,
     )

@@ -160,6 +160,17 @@ class ShardedRecordStore(_CostTableCompat):
                 except OSError:
                     pass
 
+    def shard_log_path(self, key: CostLogKey) -> Path:
+        """The on-disk append-log file inside ``key``'s shard.
+
+        Resolving the path touches the shard (directory creation plus the
+        one-time flat-log migration), so the returned location is exactly
+        where the next append will land.  Public for fault injectors and
+        crash-tolerance tests.
+        """
+        shard = self._shard(key)
+        return shard.log_path(key)
+
     # -- campaign tables (unsharded, at the root) --------------------------------
 
     def get(self, key: CampaignKey) -> MeasurementTable | None:

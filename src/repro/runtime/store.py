@@ -361,6 +361,15 @@ class DiskStore(_CostTableCompat):
     def _log_for(self, key: CostLogKey) -> Path:
         return self.path / f"{key.token()}.jsonl"
 
+    def log_path(self, key: CostLogKey) -> Path:
+        """The on-disk append-log file of ``key`` (created on first append).
+
+        Public so fault injectors and crash-tolerance tests can reach the
+        raw log (torn tails, partial lines) without depending on the file
+        naming scheme.
+        """
+        return self._log_for(key)
+
     def get(self, key: CampaignKey) -> MeasurementTable | None:
         file = self._file_for(key)
         try:
