@@ -30,6 +30,10 @@ run fires none of the retry machinery, a chaotic run (injected backend
 failures, torn store tails, a poisoned best plan) through a fallback-armed
 session stays bit-identical to the fault-free search with the poison
 dead-lettered, and zero-rate fault-injection hooks add < 5% to a cold DP.
+The multi-host socket transport is gated by ``check_transport``: a
+loopback-TCP DP (n=12) is bit-identical to the in-process service path,
+executes zero duplicate or re-executed units over the wire, and stays
+within 30% of the in-process service client.
 (Timing gates for the search layer live in
 ``bench_search.py`` against ``BENCH_search.json``; service timings in
 ``bench_service.py`` against ``BENCH_service.json``.)
@@ -525,6 +529,105 @@ def check_faults() -> None:
         )
 
 
+def check_transport() -> None:
+    """The socket transport must be exact, dedup-clean and thin.
+
+    Three gates on the multi-host transport layer (DESIGN.md §13, DP n=12,
+    Opteron-like, noise-free):
+
+    * a remote DP search over loopback TCP is **bit-identical** to the
+      in-process service-mediated search;
+    * the remote run executes **zero** duplicate or additional units
+      (counter-verified at the backend): request-id idempotency and the
+      service's key-level dedup hold across the wire;
+    * a cold loopback-TCP DP stays within 30% of the in-process service
+      client (plus a small absolute grace): frames, not friction.
+    """
+    import threading
+
+    from repro.machine.configs import opteron_like
+    from repro.runtime.backends import BatchedBackend
+    from repro.runtime.service import CampaignService
+    from repro.runtime.store import machine_config_hash
+    from repro.runtime.transport import RemoteServiceClient, serve_tcp
+    from repro.search.dp import dp_search
+    from repro.wht.encoding import plan_key
+
+    config = opteron_like(noise_sigma=0.0).config
+
+    class CountingBackend:
+        name = "counting"
+
+        def __init__(self):
+            self.inner = BatchedBackend()
+            self.lock = threading.Lock()
+            self.executed = []
+
+        def measure_units(self, machine, units):
+            with self.lock:
+                digest = machine_config_hash(machine.config)
+                self.executed.extend(
+                    (digest, plan_key(unit.plan), unit.noise_seed)
+                    for unit in units
+                )
+            return self.inner.measure_units(machine, units)
+
+    counting = CountingBackend()
+    with CampaignService(backend=counting, workers=2) as service:
+        reference = dp_search(12, service.client(config))
+        baseline_units = len(counting.executed)
+        with serve_tcp(service) as server:
+            client = RemoteServiceClient(server.url, config)
+            remote = dp_search(12, client)
+            client.close()
+
+    if (
+        remote.best_plans != reference.best_plans
+        or remote.best_costs != reference.best_costs
+    ):
+        raise SystemExit(
+            "transport exactness regression: remote DP differs from the "
+            "in-process service DP"
+        )
+    if len(set(counting.executed)) != len(counting.executed):
+        raise SystemExit(
+            "transport dedup regression: duplicate unit executions via the wire"
+        )
+    if len(counting.executed) != baseline_units:
+        raise SystemExit(
+            f"transport dedup regression: the remote search re-executed "
+            f"{len(counting.executed) - baseline_units} already-measured units"
+        )
+
+    # Overhead gate: best-of-three cold runs on each path.
+    def time_inprocess():
+        with CampaignService(workers=2) as fresh:
+            client = fresh.client(config)
+            start = time.perf_counter()
+            dp_search(12, client)
+            return time.perf_counter() - start
+
+    def time_remote():
+        with CampaignService(workers=2) as fresh:
+            with serve_tcp(fresh) as server:
+                client = RemoteServiceClient(server.url, config)
+                start = time.perf_counter()
+                dp_search(12, client)
+                elapsed = time.perf_counter() - start
+                client.close()
+            return elapsed
+
+    time_inprocess(), time_remote()  # warmup
+    inprocess = min(time_inprocess() for _ in range(3))
+    remote_time = min(time_remote() for _ in range(3))
+    if remote_time > inprocess * 1.3 + 0.3:
+        raise SystemExit(
+            f"transport overhead regression: loopback-TCP DP took "
+            f"{remote_time:.3f} s > 1.3x the in-process service's "
+            f"{inprocess:.3f} s (+0.3 s grace)"
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -563,6 +666,12 @@ def main() -> int:
         "faults: clean run fires no retry machinery, chaotic fallback search "
         "bit-identical with poison quarantined, zero-rate injection hooks "
         "within 5% of the clean backend"
+    )
+    check_transport()
+    print(
+        "transport: loopback-TCP DP bit-identical to the in-process service "
+        "with zero duplicate or re-executed units, remote overhead within "
+        "30% of the service client"
     )
 
     seconds, peak, stats = run_smoke()

@@ -186,6 +186,29 @@ def main() -> None:
             f"({service.health().describe()})"
         )
 
+    # 12. Multi-host: the same service behind a socket.  serve_tcp fronts a
+    #     CampaignService with a length-prefixed JSON-frame protocol, and
+    #     Session.connect("tcp://host:port") gives a remote session the full
+    #     engine surface — request-id idempotency, heartbeats and reconnect
+    #     with deterministic backoff guarantee no duplicate measurements even
+    #     across network failures (DESIGN.md §13).  The remote search matches
+    #     the in-process one bit for bit.
+    with repro.CampaignService(workers=2) as service:
+        local = repro.Session.connect(service)
+        best_local = local.search(n, use_engine=True)
+        with repro.serve_tcp(service, host="127.0.0.1", port=0) as server:
+            remote = repro.Session.connect(server.url)
+            best_remote = remote.search(n, use_engine=True)
+            assert str(best_remote.best_plan) == str(best_local.best_plan)
+            assert best_remote.best_cost == best_local.best_cost
+            wire_stats = server.stats()
+            remote.close()
+            print(
+                f"\nRemote session over {server.url}: "
+                f"{wire_stats['requests']} framed requests, result "
+                f"bit-identical to the in-process session"
+            )
+
 
 if __name__ == "__main__":
     main()

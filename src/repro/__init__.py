@@ -53,6 +53,14 @@ fleet-wide and persists records in per-machine shards:
 >>> best = a.search(14)                    # each plan measured once, total
 >>> service.stats().dedup_savings          # duplicates that never ran
 
+The same service serves tenants on *other hosts* over a supervised socket
+transport — same bit-identical results, same exactly-once measurement,
+now with reconnect, heartbeats and idempotent resubmission on the wire:
+
+>>> server = repro.serve_tcp(service)      # tcp://127.0.0.1:<port>
+>>> remote = repro.Session.connect(server.url, fallback=True)
+>>> best = remote.search(14)               # bit-identical to the local search
+
 Lower-level objects remain available for direct use:
 
 >>> from repro import wht, machine, models
@@ -88,14 +96,20 @@ from repro.runtime import (
     MeasurementTable,
     MemoryStore,
     MetricObjective,
+    FaultyTransport,
     MultiprocessBackend,
     Objective,
+    RemoteServiceClient,
     SerialBackend,
     ServiceClient,
+    ServiceServer,
     Session,
     ShardedRecordStore,
+    TransportError,
     WeightedObjective,
     serve,
+    serve_tcp,
+    serve_unix,
     session,
 )
 from repro.wht import (
@@ -109,7 +123,7 @@ from repro.wht import (
     right_recursive_plan,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "analysis",
@@ -146,6 +160,12 @@ __all__ = [
     "CampaignService",
     "ServiceClient",
     "serve",
+    "ServiceServer",
+    "serve_tcp",
+    "serve_unix",
+    "RemoteServiceClient",
+    "FaultyTransport",
+    "TransportError",
     "FaultPlan",
     "FaultSpec",
     "FaultyBackend",

@@ -38,7 +38,16 @@ live*:
   ``(machine_hash, plan_key, seed, channel)``, a worker fleet draining it
   through an :class:`ExecutionBackend`, and cost-engine-compatible
   :class:`ServiceClient`\\ s for any number of concurrent sessions
-  (``Session.connect``).
+  (``Session.connect``);
+* :mod:`repro.runtime.transport` — the multi-host wire: length-prefixed
+  JSON frames over TCP / Unix sockets (:func:`serve_tcp`,
+  :func:`serve_unix`), a supervised :class:`RemoteServiceClient` with
+  reconnect, heartbeats, idempotent request ids and graceful drain
+  handling, and :class:`FaultyTransport` extending the fault plan's chaos
+  discipline to the network (``Session.connect("tcp://host:port")``);
+* :mod:`repro.runtime.faults` — deterministic fault injection
+  (:class:`FaultPlan`) across backend, store and network sites, so the
+  failure discipline above is testable bit-for-bit.
 """
 
 from repro.runtime.backends import (
@@ -112,6 +121,17 @@ from repro.runtime.store import (
     resolve_store,
 )
 from repro.runtime.table import TABLE_COLUMNS, MeasurementTable
+from repro.runtime.transport import (
+    FaultyTransport,
+    FrameTransport,
+    RemoteServiceClient,
+    RemoteServiceError,
+    RemoteTransport,
+    ServiceServer,
+    TransportError,
+    serve_tcp,
+    serve_unix,
+)
 
 __all__ = [
     "WorkUnit",
@@ -166,6 +186,15 @@ __all__ = [
     "QuarantineEntry",
     "ServiceError",
     "serve",
+    "ServiceServer",
+    "serve_tcp",
+    "serve_unix",
+    "RemoteServiceClient",
+    "RemoteServiceError",
+    "RemoteTransport",
+    "FrameTransport",
+    "FaultyTransport",
+    "TransportError",
     "FaultPlan",
     "FaultSpec",
     "FaultDecision",

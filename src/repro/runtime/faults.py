@@ -18,6 +18,12 @@ wrappers that apply those decisions to real components:
   (clean failure) or *after* writing plus **tearing the log's tail**
   (a crash mid-``write(2)``: the bytes are partially on disk, the caller
   saw an error, and a later reader must cope with the torn line).
+* :class:`~repro.runtime.transport.FaultyTransport` (in the transport
+  module) applies the plan's ``network`` spec to the wire: dropped frames,
+  added latency, partial writes that disconnect mid-frame, abrupt
+  disconnects and garbage frames — the failure shapes a socket client's
+  reconnect/resubmit discipline must survive.  Sites whose name starts
+  with ``"net"`` draw from the ``network`` spec.
 
 Because every decision is ``derive_seed(seed, "fault", site, index)``-driven,
 two runs over the same workload see the same fault at the same operation;
@@ -100,6 +106,14 @@ class FaultSpec:
     calling worker thread outright.
     ``delay_rate``/``delay`` — sleep ``delay`` seconds before proceeding
     (latency injection; the operation itself succeeds).
+
+    At a **network** site (:class:`~repro.runtime.transport.FaultyTransport`)
+    the same axes map onto wire failures: ``error`` drops the frame and
+    resets the connection, ``crash`` writes a prefix of the frame's bytes
+    and disconnects mid-frame (``crash_fraction`` picks how much of the
+    frame lands), ``torn`` delivers a garbage frame (correct length prefix,
+    corrupted payload), ``kill`` disconnects abruptly before writing
+    anything, and ``delay`` adds latency.
     """
 
     error_rate: float = 0.0
@@ -148,8 +162,10 @@ class FaultDecision:
 class FaultPlan:
     """A seed-deterministic schedule of faults across named injection sites.
 
-    Each site (``"backend"``, ``"store"``, or any name a custom wrapper
-    picks) owns a thread-safe call counter; the decision for call ``i`` is a
+    Each site (``"backend"``, ``"store"``, ``"net-send"``/``"net-recv"``
+    — any ``net*`` site draws from the ``network`` spec — or any name a
+    custom wrapper picks) owns a thread-safe call counter; the decision
+    for call ``i`` is a
     pure function of ``(seed, site, i)`` — independent of thread timing, so
     a run is reproducible as long as the per-site *order* of operations is
     (which the service guarantees by serialising execution per machine and
@@ -165,11 +181,13 @@ class FaultPlan:
         seed: int = 0,
         backend: FaultSpec | None = None,
         store: FaultSpec | None = None,
+        network: FaultSpec | None = None,
         poison_plans: Sequence[object] = (),
     ):
         self.seed = int(seed)
         self.backend = backend if backend is not None else FaultSpec()
         self.store = store if store is not None else FaultSpec()
+        self.network = network if network is not None else FaultSpec()
         self.poison_keys = frozenset(
             key if isinstance(key, str) else plan_key(key) for key in poison_plans
         )
@@ -179,7 +197,11 @@ class FaultPlan:
         self._calls: dict[str, int] = {}
 
     def _spec_for(self, site: str) -> FaultSpec:
-        return self.store if site == "store" else self.backend
+        if site == "store":
+            return self.store
+        if site.startswith("net"):
+            return self.network
+        return self.backend
 
     def decide(self, site: str) -> FaultDecision:
         """Consume one call at ``site`` and return its fate.

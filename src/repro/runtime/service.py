@@ -246,6 +246,15 @@ class JobTicket:
         """Whether every acquisition this job depends on has finished."""
         return all(entry.event.is_set() for entry in self._waits)
 
+    @property
+    def detached(self) -> bool:
+        """Whether this ticket has withdrawn its interest (see :meth:`detach`)."""
+        return self._detached
+
+    def failed(self) -> bool:
+        """Whether any acquisition this job depends on ended in an error."""
+        return any(entry.error is not None for entry in self._waits)
+
     def detach(self) -> None:
         """Withdraw this ticket's interest in its unfinished work (idempotent).
 
@@ -326,6 +335,15 @@ class ServiceStats:
     respawns: int = 0
     #: Tasks waiting out a retry backoff (not in the queue, not executing).
     scheduled_retries: int = 0
+    #: Alias of ``scheduled_retries`` under the operator-facing name: how
+    #: many tasks are currently *retrying* (parked in the backoff heap).
+    retrying: int = 0
+    #: Seconds until the earliest scheduled retry fires (``None`` when the
+    #: retry heap is empty; ``0.0`` when one is already due).
+    next_retry_eta: "float | None" = None
+    #: Submissions answered from the request-id dedup table (a reconnect
+    #: resubmitted work the service already had in flight or finished).
+    resubmits: int = 0
     #: Per-shard occupancy, when the store exposes it (sharded stores do).
     shards: "tuple[ShardStats, ...]" = ()
 
@@ -437,6 +455,10 @@ class CampaignService:
     max_attempts:
         Total tries per task before it is quarantined and its waiters
         receive the failure.
+    request_memo:
+        Capacity of the request-id idempotency table: ``submit`` calls
+        carrying a ``request_id`` (the transport layer's resubmits) are
+        deduped against this many in-flight *and completed* submissions.
     backoff_base:
         First-retry backoff in seconds; attempt ``k``'s delay is
         ``min(backoff_base * 2**(k-1), backoff_cap)`` scaled by a
@@ -459,6 +481,7 @@ class CampaignService:
         workers: int = 2,
         max_attempts: int = 3,
         measurement_memo: int = 8192,
+        request_memo: int = 4096,
         name: str = "campaign-service",
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
@@ -512,7 +535,14 @@ class CampaignService:
             "retries": 0,
             "failures": 0,
             "respawns": 0,
+            "resubmits": 0,
         }
+        #: Request-id idempotency table: a remote client that reconnects and
+        #: resubmits a request id it never saw an answer for is handed the
+        #: *same* ticket — the work is never enqueued twice, whether it is
+        #: still in flight or already finished (the LRU keeps completed
+        #: tickets around for late resubmits).
+        self._request_tickets: "LRUCache[str, JobTicket]" = LRUCache(request_memo)
         self._closed = False
         #: Tasks accepted but not yet terminal (queued, executing, or
         #: waiting out a retry backoff).  ``drain`` waits on this — the
@@ -590,7 +620,7 @@ class CampaignService:
 
     # -- submission --------------------------------------------------------------
 
-    def submit(self, job: CampaignJob) -> JobTicket:
+    def submit(self, job: CampaignJob, request_id: "str | None" = None) -> JobTicket:
         """Accept ``job``, enqueue only its genuinely missing work.
 
         Partitioning happens under the service lock: every requested
@@ -599,7 +629,22 @@ class CampaignService:
         which is what makes "exactly one real measurement per distinct
         ``(machine_hash, plan_key, seed, channel)``" hold under any number
         of concurrent submitters.
+
+        ``request_id`` arms **idempotent resubmission** (the transport
+        layer's reconnect discipline): a second ``submit`` carrying an id
+        the service has seen returns the *original* ticket — whether its
+        work is still in flight or long finished — so a client that lost
+        the response frame can ask again without enqueuing anything.  A
+        cached ticket that failed or detached is discarded and the job is
+        accepted fresh (a resubmit must be able to heal, not replay an
+        error forever).
         """
+        if request_id is not None:
+            with self._lock:
+                cached = self._request_tickets.get(request_id)
+                if cached is not None and not cached.detached and not cached.failed():
+                    self._counters["resubmits"] += 1
+                    return cached
         specs = [metric_spec(name) for name in job.metrics]
         plans = list(job.plan_batch)
         keys = [plan_key(plan) for plan in plans]
@@ -681,7 +726,11 @@ class CampaignService:
                 _Task(WALL_CHANNEL, job.machine_config, log_key, missing, metric=metric)
             )
         deadline = None if job.deadline is None else time.monotonic() + job.deadline
-        return JobTicket(self, job, log_key, keys, job.metrics, waits, owned, deadline)
+        ticket = JobTicket(self, job, log_key, keys, job.metrics, waits, owned, deadline)
+        if request_id is not None:
+            with self._lock:
+                self._request_tickets.put(request_id, ticket)
+        return ticket
 
     def lookup(
         self,
@@ -1300,6 +1349,11 @@ class CampaignService:
             in_flight = len(self._inflight) + len(self._measure_inflight)
             quarantined = len(self._quarantine)
             scheduled = len(self._retries)
+            next_eta = (
+                max(0.0, self._retries[0][0] - time.monotonic())
+                if self._retries
+                else None
+            )
         shard_stats = getattr(self.store, "shard_stats", None)
         shards = tuple(shard_stats()) if callable(shard_stats) else ()
         return ServiceStats(
@@ -1317,6 +1371,9 @@ class CampaignService:
             quarantined=quarantined,
             respawns=counters["respawns"],
             scheduled_retries=scheduled,
+            retrying=scheduled,
+            next_retry_eta=next_eta,
+            resubmits=counters["resubmits"],
             shards=shards,
         )
 
@@ -1324,9 +1381,11 @@ class CampaignService:
         """Liveness snapshot: worker fleet, retry backlog, quarantine.
 
         ``degraded`` means the service is still answering but something
-        needs attention — dead workers awaiting respawn, or dead-lettered
-        tasks.  ``closed`` is terminal; clients with ``fallback=True``
-        route around it without submitting.
+        needs attention — dead workers awaiting respawn, dead-lettered
+        tasks, or a non-empty retry heap (work is failing and waiting out
+        backoff; ``stats().retrying``/``next_retry_eta`` quantify it).
+        ``closed`` is terminal; clients with ``fallback=True`` route
+        around it without submitting.
         """
         with self._lock:
             threads = list(self._threads)
@@ -1337,7 +1396,7 @@ class CampaignService:
             respawns = self._counters["respawns"]
         if closed:
             state = "closed"
-        elif alive < len(threads) or quarantined:
+        elif alive < len(threads) or quarantined or scheduled:
             state = "degraded"
         else:
             state = "ok"
@@ -1486,6 +1545,19 @@ class ServiceClient:
     def compact(self) -> None:
         """Compact this client's shard in the service's store."""
         self.service.store.compact_cost_records(self.key)
+
+    def close(self) -> None:
+        """Release client-held resources (idempotent).
+
+        Closes the lazily-built fallback engine's backend, if degradation
+        ever fired.  The shared service itself is untouched — its lifecycle
+        belongs to whoever started it.
+        """
+        engine, self._fallback_engine = self._fallback_engine, None
+        if engine is not None:
+            close = getattr(engine.backend, "close", None)
+            if callable(close):
+                close()
 
     def __repr__(self) -> str:
         return (

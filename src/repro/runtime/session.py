@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.canonical import CanonicalSweep
     from repro.experiments.runner import ExperimentSuite
     from repro.runtime.service import CampaignService, ServiceClient
+    from repro.runtime.transport import RemoteServiceClient
 
 __all__ = ["Session", "session", "SCALE_PRESETS"]
 
@@ -108,6 +109,8 @@ class Session:
         dp_max_children: int | None = 2,
         service: "CampaignService | None" = None,
         service_fallback: bool = False,
+        remote_url: "str | None" = None,
+        remote_options: "dict | None" = None,
     ):
         self.machine = machine
         self.scale = scale
@@ -115,6 +118,10 @@ class Session:
         #: Connected sessions only: arm the client's graceful degradation
         #: (evaluate through a private engine when the service can't answer).
         self.service_fallback = bool(service_fallback)
+        #: Remote sessions only: the ``tcp://`` / ``unix://`` server URL the
+        #: cost engine dials, plus keyword options for its transport.
+        self.remote_url = remote_url
+        self.remote_options = dict(remote_options or {})
         if service is not None:
             # A tenant session: every measurement routes through the shared
             # service (cross-session dedup), reads come through the service's
@@ -131,17 +138,18 @@ class Session:
         self._tables: dict[tuple[int, int, int, int | None], MeasurementTable] = {}
         self._sweep: "CanonicalSweep | None" = None
         self._suite: "ExperimentSuite | None" = None
-        self._cost_engine: "CostEngine | ServiceClient | None" = None
+        self._cost_engine: "CostEngine | ServiceClient | RemoteServiceClient | None" = None
 
     @classmethod
     def connect(
         cls,
-        service: "CampaignService",
+        service: "CampaignService | str",
         machine: "str | MachineConfig | SimulatedMachine" = "default",
         scale: "str | ExperimentScale" = "default",
         *,
         dp_max_children: int | None = 2,
         fallback: bool = False,
+        **transport_options: Any,
     ) -> "Session":
         """A session whose measurement work all flows through ``service``.
 
@@ -154,13 +162,45 @@ class Session:
             a = repro.Session.connect(service)
             b = repro.Session.connect(service)   # b reuses a's measurements
 
+        ``service`` may also be a **URL** — ``"tcp://host:port"`` or
+        ``"unix://path"`` naming a :func:`repro.serve_tcp` /
+        :func:`repro.serve_unix` server — and the session becomes a remote
+        tenant: its cost engine is a
+        :class:`~repro.runtime.transport.RemoteServiceClient` speaking the
+        frame protocol, with supervised reconnect, heartbeats and
+        idempotent resubmission, and ``dp_search`` stays bit-identical to
+        a local run.  Extra keyword arguments (``timeout``,
+        ``max_attempts``, ``backoff_base``, ``fault_plan``, ...) configure
+        the transport.  Campaign tables still measure locally in a remote
+        session — only the cost engine crosses the wire.
+
         ``fallback=True`` arms graceful degradation on the session's
-        service client: batches the service cannot answer (quarantined
-        work, a closed service) are evaluated through a private engine,
-        bit-identical to the service path — the session's searches then
-        survive an unhealthy service instead of raising.
+        client: batches the service cannot answer (quarantined work, a
+        closed or draining service, a dead wire past the reconnect
+        budget) are evaluated through a private engine, bit-identical to
+        the service path — the session's searches then survive an
+        unhealthy service instead of raising.
         """
         resolved = _resolve_machine(machine)
+        if isinstance(service, str):
+            from repro.runtime.store import MemoryStore
+
+            return cls(
+                machine=resolved,
+                scale=_resolve_scale(scale),
+                backend=BatchedBackend(),
+                store=MemoryStore(),
+                dp_max_children=dp_max_children,
+                service_fallback=fallback,
+                remote_url=service,
+                remote_options=transport_options,
+            )
+        if transport_options:
+            unexpected = ", ".join(sorted(transport_options))
+            raise TypeError(
+                f"transport options ({unexpected}) only apply when connecting "
+                "to a tcp:// or unix:// URL"
+            )
         return cls(
             machine=resolved,
             scale=_resolve_scale(scale),
@@ -231,7 +271,7 @@ class Session:
             )
         return self._sweep
 
-    def cost_engine(self) -> "CostEngine | ServiceClient":
+    def cost_engine(self) -> "CostEngine | ServiceClient | RemoteServiceClient":
         """The session's batched multi-metric cost engine (memoised).
 
         The engine evaluates candidate batches through the session's backend
@@ -253,11 +293,24 @@ class Session:
         engine surface, but every acquisition routes through the shared
         :class:`~repro.runtime.service.CampaignService`, deduped against
         every other tenant.  The noise-seed derivation is identical, so a
-        connected search is bit-identical to a private engine's.
+        connected search is bit-identical to a private engine's.  A
+        *remote* session (:meth:`connect` with a URL) returns a
+        :class:`~repro.runtime.transport.RemoteServiceClient` — the same
+        surface again, over a supervised socket.
         """
         if self._cost_engine is None:
             seed = derive_seed(self.scale.seed, "cost-engine")
-            if self.service is not None:
+            if self.remote_url is not None:
+                from repro.runtime.transport import RemoteServiceClient
+
+                self._cost_engine = RemoteServiceClient(
+                    self.remote_url,
+                    self.machine.config,
+                    seed=seed,
+                    fallback=self.service_fallback,
+                    **self.remote_options,
+                )
+            elif self.service is not None:
                 self._cost_engine = self.service.client(
                     self.machine.config, seed=seed, fallback=self.service_fallback
                 )
@@ -350,13 +403,25 @@ class Session:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Release resources held by the session's backend (idempotent).
+        """Release resources held by the session (idempotent).
 
         A :class:`~repro.runtime.backends.MultiprocessBackend` keeps its
         worker pool alive across measurement batches; closing the session
-        shuts the pool down.  The session remains usable afterwards — the
-        next batch simply starts a fresh pool.
+        shuts the pool down.  A connected session's
+        :class:`~repro.runtime.service.ServiceClient` holds a lazily-built
+        fallback engine, and a remote session's
+        :class:`~repro.runtime.transport.RemoteServiceClient` holds a
+        socket, a heartbeat thread and a fallback engine — closing the
+        session closes all of them (the shared service itself is not the
+        session's to stop).  The session remains usable afterwards — the
+        next batch starts a fresh pool, the next engine use redials.
         """
+        engine, self._cost_engine = self._cost_engine, None
+        close_engine = getattr(engine, "close", None)
+        if callable(close_engine):
+            close_engine()
+        elif engine is not None:
+            self._cost_engine = engine  # a plain CostEngine keeps its cache
         close = getattr(self.backend, "close", None)
         if callable(close):
             close()
