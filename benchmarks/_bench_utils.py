@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["run_once"]
+__all__ = ["run_once", "suite_unit"]
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -14,3 +14,33 @@ def run_once(benchmark, function, *args, **kwargs):
     timing is still recorded and reported by pytest-benchmark).
     """
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def suite_unit(suite_run, experiment_id, benchmark=None):
+    """One experiment's completed result out of the shared paper suite run.
+
+    The figure benchmarks are thin wrappers over the committed spec in
+    ``benchmarks/suites/paper.json``: each asks the session-scoped
+    ``suite_run`` fixture for its experiment, timed under ``benchmark`` when
+    given.  Results are cached on the run, so cross-references (Figure 7
+    comparing against Figure 6, Figure 8 against Figure 9) reuse the unit the
+    other benchmark built — or build it untimed when a file runs standalone.
+    """
+    cache = getattr(suite_run, "_bench_units", None)
+    if cache is None:
+        cache = {}
+        suite_run._bench_units = cache
+    if experiment_id in cache:
+        unit = cache[experiment_id]
+        if benchmark is not None:
+            run_once(benchmark, lambda: unit)
+        return unit
+
+    def execute():
+        return suite_run.run(experiments=[experiment_id])
+
+    result = execute() if benchmark is None else run_once(benchmark, execute)
+    unit = result.get(experiment_id)
+    assert unit.status == "complete", f"{experiment_id}: {unit.error}"
+    cache[experiment_id] = unit
+    return unit

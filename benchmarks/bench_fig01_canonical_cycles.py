@@ -1,32 +1,37 @@
 """Figure 1 — cycle-count ratio of canonical algorithms to the DP-best plan.
 
-Regenerates the series of the paper's Figure 1 on the scaled machine: for
-every size in the sweep, the ratio of the iterative / left recursive / right
-recursive cycle count to the best (DP-found) plan's cycle count, and reports
-where the iterative/recursive crossover falls relative to the cache
-boundaries.
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``):
+runs the ``figure1`` experiment through the declarative suite runner and
+asserts on the sweep it returns — for every size, the ratio of the iterative /
+left recursive / right recursive cycle count to the best (DP-found) plan's
+cycle count, and where the iterative/recursive crossover falls relative to
+the cache boundaries.
 """
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
 from repro.experiments.report import render_ratio_figure
 
 
-def test_figure1_cycle_ratio_series(benchmark, suite):
-    sweep = run_once(benchmark, suite.figure1)
+def test_figure1_cycle_ratio_series(benchmark, suite_run, machine):
+    unit = suite_unit(suite_run, "figure1", benchmark)
+    sweep = unit.figure
     print()
     print(render_ratio_figure(sweep, "cycles", "Figure 1: cycle-count ratio canonical/best"))
 
-    l1_boundary = suite.machine.config.l1_capacity_exponent()
-    l2_boundary = suite.machine.config.l2_capacity_exponent()
+    l1_boundary = machine.config.l1_capacity_exponent()
+    l2_boundary = machine.config.l2_capacity_exponent()
     crossover = sweep.crossover_size("right")
     print(
         f"L1 boundary: 2^{l1_boundary} elements, L2 boundary: 2^{l2_boundary} elements, "
         f"right-recursive crossover at n={crossover} "
         f"(paper: crossover at its L2 boundary, n=18)"
     )
+    assert unit.artifact["crossover"] == crossover
+    assert unit.artifact["l1_boundary"] == l1_boundary
+    assert unit.artifact["l2_boundary"] == l2_boundary
 
     ratios = sweep.ratios("cycles")
     # Shape checks mirroring the paper's reading of the figure: the iterative

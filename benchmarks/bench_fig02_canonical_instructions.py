@@ -1,5 +1,6 @@
 """Figure 2 — instruction-count ratio of canonical algorithms to the best plan.
 
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``).
 The paper's reading: the iterative algorithm executes the fewest instructions
 at every size and the left recursive algorithm the most; the analysis of [5]
 predicts right recursive < left recursive, which is why right recursive is the
@@ -8,13 +9,13 @@ faster of the two recursive algorithms.
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
 from repro.experiments.report import render_ratio_figure
 
 
-def test_figure2_instruction_ratio_series(benchmark, suite):
-    sweep = run_once(benchmark, suite.figure2)
+def test_figure2_instruction_ratio_series(benchmark, suite_run):
+    sweep = suite_unit(suite_run, "figure2", benchmark).figure
     print()
     print(
         render_ratio_figure(

@@ -1,5 +1,6 @@
 """Figure 3 — cache-miss ratio (log10) of canonical algorithms to the best plan.
 
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``).
 The paper's reading: the iterative algorithm has the fewest misses until the
 L1 boundary; beyond it the iterative algorithm no longer has the fewest misses
 (the contiguous right recursive algorithm localises better).
@@ -7,13 +8,13 @@ L1 boundary; beyond it the iterative algorithm no longer has the fewest misses
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
 from repro.experiments.report import render_ratio_figure
 
 
-def test_figure3_cache_miss_ratio_series(benchmark, suite):
-    sweep = run_once(benchmark, suite.figure3)
+def test_figure3_cache_miss_ratio_series(benchmark, suite_run, machine):
+    sweep = suite_unit(suite_run, "figure3", benchmark).figure
     print()
     print(
         render_ratio_figure(
@@ -21,7 +22,7 @@ def test_figure3_cache_miss_ratio_series(benchmark, suite):
         )
     )
 
-    l1_boundary = suite.machine.config.l1_capacity_exponent()
+    l1_boundary = machine.config.l1_capacity_exponent()
     iterative = sweep.metric("iterative", "l1_misses")
     right = sweep.metric("right", "l1_misses")
     left = sweep.metric("left", "l1_misses")

@@ -1,5 +1,6 @@
 """Figure 4 — histograms of cycles and instructions for the small (in-L1) size.
 
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``).
 The paper bins 10,000 RSU samples of size 2^9 into 50 bins after removing
 outer-fence outliers and observes that the cycle and instruction histograms
 have essentially the same shape (which is why the instruction count alone
@@ -8,18 +9,18 @@ predicts performance well in cache).
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
 from repro.experiments.report import render_histogram_figure
 
 
-def test_figure4_small_size_histograms(benchmark, suite):
-    figure = run_once(benchmark, suite.figure4)
+def test_figure4_small_size_histograms(benchmark, suite_run, scale):
+    figure = suite_unit(suite_run, "figure4", benchmark).figure
     print()
     print(render_histogram_figure(figure))
 
     assert figure.metric_names() == ("cycles", "instructions")
-    assert figure.n == suite.scale.small_size
+    assert figure.n == scale.small_size
     cycles = figure.summaries["cycles"]
     instructions = figure.summaries["instructions"]
     # In cache the two distributions have very similar shape: their skewness

@@ -1,5 +1,6 @@
 """Figure 5 — histograms of cycles, instructions and cache misses (large size).
 
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``).
 The paper's observation: at size 2^18 the cycle histogram acquires a skew that
 the instruction histogram does not have, and attributes it to the skew of the
 cache-miss distribution — the first hint that a model of large-size
@@ -8,18 +9,18 @@ performance needs both quantities.
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
 from repro.experiments.report import render_histogram_figure
 
 
-def test_figure5_large_size_histograms(benchmark, suite):
-    figure = run_once(benchmark, suite.figure5)
+def test_figure5_large_size_histograms(benchmark, suite_run, scale):
+    figure = suite_unit(suite_run, "figure5", benchmark).figure
     print()
     print(render_histogram_figure(figure))
 
     assert figure.metric_names() == ("cycles", "instructions", "l1_misses")
-    assert figure.n == suite.scale.large_size
+    assert figure.n == scale.large_size
     cycles = figure.summaries["cycles"]
     instructions = figure.summaries["instructions"]
     misses = figure.summaries["l1_misses"]

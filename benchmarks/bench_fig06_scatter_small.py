@@ -1,20 +1,23 @@
-"""Figure 6 — instructions vs cycles scatter for the small size (paper rho = 0.96)."""
+"""Figure 6 — instructions vs cycles scatter, small size (paper rho = 0.96).
+
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``).
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
 from repro.experiments import paper_values
 from repro.experiments.report import render_scatter_figure
 
 
-def test_figure6_scatter_instructions_vs_cycles_small(benchmark, suite):
-    data = run_once(benchmark, suite.figure6)
+def test_figure6_scatter_instructions_vs_cycles_small(benchmark, suite_run, scale):
+    data = suite_unit(suite_run, "figure6", benchmark).figure
     print()
     print(render_scatter_figure(data, "Figure 6: instructions vs cycles (small size)"))
     print(f"paper reports rho = {paper_values.PAPER_RHO_SMALL_INSTRUCTIONS:.2f}")
 
-    assert data.count == suite.scale.sample_count
+    assert data.count == scale.sample_count
     # The in-cache correlation is strong (the paper's headline 0.96).
     assert data.correlation > 0.9
     # The reference algorithms sit inside the sampled range at this size.

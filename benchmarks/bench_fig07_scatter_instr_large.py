@@ -1,28 +1,32 @@
-"""Figure 7 — instructions vs cycles scatter for the large size (paper rho = 0.77)."""
+"""Figure 7 — instructions vs cycles scatter, large size (paper rho = 0.77).
+
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``);
+the comparison against Figure 6 reuses the unit the figure-6 benchmark built
+out of the same suite run.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
 from repro.experiments import paper_values
 from repro.experiments.report import render_scatter_figure
 
 
-def test_figure7_scatter_instructions_vs_cycles_large(benchmark, suite):
-    data = run_once(benchmark, suite.figure7)
+def test_figure7_scatter_instructions_vs_cycles_large(benchmark, suite_run):
+    unit = suite_unit(suite_run, "figure7", benchmark)
+    data = unit.figure
     print()
     print(render_scatter_figure(data, "Figure 7: instructions vs cycles (large size)"))
     print(f"paper reports rho = {paper_values.PAPER_RHO_LARGE_INSTRUCTIONS:.2f}")
 
-    small = suite.figure6()
+    small = suite_unit(suite_run, "figure6").figure
     # Out of cache the instruction correlation is still positive but weaker
     # than in cache — the drop is the point of the figure.
     assert 0.0 < data.correlation < small.correlation
     # The left recursive algorithm is an extreme point at the large size (the
     # paper notes it falls outside the plotted range): its cycle count exceeds
     # almost the entire random sample.
-    import numpy as np
-
     left_cycles = data.references["left"][1]
     print(f"left recursive outside sample range: {data.reference_outside_range('left')}")
-    assert left_cycles > np.percentile(suite.large_table().cycles, 95)
+    assert left_cycles > unit.artifact["y_p95"]

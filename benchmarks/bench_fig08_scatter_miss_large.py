@@ -1,20 +1,25 @@
-"""Figure 8 — cache misses vs cycles scatter for the large size (paper rho = 0.66)."""
+"""Figure 8 — cache misses vs cycles scatter, large size (paper rho = 0.66).
+
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``);
+the comparison against the optimal combined model reuses the figure-9 unit
+out of the same suite run.
+"""
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
 from repro.experiments import paper_values
 from repro.experiments.report import render_scatter_figure
 
 
-def test_figure8_scatter_misses_vs_cycles_large(benchmark, suite):
-    data = run_once(benchmark, suite.figure8)
+def test_figure8_scatter_misses_vs_cycles_large(benchmark, suite_run):
+    data = suite_unit(suite_run, "figure8", benchmark).figure
     print()
     print(render_scatter_figure(data, "Figure 8: cache misses vs cycles (large size)"))
     print(f"paper reports rho = {paper_values.PAPER_RHO_LARGE_MISSES:.2f}")
 
-    combined_best = suite.figure9().best[2]
+    combined_best = suite_unit(suite_run, "figure9").figure.best[2]
     # Misses alone correlate positively but are not sufficient on their own:
     # the optimal combined model does strictly better.
     assert data.correlation > 0.0

@@ -1,5 +1,6 @@
 """Figure 9 — correlation of cycles with alpha*I + beta*M over the (alpha, beta) grid.
 
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``).
 The paper sweeps both coefficients from 0 to 1 in steps of 0.05 and reports a
 maximum correlation of 0.92 at (1.00, 0.05) for size 2^18, up from 0.77
 (instructions alone) and 0.66 (misses alone).  The reproduced optimum's
@@ -10,15 +11,15 @@ only meaningful up to a normalisation it does not specify.
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
-from repro.analysis.pearson import pearson_correlation
 from repro.experiments import paper_values
 from repro.experiments.report import render_surface
 
 
-def test_figure9_alphabeta_correlation_surface(benchmark, suite):
-    surface = run_once(benchmark, suite.figure9)
+def test_figure9_alphabeta_correlation_surface(benchmark, suite_run):
+    unit = suite_unit(suite_run, "figure9", benchmark)
+    surface = unit.figure
     print()
     print(render_surface(surface, "Figure 9: correlation of cycles with alpha*I + beta*M"))
     print(
@@ -27,9 +28,8 @@ def test_figure9_alphabeta_correlation_surface(benchmark, suite):
         f"(alpha, beta) = ({paper_values.PAPER_BEST_ALPHA:.2f}, {paper_values.PAPER_BEST_BETA:.2f})"
     )
 
-    table = suite.large_table()
-    rho_instructions = pearson_correlation(table.instructions, table.cycles)
-    rho_misses = pearson_correlation(table.l1_misses, table.cycles)
+    rho_instructions = unit.artifact["rho_instructions"]
+    rho_misses = unit.artifact["rho_misses"]
     alpha, beta, rho = surface.best
     print(
         f"reproduced: rho_I = {rho_instructions:.3f}, rho_M = {rho_misses:.3f}, "

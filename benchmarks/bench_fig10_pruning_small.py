@@ -1,5 +1,6 @@
 """Figure 10 — pruning curves vs instruction count for the small size.
 
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``).
 The paper's example reading of this figure: to find an algorithm within 5% of
 the best at size 2^9 it is safe to discard every algorithm with more than
 7x10^4 instructions.  The benchmark reports the reproduced safe thresholds and
@@ -8,14 +9,15 @@ the fraction of the algorithm sample they discard.
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
 from repro.experiments import paper_values
 from repro.experiments.report import render_pruning_figure
 
 
-def test_figure10_pruning_by_instruction_count_small(benchmark, suite):
-    figure = run_once(benchmark, suite.figure10)
+def test_figure10_pruning_by_instruction_count_small(benchmark, suite_run, scale):
+    unit = suite_unit(suite_run, "figure10", benchmark)
+    figure = unit.figure
     print()
     print(render_pruning_figure(figure))
     example = paper_values.PAPER_PRUNING_EXAMPLE
@@ -24,13 +26,12 @@ def test_figure10_pruning_by_instruction_count_small(benchmark, suite):
         f"{example['instruction_threshold']:.0f} to stay within the top {example['percentile']:g}%"
     )
 
-    assert figure.n == suite.scale.small_size
+    assert figure.n == scale.small_size
     for curve in figure.curves:
         # Every curve approaches its 1 - p limit at the maximum threshold.
         assert abs(curve.cumulative[-1] - curve.limit) < 0.02
     threshold, discarded = figure.safe_thresholds[5.0]
-    table = suite.small_table()
     # The safe threshold sits below the maximum observed instruction count and
     # discards a substantial fraction of the sample.
-    assert threshold < table.instructions.max()
+    assert threshold < unit.artifact["max_model_value"]
     assert discarded > 0.25

@@ -1,5 +1,6 @@
 """Figure 11 — pruning curves vs the combined model for the large size.
 
+Thin wrapper over the committed suite spec (``benchmarks/suites/paper.json``).
 Same analysis as Figure 10 but out of cache, with the optimal combined model
 ``alpha*I + beta*M`` on the x axis: once misses enter the model, pruning by
 the model value is again safe.
@@ -7,17 +8,18 @@ the model value is again safe.
 
 from __future__ import annotations
 
-from _bench_utils import run_once
+from _bench_utils import suite_unit
 
 from repro.experiments.report import render_pruning_figure
 
 
-def test_figure11_pruning_by_combined_model_large(benchmark, suite):
-    figure = run_once(benchmark, suite.figure11)
+def test_figure11_pruning_by_combined_model_large(benchmark, suite_run, scale):
+    unit = suite_unit(suite_run, "figure11", benchmark)
+    figure = unit.figure
     print()
     print(render_pruning_figure(figure))
 
-    assert figure.n == suite.scale.large_size
+    assert figure.n == scale.large_size
     assert "Instructions" in figure.model_label and "Misses" in figure.model_label
     for curve in figure.curves:
         assert abs(curve.cumulative[-1] - curve.limit) < 0.02
@@ -25,11 +27,9 @@ def test_figure11_pruning_by_combined_model_large(benchmark, suite):
     assert discarded > 0.2
 
     # Pruning by the combined model is at least as effective as pruning by the
-    # instruction count alone at this size.
-    from repro.experiments.pruning import pruning_figure
-
-    instruction_only = pruning_figure(suite.large_table(), model_label="instructions")
-    _, discarded_instructions = instruction_only.safe_thresholds[5.0]
+    # instruction count alone at this size (the instruction-only baseline is
+    # part of the experiment's artifact).
+    discarded_instructions = unit.artifact["instructions_baseline"]["5"]["discarded"]
     print(
         f"safe pruning at top 5%: combined model discards {discarded * 100:.1f}% "
         f"vs {discarded_instructions * 100:.1f}% for instructions alone"

@@ -7,10 +7,14 @@ requested without editing code::
 
     REPRO_SAMPLE_COUNT=2000 pytest benchmarks/ --benchmark-only
 
-Heavy experiment benchmarks run exactly once per session; the underlying
-campaigns are shared across benchmark files through the session-scoped
-:class:`ExperimentSuite` fixture, mirroring how the paper derives several
-figures from one measurement campaign.
+The figure benchmarks (``bench_fig01`` … ``bench_fig11``) are thin wrappers
+over the committed suite spec ``benchmarks/suites/paper.json``: each one runs
+its experiment through the session-scoped :func:`suite_run` (the declarative
+suite runner) and asserts on the resulting figure and artifact.  Campaigns
+are shared two ways: the suite runner materialises each baseline once per
+context, and everything flows through the shared in-process campaign store —
+which the legacy :class:`ExperimentSuite` fixture (still used by the summary
+and ablation benchmarks) also reads, so nothing is measured twice.
 """
 
 from __future__ import annotations
@@ -27,6 +31,9 @@ from repro.machine.configs import default_machine
 #: does not override it.  Large enough for stable correlations, small enough
 #: to keep the whole benchmark suite to a few minutes of simulation.
 BENCHMARK_SAMPLE_COUNT = 200
+
+#: The committed spec the figure benchmarks wrap.
+PAPER_SUITE_SPEC = os.path.join(os.path.dirname(__file__), "suites", "paper.json")
 
 
 def benchmark_scale():
@@ -53,3 +60,18 @@ def machine():
 def suite(machine, scale):
     """Session-wide experiment suite (campaigns are computed once and cached)."""
     return ExperimentSuite(machine=machine, scale=scale)
+
+
+@pytest.fixture(scope="session")
+def suite_run(scale):
+    """The committed paper suite spec, configured at the benchmark scale.
+
+    One :class:`repro.suite.SuiteRun` shared by every figure benchmark;
+    individual benchmarks run single experiments out of it via
+    :func:`_bench_utils.suite_unit`, so each figure is built exactly once
+    and baselines/campaigns replay from the shared in-process store.
+    """
+    from repro.suite import SuiteRun, load_spec
+
+    spec = load_spec(PAPER_SUITE_SPEC).with_scale(scale)
+    return SuiteRun(spec, store="memory")

@@ -33,7 +33,11 @@ dead-lettered, and zero-rate fault-injection hooks add < 5% to a cold DP.
 The multi-host socket transport is gated by ``check_transport``: a
 loopback-TCP DP (n=12) is bit-identical to the in-process service path,
 executes zero duplicate or re-executed units over the wire, and stays
-within 30% of the in-process service client.
+within 30% of the in-process service client.  The declarative suite runner
+is gated by ``check_suite``: a cold run of the committed CI spec over a
+fresh disk store completes and measures, and a warm re-run against the same
+store performs zero new measurements, skips every unit, and finishes at
+least 10x faster.
 (Timing gates for the search layer live in
 ``bench_search.py`` against ``BENCH_search.json``; service timings in
 ``bench_service.py`` against ``BENCH_service.json``.)
@@ -628,6 +632,69 @@ def check_transport() -> None:
         )
 
 
+def check_suite() -> None:
+    """The declarative suite runner's resume must be real and must be fast.
+
+    Three gates on the suite subsystem (DESIGN.md §14, the committed CI spec
+    ``benchmarks/suites/ci.json`` over a fresh on-disk store):
+
+    * the cold run completes every unit and actually measures (vacuity
+      check);
+    * a warm re-run of the same spec against the same store + manifest
+      performs **zero** new measurements and skips every unit;
+    * the warm run is at least 10x faster than the cold run — resume must
+      short-circuit the work, not redo it quietly from caches.
+    """
+    import shutil
+    import tempfile
+
+    from repro.suite import SuiteRun, load_spec
+
+    spec = load_spec(str(Path(__file__).resolve().parent / "suites" / "ci.json"))
+    workdir = tempfile.mkdtemp(prefix="repro-suite-perf-")
+    try:
+        store = str(Path(workdir) / "campaigns")
+        artifacts = str(Path(workdir) / "artifacts")
+
+        start = time.perf_counter()
+        cold = SuiteRun(spec, store=store, artifacts=artifacts).run()
+        cold_seconds = time.perf_counter() - start
+        if not cold.ok:
+            raise SystemExit(
+                f"suite regression: cold run failed units: "
+                f"{[r.unit_id for r in cold.failed]}"
+            )
+        if cold.total_measured == 0:
+            raise SystemExit("suite vacuity regression: cold run measured nothing")
+
+        start = time.perf_counter()
+        warm = SuiteRun(spec, store=store, artifacts=artifacts).run()
+        warm_seconds = time.perf_counter() - start
+        if not warm.ok:
+            raise SystemExit(
+                f"suite regression: warm run failed units: "
+                f"{[r.unit_id for r in warm.failed]}"
+            )
+        if warm.total_measured != 0:
+            raise SystemExit(
+                f"suite resume regression: warm re-run performed "
+                f"{warm.total_measured} new measurements (expected 0)"
+            )
+        if len(warm.skipped) != len(warm.results):
+            raise SystemExit(
+                f"suite resume regression: warm re-run skipped only "
+                f"{len(warm.skipped)} of {len(warm.results)} units"
+            )
+        if warm_seconds > cold_seconds / 10.0:
+            raise SystemExit(
+                f"suite resume perf regression: warm run took "
+                f"{warm_seconds:.3f} s > 1/10 of the cold run's "
+                f"{cold_seconds:.3f} s"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -672,6 +739,12 @@ def main() -> int:
         "transport: loopback-TCP DP bit-identical to the in-process service "
         "with zero duplicate or re-executed units, remote overhead within "
         "30% of the service client"
+    )
+    check_suite()
+    print(
+        "suite: cold CI-spec run completes and measures, warm re-run against "
+        "the same store performs zero measurements, skips every unit, and is "
+        ">= 10x faster"
     )
 
     seconds, peak, stats = run_smoke()

@@ -209,6 +209,39 @@ def main() -> None:
                 f"bit-identical to the in-process session"
             )
 
+    # 13. The whole experiment catalogue as data: a suite spec declares
+    #     machines x scale x seeds x experiments, and repro.suite(spec).run()
+    #     executes it baseline-first (shared campaigns measured once per
+    #     context), streams tables to sinks, and records a manifest so an
+    #     interrupted run resumes where it stopped.  Re-running against the
+    #     same store measures nothing — and extra objectives in a sweep are
+    #     evaluated from cached records at zero measurement cost
+    #     (DESIGN.md §14).  The committed paper spec lives at
+    #     benchmarks/suites/paper.json; here a CI-sized inline spec.
+    result = repro.suite(
+        {
+            "name": "quickstart-suite",
+            "machines": ["tiny"],
+            "scale": "ci",
+            "experiments": [
+                "figure5",
+                {
+                    "id": "sweep",
+                    "kind": "objective_sweep",
+                    "options": {"objectives": ["cycles", "instructions"], "sizes": [6]},
+                },
+            ],
+        }
+    ).run()
+    assert result.ok
+    sweep = result.get("sweep").figure
+    rho, tau = sweep.disagreement(6, "cycles", "instructions")
+    print(
+        f"\nSuite run: {len(result.completed)} experiments, "
+        f"{result.total_measured} measurements; cycles-vs-instructions "
+        f"rank agreement at n=6: rho={rho:.3f}, tau={tau:.3f}"
+    )
+
 
 if __name__ == "__main__":
     main()

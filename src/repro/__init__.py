@@ -61,6 +61,18 @@ now with reconnect, heartbeats and idempotent resubmission on the wire:
 >>> remote = repro.Session.connect(server.url, fallback=True)
 >>> best = remote.search(14)               # bit-identical to the local search
 
+A whole evaluation — figures, summary tables, objective sweeps — can be
+declared as one JSON/dict spec and run as a suite, baseline-first, with
+pluggable result sinks and store-native resume (re-running against the
+same store performs zero new measurements):
+
+>>> run = repro.suite("benchmarks/suites/paper.json",
+...                   store="./campaigns", artifacts="./artifacts")
+>>> result = run.run()              # figures 1-11 + tables + sweeps
+>>> result.total_measured           # 0 on a warm store
+
+(also: ``python -m repro.suite run spec.json``)
+
 Lower-level objects remain available for direct use:
 
 >>> from repro import wht, machine, models
@@ -122,8 +134,25 @@ from repro.wht import (
     random_plans,
     right_recursive_plan,
 )
+from repro.suite import (
+    ExperimentResult,
+    MemorySink,
+    SpecError,
+    SuiteResult,
+    SuiteRun,
+    SuiteSpec,
+    load_spec,
+)
 
-__version__ = "1.5.0"
+# ``repro.suite`` is callable *and* a package: importing the subpackage above
+# bound the module object as an attribute of this package; rebinding the name
+# to the façade function afterwards wins the attribute lookup, while
+# ``from repro.suite.x import y`` and ``python -m repro.suite`` still resolve
+# the package through importlib.  (Edge case: ``import repro.suite as m``
+# binds this function, not the module.)
+from repro.suite.api import suite
+
+__version__ = "1.6.0"
 
 __all__ = [
     "analysis",
@@ -185,5 +214,13 @@ __all__ = [
     "right_recursive_plan",
     "parse_plan",
     "random_plans",
+    "suite",
+    "SuiteRun",
+    "SuiteSpec",
+    "SuiteResult",
+    "ExperimentResult",
+    "MemorySink",
+    "SpecError",
+    "load_spec",
     "__version__",
 ]

@@ -1,0 +1,115 @@
+"""Rank statistics: tied ranks, Spearman's rho and Kendall's tau-b.
+
+The objective-sweep experiment (see :mod:`repro.suite.sweep`) asks how much
+two cost functions *disagree about the ordering* of a plan population — the
+paper's model-comparison story recast as rank statistics.  Pearson
+correlation (already in :mod:`repro.analysis.pearson`) measures linear
+agreement of the values; the two coefficients here measure agreement of the
+*ranks*:
+
+* :func:`spearman_correlation` — Pearson correlation of the tied-average
+  ranks.  Sensitive to how far individual plans move in the ordering.
+* :func:`kendall_tau` — the tau-b coefficient: concordant minus discordant
+  pairs over the tie-corrected pair count.  Sensitive to how many pairwise
+  "which plan is faster?" verdicts flip between the two objectives.
+
+Both are exact (no sampling, no approximation); ties — common when an
+analytic model assigns the same value to structurally different plans — are
+handled with average ranks (Spearman) and the tau-b correction (Kendall).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.pearson import pearson_correlation
+
+__all__ = ["rank_values", "spearman_correlation", "kendall_tau"]
+
+
+def rank_values(values: "Sequence[float] | np.ndarray") -> np.ndarray:
+    """Ascending 1-based ranks with ties averaged (``scipy.rankdata`` style).
+
+    The smallest value gets rank 1 — under a cost metric, rank 1 is the best
+    plan.  Equal values share the mean of the ranks they would occupy.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"rank_values expects a 1-D array, got shape {array.shape}")
+    order = np.argsort(array, kind="stable")
+    ranks = np.empty(array.shape[0], dtype=float)
+    ranks[order] = np.arange(1, array.shape[0] + 1, dtype=float)
+    # Average the ranks within each tied group.
+    sorted_values = array[order]
+    boundaries = np.empty(array.shape[0], dtype=bool)
+    if array.shape[0]:
+        boundaries[0] = True
+        boundaries[1:] = sorted_values[1:] != sorted_values[:-1]
+        group_ids = np.cumsum(boundaries) - 1
+        sums = np.zeros(group_ids[-1] + 1 if array.shape[0] else 0, dtype=float)
+        counts = np.zeros_like(sums)
+        np.add.at(sums, group_ids, ranks[order])
+        np.add.at(counts, group_ids, 1.0)
+        averaged = sums / counts
+        ranks[order] = averaged[group_ids]
+    return ranks
+
+
+def spearman_correlation(
+    x: "Sequence[float] | np.ndarray", y: "Sequence[float] | np.ndarray"
+) -> float:
+    """Spearman's rho: Pearson correlation of the tied-average ranks."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if xa.shape[0] < 2:
+        raise ValueError("spearman_correlation requires at least two observations")
+    return pearson_correlation(rank_values(xa), rank_values(ya))
+
+
+def kendall_tau(
+    x: "Sequence[float] | np.ndarray",
+    y: "Sequence[float] | np.ndarray",
+    chunk: int = 256,
+) -> float:
+    """Kendall's tau-b of two samples (exact, tie-corrected).
+
+    ``tau_b = (C - D) / sqrt((T - Tx) * (T - Ty))`` where ``C``/``D`` count
+    concordant/discordant pairs, ``T = n(n-1)/2`` is the pair count and
+    ``Tx``/``Ty`` count pairs tied in ``x``/``y`` alone.  Computed with
+    vectorised pairwise sign comparisons in row chunks of ``chunk`` — exact
+    for any input, O(n^2) work but bounded memory, which is plenty for plan
+    populations (thousands, not millions).
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    n = xa.shape[0]
+    if n < 2:
+        raise ValueError("kendall_tau requires at least two observations")
+    concordant = 0
+    discordant = 0
+    ties_x = 0
+    ties_y = 0
+    for start in range(0, n, max(1, int(chunk))):
+        stop = min(n, start + max(1, int(chunk)))
+        # Strict upper triangle only: pair (i, j) with i < j counted once.
+        dx = np.sign(xa[start:stop, None] - xa[None, :])
+        dy = np.sign(ya[start:stop, None] - ya[None, :])
+        mask = np.arange(n)[None, :] > np.arange(start, stop)[:, None]
+        product = dx * dy
+        concordant += int(((product > 0) & mask).sum())
+        discordant += int(((product < 0) & mask).sum())
+        ties_x += int(((dx == 0) & mask).sum())
+        ties_y += int(((dy == 0) & mask).sum())
+    total = n * (n - 1) // 2
+    denom_x = total - ties_x
+    denom_y = total - ties_y
+    if denom_x <= 0 or denom_y <= 0:
+        # One sample is entirely tied: the ordering carries no information.
+        return 0.0
+    return (concordant - discordant) / float(np.sqrt(float(denom_x) * float(denom_y)))

@@ -66,7 +66,16 @@ __all__ = ["ExperimentSuite"]
 
 @dataclass
 class ExperimentSuite:
-    """All of the paper's experiments against one machine and scale."""
+    """All of the paper's experiments against one machine and scale.
+
+    .. deprecated:: 1.6
+        For whole-evaluation runs prefer the declarative suite runner:
+        ``repro.suite(spec).run()`` adds result sinks, a resume manifest
+        and multi-machine/seed axes on top of the same sessions (see
+        DESIGN.md section 14).  :meth:`to_spec` converts this suite's
+        machine and scale into an equivalent spec.  ``ExperimentSuite``
+        itself remains supported for direct, figure-at-a-time use.
+    """
 
     #: Machine and scale; ``None`` means "the default" (or, when a session is
     #: given, "inherit from the session").
@@ -116,6 +125,33 @@ class ExperimentSuite:
     def from_session(cls, session: Session) -> "ExperimentSuite":
         """The figure suite bound to an existing runtime session."""
         return cls(session=session)
+
+    def to_spec(self, name: str = "experiment-suite") -> "Any":
+        """This suite's ``run_all`` workload as a declarative suite spec.
+
+        Returns a :class:`repro.suite.spec.SuiteSpec` covering the same
+        machine, scale and experiments (figures 1-11 plus the correlation
+        and theory tables), ready for ``repro.suite(spec).run()`` — which
+        adds sinks, a resume manifest and extra machine/seed axes.
+        """
+        import dataclasses as _dataclasses
+
+        from repro.runtime.transport import machine_config_to_wire
+        from repro.suite.spec import SuiteSpec
+
+        payload = {
+            "name": name,
+            "machines": [
+                {"id": self.machine.config.name, "config": machine_config_to_wire(self.machine.config)}
+            ],
+            "scale": {
+                f.name: getattr(self.scale, f.name)
+                for f in _dataclasses.fields(ExperimentScale)
+            },
+            "seeds": [self.scale.seed],
+            "experiments": [f"figure{i}" for i in range(1, 12)] + ["correlations", "theory"],
+        }
+        return SuiteSpec.from_dict(payload)
 
     # -- shared data -------------------------------------------------------------
 

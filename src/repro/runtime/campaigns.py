@@ -15,6 +15,7 @@ draw, so tables produced through this module match the historical ones.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Sequence
 
 from repro.machine.machine import SimulatedMachine
@@ -23,10 +24,17 @@ from repro.runtime.store import CampaignKey, CampaignStore, NullStore, machine_c
 from repro.runtime.table import MeasurementTable
 from repro.util.rng import as_generator, derive_seed
 from repro.util.validation import check_positive_int
+from repro.wht.encoding import plan_key
 from repro.wht.plan import MAX_UNROLLED, Plan
 from repro.wht.random_plans import RSUSampler
 
-__all__ = ["campaign_key", "sample_units", "run_campaign", "measure_plan_list"]
+__all__ = [
+    "campaign_key",
+    "named_plans_key",
+    "sample_units",
+    "run_campaign",
+    "measure_plan_list",
+]
 
 
 def campaign_key(
@@ -45,6 +53,35 @@ def campaign_key(
         seed=seed,
         max_leaf=max_leaf,
         max_children=max_children,
+    )
+
+
+def named_plans_key(
+    machine: SimulatedMachine,
+    plans: Sequence[Plan],
+    seed: int,
+    tag: str = "explicit",
+) -> CampaignKey:
+    """The content-addressed store key of one explicit-plan measurement table.
+
+    Unlike :func:`campaign_key` — where ``(n, count, seed, sampler knobs)``
+    fully determine the sampled plans — an explicit plan list is free-form,
+    so the key digests the canonical plan keys of the list itself (order
+    included: the noise seed of each entry depends on its index).  Two calls
+    measuring the same plans in the same order under the same seed share one
+    store entry; any difference in the list yields a disjoint key.
+    """
+    digest = hashlib.sha256(
+        "\n".join(f"{tag}|{plan_key(plan)}" for plan in plans).encode("utf-8")
+    ).hexdigest()[:16]
+    return CampaignKey(
+        machine_hash=machine_config_hash(machine.config),
+        n=plans[0].n,
+        count=len(plans),
+        seed=seed,
+        max_leaf=MAX_UNROLLED,
+        max_children=None,
+        kind=f"plans:{tag}:{digest}",
     )
 
 
@@ -109,6 +146,7 @@ def measure_plan_list(
     seed: int,
     tag: str = "explicit",
     backend: ExecutionBackend | None = None,
+    store: CampaignStore | None = None,
 ) -> MeasurementTable:
     """Measure an explicit list of plans (all of one size) through a backend.
 
@@ -116,14 +154,29 @@ def measure_plan_list(
     matching the legacy ``SampleCampaign.measure_plans`` scheme exactly.
     Defaults to the fused :class:`~repro.runtime.backends.BatchedBackend`
     (bit-identical to serial execution, one prepared workload per batch).
+
+    ``store`` makes explicit-plan tables store-native, exactly like
+    :func:`run_campaign`: the table is keyed by :func:`named_plans_key` (a
+    digest of the plan list itself), consulted before measuring and written
+    after.  Because every noise draw is derived from ``(seed, tag, n,
+    index)``, a store hit is bit-identical to re-measuring — caching changes
+    nothing but the work performed.  The default (``None``) preserves the
+    historical uncached behaviour.
     """
     backend = backend if backend is not None else BatchedBackend()
     plan_list: Sequence[Plan] = list(plans)
     if not plan_list:
         raise ValueError("measure_plan_list requires at least one plan")
+    store = store if store is not None else NullStore()
+    key = named_plans_key(machine, plan_list, seed, tag=tag)
+    cached = store.get(key)
+    if cached is not None:
+        return cached
     units = [
         WorkUnit(plan=plan, noise_seed=derive_seed(seed, tag, plan.n, index))
         for index, plan in enumerate(plan_list)
     ]
     measurements = backend.measure_units(machine, units)
-    return MeasurementTable.from_measurements(measurements)
+    table = MeasurementTable.from_measurements(measurements)
+    store.put(key, table)
+    return table

@@ -252,10 +252,25 @@ class Session:
         """The out-of-cache random-sample campaign (paper size 2^18)."""
         return self.campaign(self.scale.large_size)
 
-    def measure_plans(self, plans: Iterable[Plan], tag: str = "explicit") -> MeasurementTable:
-        """Measure an explicit list of plans (all of one size)."""
+    def measure_plans(
+        self, plans: Iterable[Plan], tag: str = "explicit", cache: bool = True
+    ) -> MeasurementTable:
+        """Measure an explicit list of plans (all of one size).
+
+        With ``cache=True`` (the default) the table is store-native: it is
+        keyed by a digest of the plan list (plus ``tag`` and the scale seed)
+        in the session's store, so a later session over the same store serves
+        the same list without re-measuring.  Noise seeds are derived per
+        ``(seed, tag, n, index)``, so the cached table is bit-identical to a
+        fresh measurement; ``cache=False`` restores the uncached behaviour.
+        """
         return measure_plan_list(
-            self.machine, plans, seed=self.scale.seed, tag=tag, backend=self.backend
+            self.machine,
+            plans,
+            seed=self.scale.seed,
+            tag=tag,
+            backend=self.backend,
+            store=self.store if cache else None,
         )
 
     # -- sweeps and searches -----------------------------------------------------

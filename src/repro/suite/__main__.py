@@ -1,0 +1,9 @@
+"""Entry point: ``python -m repro.suite run spec.json``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.suite.cli import main
+
+sys.exit(main())

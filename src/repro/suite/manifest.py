@@ -1,0 +1,148 @@
+"""The run manifest: spec hash, machine hashes, seeds, per-unit status.
+
+The manifest is the suite's resume ledger.  It records which spec (by
+content hash) produced the artifacts in a directory, which machines (by
+configuration content hash) and seeds were covered, and — per unit — the
+status, the number of measurements performed and the sinks written.
+
+Resume semantics are two-layered and *store-native*:
+
+* the **store** already makes re-measurement free (campaigns, canonical
+  tables and cost records replay from cache with zero measurements);
+* the **manifest** makes re-*derivation* free: a unit recorded as complete
+  (or previously skipped) whose requested sinks are all already written is
+  skipped outright — no session, no baselines, no recompute.
+
+A manifest whose ``spec_hash`` does not match the current spec is discarded
+(the directory belonged to a different suite), never partially trusted.
+The file is written atomically (``.tmp`` + rename) and flushed after every
+unit, so a SIGKILL mid-run loses at most the in-flight unit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Sequence
+
+from repro.runtime.store import machine_config_hash
+from repro.suite.spec import SuiteSpec
+
+__all__ = ["Manifest", "MANIFEST_VERSION"]
+
+MANIFEST_VERSION = 1
+
+#: Statuses that mean "this unit's results already exist".
+_DONE = ("complete", "skipped")
+
+
+class Manifest:
+    """Per-run, atomically persisted unit ledger (``path=None`` = in-memory)."""
+
+    def __init__(self, path: str | None):
+        self.path = path
+        self.payload: dict[str, Any] = {}
+        self._loaded_units: dict[str, dict[str, Any]] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin(self, spec: SuiteSpec) -> None:
+        """Start (or resume) a run of ``spec``.
+
+        Loads the previous manifest when it exists *and* its spec hash
+        matches; otherwise starts fresh.  Prior unit records become the
+        skip candidates consulted by :meth:`completed`.
+        """
+        spec_hash = spec.spec_hash()
+        previous: dict[str, Any] = {}
+        if self.path is not None and os.path.exists(self.path):
+            try:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    previous = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                previous = {}
+        if previous.get("spec_hash") == spec_hash:
+            self._loaded_units = dict(previous.get("units", {}))
+        else:
+            self._loaded_units = {}
+        self.payload = {
+            "version": MANIFEST_VERSION,
+            "spec_name": spec.name,
+            "spec_hash": spec_hash,
+            "machines": {
+                m.id: machine_config_hash(m.build().config) for m in spec.machines
+            },
+            "seeds": list(spec.seeds),
+            "baselines": {},
+            "units": dict(self._loaded_units),
+        }
+        self.flush()
+
+    def flush(self) -> None:
+        """Atomically persist the current state (no-op for in-memory)."""
+        if self.path is None:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    # -- queries -----------------------------------------------------------------
+
+    def completed(self, unit_id: str, sink_names: Sequence[str]) -> bool:
+        """True when ``unit_id`` can be skipped for this run's sinks.
+
+        A unit skips when a prior record says it completed (or was itself a
+        skip of a completed unit) *and* every sink the current run wants is
+        among the sinks already written for it.
+        """
+        record = self._loaded_units.get(unit_id)
+        if not record or record.get("status") not in _DONE:
+            return False
+        return set(sink_names) <= set(record.get("sinks", []))
+
+    def unit(self, unit_id: str) -> dict[str, Any] | None:
+        """The current record of one unit (or ``None``)."""
+        return self.payload.get("units", {}).get(unit_id)
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_baseline(self, context_id: str, baseline: str, measured: int) -> None:
+        """Record one baseline materialisation (bookkeeping, not skip state)."""
+        baselines = self.payload.setdefault("baselines", {})
+        baselines.setdefault(context_id, {})[baseline] = int(measured)
+        self.flush()
+
+    def record_unit(
+        self,
+        unit_id: str,
+        status: str,
+        *,
+        measured: int = 0,
+        sinks: Sequence[str] = (),
+        error: str | None = None,
+    ) -> None:
+        """Record one unit's outcome and flush.
+
+        A ``"skipped"`` record preserves the prior record's sink list (the
+        files are still on disk and still cover future runs asking for a
+        subset of them).
+        """
+        record: dict[str, Any] = {
+            "status": status,
+            "measured": int(measured),
+            "sinks": sorted(sinks),
+        }
+        if status == "skipped":
+            prior = self._loaded_units.get(unit_id, {})
+            record["sinks"] = sorted(set(prior.get("sinks", [])) | set(sinks))
+        if error is not None:
+            record["error"] = error
+        self.payload.setdefault("units", {})[unit_id] = record
+        self.flush()

@@ -1,0 +1,206 @@
+"""Pluggable result sinks for the suite runner.
+
+A sink receives every completed :class:`~repro.suite.results.ExperimentResult`
+via :meth:`write` and persists whichever view it cares about.  File sinks
+write **one file per unit and table** (atomic ``.tmp`` + rename, so a
+SIGKILL mid-run never leaves a torn file), name files by the sanitised unit
+id, and never emit timestamps or other run-local state — two runs that
+measured identical values produce byte-identical sink trees, which is what
+the plain-vs-service bit-identity gates compare.
+
+The manifest records, per unit, which sink *names* have been written; a
+re-run with the same (or a subset of the) sinks skips the unit entirely.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import Protocol, runtime_checkable
+
+from repro.suite.results import ExperimentResult, sanitize_unit_id
+
+__all__ = [
+    "ResultSink",
+    "CSVSink",
+    "JSONLSink",
+    "FigureArtifactSink",
+    "MemorySink",
+    "resolve_sinks",
+]
+
+
+@runtime_checkable
+class ResultSink(Protocol):
+    """What the runner requires of a sink."""
+
+    #: Stable identifier recorded in the manifest per written unit.
+    name: str
+
+    def write(self, result: ExperimentResult) -> None:
+        """Persist one completed unit's results."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Flush and release resources (called once, end of run)."""
+        ...  # pragma: no cover - protocol
+
+
+def _atomic_write(path: str, data: str) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8", newline="") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class _DirectorySink:
+    """Shared base: one output directory, one file per unit and table."""
+
+    name = "directory"
+    extension = "dat"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, result: ExperimentResult, table_name: str) -> str:
+        stem = sanitize_unit_id(result.unit_id)
+        return os.path.join(self.directory, f"{stem}.{table_name}.{self.extension}")
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.directory!r})"
+
+
+class CSVSink(_DirectorySink):
+    """One ``<unit>.<table>.csv`` file per table, header row first."""
+
+    name = "csv"
+    extension = "csv"
+
+    def write(self, result: ExperimentResult) -> None:
+        for table_name, table in result.tables.items():
+            buffer = io.StringIO()
+            writer = csv.writer(buffer, lineterminator="\n")
+            writer.writerow(table.headers)
+            for row in table.rows:
+                writer.writerow(row)
+            _atomic_write(self._path(result, table_name), buffer.getvalue())
+
+
+class JSONLSink(_DirectorySink):
+    """One ``<unit>.<table>.jsonl`` file per table, one JSON object per row."""
+
+    name = "jsonl"
+    extension = "jsonl"
+
+    def write(self, result: ExperimentResult) -> None:
+        for table_name, table in result.tables.items():
+            lines = [
+                json.dumps(row, sort_keys=True, separators=(",", ":"))
+                for row in table.as_dicts()
+            ]
+            _atomic_write(
+                self._path(result, table_name), "\n".join(lines) + ("\n" if lines else "")
+            )
+
+
+class FigureArtifactSink(_DirectorySink):
+    """One ``<unit>.json`` artifact per unit: the figure's JSON payload."""
+
+    name = "figure"
+    extension = "json"
+
+    def write(self, result: ExperimentResult) -> None:
+        payload = {
+            "unit": result.unit_id,
+            "experiment": result.experiment_id,
+            "kind": result.kind,
+            "machine": result.machine_id,
+            "seed": result.seed,
+            "artifact": result.artifact,
+        }
+        stem = sanitize_unit_id(result.unit_id)
+        path = os.path.join(self.directory, f"{stem}.{self.extension}")
+        _atomic_write(path, json.dumps(payload, sort_keys=True, indent=2) + "\n")
+
+
+class MemorySink:
+    """Keeps every result in a list — the test/driver sink."""
+
+    name = "memory"
+
+    def __init__(self):
+        self.results: list[ExperimentResult] = []
+
+    def write(self, result: ExperimentResult) -> None:
+        self.results.append(result)
+
+    def close(self) -> None:
+        pass
+
+    def get(self, experiment_id: str) -> ExperimentResult:
+        for result in self.results:
+            if result.experiment_id == experiment_id:
+                return result
+        raise KeyError(experiment_id)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __repr__(self) -> str:
+        return f"MemorySink({len(self.results)} results)"
+
+
+#: Sink factories accepted by name in :func:`resolve_sinks`.
+SINK_PRESETS = {
+    "csv": CSVSink,
+    "jsonl": JSONLSink,
+    "figure": FigureArtifactSink,
+}
+
+
+def resolve_sinks(
+    sinks: "list | tuple | None", artifacts: str | None
+) -> list:
+    """Normalise the ``sinks=`` argument of :func:`repro.suite.api.suite`.
+
+    ``sinks`` may mix ready sink objects and preset names (``"csv"``,
+    ``"jsonl"``, ``"figure"`` — these need ``artifacts=``, the output
+    directory).  With ``sinks=None`` and an ``artifacts`` directory, the
+    default trio (CSV + JSONL + figure artifacts) is used; with neither,
+    the run is sink-less (results stay in the returned
+    :class:`~repro.suite.results.SuiteResult`).
+    """
+    if sinks is None:
+        if artifacts is None:
+            return []
+        return [CSVSink(artifacts), JSONLSink(artifacts), FigureArtifactSink(artifacts)]
+    resolved = []
+    for entry in sinks:
+        if isinstance(entry, str):
+            if entry not in SINK_PRESETS:
+                raise ValueError(
+                    f"unknown sink preset {entry!r}; available: {sorted(SINK_PRESETS)}"
+                )
+            if artifacts is None:
+                raise ValueError(
+                    f"sink preset {entry!r} needs artifacts= (the output directory)"
+                )
+            resolved.append(SINK_PRESETS[entry](artifacts))
+        else:
+            if not hasattr(entry, "write") or not hasattr(entry, "name"):
+                raise TypeError(
+                    f"{entry!r} is not a ResultSink (needs .name and .write(result))"
+                )
+            resolved.append(entry)
+    names = [sink.name for sink in resolved]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate sink names {names}; manifest bookkeeping is per name")
+    return resolved

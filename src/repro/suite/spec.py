@@ -1,0 +1,348 @@
+"""Declarative suite specifications.
+
+A :class:`SuiteSpec` is the JSON-friendly description of one paper
+reproduction: which machines to simulate, at what experiment scale, under
+which seeds, and which experiments (figures, summary tables, objective
+sweeps, searches) to run.  Specs are plain data — a dict in code or a
+``.json`` file on disk — and validation happens eagerly with actionable,
+path-prefixed error messages (``experiments[3].kind: unknown kind ...``)
+rather than deep in the runner.
+
+The canonical JSON shape::
+
+    {
+      "name": "paper-figures",
+      "machines": ["default"],
+      "scale": "default",
+      "seeds": [20070122],
+      "experiments": [
+        "figure1",
+        {"id": "fig9", "kind": "figure9"},
+        {"id": "sweep", "kind": "objective_sweep",
+         "options": {"objectives": ["cycles", "instructions",
+                                    {"alpha": 1.0, "beta": 0.05}]}}
+      ]
+    }
+
+``machines`` entries are preset names or inline machine configurations (the
+wire form of :class:`~repro.machine.machine.MachineConfig`); ``scale`` is a
+preset name or a dict of :class:`~repro.config.ExperimentScale` field
+overrides; ``seeds`` defaults to the scale's seed; a bare string in
+``experiments`` is shorthand for ``{"id": kind, "kind": kind}``.
+
+:func:`SuiteSpec.spec_hash` digests the normalised spec (sorted-key JSON),
+so the manifest can detect that a store/manifest pair belongs to a
+different spec and refuse to resume from it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.config import ExperimentScale, default_scale
+from repro.machine.configs import MACHINE_PRESETS
+from repro.machine.machine import MachineConfig, SimulatedMachine
+from repro.runtime.session import SCALE_PRESETS
+from repro.runtime.transport import machine_config_from_wire, machine_config_to_wire
+
+__all__ = ["SpecError", "MachineSpec", "ExperimentSpec", "SuiteSpec", "load_spec", "spec_from_dict"]
+
+
+class SpecError(ValueError):
+    """A suite spec failed validation; the message names the offending path."""
+
+
+def _known_kinds() -> tuple[str, ...]:
+    # Deferred: the kind registry lives in figures.py, which imports this
+    # module for the spec types.
+    from repro.suite.figures import experiment_kinds
+
+    return experiment_kinds()
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One machine axis entry: a preset name or an inline configuration."""
+
+    id: str
+    preset: str | None = None
+    config: MachineConfig | None = None
+
+    def build(self) -> SimulatedMachine:
+        if self.config is not None:
+            return SimulatedMachine(self.config)
+        return SimulatedMachine(MACHINE_PRESETS[self.preset]())
+
+    def as_dict(self) -> dict[str, Any]:
+        if self.preset is not None:
+            return {"id": self.id, "preset": self.preset}
+        return {"id": self.id, "config": machine_config_to_wire(self.config)}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment axis entry: a unique id, a registered kind, options."""
+
+    id: str
+    kind: str
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"id": self.id, "kind": self.kind}
+        if self.options:
+            out["options"] = self.options
+        return out
+
+
+def _parse_machine(entry: Any, path: str) -> MachineSpec:
+    if isinstance(entry, str):
+        if entry not in MACHINE_PRESETS:
+            raise SpecError(
+                f"{path}: unknown machine preset {entry!r}; "
+                f"available: {sorted(MACHINE_PRESETS)}"
+            )
+        return MachineSpec(id=entry, preset=entry)
+    if isinstance(entry, Mapping):
+        entry = dict(entry)
+        unknown = set(entry) - {"id", "preset", "config"}
+        if unknown:
+            raise SpecError(
+                f"{path}: unknown machine keys {sorted(unknown)}; "
+                "expected 'id' plus exactly one of 'preset' or 'config'"
+            )
+        preset = entry.get("preset")
+        config_payload = entry.get("config")
+        if (preset is None) == (config_payload is None):
+            raise SpecError(f"{path}: give exactly one of 'preset' or 'config'")
+        if preset is not None:
+            if preset not in MACHINE_PRESETS:
+                raise SpecError(
+                    f"{path}.preset: unknown machine preset {preset!r}; "
+                    f"available: {sorted(MACHINE_PRESETS)}"
+                )
+            machine_id = entry.get("id", preset)
+            return MachineSpec(id=str(machine_id), preset=preset)
+        try:
+            config = machine_config_from_wire(config_payload)
+        except Exception as exc:
+            raise SpecError(f"{path}.config: not a valid machine configuration: {exc}") from exc
+        machine_id = entry.get("id", config.name)
+        return MachineSpec(id=str(machine_id), config=config)
+    raise SpecError(
+        f"{path}: expected a preset name or a machine object, got {type(entry).__name__}"
+    )
+
+
+def _parse_scale(entry: Any, path: str) -> ExperimentScale:
+    if entry is None:
+        return default_scale()
+    if isinstance(entry, ExperimentScale):
+        return entry
+    if isinstance(entry, str):
+        if entry not in SCALE_PRESETS:
+            raise SpecError(
+                f"{path}: unknown scale preset {entry!r}; available: {sorted(SCALE_PRESETS)}"
+            )
+        return SCALE_PRESETS[entry]()
+    if isinstance(entry, Mapping):
+        fields = {f.name for f in dataclasses.fields(ExperimentScale)}
+        unknown = set(entry) - fields
+        if unknown:
+            raise SpecError(
+                f"{path}: unknown scale keys {sorted(unknown)}; available: {sorted(fields)}"
+            )
+        try:
+            return dataclasses.replace(default_scale(), **{k: int(v) for k, v in entry.items()})
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"{path}: invalid scale overrides: {exc}") from exc
+    raise SpecError(
+        f"{path}: expected a scale preset name or a field-override object, "
+        f"got {type(entry).__name__}"
+    )
+
+
+def _parse_experiment(entry: Any, path: str) -> ExperimentSpec:
+    kinds = _known_kinds()
+    if isinstance(entry, str):
+        entry = {"id": entry, "kind": entry}
+    if not isinstance(entry, Mapping):
+        raise SpecError(
+            f"{path}: expected a kind name or an experiment object, got {type(entry).__name__}"
+        )
+    entry = dict(entry)
+    unknown = set(entry) - {"id", "kind", "options"}
+    if unknown:
+        raise SpecError(
+            f"{path}: unknown experiment keys {sorted(unknown)}; "
+            "expected 'kind' plus optional 'id' and 'options'"
+        )
+    kind = entry.get("kind")
+    if not isinstance(kind, str):
+        raise SpecError(f"{path}.kind: required and must be a string")
+    if kind not in kinds:
+        raise SpecError(f"{path}.kind: unknown kind {kind!r}; available: {sorted(kinds)}")
+    options = entry.get("options", {})
+    if not isinstance(options, Mapping):
+        raise SpecError(f"{path}.options: must be an object, got {type(options).__name__}")
+    experiment_id = entry.get("id", kind)
+    if not isinstance(experiment_id, str) or not experiment_id:
+        raise SpecError(f"{path}.id: must be a non-empty string")
+    if "/" in experiment_id or "@" in experiment_id:
+        raise SpecError(f"{path}.id: {experiment_id!r} may not contain '/' or '@'")
+    return ExperimentSpec(id=experiment_id, kind=kind, options=dict(options))
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """A validated suite specification (see the module docstring)."""
+
+    name: str
+    machines: tuple[MachineSpec, ...]
+    scale: ExperimentScale
+    seeds: tuple[int, ...]
+    experiments: tuple[ExperimentSpec, ...]
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SuiteSpec":
+        if not isinstance(payload, Mapping):
+            raise SpecError(f"spec: expected an object, got {type(payload).__name__}")
+        payload = dict(payload)
+        unknown = set(payload) - {"name", "machines", "scale", "seeds", "experiments"}
+        if unknown:
+            raise SpecError(
+                f"spec: unknown top-level keys {sorted(unknown)}; expected "
+                "'name', 'machines', 'scale', 'seeds', 'experiments'"
+            )
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise SpecError("spec.name: required and must be a non-empty string")
+
+        raw_machines = payload.get("machines", ["default"])
+        if not isinstance(raw_machines, Sequence) or isinstance(raw_machines, (str, bytes)):
+            raise SpecError("spec.machines: must be a list of machine entries")
+        if not raw_machines:
+            raise SpecError("spec.machines: must name at least one machine")
+        machines = tuple(
+            _parse_machine(entry, f"machines[{index}]")
+            for index, entry in enumerate(raw_machines)
+        )
+        machine_ids = [m.id for m in machines]
+        if len(set(machine_ids)) != len(machine_ids):
+            dupes = sorted({m for m in machine_ids if machine_ids.count(m) > 1})
+            raise SpecError(
+                f"spec.machines: duplicate machine ids {dupes}; give inline "
+                "configurations distinct 'id' values"
+            )
+
+        scale = _parse_scale(payload.get("scale"), "scale")
+
+        raw_seeds = payload.get("seeds")
+        if raw_seeds is None:
+            seeds: tuple[int, ...] = (scale.seed,)
+        else:
+            if not isinstance(raw_seeds, Sequence) or isinstance(raw_seeds, (str, bytes)):
+                raise SpecError("spec.seeds: must be a list of integers")
+            if not raw_seeds:
+                raise SpecError("spec.seeds: must contain at least one seed")
+            try:
+                seeds = tuple(int(s) for s in raw_seeds)
+            except (TypeError, ValueError):
+                raise SpecError(f"spec.seeds: must be integers, got {raw_seeds!r}") from None
+            if len(set(seeds)) != len(seeds):
+                raise SpecError(f"spec.seeds: duplicate seeds in {list(seeds)}")
+
+        raw_experiments = payload.get("experiments")
+        if not isinstance(raw_experiments, Sequence) or isinstance(raw_experiments, (str, bytes)):
+            raise SpecError("spec.experiments: must be a list of experiment entries")
+        if not raw_experiments:
+            raise SpecError("spec.experiments: must declare at least one experiment")
+        experiments = tuple(
+            _parse_experiment(entry, f"experiments[{index}]")
+            for index, entry in enumerate(raw_experiments)
+        )
+        experiment_ids = [e.id for e in experiments]
+        if len(set(experiment_ids)) != len(experiment_ids):
+            dupes = sorted({e for e in experiment_ids if experiment_ids.count(e) > 1})
+            raise SpecError(
+                f"spec.experiments: duplicate experiment ids {dupes}; repeated "
+                "kinds need explicit distinct 'id' values"
+            )
+
+        spec = cls(
+            name=name,
+            machines=machines,
+            scale=scale,
+            seeds=seeds,
+            experiments=experiments,
+        )
+        # Kind-specific option validation (objectives, sizes, ...) happens in
+        # the registry so the error points at the offending experiment.
+        from repro.suite.figures import validate_options
+
+        for index, experiment in enumerate(experiments):
+            validate_options(experiment, f"experiments[{index}]", scale)
+        return spec
+
+    # -- derived views -----------------------------------------------------------
+
+    def with_scale(self, scale: "ExperimentScale | str | Mapping[str, Any]") -> "SuiteSpec":
+        """This spec at a different experiment scale (seeds re-derived).
+
+        Seeds that merely mirrored the old scale's seed follow the new
+        scale; explicitly divergent seed lists are kept.
+        """
+        new_scale = _parse_scale(scale, "scale")
+        seeds = self.seeds
+        if seeds == (self.scale.seed,):
+            seeds = (new_scale.seed,)
+        return dataclasses.replace(self, scale=new_scale, seeds=seeds)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The normalised plain-dict form (JSON-ready, hash-stable)."""
+        return {
+            "name": self.name,
+            "machines": [m.as_dict() for m in self.machines],
+            "scale": {
+                f.name: getattr(self.scale, f.name)
+                for f in dataclasses.fields(ExperimentScale)
+            },
+            "seeds": list(self.seeds),
+            "experiments": [e.as_dict() for e in self.experiments],
+        }
+
+    def spec_hash(self) -> str:
+        """SHA-256 of the normalised spec (sorted-key canonical JSON)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        axes = (
+            f"{len(self.machines)} machine(s) x {len(self.seeds)} seed(s) x "
+            f"{len(self.experiments)} experiment(s)"
+        )
+        return f"SuiteSpec({self.name!r}: {axes}, scale=[{self.scale.describe()}])"
+
+
+def spec_from_dict(payload: "Mapping[str, Any] | SuiteSpec") -> SuiteSpec:
+    """Coerce a mapping (or pass through a ready spec) to a :class:`SuiteSpec`."""
+    if isinstance(payload, SuiteSpec):
+        return payload
+    return SuiteSpec.from_dict(payload)
+
+
+def load_spec(path: str) -> SuiteSpec:
+    """Load and validate a suite spec from a JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise SpecError(f"cannot read spec file {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"spec file {path!r} is not valid JSON: {exc}") from exc
+    return SuiteSpec.from_dict(payload)

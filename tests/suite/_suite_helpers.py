@@ -1,0 +1,31 @@
+"""Shared helpers for the suite-runner tests (imported, not collected)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def tiny_spec_dict(**overrides):
+    """A small but representative suite spec as a plain dict."""
+    payload = {
+        "name": "tiny-suite",
+        "machines": ["tiny"],
+        "scale": "ci",
+        "experiments": [
+            "figure5",
+            "theory",
+            {"id": "search6", "kind": "search", "options": {"n": 6}},
+        ],
+    }
+    payload.update(overrides)
+    return payload
+
+
+def sink_files(directory, exclude=("manifest.json",)):
+    """Relative path -> bytes for every sink file under ``directory``."""
+    root = Path(directory)
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file() and path.name not in exclude
+    }

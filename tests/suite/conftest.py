@@ -1,0 +1,19 @@
+"""Shared fixtures for the suite-runner tests.
+
+Everything runs the tiny machine at the CI scale so a whole suite completes
+in well under a second; the specs cover every moving part (baseline-derived
+figures, a summary table, a search, an objective sweep).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _suite_helpers import tiny_spec_dict
+
+
+@pytest.fixture
+def tiny_spec():
+    from repro.suite import SuiteSpec
+
+    return SuiteSpec.from_dict(tiny_spec_dict())

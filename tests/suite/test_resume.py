@@ -1,0 +1,104 @@
+"""Crash-resume: a SIGKILL mid-run loses at most the in-flight unit.
+
+A child process runs a three-unit suite against a disk store and kills
+itself (hard, ``SIGKILL`` — no cleanup, no flush) right after the second
+unit's file sinks are written but *before* the manifest records that unit.
+The parent then resumes with the same store and artifacts directory and
+checks the advertised semantics: the recorded unit skips, the torn unit and
+the never-started unit complete, the warm store replays every measurement
+(zero new ones), and the final sink tree is byte-identical to an
+uninterrupted reference run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+from _suite_helpers import sink_files, tiny_spec_dict
+from repro.config import ci_scale
+from repro.runtime.store import MemoryStore
+from repro.suite import SuiteRun, SuiteSpec
+
+SEED = ci_scale().seed
+
+# Only baseline-derived experiments: the baselines (small + large campaigns)
+# materialise before the first unit runs, so the resuming parent finds every
+# measurement already in the disk store.
+SPEC = tiny_spec_dict(experiments=["figure5", "figure9", "correlations"])
+
+CHILD = textwrap.dedent(
+    """
+    import json, os, signal, sys
+
+    from repro.suite import SuiteRun, SuiteSpec
+    from repro.suite.sinks import CSVSink, FigureArtifactSink, JSONLSink
+
+    spec = SuiteSpec.from_dict(json.loads(sys.argv[1]))
+    store, artifacts = sys.argv[2], sys.argv[3]
+
+    class KillerSink:
+        # Last in the sink list: when it fires, the unit's real sinks are
+        # already on disk but the manifest has not recorded the unit yet.
+        name = "killer"
+        writes = 0
+
+        def write(self, result):
+            KillerSink.writes += 1
+            if KillerSink.writes == 2:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        def close(self):
+            pass
+
+    sinks = [CSVSink(artifacts), JSONLSink(artifacts), FigureArtifactSink(artifacts), KillerSink()]
+    SuiteRun(spec, store=store, artifacts=artifacts, sinks=sinks).run()
+    raise SystemExit("unreachable: the killer sink should have fired")
+    """
+)
+
+
+def test_sigkill_mid_run_then_resume_completes_without_remeasuring(tmp_path):
+    spec = SuiteSpec.from_dict(SPEC)
+    store = str(tmp_path / "campaigns")
+    artifacts = str(tmp_path / "artifacts")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH")])
+    )
+    child = subprocess.run(
+        [sys.executable, "-c", CHILD, json.dumps(SPEC), store, artifacts],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert child.returncode == -signal.SIGKILL, child.stderr
+
+    # The crash left unit 1 recorded, unit 2's sink files torn-state-free on
+    # disk but unrecorded, and unit 3 untouched.
+    manifest = json.loads((tmp_path / "artifacts" / "manifest.json").read_text())
+    recorded = set(manifest["units"])
+    assert f"tiny@{SEED}/figure5" in recorded
+    assert f"tiny@{SEED}/figure9" not in recorded
+
+    resumed = SuiteRun(spec, store=store, artifacts=artifacts).run()
+    assert resumed.ok
+    assert resumed.statuses() == {
+        f"tiny@{SEED}/figure5": "skipped",
+        f"tiny@{SEED}/figure9": "complete",
+        f"tiny@{SEED}/correlations": "complete",
+    }
+    # Every measurement replays from the disk store the child populated.
+    assert resumed.total_measured == 0
+
+    # The resumed artifact tree is byte-identical to an uninterrupted run.
+    reference_dir = tmp_path / "reference"
+    reference = SuiteRun(spec, store=MemoryStore(), artifacts=str(reference_dir)).run()
+    assert reference.ok
+    assert sink_files(tmp_path / "artifacts") == sink_files(reference_dir)

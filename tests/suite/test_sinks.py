@@ -1,0 +1,166 @@
+"""File sinks, the memory sink and sink resolution."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.suite import MemorySink
+from repro.suite.results import ExperimentResult, SuiteTable, jsonable, sanitize_unit_id
+from repro.suite.sinks import CSVSink, FigureArtifactSink, JSONLSink, resolve_sinks
+
+
+def make_result(unit_id="tiny@20070122/figure5", **overrides):
+    fields = dict(
+        unit_id=unit_id,
+        experiment_id="figure5",
+        kind="figure5",
+        machine_id="tiny",
+        seed=20070122,
+        status="complete",
+        measured=3,
+        tables={
+            "histogram": SuiteTable.build(
+                ["bin_left", "bin_right", "count"],
+                [(0.0, 1.0, 4), (1.0, 2.0, 7)],
+            )
+        },
+        artifact={"bins": 2, "p95": 1.75},
+    )
+    fields.update(overrides)
+    return ExperimentResult(**fields)
+
+
+# -- file layout -----------------------------------------------------------------
+
+
+def test_sanitize_unit_id_makes_a_safe_stem():
+    assert sanitize_unit_id("tiny@1/figure5") == "tiny@1__figure5"
+    assert sanitize_unit_id("a:b/c") == "a_b__c"
+    assert "/" not in sanitize_unit_id("m@2/correlations")
+
+
+def test_csv_sink_writes_one_file_per_table(tmp_path):
+    sink = CSVSink(str(tmp_path))
+    sink.write(make_result())
+    sink.close()
+    path = tmp_path / "tiny@20070122__figure5.histogram.csv"
+    assert path.read_text() == "bin_left,bin_right,count\n0.0,1.0,4\n1.0,2.0,7\n"
+    assert sorted(p.name for p in tmp_path.iterdir()) == [path.name]
+
+
+def test_jsonl_sink_writes_one_object_per_row(tmp_path):
+    sink = JSONLSink(str(tmp_path))
+    sink.write(make_result())
+    lines = (tmp_path / "tiny@20070122__figure5.histogram.jsonl").read_text().splitlines()
+    assert [json.loads(line) for line in lines] == [
+        {"bin_left": 0.0, "bin_right": 1.0, "count": 4},
+        {"bin_left": 1.0, "bin_right": 2.0, "count": 7},
+    ]
+    # Compact, key-sorted serialisation keeps the bytes deterministic.
+    assert lines[0] == '{"bin_left":0.0,"bin_right":1.0,"count":4}'
+
+
+def test_figure_artifact_sink_writes_the_json_payload(tmp_path):
+    sink = FigureArtifactSink(str(tmp_path))
+    sink.write(make_result())
+    payload = json.loads((tmp_path / "tiny@20070122__figure5.json").read_text())
+    assert payload == {
+        "unit": "tiny@20070122/figure5",
+        "experiment": "figure5",
+        "kind": "figure5",
+        "machine": "tiny",
+        "seed": 20070122,
+        "artifact": {"bins": 2, "p95": 1.75},
+    }
+
+
+def test_file_sinks_leave_no_tmp_files_and_rewrite_atomically(tmp_path):
+    sink = CSVSink(str(tmp_path))
+    sink.write(make_result())
+    before = (tmp_path / "tiny@20070122__figure5.histogram.csv").read_bytes()
+    sink.write(make_result())  # idempotent rewrite
+    after = (tmp_path / "tiny@20070122__figure5.histogram.csv").read_bytes()
+    assert before == after
+    assert not [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+
+
+def test_directory_sink_creates_its_directory(tmp_path):
+    nested = tmp_path / "a" / "b"
+    CSVSink(str(nested))
+    assert os.path.isdir(nested)
+
+
+# -- memory sink -----------------------------------------------------------------
+
+
+def test_memory_sink_collects_and_looks_up():
+    sink = MemorySink()
+    first = make_result()
+    sink.write(first)
+    sink.write(make_result(unit_id="tiny@1/theory", experiment_id="theory", kind="theory"))
+    assert len(sink) == 2
+    assert sink.get("figure5") is first
+    with pytest.raises(KeyError):
+        sink.get("figure9")
+
+
+# -- resolution ------------------------------------------------------------------
+
+
+def test_resolve_default_trio_with_artifacts(tmp_path):
+    sinks = resolve_sinks(None, str(tmp_path))
+    assert [s.name for s in sinks] == ["csv", "jsonl", "figure"]
+    assert all(s.directory == str(tmp_path) for s in sinks)
+
+
+def test_resolve_none_without_artifacts_is_sinkless():
+    assert resolve_sinks(None, None) == []
+
+
+def test_resolve_presets_and_objects_mix(tmp_path):
+    memory = MemorySink()
+    sinks = resolve_sinks(["csv", memory], str(tmp_path))
+    assert isinstance(sinks[0], CSVSink)
+    assert sinks[1] is memory
+
+
+def test_resolve_rejects_bad_inputs(tmp_path):
+    with pytest.raises(ValueError, match="unknown sink preset"):
+        resolve_sinks(["parquet"], str(tmp_path))
+    with pytest.raises(ValueError, match="needs artifacts="):
+        resolve_sinks(["csv"], None)
+    with pytest.raises(TypeError, match="not a ResultSink"):
+        resolve_sinks([object()], None)
+    with pytest.raises(ValueError, match="duplicate sink names"):
+        resolve_sinks([MemorySink(), MemorySink()], None)
+
+
+# -- jsonable --------------------------------------------------------------------
+
+
+def test_jsonable_strips_numpy_and_keeps_json_loadable():
+    import numpy as np
+
+    value = {
+        "i": np.int64(3),
+        "f": np.float64(0.5),
+        "a": np.arange(3),
+        "t": (1, 2),
+        "nan": float("nan"),
+        "inf": float("inf"),
+        7: "int-key",
+    }
+    clean = jsonable(value)
+    assert clean == {
+        "i": 3,
+        "f": 0.5,
+        "a": [0, 1, 2],
+        "t": [1, 2],
+        "nan": "nan",
+        "inf": "inf",
+        "7": "int-key",
+    }
+    json.dumps(clean)  # round-trips through strict JSON
