@@ -632,6 +632,148 @@ def check_transport() -> None:
         )
 
 
+def check_fleet() -> None:
+    """The fleet layer must be exact, dedup-clean and thin.
+
+    Three gates on the multi-server fleet (DESIGN.md §15, DP n=12,
+    Opteron-like, noise-free):
+
+    * a DP search striped over a **3-member loopback fleet** sharing one
+      record space is **bit-identical** to a single-server remote search;
+    * the fleet run executes **zero** duplicate units across every
+      member's backend (rendezvous striping plus shared-store dedup);
+    * a cold 3-member fleet DP stays within 35% of the single-server
+      remote DP (plus a small absolute grace): striping, not friction.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.machine.configs import opteron_like
+    from repro.runtime.backends import BatchedBackend
+    from repro.runtime.fleet import FleetClient
+    from repro.runtime.service import CampaignService
+    from repro.runtime.sharded_store import ShardedRecordStore
+    from repro.runtime.store import machine_config_hash
+    from repro.runtime.transport import RemoteServiceClient, serve_tcp
+    from repro.search.dp import dp_search
+    from repro.wht.encoding import plan_key
+
+    config = opteron_like(noise_sigma=0.0).config
+
+    class CountingBackend:
+        name = "counting"
+
+        def __init__(self):
+            self.inner = BatchedBackend()
+            self.lock = threading.Lock()
+            self.executed = []
+
+        def measure_units(self, machine, units):
+            with self.lock:
+                digest = machine_config_hash(machine.config)
+                self.executed.extend(
+                    (digest, plan_key(unit.plan), unit.noise_seed)
+                    for unit in units
+                )
+            return self.inner.measure_units(machine, units)
+
+    class Fleet:
+        def __init__(self, store_dir, backends=None):
+            self.services = [
+                CampaignService(
+                    store=ShardedRecordStore(store_dir, auto_compact=None),
+                    backend=backends[i] if backends else BatchedBackend(),
+                    workers=2,
+                    shared_store=True,
+                )
+                for i in range(3)
+            ]
+            self.servers = [serve_tcp(service) for service in self.services]
+            self.urls = [server.url for server in self.servers]
+            for server in self.servers:
+                server.join_fleet(self.urls, self_url=server.url)
+
+        def close(self):
+            for server in self.servers:
+                server.close()
+            for service in self.services:
+                service.shutdown()
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-fleet-perf-"))
+    try:
+        with CampaignService(workers=2) as single:
+            with serve_tcp(single) as server:
+                client = RemoteServiceClient(server.url, config)
+                reference = dp_search(12, client)
+                client.close()
+
+        countings = [CountingBackend() for _ in range(3)]
+        fleet = Fleet(workdir / "exactness", countings)
+        try:
+            client = FleetClient(fleet.urls, config)
+            striped = dp_search(12, client)
+            client.close()
+        finally:
+            fleet.close()
+
+        if (
+            striped.best_plans != reference.best_plans
+            or striped.best_costs != reference.best_costs
+        ):
+            raise SystemExit(
+                "fleet exactness regression: 3-member fleet DP differs from "
+                "the single-server remote DP"
+            )
+        executed = [unit for counting in countings for unit in counting.executed]
+        if len(set(executed)) != len(executed):
+            raise SystemExit(
+                "fleet dedup regression: duplicate unit executions across members"
+            )
+        if sum(1 for counting in countings if counting.executed) < 2:
+            raise SystemExit(
+                "fleet striping regression: the search did not stripe over "
+                "at least two members"
+            )
+
+        # Overhead gate: best-of-three cold runs on each path.
+        def time_single():
+            with CampaignService(workers=2) as fresh:
+                with serve_tcp(fresh) as server:
+                    client = RemoteServiceClient(server.url, config)
+                    start = time.perf_counter()
+                    dp_search(12, client)
+                    elapsed = time.perf_counter() - start
+                    client.close()
+                return elapsed
+
+        def time_fleet():
+            time_fleet.runs += 1
+            fresh = Fleet(workdir / f"overhead-{time_fleet.runs}")
+            try:
+                client = FleetClient(fresh.urls, config)
+                start = time.perf_counter()
+                dp_search(12, client)
+                elapsed = time.perf_counter() - start
+                client.close()
+            finally:
+                fresh.close()
+            return elapsed
+
+        time_fleet.runs = 0
+        time_single(), time_fleet()  # warmup
+        single_time = min(time_single() for _ in range(3))
+        fleet_time = min(time_fleet() for _ in range(3))
+        if fleet_time > single_time * 1.35 + 0.3:
+            raise SystemExit(
+                f"fleet overhead regression: 3-member fleet DP took "
+                f"{fleet_time:.3f} s > 1.35x the single-server remote's "
+                f"{single_time:.3f} s (+0.3 s grace)"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def check_suite() -> None:
     """The declarative suite runner's resume must be real and must be fast.
 
@@ -739,6 +881,12 @@ def main() -> int:
         "transport: loopback-TCP DP bit-identical to the in-process service "
         "with zero duplicate or re-executed units, remote overhead within "
         "30% of the service client"
+    )
+    check_fleet()
+    print(
+        "fleet: 3-member loopback fleet DP bit-identical to the single-server "
+        "remote with zero duplicate units across members, fleet overhead "
+        "within 35% of the single-server remote"
     )
     check_suite()
     print(

@@ -242,6 +242,52 @@ def main() -> None:
         f"rank agreement at n=6: rho={rho:.3f}, tau={tau:.3f}"
     )
 
+    # 14. The fleet: many servers, one record space.  A *list* of URLs turns
+    #     Session.connect into a fleet tenant — every batch is striped over a
+    #     rendezvous-hash ring of servers sharing one sharded record store,
+    #     membership rides the existing heartbeats, and when a member dies
+    #     mid-run the client rehashes its keys to the survivors under the
+    #     original request ids.  The search completes, bit-identical to the
+    #     single-session result, with zero duplicate measurements
+    #     (DESIGN.md §15).
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as shared_dir:
+        services = [
+            repro.CampaignService(
+                store=repro.ShardedRecordStore(shared_dir, auto_compact=None),
+                workers=2,
+                shared_store=True,
+            )
+            for _ in range(3)
+        ]
+        servers = [
+            repro.serve_tcp(service, host="127.0.0.1", port=0)
+            for service in services
+        ]
+        urls = [server.url for server in servers]
+        for server in servers:
+            server.join_fleet(urls, self_url=server.url)
+        fleet_sess = repro.Session.connect(urls)
+        engine = fleet_sess.cost_engine()
+        victim = 1
+        servers[victim].close()  # one member dies out from under the client
+        services[victim].shutdown()
+        best_fleet = fleet_sess.search(n, use_engine=True)
+        assert str(best_fleet.best_plan) == str(by_cycles.best_plan)
+        assert best_fleet.best_cost == by_cycles.best_cost
+        assert engine.failovers >= 1
+        print(
+            f"\nFleet run over {len(urls)} servers with one killed mid-run: "
+            f"{engine.failovers} failover(s), zero duplicate measurements, "
+            f"search bit-identical to the single-session result ({engine!r})"
+        )
+        fleet_sess.close()
+        for index, server in enumerate(servers):
+            if index != victim:
+                server.close()
+                services[index].shutdown()
+
 
 if __name__ == "__main__":
     main()

@@ -105,6 +105,7 @@ from repro.runtime import (
     FaultSpec,
     FaultyBackend,
     FaultyStore,
+    FleetClient,
     MeasurementTable,
     MemoryStore,
     MetricObjective,
@@ -152,7 +153,7 @@ from repro.suite import (
 # binds this function, not the module.)
 from repro.suite.api import suite
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "analysis",
@@ -193,6 +194,7 @@ __all__ = [
     "serve_tcp",
     "serve_unix",
     "RemoteServiceClient",
+    "FleetClient",
     "FaultyTransport",
     "TransportError",
     "FaultPlan",

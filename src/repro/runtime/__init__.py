@@ -46,8 +46,14 @@ live*:
   handling, and :class:`FaultyTransport` extending the fault plan's chaos
   discipline to the network (``Session.connect("tcp://host:port")``);
 * :mod:`repro.runtime.faults` — deterministic fault injection
-  (:class:`FaultPlan`) across backend, store and network sites, so the
-  failure discipline above is testable bit-for-bit.
+  (:class:`FaultPlan`) across backend, store, network and fleet sites, so
+  the failure discipline above is testable bit-for-bit;
+* :mod:`repro.runtime.fleet` — :class:`FleetClient`
+  (``Session.connect(["tcp://a", "tcp://b"])``), the many-server client:
+  rendezvous-hash striping over a member ring, membership health probing
+  with gossip, client-side failover and server-side shard-ownership
+  handoff, all sharing one record space so any single member can die
+  mid-search without duplicating a measurement.
 """
 
 from repro.runtime.backends import (
@@ -74,6 +80,14 @@ from repro.runtime.faults import (
     FaultyStore,
     InjectedCrash,
     InjectedFault,
+)
+from repro.runtime.fleet import (
+    FleetClient,
+    FleetView,
+    MembershipRegistry,
+    ring_assign,
+    ring_owner,
+    ring_weight,
 )
 from repro.runtime.metrics import (
     CostRecord,
@@ -195,6 +209,12 @@ __all__ = [
     "FrameTransport",
     "FaultyTransport",
     "TransportError",
+    "FleetClient",
+    "FleetView",
+    "MembershipRegistry",
+    "ring_weight",
+    "ring_owner",
+    "ring_assign",
     "FaultPlan",
     "FaultSpec",
     "FaultDecision",

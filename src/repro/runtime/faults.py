@@ -163,7 +163,9 @@ class FaultPlan:
     """A seed-deterministic schedule of faults across named injection sites.
 
     Each site (``"backend"``, ``"store"``, ``"net-send"``/``"net-recv"``
-    — any ``net*`` site draws from the ``network`` spec — or any name a
+    — any ``net*`` site draws from the ``network`` spec — any ``fleet*``
+    site draws from the ``fleet`` spec (member kill / member partition,
+    see :class:`~repro.runtime.fleet.FleetClient`), or any name a
     custom wrapper picks) owns a thread-safe call counter; the decision
     for call ``i`` is a
     pure function of ``(seed, site, i)`` — independent of thread timing, so
@@ -182,12 +184,14 @@ class FaultPlan:
         backend: FaultSpec | None = None,
         store: FaultSpec | None = None,
         network: FaultSpec | None = None,
+        fleet: FaultSpec | None = None,
         poison_plans: Sequence[object] = (),
     ):
         self.seed = int(seed)
         self.backend = backend if backend is not None else FaultSpec()
         self.store = store if store is not None else FaultSpec()
         self.network = network if network is not None else FaultSpec()
+        self.fleet = fleet if fleet is not None else FaultSpec()
         self.poison_keys = frozenset(
             key if isinstance(key, str) else plan_key(key) for key in poison_plans
         )
@@ -199,6 +203,8 @@ class FaultPlan:
     def _spec_for(self, site: str) -> FaultSpec:
         if site == "store":
             return self.store
+        if site.startswith("fleet"):
+            return self.fleet
         if site.startswith("net"):
             return self.network
         return self.backend

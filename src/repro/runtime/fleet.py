@@ -1,0 +1,738 @@
+"""Fleet topology: many servers, one record space.
+
+PR 8 put one :class:`~repro.runtime.service.CampaignService` behind a
+socket; this module puts **several** behind a single engine surface.  A
+:class:`FleetClient` (``Session.connect(["tcp://a", "tcp://b", ...])``)
+stripes every submit across the member servers by
+``hash(machine_hash, plan_key)`` over a **rendezvous ring** — the same
+pure derivation on the client and on every server, so each key has one
+well-defined owner at any membership — while all members persist into
+one shared record space (a :class:`~repro.runtime.sharded_store.ShardedRecordStore`
+directory, whose flock-guarded whole-batch appends make concurrent
+writers safe).
+
+Robustness discipline
+---------------------
+
+* **Membership.**  A :class:`MembershipRegistry` tracks each member as
+  ``healthy`` / ``draining`` / ``partitioned`` / ``dead``.  Members can
+  :meth:`join <FleetClient.add_member>` at runtime; ``draining`` and
+  death are learned passively from submit outcomes and from membership
+  gossip piggybacked on the heartbeat machinery (``pong`` / ``hello``
+  replies carry the server's fleet state), or actively via
+  :meth:`FleetClient.probe`.
+* **Failover.**  On member death or a ``draining`` answer, the failed
+  group's keys **rehash over the survivors** and are resubmitted.  A
+  group that lands back on the same member (a healed partition) reuses
+  its *original request id*, so the server's ticket LRU answers "work
+  done, response lost" with the finished ticket — one extra round trip,
+  zero duplicate measurements.  A group adopted by a *different*
+  survivor cannot be deduped by ids (the dead member's ticket table died
+  with it); there the shared record space closes the gap: a
+  ``shared_store=True`` service re-reads the store under the machine
+  lock before measuring, so everything the dead member persisted is
+  served as store hits and only genuinely lost work is re-executed.
+* **Ownership handoff.**  A server configured with a :class:`FleetView`
+  checks each submit against the ring and **forwards** misdirected keys
+  to their current owner (one ``no_forward``-guarded hop), so a client
+  with a stale ring view degrades to an extra hop, never a conflict.
+  When the owner is unreachable the server adopts the keys locally
+  (counted as a ``failover`` in :class:`~repro.runtime.service.ServiceStats`);
+  determinism of the measurement values makes even a genuinely
+  concurrent double-measure append idempotently, never conflictingly.
+* **Chaos.**  The fault plan's ``fleet`` axis injects member-level
+  faults at sites ``"fleet-<url>"``, deterministically per seed: a
+  ``kill`` decision is permanent member death, an ``error`` decision is
+  a **partition** that heals after ``partition_duration`` seconds.  The
+  chaos invariant (tests/runtime/test_fleet.py): DP n=14 against a
+  3-server fleet with one member SIGKILLed — or partitioned — mid-search
+  completes bit-identically to a serial engine with zero duplicate
+  measurements and zero conflicting persisted records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Mapping, Sequence
+
+from repro.machine.machine import MachineConfig, SimulatedMachine
+from repro.runtime.backends import BatchedBackend
+from repro.runtime.cost_engine import CostEngine, ObjectiveCost
+from repro.runtime.faults import FaultPlan
+from repro.runtime.metrics import CostRecord
+from repro.runtime.objectives import Objective, resolve_objective
+from repro.runtime.service import ServiceError
+from repro.runtime.store import MemoryStore, machine_config_hash
+from repro.runtime.transport import (
+    RemoteServiceError,
+    RemoteTransport,
+    TransportError,
+    machine_config_to_wire,
+)
+from repro.util.rng import derive_seed
+from repro.wht.encoding import plan_key
+from repro.wht.plan import Plan
+
+__all__ = [
+    "HEALTHY",
+    "DRAINING",
+    "PARTITIONED",
+    "DEAD",
+    "ring_weight",
+    "ring_owner",
+    "ring_assign",
+    "MembershipRegistry",
+    "FleetView",
+    "FleetClient",
+]
+
+#: Membership states.  ``healthy`` members receive striped work;
+#: ``draining`` and ``dead`` never do; ``partitioned`` members rejoin
+#: the ring when their partition heals.
+HEALTHY = "healthy"
+DRAINING = "draining"
+PARTITIONED = "partitioned"
+DEAD = "dead"
+
+
+# -- the ring ------------------------------------------------------------------
+
+
+def ring_weight(member: str, machine_hash: str, key: str) -> int:
+    """Rendezvous (highest-random-weight) score of ``member`` for one key.
+
+    A pure function of ``(member, machine_hash, plan_key)`` through
+    :func:`~repro.util.rng.derive_seed` — no shared state, so the client
+    and every server compute identical ownership from the same member
+    list, and removing a member moves *only that member's keys*.
+    """
+    return derive_seed(0, "fleet-ring", member, machine_hash, key)
+
+
+def ring_owner(members: Sequence[str], machine_hash: str, key: str) -> str:
+    """The member owning ``(machine_hash, key)`` under rendezvous hashing."""
+    if not members:
+        raise ServiceError("fleet has no live members")
+    return max(members, key=lambda member: (ring_weight(member, machine_hash, key), member))
+
+
+def ring_assign(
+    members: Sequence[str], machine_hash: str, keys: Sequence[str]
+) -> "dict[str, list[str]]":
+    """Group ``keys`` by owning member, preserving key order within groups."""
+    groups: "dict[str, list[str]]" = {}
+    for key in keys:
+        groups.setdefault(ring_owner(members, machine_hash, key), []).append(key)
+    return groups
+
+
+# -- membership ----------------------------------------------------------------
+
+
+class MembershipRegistry:
+    """A thread-safe member table: URL -> state, with partition healing.
+
+    The registry is the client-side source of truth for striping:
+    :meth:`alive` is the ring's member list.  ``version`` bumps on every
+    state change, so observers can detect membership churn cheaply.
+    """
+
+    def __init__(self, urls: Sequence[str]):
+        members = list(dict.fromkeys(urls))
+        if not members:
+            raise ValueError("a fleet needs at least one member URL")
+        self._lock = threading.Lock()
+        self._states: "dict[str, str]" = {url: HEALTHY for url in members}
+        #: Monotonic heal deadline per partitioned member.
+        self._heals: "dict[str, float]" = {}
+        self.version = 0
+
+    def members(self) -> "tuple[str, ...]":
+        with self._lock:
+            return tuple(self._states)
+
+    def alive(self) -> "tuple[str, ...]":
+        """Members currently eligible for striped submits."""
+        now = time.monotonic()
+        with self._lock:
+            healed = [
+                url
+                for url, deadline in self._heals.items()
+                if deadline <= now and self._states.get(url) == PARTITIONED
+            ]
+            for url in healed:
+                del self._heals[url]
+                self._states[url] = HEALTHY
+                self.version += 1
+            return tuple(url for url, state in self._states.items() if state == HEALTHY)
+
+    def state(self, url: str) -> "str | None":
+        with self._lock:
+            return self._states.get(url)
+
+    def snapshot(self) -> "dict[str, str]":
+        with self._lock:
+            return dict(self._states)
+
+    def mark(self, url: str, state: str) -> bool:
+        """Transition ``url`` to ``state``; dead is terminal.  Returns changed."""
+        with self._lock:
+            current = self._states.get(url)
+            if current is None or current == state or current == DEAD:
+                return False
+            if current == DRAINING and state == HEALTHY:
+                return False  # drain is one-way for striping purposes
+            self._states[url] = state
+            self._heals.pop(url, None)
+            self.version += 1
+            return True
+
+    def mark_partitioned(self, url: str, duration: float) -> bool:
+        """Mark ``url`` unreachable, healing after ``duration`` seconds."""
+        with self._lock:
+            current = self._states.get(url)
+            if current is None or current in (DEAD, DRAINING):
+                return False
+            self._states[url] = PARTITIONED
+            self._heals[url] = time.monotonic() + float(duration)
+            self.version += 1
+            return True
+
+    def earliest_heal(self) -> "float | None":
+        """Seconds until the next partitioned member heals (None if none will)."""
+        now = time.monotonic()
+        with self._lock:
+            deadlines = [
+                deadline
+                for url, deadline in self._heals.items()
+                if self._states.get(url) == PARTITIONED
+            ]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - now)
+
+    def add(self, url: str) -> bool:
+        """A member joins (or rejoins after death) at runtime."""
+        with self._lock:
+            if self._states.get(url) == HEALTHY:
+                return False
+            self._states[url] = HEALTHY
+            self._heals.pop(url, None)
+            self.version += 1
+            return True
+
+    def __repr__(self) -> str:
+        with self._lock:
+            states = dict(self._states)
+        return f"MembershipRegistry({states}, version={self.version})"
+
+
+class FleetView:
+    """A *server's* view of the fleet it belongs to (ownership + gossip).
+
+    Attached via :meth:`~repro.runtime.transport.ServiceServer.join_fleet`;
+    the server consults :meth:`split` on every submit to forward
+    misdirected keys to their current owner, and advertises
+    :attr:`state` in its ``hello``/``pong`` replies (the membership
+    gossip the client's heartbeat machinery consumes).
+    """
+
+    def __init__(self, members: Sequence[str], self_url: str):
+        members = list(dict.fromkeys(members))
+        if self_url not in members:
+            members.append(self_url)
+        self.self_url = self_url
+        self._lock = threading.Lock()
+        self._states: "dict[str, str]" = {url: HEALTHY for url in members}
+        #: Lazily-dialed peer transports for owner-forwarding.
+        self._peers: "dict[str, RemoteTransport]" = {}
+        self.state = "ok"  # advertised in gossip; "draining" once draining
+
+    @property
+    def members(self) -> "tuple[str, ...]":
+        with self._lock:
+            return tuple(self._states)
+
+    def healthy_count(self) -> int:
+        with self._lock:
+            healthy = sum(1 for state in self._states.values() if state == HEALTHY)
+        return healthy
+
+    def mark_peer(self, url: str, state: str) -> None:
+        with self._lock:
+            if url in self._states and url != self.self_url:
+                self._states[url] = state
+
+    def split(
+        self, machine_hash: str, keys: Sequence[str]
+    ) -> "tuple[list[str], dict[str, list[str]]]":
+        """Partition ``keys`` into (locally owned, {peer owner: keys}).
+
+        Keys owned by a peer this view believes dead are adopted locally
+        — the caller counts that as a failover — so a server never
+        refuses work over membership disagreement.
+        """
+        with self._lock:
+            ring = [url for url, state in self._states.items() if state == HEALTHY]
+        if self.self_url not in ring:
+            ring.append(self.self_url)
+        local: "list[str]" = []
+        forwarded: "dict[str, list[str]]" = {}
+        for key in keys:
+            owner = ring_owner(ring, machine_hash, key)
+            if owner == self.self_url:
+                local.append(key)
+            else:
+                forwarded.setdefault(owner, []).append(key)
+        return local, forwarded
+
+    def peer_transport(self, url: str) -> RemoteTransport:
+        with self._lock:
+            transport = self._peers.get(url)
+            if transport is None:
+                # Forwarding is one best-effort hop: a couple of quick
+                # attempts, then the caller adopts the keys locally.
+                transport = RemoteTransport(
+                    url, max_attempts=2, backoff_base=0.02, backoff_cap=0.2,
+                    heartbeat_interval=None, connect_timeout=2.0,
+                )
+                self._peers[url] = transport
+        return transport
+
+    def gossip(self) -> dict:
+        """The membership payload piggybacked on hello/pong replies."""
+        with self._lock:
+            states = dict(self._states)
+        return {"self": self.self_url, "state": self.state, "members": states}
+
+    def close(self) -> None:
+        with self._lock:
+            peers, self._peers = list(self._peers.values()), {}
+        for transport in peers:
+            transport.close()
+
+    def __repr__(self) -> str:
+        return f"FleetView({self.self_url!r}, members={len(self.members)}, state={self.state!r})"
+
+
+# -- the client ----------------------------------------------------------------
+
+
+class _GroupFailure(Exception):
+    """One striped group failed; its keys rehash over the survivors."""
+
+
+class FleetClient:
+    """The full engine surface over a fleet of :class:`ServiceServer`\\ s.
+
+    Drop-in for :class:`~repro.runtime.cost_engine.CostEngine` — ``records``
+    / ``cost`` / ``batch`` / ``__call__`` plus the ``evaluations`` /
+    ``measured`` / ``fallbacks`` counters — where every acquisition is
+    striped by ``(machine_hash, plan_key)`` over the live members of a
+    rendezvous ring.  Values are bit-identical to a private serial engine
+    no matter which member measures: plans travel as canonical keys, the
+    machine as its exact configuration payload, and noise seeds derive
+    per plan on whichever side executes.
+
+    ``fallback=True`` arms graceful degradation: when *no* member can
+    answer (all dead or draining past the failover loop), the batch is
+    evaluated through a lazily-built private engine — same seeds, same
+    values — and ``fallbacks`` counts the reroutes.
+    """
+
+    def __init__(
+        self,
+        urls: Sequence[str],
+        machine: "MachineConfig | SimulatedMachine",
+        seed: int = 0,
+        objective: "str | Objective" = "cycles",
+        fallback: bool = False,
+        timeout: "float | None" = None,
+        *,
+        connect_timeout: float = 5.0,
+        heartbeat_interval: "float | None" = 2.0,
+        max_attempts: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_seed: int = 0,
+        fault_plan: "FaultPlan | None" = None,
+        partition_duration: float = 0.25,
+        client_id: "str | None" = None,
+    ):
+        if isinstance(urls, str):
+            raise TypeError(
+                "FleetClient takes a list of member URLs; "
+                "use RemoteServiceClient for a single server"
+            )
+        self.config = machine.config if isinstance(machine, SimulatedMachine) else machine
+        if not isinstance(self.config, MachineConfig):
+            raise TypeError(f"cannot interpret {machine!r} as a machine")
+        self.registry = MembershipRegistry(urls)
+        self.seed = int(seed)
+        self.objective = resolve_objective(objective)
+        self.fallback = bool(fallback)
+        self.timeout = timeout
+        self.fault_plan = fault_plan
+        self.partition_duration = float(partition_duration)
+        self._machine_payload = machine_config_to_wire(self.config)
+        self.machine_hash = machine_config_hash(self.config)
+        self._transport_options = {
+            "connect_timeout": connect_timeout,
+            "heartbeat_interval": heartbeat_interval,
+            "max_attempts": max_attempts,
+            "backoff_base": backoff_base,
+            "backoff_cap": backoff_cap,
+            "retry_seed": retry_seed,
+            "fault_plan": fault_plan,
+        }
+        self._lock = threading.Lock()
+        self._transports: "dict[str, RemoteTransport]" = {}
+        #: Consecutive transport failures per member: one failure is a
+        #: partition (it may heal), two in a row without a success in
+        #: between is death — a SIGKILLed member stops costing rounds.
+        self._failures: "dict[str, int]" = {}
+        self._seq = 0
+        self.client_id = client_id or uuid.uuid4().hex[:12]
+        #: Plan-cost requests served (cache hits included).
+        self.evaluations = 0
+        #: Acquisitions a member enqueued on this client's behalf.
+        self.measured = 0
+        #: Batches the degraded (private-engine) path served.
+        self.fallbacks = 0
+        #: Groups rehashed to survivors after a member died or drained.
+        self.failovers = 0
+        #: Owner-redirect forwards members reported back on results.
+        self.redirects = 0
+        #: Injected fleet faults (the fault plan's ``fleet`` axis).
+        self.injected_kills = 0
+        self.injected_partitions = 0
+        self.closed = False
+        self._fallback_engine: "CostEngine | None" = None
+        for url in self.registry.members():
+            self._transport_for(url)
+
+    # -- members -------------------------------------------------------------
+
+    def _transport_for(self, url: str) -> RemoteTransport:
+        with self._lock:
+            transport = self._transports.get(url)
+            if transport is None:
+                transport = RemoteTransport(url, **self._transport_options)
+                transport.on_pong = self._gossip_handler(url)
+                self._transports[url] = transport
+        return transport
+
+    def _gossip_handler(self, url: str):
+        def handle(frame: "dict | None") -> None:
+            if frame is None:
+                return  # a failed probe; death is decided at submit time
+            info = frame.get("fleet")
+            draining = bool(frame.get("draining"))
+            if isinstance(info, Mapping) and info.get("state") == "draining":
+                draining = True
+            if draining:
+                self.registry.mark(url, DRAINING)
+
+        return handle
+
+    def add_member(self, url: str) -> bool:
+        """A member joins the ring at runtime; new keys stripe to it."""
+        joined = self.registry.add(url)
+        self._transport_for(url)
+        return joined
+
+    def probe(self, timeout: float = 2.0) -> "dict[str, str]":
+        """Actively health-probe every member (the heartbeat ping, on demand).
+
+        Updates the registry from each reply's gossip: an unreachable
+        healthy member is marked partitioned (it may heal), a draining
+        reply marks it draining.  Returns the post-probe state map.
+        """
+        for url in self.registry.members():
+            state = self.registry.state(url)
+            if state == DEAD:
+                continue
+            transport = self._transport_for(url)
+            try:
+                reply = transport.call(
+                    {"type": "ping", "id": transport.next_request_id()}, timeout=timeout
+                )
+            except (TransportError, RemoteServiceError):
+                self.registry.mark_partitioned(url, self.partition_duration)
+                continue
+            with self._lock:
+                self._failures[url] = 0
+            handler = transport.on_pong
+            if handler is not None:
+                handler(reply)
+        return self.registry.snapshot()
+
+    def next_request_id(self) -> str:
+        """Fleet-level request ids: stable across member failover."""
+        with self._lock:
+            self._seq += 1
+            return f"{self.client_id}:f{self._seq}"
+
+    # -- degraded path --------------------------------------------------------
+
+    def _degraded_engine(self) -> CostEngine:
+        if self._fallback_engine is None:
+            self._fallback_engine = CostEngine(
+                SimulatedMachine(self.config),
+                objective=self.objective,
+                backend=BatchedBackend(),
+                store=MemoryStore(),
+                seed=self.seed,
+            )
+        return self._fallback_engine
+
+    def _degraded_records(
+        self, plans: Sequence[Plan], names: "tuple[str, ...]"
+    ) -> "list[CostRecord]":
+        engine = self._degraded_engine()
+        self.fallbacks += 1
+        before = engine.measured
+        records = engine.records(list(plans), names)
+        self.measured += engine.measured - before
+        return records
+
+    # -- striped submission ---------------------------------------------------
+
+    def _inject(self, url: str) -> None:
+        """Consume one fleet fault decision for a submit to ``url``."""
+        if self.fault_plan is None:
+            return
+        decision = self.fault_plan.decide(f"fleet-{url}")
+        if decision.delay:
+            time.sleep(decision.delay)
+        if decision.kill:
+            self.injected_kills += 1
+            self.registry.mark(url, DEAD)
+            raise _GroupFailure(f"injected member kill: {url}")
+        if decision.error:
+            self.injected_partitions += 1
+            self.registry.mark_partitioned(url, self.partition_duration)
+            raise _GroupFailure(f"injected member partition: {url}")
+
+    def _submit_group(
+        self, url: str, rid: str, keys: Sequence[str], names: "tuple[str, ...]"
+    ) -> "dict[str, dict[str, float]]":
+        """One striped sub-batch to its owner; raises _GroupFailure to rehash."""
+        self._inject(url)
+        transport = self._transport_for(url)
+        frame = {
+            "type": "submit",
+            "id": rid,
+            "machine": self._machine_payload,
+            "plans": list(keys),
+            "metrics": list(names),
+            "seed": self.seed,
+            "deadline": None,
+        }
+        try:
+            reply = transport.call(frame, timeout=self.timeout)
+        except RemoteServiceError:
+            raise
+        except TransportError as exc:
+            # The member's reconnect budget is exhausted: the first time,
+            # treat it as a partition (it may come back) and rehash its
+            # keys now; a repeat without an intervening success is death.
+            with self._lock:
+                failures = self._failures.get(url, 0) + 1
+                self._failures[url] = failures
+            if failures >= 2:
+                self.registry.mark(url, DEAD)
+            else:
+                self.registry.mark_partitioned(url, self.partition_duration)
+            raise _GroupFailure(f"member {url} unreachable: {exc}") from exc
+        with self._lock:
+            self._failures[url] = 0
+        kind = reply.get("type")
+        if kind == "result":
+            self.measured += int(reply.get("owned", 0))
+            self.redirects += int(reply.get("redirects", 0))
+            return {
+                record["p"]: {
+                    name: float(value) for name, value in record["v"].items()
+                }
+                for record in reply["records"]
+            }
+        if kind == "draining":
+            self.registry.mark(url, DRAINING)
+            raise _GroupFailure(f"member {url} is draining")
+        raise RemoteServiceError(
+            reply.get("message", f"unexpected reply type {kind!r} from {url}")
+        )
+
+    def _acquire(
+        self, keys: Sequence[str], names: "tuple[str, ...]"
+    ) -> "dict[str, dict[str, float]]":
+        """Stripe ``keys`` across the live ring until every key has values.
+
+        Each round assigns the pending keys over the currently-alive
+        members and submits the groups concurrently; groups whose member
+        died or drained mid-round are rehashed over the survivors in the
+        next round.  Request ids are remembered per ``(member, group)``,
+        so a group resubmitted to the *same* member (a healed partition)
+        reuses its original id and dedupes against the member's ticket
+        table; groups adopted by a different member dedupe through the
+        shared record space instead.
+        """
+        pending = list(dict.fromkeys(keys))
+        values: "dict[str, dict[str, float]]" = {}
+        rids: "dict[tuple[str, tuple[str, ...]], str]" = {}
+        while pending:
+            members = self.registry.alive()
+            if not members:
+                heal = self.registry.earliest_heal()
+                if heal is None:
+                    raise RemoteServiceError(
+                        f"no live fleet members (registry: {self.registry.snapshot()})"
+                    )
+                time.sleep(min(heal + 0.01, self.partition_duration))
+                continue
+            groups = ring_assign(members, self.machine_hash, pending)
+            outcomes: "dict[str, tuple]" = {}
+
+            def run(url: str, keys_for_url: "list[str]") -> None:
+                rid_key = (url, tuple(keys_for_url))
+                rid = rids.get(rid_key)
+                if rid is None:
+                    rid = rids[rid_key] = self.next_request_id()
+                try:
+                    outcomes[url] = ("ok", self._submit_group(url, rid, keys_for_url, names))
+                except _GroupFailure as exc:
+                    outcomes[url] = ("failed", exc)
+                except (RemoteServiceError, ServiceError) as exc:
+                    outcomes[url] = ("error", exc)
+
+            if len(groups) == 1:
+                ((url, keys_for_url),) = groups.items()
+                run(url, keys_for_url)
+            else:
+                threads = [
+                    threading.Thread(
+                        target=run, args=(url, keys_for_url), name=f"fleet-submit-{url}"
+                    )
+                    for url, keys_for_url in groups.items()
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+
+            still_pending: "list[str]" = []
+            for url, keys_for_url in groups.items():
+                status, payload = outcomes.get(url, ("failed", None))
+                if status == "ok":
+                    values.update(payload)
+                elif status == "error":
+                    raise payload
+                else:
+                    self.failovers += 1
+                    still_pending.extend(keys_for_url)
+            pending = still_pending
+        return values
+
+    # -- engine surface -------------------------------------------------------
+
+    def records(
+        self, plans: Sequence[Plan], metrics: "Sequence[str] | None" = None
+    ) -> "list[CostRecord]":
+        """Cost records of ``plans`` in order, striped across the fleet."""
+        names = tuple(metrics) if metrics is not None else self.objective.metrics
+        self.evaluations += len(plans)
+        keys = [plan_key(plan) for plan in plans]
+        try:
+            values = self._acquire(keys, names)
+        except (TransportError, RemoteServiceError, ServiceError):
+            if not self.fallback:
+                raise
+            return self._degraded_records(plans, names)
+        return [CostRecord(plan_key=key, values=values[key]) for key in keys]
+
+    def cost(self, objective: "str | Objective") -> ObjectiveCost:
+        """Bind ``objective`` to this client as a drop-in cost function."""
+        return ObjectiveCost(self, resolve_objective(objective))
+
+    def batch(self, plans: Sequence[Plan]) -> "list[float]":
+        """Default-objective costs of ``plans`` in order."""
+        records = self.records(plans)
+        value = self.objective.value
+        return [value(record.values) for record in records]
+
+    def __call__(self, plan: Plan) -> float:
+        """Scalar cost-function interface (a batch of one)."""
+        return self.batch([plan])[0]
+
+    def flush(self) -> None:
+        """Compat no-op: members persist records as they are acquired."""
+        return None
+
+    def compact(self) -> None:
+        """Compat no-op: shard maintenance belongs to the members."""
+        return None
+
+    # -- observability --------------------------------------------------------
+
+    def fleet_stats(self) -> dict:
+        """Client-side fleet counters plus the registry snapshot."""
+        states = self.registry.snapshot()
+        return {
+            "members": len(states),
+            "members_healthy": sum(1 for s in states.values() if s == HEALTHY),
+            "failovers": self.failovers,
+            "redirects": self.redirects,
+            "injected_kills": self.injected_kills,
+            "injected_partitions": self.injected_partitions,
+            "states": states,
+        }
+
+    def server_stats(self, timeout: "float | None" = 5.0) -> "dict[str, dict]":
+        """Each reachable member's service counters, keyed by URL."""
+        stats: "dict[str, dict]" = {}
+        for url in self.registry.members():
+            transport = self._transport_for(url)
+            try:
+                reply = transport.call(
+                    {"type": "stats", "id": transport.next_request_id()},
+                    timeout=timeout,
+                )
+            except (TransportError, RemoteServiceError):
+                continue
+            if reply.get("type") == "stats":
+                stats[url] = reply["stats"]
+        return stats
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every member transport (joining their threads) — idempotent."""
+        self.closed = True
+        with self._lock:
+            transports, self._transports = list(self._transports.values()), {}
+        for transport in transports:
+            transport.close()
+        engine, self._fallback_engine = self._fallback_engine, None
+        if engine is not None:
+            close = getattr(engine.backend, "close", None)
+            if callable(close):
+                close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        states = self.registry.snapshot()
+        healthy = sum(1 for s in states.values() if s == HEALTHY)
+        return (
+            f"FleetClient({len(states)} members, {healthy} healthy, "
+            f"machine={self.config.name!r}, seed={self.seed}, "
+            f"{self.measured}/{self.evaluations} measured, "
+            f"failovers={self.failovers})"
+        )

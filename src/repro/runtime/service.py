@@ -344,6 +344,15 @@ class ServiceStats:
     #: Submissions answered from the request-id dedup table (a reconnect
     #: resubmitted work the service already had in flight or finished).
     resubmits: int = 0
+    #: Fleet membership size, when this service fronts a fleet member
+    #: (see :meth:`CampaignService.attach_fleet`); 0 standalone.
+    members: int = 0
+    #: Members this service currently believes healthy.
+    members_healthy: int = 0
+    #: Misdirected submits forwarded to their ring owner (one extra hop).
+    redirects: int = 0
+    #: Batches adopted locally because their owner was unreachable.
+    failovers: int = 0
     #: Per-shard occupancy, when the store exposes it (sharded stores do).
     shards: "tuple[ShardStats, ...]" = ()
 
@@ -377,6 +386,9 @@ class ServiceHealth:
     scheduled_retries: int
     quarantined: int
     respawns: int
+    #: Fleet membership (0/0 for a standalone service).
+    members: int = 0
+    members_healthy: int = 0
 
     @property
     def ok(self) -> bool:
@@ -472,6 +484,13 @@ class CampaignService:
     retry_seed:
         Seed of the backoff jitter derivation — two services configured
         identically retry on identical schedules.
+    shared_store:
+        Fleet mode: this service is **not** the store's only record
+        writer (several fleet members append into one record space).
+        Every counter/model execution then re-reads the store under the
+        machine lock before measuring, so work another member persisted
+        — say, a member that died after appending but before answering —
+        is served as store hits instead of being measured again.
     """
 
     def __init__(
@@ -487,6 +506,7 @@ class CampaignService:
         backoff_cap: float = 2.0,
         supervision_interval: float = 0.2,
         retry_seed: int = 0,
+        shared_store: bool = False,
     ):
         check_positive_int(workers, "workers")
         check_positive_int(max_attempts, "max_attempts")
@@ -509,6 +529,9 @@ class CampaignService:
         self.backoff_cap = float(backoff_cap)
         self.supervision_interval = float(supervision_interval)
         self.retry_seed = int(retry_seed)
+        self.shared_store = bool(shared_store)
+        #: Fleet membership view (:meth:`attach_fleet`); None standalone.
+        self._fleet = None
         self._lock = threading.RLock()
         self._queue: "queue.Queue[_Task | None]" = queue.Queue()
         #: Authoritative record cache per shard, read-through from the store.
@@ -536,6 +559,8 @@ class CampaignService:
             "failures": 0,
             "respawns": 0,
             "resubmits": 0,
+            "redirects": 0,
+            "failovers": 0,
         }
         #: Request-id idempotency table: a remote client that reconnects and
         #: resubmits a request id it never saw an answer for is handed the
@@ -921,7 +946,10 @@ class CampaignService:
     def _execute_counters(self, task: _Task) -> None:
         machine = self._machine_for(task.config)
         digest = task.log_key.machine_hash
-        if task.attempts:
+        if task.attempts or self.shared_store:
+            # Retries re-read for their own torn tails; shared-store (fleet)
+            # services re-read for *other members'* appends — either way the
+            # pending re-check below then skips everything already persisted.
             self._refresh_from_store(task.log_key)
         with self._machine_lock(digest):
             # Retry idempotence: an earlier attempt (or a concurrent fresh
@@ -965,7 +993,7 @@ class CampaignService:
 
     def _execute_model(self, task: _Task) -> None:
         digest = task.log_key.machine_hash
-        if task.attempts:
+        if task.attempts or self.shared_store:
             self._refresh_from_store(task.log_key)
         with self._lock:
             records = self._cache_for(task.log_key)
@@ -1342,6 +1370,27 @@ class CampaignService:
 
     # -- observability -----------------------------------------------------------
 
+    def attach_fleet(self, view) -> None:
+        """Attach a fleet membership view; stats/health gain fleet fields.
+
+        ``view`` is a :class:`~repro.runtime.fleet.FleetView` (anything
+        with ``members`` and ``healthy_count()`` works) — attached by
+        :meth:`~repro.runtime.transport.ServiceServer.join_fleet`.
+        """
+        self._fleet = view
+
+    def note_fleet(self, redirects: int = 0, failovers: int = 0) -> None:
+        """Count fleet routing events (owner-redirect hops, local adoptions)."""
+        with self._lock:
+            self._counters["redirects"] += int(redirects)
+            self._counters["failovers"] += int(failovers)
+
+    def _fleet_membership(self) -> "tuple[int, int]":
+        view = self._fleet
+        if view is None:
+            return 0, 0
+        return len(view.members), view.healthy_count()
+
     def stats(self) -> ServiceStats:
         """A consistent snapshot of queue, dedup, measurement and shard state."""
         with self._lock:
@@ -1356,6 +1405,7 @@ class CampaignService:
             )
         shard_stats = getattr(self.store, "shard_stats", None)
         shards = tuple(shard_stats()) if callable(shard_stats) else ()
+        members, members_healthy = self._fleet_membership()
         return ServiceStats(
             jobs=counters["jobs"],
             queue_depth=self._queue.qsize(),
@@ -1374,6 +1424,10 @@ class CampaignService:
             retrying=scheduled,
             next_retry_eta=next_eta,
             resubmits=counters["resubmits"],
+            members=members,
+            members_healthy=members_healthy,
+            redirects=counters["redirects"],
+            failovers=counters["failovers"],
             shards=shards,
         )
 
@@ -1400,6 +1454,7 @@ class CampaignService:
             state = "degraded"
         else:
             state = "ok"
+        members, members_healthy = self._fleet_membership()
         return ServiceHealth(
             state=state,
             alive_workers=alive,
@@ -1408,6 +1463,8 @@ class CampaignService:
             scheduled_retries=scheduled,
             quarantined=quarantined,
             respawns=respawns,
+            members=members,
+            members_healthy=members_healthy,
         )
 
     def __repr__(self) -> str:

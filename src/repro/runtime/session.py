@@ -20,7 +20,7 @@ hits without re-measuring anything.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.config import ExperimentScale, ci_scale, default_scale, paper_scale
 from repro.machine.configs import MACHINE_PRESETS
@@ -49,6 +49,7 @@ from repro.wht.plan import MAX_UNROLLED, Plan
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.canonical import CanonicalSweep
     from repro.experiments.runner import ExperimentSuite
+    from repro.runtime.fleet import FleetClient
     from repro.runtime.service import CampaignService, ServiceClient
     from repro.runtime.transport import RemoteServiceClient
 
@@ -109,7 +110,7 @@ class Session:
         dp_max_children: int | None = 2,
         service: "CampaignService | None" = None,
         service_fallback: bool = False,
-        remote_url: "str | None" = None,
+        remote_url: "str | Sequence[str] | None" = None,
         remote_options: "dict | None" = None,
     ):
         self.machine = machine
@@ -119,7 +120,9 @@ class Session:
         #: (evaluate through a private engine when the service can't answer).
         self.service_fallback = bool(service_fallback)
         #: Remote sessions only: the ``tcp://`` / ``unix://`` server URL the
-        #: cost engine dials, plus keyword options for its transport.
+        #: cost engine dials — or a *list* of URLs, making the engine a
+        #: :class:`~repro.runtime.fleet.FleetClient` striping over the
+        #: member ring — plus keyword options for its transport(s).
         self.remote_url = remote_url
         self.remote_options = dict(remote_options or {})
         if service is not None:
@@ -138,12 +141,12 @@ class Session:
         self._tables: dict[tuple[int, int, int, int | None], MeasurementTable] = {}
         self._sweep: "CanonicalSweep | None" = None
         self._suite: "ExperimentSuite | None" = None
-        self._cost_engine: "CostEngine | ServiceClient | RemoteServiceClient | None" = None
+        self._cost_engine: "CostEngine | ServiceClient | RemoteServiceClient | FleetClient | None" = None
 
     @classmethod
     def connect(
         cls,
-        service: "CampaignService | str",
+        service: "CampaignService | str | Sequence[str]",
         machine: "str | MachineConfig | SimulatedMachine" = "default",
         scale: "str | ExperimentScale" = "default",
         *,
@@ -174,6 +177,17 @@ class Session:
         the transport.  Campaign tables still measure locally in a remote
         session — only the cost engine crosses the wire.
 
+        A **list** of URLs makes the session a fleet tenant::
+
+            sess = repro.Session.connect(["tcp://a:9001", "tcp://b:9001"])
+
+        Its cost engine is a :class:`~repro.runtime.fleet.FleetClient`
+        striping every batch across the member servers by
+        ``(machine_hash, plan_key)`` over a rendezvous ring — still
+        bit-identical to a serial engine, and the search survives any
+        single member dying or draining mid-flight (keys rehash to the
+        survivors; the shared record space keeps measurements unique).
+
         ``fallback=True`` arms graceful degradation on the session's
         client: batches the service cannot answer (quarantined work, a
         closed or draining service, a dead wire past the reconnect
@@ -182,7 +196,13 @@ class Session:
         unhealthy service instead of raising.
         """
         resolved = _resolve_machine(machine)
-        if isinstance(service, str):
+        if isinstance(service, (list, tuple)):
+            if not service or not all(isinstance(url, str) for url in service):
+                raise TypeError(
+                    "a fleet connect list must be a non-empty list of URL strings"
+                )
+            service = tuple(service) if len(service) > 1 else service[0]
+        if isinstance(service, (str, tuple)):
             from repro.runtime.store import MemoryStore
 
             return cls(
@@ -286,7 +306,7 @@ class Session:
             )
         return self._sweep
 
-    def cost_engine(self) -> "CostEngine | ServiceClient | RemoteServiceClient":
+    def cost_engine(self) -> "CostEngine | ServiceClient | RemoteServiceClient | FleetClient":
         """The session's batched multi-metric cost engine (memoised).
 
         The engine evaluates candidate batches through the session's backend
@@ -316,15 +336,26 @@ class Session:
         if self._cost_engine is None:
             seed = derive_seed(self.scale.seed, "cost-engine")
             if self.remote_url is not None:
-                from repro.runtime.transport import RemoteServiceClient
+                if isinstance(self.remote_url, (list, tuple)):
+                    from repro.runtime.fleet import FleetClient
 
-                self._cost_engine = RemoteServiceClient(
-                    self.remote_url,
-                    self.machine.config,
-                    seed=seed,
-                    fallback=self.service_fallback,
-                    **self.remote_options,
-                )
+                    self._cost_engine = FleetClient(
+                        self.remote_url,
+                        self.machine.config,
+                        seed=seed,
+                        fallback=self.service_fallback,
+                        **self.remote_options,
+                    )
+                else:
+                    from repro.runtime.transport import RemoteServiceClient
+
+                    self._cost_engine = RemoteServiceClient(
+                        self.remote_url,
+                        self.machine.config,
+                        seed=seed,
+                        fallback=self.service_fallback,
+                        **self.remote_options,
+                    )
             elif self.service is not None:
                 self._cost_engine = self.service.client(
                     self.machine.config, seed=seed, fallback=self.service_fallback

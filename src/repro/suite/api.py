@@ -46,7 +46,7 @@ def suite(
     artifacts: str | None = None,
     manifest: str | None = None,
     service=None,
-    connect: str | None = None,
+    connect: "str | Sequence[str] | None" = None,
     service_fallback: bool = False,
     dp_max_children: int | None = 2,
     **transport_options: Any,
@@ -80,8 +80,13 @@ def suite(
         Run every experiment through a shared
         :class:`~repro.runtime.service.CampaignService` (``service=``) or
         a remote ``tcp://``/``unix://`` server (``connect=``, with
-        ``**transport_options`` forwarded to the transport).  Results are
-        bit-identical to a plain private session.
+        ``**transport_options`` forwarded to the transport).  A *list* of
+        URLs makes every context a fleet tenant: its cost engine is a
+        :class:`~repro.runtime.fleet.FleetClient` striping the search over
+        the member ring and failing over when a member dies.  When the
+        spec itself declares a top-level ``connect``, it is the default
+        and an explicit ``connect=`` here overrides it.  Results are
+        bit-identical to a plain private session either way.
     """
     if isinstance(spec, str):
         spec = load_spec(spec)
@@ -89,6 +94,8 @@ def suite(
         spec = spec_from_dict(spec)
     if service is not None and connect is not None:
         raise ValueError("pass either service= or connect=, not both")
+    if service is None and connect is None and spec.connect:
+        connect = spec.connect if len(spec.connect) > 1 else spec.connect[0]
     if transport_options and connect is None:
         unexpected = ", ".join(sorted(transport_options))
         raise TypeError(

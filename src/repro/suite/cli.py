@@ -3,9 +3,13 @@
 Subcommands:
 
 * ``run spec.json`` — execute a suite: ``--store`` / ``--artifacts`` for
-  persistence, ``--connect`` for a remote service, ``--experiment`` /
-  ``--machine`` / ``--seed`` (repeatable) to narrow the run.
+  persistence, ``--connect`` (repeatable — several URLs make a fleet) for
+  a remote service, ``--experiment`` / ``--machine`` / ``--seed``
+  (repeatable) to narrow the run.
 * ``validate spec.json`` — validate and summarise a spec without running.
+* ``describe spec.json`` — summarise a spec plus the resolved connect
+  target(s) the run would use (spec ``connect`` key, overridden by
+  ``--connect``).
 * ``experiments`` — list the registered experiment kinds.
 
 Exit codes: 0 on success, 1 when any unit failed, 2 on a spec/usage error.
@@ -49,9 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--connect",
+        action="append",
         default=None,
         metavar="URL",
-        help="run through a remote campaign service (tcp://host:port or unix://path)",
+        help=(
+            "run through a remote campaign service (tcp://host:port or "
+            "unix://path); repeat to stripe over a fleet of servers"
+        ),
     )
     run.add_argument(
         "--experiment",
@@ -79,19 +87,41 @@ def _build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser("validate", help="validate a spec without running it")
     validate.add_argument("spec", help="path to the suite spec JSON file")
 
+    describe = sub.add_parser(
+        "describe", help="summarise a spec and its resolved connect target(s)"
+    )
+    describe.add_argument("spec", help="path to the suite spec JSON file")
+    describe.add_argument(
+        "--connect",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="override the spec's connect target(s) (repeatable)",
+    )
+
     sub.add_parser("experiments", help="list the available experiment kinds")
     return parser
+
+
+def _resolve_connect(flag_urls, spec) -> "list[str]":
+    """The connect target list a run would use: ``--connect`` beats the spec."""
+    if flag_urls:
+        return list(flag_urls)
+    return list(spec.connect)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.suite.api import suite
 
+    connect = args.connect
+    if connect is not None and len(connect) == 1:
+        connect = connect[0]
     run = suite(
         args.spec,
         store=args.store,
         backend=args.backend,
         artifacts=args.artifacts,
-        connect=args.connect,
+        connect=connect,
     )
     result = run.run(
         experiments=args.experiment, machines=args.machine, seeds=args.seed
@@ -111,6 +141,25 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    print(spec.describe())
+    print(f"spec hash: {spec.spec_hash()}")
+    targets = _resolve_connect(args.connect, spec)
+    if not targets:
+        print("connect: (none — in-process sessions)")
+    elif len(targets) == 1:
+        print(f"connect: {targets[0]} (remote session)")
+    else:
+        print(f"connect: fleet of {len(targets)} member(s)")
+        for url in targets:
+            print(f"  - {url}")
+    for experiment in spec.experiments:
+        baselines = ", ".join(kind_baselines(experiment.kind)) or "(none)"
+        print(f"  {experiment.id}: kind={experiment.kind}, baselines: {baselines}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     for kind in experiment_kinds():
         baselines = ", ".join(kind_baselines(kind)) or "(none)"
@@ -124,6 +173,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     handlers = {
         "run": _cmd_run,
         "validate": _cmd_validate,
+        "describe": _cmd_describe,
         "experiments": _cmd_experiments,
     }
     try:

@@ -100,7 +100,7 @@ class SuiteContext:
         backend: ExecutionBackend | None = None,
         store: CampaignStore | None = None,
         service=None,
-        connect: str | None = None,
+        connect: "str | Sequence[str] | None" = None,
         service_fallback: bool = False,
         transport_options: dict | None = None,
         dp_max_children: int | None = 2,
@@ -112,6 +112,8 @@ class SuiteContext:
         if connect is not None:
             # Remote session: campaigns measure locally (counted), the cost
             # engine crosses the wire (the client's own .measured counter).
+            # A list/tuple of URLs makes the engine a FleetClient striping
+            # over the member ring (Session handles the dispatch).
             self.mode = "remote"
             self._counting = CountingBackend(self._resolve_local(backend))
             self.session = Session(

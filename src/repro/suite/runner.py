@@ -52,7 +52,7 @@ class SuiteRun:
         artifacts: str | None = None,
         manifest: str | None = None,
         service=None,
-        connect: str | None = None,
+        connect: "str | Sequence[str] | None" = None,
         service_fallback: bool = False,
         transport_options: "dict | None" = None,
         dp_max_children: int | None = 2,

@@ -28,7 +28,12 @@ The canonical JSON shape::
 wire form of :class:`~repro.machine.machine.MachineConfig`); ``scale`` is a
 preset name or a dict of :class:`~repro.config.ExperimentScale` field
 overrides; ``seeds`` defaults to the scale's seed; a bare string in
-``experiments`` is shorthand for ``{"id": kind, "kind": kind}``.
+``experiments`` is shorthand for ``{"id": kind, "kind": kind}``.  An
+optional ``connect`` key — one ``tcp://``/``unix://`` URL or a list of
+them — names the campaign server(s) the suite runs against by default: a
+single URL makes every context a remote tenant, several make it a fleet
+tenant striping over the member ring (DESIGN.md section 15).  The
+``connect=`` argument of :func:`repro.suite` overrides it.
 
 :func:`SuiteSpec.spec_hash` digests the normalised spec (sorted-key JSON),
 so the manifest can detect that a store/manifest pair belongs to a
@@ -205,6 +210,9 @@ class SuiteSpec:
     scale: ExperimentScale
     seeds: tuple[int, ...]
     experiments: tuple[ExperimentSpec, ...]
+    #: Default campaign server URL(s): empty = in-process, one = remote
+    #: session, several = fleet client over the member ring.
+    connect: tuple[str, ...] = ()
 
     # -- construction ------------------------------------------------------------
 
@@ -213,11 +221,11 @@ class SuiteSpec:
         if not isinstance(payload, Mapping):
             raise SpecError(f"spec: expected an object, got {type(payload).__name__}")
         payload = dict(payload)
-        unknown = set(payload) - {"name", "machines", "scale", "seeds", "experiments"}
+        unknown = set(payload) - {"name", "machines", "scale", "seeds", "experiments", "connect"}
         if unknown:
             raise SpecError(
                 f"spec: unknown top-level keys {sorted(unknown)}; expected "
-                "'name', 'machines', 'scale', 'seeds', 'experiments'"
+                "'name', 'machines', 'scale', 'seeds', 'experiments', 'connect'"
             )
         name = payload.get("name")
         if not isinstance(name, str) or not name:
@@ -274,12 +282,30 @@ class SuiteSpec:
                 "kinds need explicit distinct 'id' values"
             )
 
+        raw_connect = payload.get("connect")
+        if raw_connect is None:
+            connect: tuple[str, ...] = ()
+        elif isinstance(raw_connect, str):
+            connect = (raw_connect,)
+        elif isinstance(raw_connect, Sequence) and not isinstance(raw_connect, bytes):
+            if not all(isinstance(url, str) and url for url in raw_connect):
+                raise SpecError("spec.connect: must be a URL string or a list of URL strings")
+            connect = tuple(raw_connect)
+        else:
+            raise SpecError(
+                f"spec.connect: expected a URL string or a list of URL strings, "
+                f"got {type(raw_connect).__name__}"
+            )
+        if len(set(connect)) != len(connect):
+            raise SpecError(f"spec.connect: duplicate server URLs in {list(connect)}")
+
         spec = cls(
             name=name,
             machines=machines,
             scale=scale,
             seeds=seeds,
             experiments=experiments,
+            connect=connect,
         )
         # Kind-specific option validation (objectives, sizes, ...) happens in
         # the registry so the error points at the offending experiment.
@@ -304,8 +330,12 @@ class SuiteSpec:
         return dataclasses.replace(self, scale=new_scale, seeds=seeds)
 
     def to_dict(self) -> dict[str, Any]:
-        """The normalised plain-dict form (JSON-ready, hash-stable)."""
-        return {
+        """The normalised plain-dict form (JSON-ready, hash-stable).
+
+        ``connect`` only appears when set, so connect-free specs hash the
+        same as they did before the key existed (manifests keep resuming).
+        """
+        out = {
             "name": self.name,
             "machines": [m.as_dict() for m in self.machines],
             "scale": {
@@ -315,6 +345,9 @@ class SuiteSpec:
             "seeds": list(self.seeds),
             "experiments": [e.as_dict() for e in self.experiments],
         }
+        if self.connect:
+            out["connect"] = list(self.connect)
+        return out
 
     def spec_hash(self) -> str:
         """SHA-256 of the normalised spec (sorted-key canonical JSON)."""
@@ -326,7 +359,8 @@ class SuiteSpec:
             f"{len(self.machines)} machine(s) x {len(self.seeds)} seed(s) x "
             f"{len(self.experiments)} experiment(s)"
         )
-        return f"SuiteSpec({self.name!r}: {axes}, scale=[{self.scale.describe()}])"
+        connect = f", connect={list(self.connect)}" if self.connect else ""
+        return f"SuiteSpec({self.name!r}: {axes}, scale=[{self.scale.describe()}]{connect})"
 
 
 def spec_from_dict(payload: "Mapping[str, Any] | SuiteSpec") -> SuiteSpec:
